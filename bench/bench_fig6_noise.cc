@@ -1,0 +1,75 @@
+// Regenerates Fig. 6: robustness to synthetic noise. A proportion epsilon
+// of the training-region interactions is replaced by uniformly random
+// items (the evaluation targets stay clean); SLIME4Rec should degrade more
+// slowly than DuoRec because the slide filters separate the injected
+// uniform noise in the frequency domain.
+
+#include <cstdio>
+
+#include "bench_util/experiment.h"
+#include "common/string_util.h"
+#include "bench_util/paper_values.h"
+#include "bench_util/table_printer.h"
+
+namespace slime {
+namespace bench {
+namespace {
+
+void RunDataset(const data::SyntheticConfig& preset) {
+  const std::string name = PaperDatasetName(preset.name);
+  std::printf("\n=== %s ===\n", name.c_str());
+  const train::TrainConfig tc = BenchTrainConfig();
+  TablePrinter table({"epsilon", "SLIME4Rec HR@5", "DuoRec HR@5",
+                      "SLIME relative drop %", "DuoRec relative drop %"});
+  double slime0 = 0.0;
+  double duo0 = 0.0;
+  double slime_last_drop = 0.0;
+  double duo_last_drop = 0.0;
+  for (const double eps : {0.0, 0.1, 0.2, 0.3}) {
+    Rng noise_rng(555);
+    const data::InteractionDataset noisy =
+        data::GenerateSynthetic(preset).FilterMinInteractions(5).InjectNoise(
+            eps, &noise_rng);
+    const data::SplitDataset split(noisy, 4);
+    const models::ModelConfig base = DefaultModelConfig(split);
+    const core::FilterMixerOptions m = DefaultMixerOptions(split.name());
+    const ExperimentResult slime =
+        RunSlimeVariant(MakeSlimeConfig(base, m), split, tc);
+    const ExperimentResult duo = RunModel("DuoRec", split, base, {}, tc);
+    if (eps == 0.0) {
+      slime0 = slime.test.hr5;
+      duo0 = duo.test.hr5;
+    }
+    slime_last_drop =
+        slime0 > 0 ? 100.0 * (1.0 - slime.test.hr5 / slime0) : 0.0;
+    duo_last_drop = duo0 > 0 ? 100.0 * (1.0 - duo.test.hr5 / duo0) : 0.0;
+    table.AddRow({Fmt4(eps).substr(0, 4), Fmt4(slime.test.hr5),
+                  Fmt4(duo.test.hr5), FormatFloat(slime_last_drop, 1),
+                  FormatFloat(duo_last_drop, 1)});
+    std::fflush(stdout);
+  }
+  table.Print();
+  std::printf("shape check at the largest epsilon: SLIME4Rec's relative "
+              "drop (%.1f%%) vs DuoRec's (%.1f%%)%s\n",
+              slime_last_drop, duo_last_drop,
+              slime_last_drop <= duo_last_drop ? " [OK: more robust]"
+                                               : " [MISS]");
+}
+
+void Run() {
+  std::printf("Fig. 6 reproduction: robustness to synthetic interaction "
+              "noise (scale %.2f)\n",
+              BenchDataScale(0.15));
+  // The paper's Fig. 6 uses Beauty and ML-1M.
+  RunDataset(data::BeautySimConfig(BenchDataScale(0.15)));
+  RunDataset(data::Ml1mSimConfig(BenchDataScale(0.15)));
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace slime
+
+int main() {
+  slime::bench::Run();
+  return 0;
+}

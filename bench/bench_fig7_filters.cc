@@ -1,0 +1,142 @@
+// Regenerates Fig. 7: visualisation of the learned slide filters. Trains
+// SLIME4Rec on beauty-sim with slide mode 4, alpha = 0.1 and L = 4 (so
+// beta = 0.25, the paper's setting), then renders per-layer amplitude
+// heatmaps of the dynamic filters (a), the static filters (b), and the
+// frequency differential showing SFS recapturing bins DFS misses (c).
+// Also writes CSV files next to the binary for external plotting.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "bench_util/experiment.h"
+#include "fft/fft.h"
+
+namespace slime {
+namespace bench {
+namespace {
+
+/// Mean amplitude per frequency bin (averaged over the hidden dim).
+std::vector<double> BinMeans(const Tensor& amp) {
+  const int64_t m = amp.size(0);
+  const int64_t d = amp.size(1);
+  std::vector<double> out(m, 0.0);
+  for (int64_t k = 0; k < m; ++k) {
+    for (int64_t j = 0; j < d; ++j) out[k] += amp.At({k, j});
+    out[k] /= static_cast<double>(d);
+  }
+  return out;
+}
+
+void AsciiBar(const std::vector<double>& values, double vmax) {
+  static const char* kShades = " .:-=+*#%@";
+  std::printf("  |");
+  for (double v : values) {
+    const int level =
+        vmax > 0 ? std::min<int>(9, static_cast<int>(10.0 * v / vmax)) : 0;
+    std::printf("%c", kShades[level]);
+  }
+  std::printf("|  (low freq %s high freq)\n", "->");
+}
+
+void DumpCsv(const std::string& path,
+             const std::vector<std::vector<double>>& rows) {
+  std::ofstream out(path);
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << ",";
+      out << row[i];
+    }
+    out << "\n";
+  }
+  std::printf("wrote %s\n", path.c_str());
+}
+
+void Run() {
+  std::printf("Fig. 7 reproduction: learned slide filter amplitudes "
+              "(beauty-sim, mode 4, alpha=0.1, L=4 => beta=0.25)\n\n");
+  const data::SplitDataset split =
+      BuildSplit(data::BeautySimConfig(BenchDataScale(0.3)));
+  models::ModelConfig base = DefaultModelConfig(split);
+  base.num_layers = 4;
+  core::FilterMixerOptions m = DefaultMixerOptions(split.name());
+  m.alpha = 0.1;  // < beta = 0.25: DFS leaves gaps, SFS recaptures them
+  core::Slime4Rec model(MakeSlimeConfig(base, m));
+  train::Trainer trainer(BenchTrainConfig());
+  const train::TrainResult r = trainer.Fit(&model, split);
+  std::printf("trained to test %s\n\n",
+              ("HR@5 " + Fmt4(r.test.hr5) + ", NDCG@5 " + Fmt4(r.test.ndcg5))
+                  .c_str());
+
+  const int64_t bins = fft::RfftBins(base.max_len);
+  std::vector<std::vector<double>> dyn_rows;
+  std::vector<std::vector<double>> sta_rows;
+  std::vector<std::vector<double>> diff_rows;
+  double vmax = 0.0;
+  for (const auto& block : model.blocks()) {
+    const auto dyn = BinMeans(block->mixer().MaskedDynamicAmplitude());
+    const auto sta = BinMeans(block->mixer().MaskedStaticAmplitude());
+    for (double v : dyn) vmax = std::max(vmax, v);
+    for (double v : sta) vmax = std::max(vmax, v);
+    std::vector<double> diff(bins);
+    for (int64_t k = 0; k < bins; ++k) diff[k] = sta[k] - dyn[k];
+    dyn_rows.push_back(dyn);
+    sta_rows.push_back(sta);
+    diff_rows.push_back(diff);
+  }
+  std::printf("(a) dynamic filters |W_D| per layer (window ~alpha*M = %lld "
+              "bins, sliding high->low):\n",
+              static_cast<long long>(0.1 * bins + 0.5));
+  for (size_t l = 0; l < dyn_rows.size(); ++l) {
+    std::printf("layer %zu", l);
+    AsciiBar(dyn_rows[l], vmax);
+  }
+  std::printf("\n(b) static filters |W_S| per layer (exact 1/L split):\n");
+  for (size_t l = 0; l < sta_rows.size(); ++l) {
+    std::printf("layer %zu", l);
+    AsciiBar(sta_rows[l], vmax);
+  }
+  std::printf("\n(c) frequency differential (static - dynamic amplitude, "
+              "> 0 where SFS recaptures missed bins):\n");
+  for (size_t l = 0; l < diff_rows.size(); ++l) {
+    std::vector<double> pos(bins);
+    for (int64_t k = 0; k < bins; ++k) {
+      pos[k] = std::max(0.0, diff_rows[l][k]);
+    }
+    std::printf("layer %zu", l);
+    AsciiBar(pos, vmax);
+  }
+  // Coverage check: DFS windows cover < M bins (alpha < 1/L), SFS exactly
+  // partitions all M bins.
+  int64_t dfs_covered = 0;
+  int64_t sfs_covered = 0;
+  for (int64_t k = 0; k < bins; ++k) {
+    bool in_dfs = false;
+    bool in_sfs = false;
+    for (const auto& block : model.blocks()) {
+      in_dfs = in_dfs || block->mixer().dynamic_window().Contains(k);
+      in_sfs = in_sfs || block->mixer().static_window().Contains(k);
+    }
+    dfs_covered += in_dfs;
+    sfs_covered += in_sfs;
+  }
+  std::printf("\ncoverage: DFS windows cover %lld/%lld bins (gaps exist, as "
+              "alpha < 1/L); SFS covers %lld/%lld [%s]\n",
+              static_cast<long long>(dfs_covered),
+              static_cast<long long>(bins),
+              static_cast<long long>(sfs_covered),
+              static_cast<long long>(bins),
+              (dfs_covered < bins && sfs_covered == bins) ? "OK" : "MISS");
+  DumpCsv("fig7_dynamic_amplitude.csv", dyn_rows);
+  DumpCsv("fig7_static_amplitude.csv", sta_rows);
+  DumpCsv("fig7_frequency_differential.csv", diff_rows);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace slime
+
+int main() {
+  slime::bench::Run();
+  return 0;
+}

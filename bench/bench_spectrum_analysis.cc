@@ -1,0 +1,61 @@
+// Companion analysis to Sec. IV-G1: the paper attributes the per-dataset
+// optimal filter size alpha to how concentrated the dataset's frequency
+// content is ("Amazon components concentrated in the low-frequency region;
+// ML-1M spectra scattered across bands"). This bench computes a
+// dataset-level spectrum profile for all five presets — no training, runs
+// in seconds.
+
+#include <cstdio>
+
+#include "analysis/spectrum.h"
+#include "bench_util/experiment.h"
+#include "bench_util/paper_values.h"
+#include "bench_util/table_printer.h"
+#include "common/string_util.h"
+
+namespace slime {
+namespace bench {
+namespace {
+
+void Run() {
+  const double scale = BenchDataScale(1.0);
+  std::printf("Dataset spectrum profiles (Sec. IV-G1 companion), scale "
+              "%.2f, N = 32\n\n",
+              scale);
+  TablePrinter table({"Dataset", "low third", "mid third", "high third",
+                      "entropy (nats)"});
+  double ml1m_entropy = 0.0;
+  double amazon_entropy_sum = 0.0;
+  for (const auto& preset : data::AllPresets(scale)) {
+    const data::InteractionDataset dataset =
+        data::GenerateSynthetic(preset).FilterMinInteractions(5);
+    const analysis::SpectrumProfile p =
+        analysis::ComputeSpectrumProfile(dataset, 32);
+    table.AddRow({PaperDatasetName(preset.name), FormatFloat(p.low_band, 3),
+                  FormatFloat(p.mid_band, 3), FormatFloat(p.high_band, 3),
+                  FormatFloat(p.entropy, 3)});
+    if (preset.name == "ml1m-sim") {
+      ml1m_entropy = p.entropy;
+    } else if (preset.name != "yelp-sim") {
+      amazon_entropy_sum += p.entropy;
+    }
+  }
+  table.Print();
+  const double amazon_mean = amazon_entropy_sum / 3.0;
+  std::printf(
+      "\nml1m-sim spectral entropy %.3f vs Amazon-sim mean %.3f: the dense\n"
+      "dataset's spectrum is the most scattered%s — matching the paper's\n"
+      "explanation for why ML-1M prefers a large dynamic filter (alpha\n"
+      "near 1) while sparse datasets prefer small focused windows.\n",
+      ml1m_entropy, amazon_mean,
+      ml1m_entropy > amazon_mean ? " [OK]" : " [MISS]");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace slime
+
+int main() {
+  slime::bench::Run();
+  return 0;
+}

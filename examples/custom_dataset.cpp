@@ -1,0 +1,70 @@
+// Domain scenario 3 — bring your own data: writes a dataset to the plain
+// text format of the SASRec/FMLP-Rec reference repositories, loads it back
+// through the Status-returning loader, and trains SLIME4Rec on it.
+// Demonstrates the file round-trip, error handling, and that nothing in
+// the pipeline is tied to the synthetic generator.
+//
+//   ./examples/custom_dataset [path]
+
+#include <cstdio>
+#include <string>
+
+#include "core/slime4rec.h"
+#include "data/loader.h"
+#include "data/synthetic.h"
+#include "train/trainer.h"
+
+int main(int argc, char** argv) {
+  using namespace slime;
+  const std::string path =
+      argc > 1 ? argv[1] : "/tmp/slime4rec_custom_dataset.txt";
+
+  // Pretend this file came from your own logs: one user per line,
+  // space-separated 1-based item ids in chronological order.
+  {
+    const data::InteractionDataset synthetic =
+        data::GenerateSynthetic(data::YelpSimConfig(0.2));
+    const Status st = data::SaveSequenceFile(synthetic, path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "write failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote example data to %s\n", path.c_str());
+  }
+
+  // Load with full error reporting.
+  Result<data::InteractionDataset> loaded =
+      data::LoadSequenceFile(path, "my-dataset");
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  const data::InteractionDataset dataset =
+      std::move(loaded).value().FilterMinInteractions(5);
+  const data::DatasetStats stats = dataset.Stats();
+  std::printf("loaded: %lld users, %lld items, sparsity %.2f%%\n",
+              static_cast<long long>(stats.num_users),
+              static_cast<long long>(stats.num_items),
+              100.0 * stats.sparsity);
+
+  const data::SplitDataset split(dataset, 4);
+  core::Slime4RecConfig config;
+  config.num_items = split.num_items();
+  config.num_users = split.num_users();
+  config.max_len = 32;
+  config.hidden_dim = 32;
+  config.num_layers = 2;
+  config.mixer.alpha = 0.5;
+  core::Slime4Rec model(config);
+
+  train::TrainConfig tc;
+  tc.max_epochs = 6;
+  tc.patience = 2;
+  train::Trainer trainer(tc);
+  const train::TrainResult result = trainer.Fit(&model, split);
+  std::printf("trained on the loaded file: HR@10 %.4f, NDCG@10 %.4f\n",
+              result.test.hr10, result.test.ndcg10);
+  std::remove(path.c_str());
+  return 0;
+}

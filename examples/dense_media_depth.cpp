@@ -1,0 +1,44 @@
+// Domain scenario 2 — a dense media-consumption workload (the paper's
+// ML-1M): long histories, many concurrent interest tracks with diverse
+// periods. Demonstrates the paper's depth claim (Sec. IV-G4): the slide
+// filter mixer keeps improving (or at least holds) as layers stack,
+// because each layer owns a frequency band, while depth alone does not
+// help the attention baseline.
+//
+//   ./examples/dense_media_depth
+
+#include <cstdio>
+
+#include "bench_util/experiment.h"
+#include "bench_util/table_printer.h"
+
+int main() {
+  using namespace slime;
+  using namespace slime::bench;
+
+  const data::SplitDataset split =
+      BuildSplit(data::Ml1mSimConfig(/*scale=*/0.25));
+  std::printf("dense media scenario (ml1m-sim): %lld users, %lld items, "
+              "long multi-track histories\n\n",
+              static_cast<long long>(split.num_users()),
+              static_cast<long long>(split.num_items()));
+
+  train::TrainConfig tc = BenchTrainConfig();
+  TablePrinter table({"L", "SLIME4Rec NDCG@10", "DuoRec NDCG@10"});
+  for (const int64_t layers : {2, 4}) {
+    models::ModelConfig mc = DefaultModelConfig(split);
+    mc.num_layers = layers;
+    core::FilterMixerOptions mixer = DefaultMixerOptions("ml1m-sim");
+    const ExperimentResult slime =
+        RunSlimeVariant(MakeSlimeConfig(mc, mixer), split, tc);
+    const ExperimentResult duo = RunModel("DuoRec", split, mc, mixer, tc);
+    table.AddRow({"L=" + std::to_string(layers), Fmt4(slime.test.ndcg10),
+                  Fmt4(duo.test.ndcg10)});
+    std::fflush(stdout);
+  }
+  table.Print();
+  std::printf("\nPer the paper, SLIME4Rec dominates DuoRec at every depth\n"
+              "on the dense dataset, where diverse spectra reward\n"
+              "frequency-band specialisation across layers.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Domain scenario 1 — sparse e-commerce sessions (the paper's Amazon
+// Beauty/Clothing/Sports motivation): users buy high-frequency items
+// (clothes-like, short period tracks) interleaved with low-frequency items
+// (electronics-like, long period tracks), plus noise. Compares the
+// frequency-domain models (FMLP-Rec, SLIME4Rec) against the strongest
+// attention baselines (SASRec, DuoRec) on this workload.
+//
+//   ./examples/ecommerce_comparison
+
+#include <cstdio>
+
+#include "bench_util/experiment.h"
+#include "bench_util/table_printer.h"
+
+int main() {
+  using namespace slime;
+  using namespace slime::bench;
+
+  // The Figure-1 story, explicit: two-track users (one period-1 "clothing"
+  // track, one period-6 "electronics" track) with 20% noise.
+  data::SyntheticConfig config = data::BeautySimConfig(0.3);
+  config.name = "ecommerce-sessions";
+  config.min_tracks = 2;
+  config.max_tracks = 2;
+  config.periods = {1, 6};
+  config.noise_prob = 0.2;
+  const data::SplitDataset split = BuildSplit(config);
+  std::printf("e-commerce scenario: %lld users x %lld items, two interest\n"
+              "tracks per user (periods 1 and 6), 20%% noise\n\n",
+              static_cast<long long>(split.num_users()),
+              static_cast<long long>(split.num_items()));
+
+  train::TrainConfig tc = BenchTrainConfig();
+  TablePrinter table({"Model", "HR@5", "NDCG@5", "HR@10", "NDCG@10",
+                      "train sec"});
+  for (const std::string name :
+       {"SASRec", "DuoRec", "FMLP-Rec", "SLIME4Rec"}) {
+    models::ModelConfig mc = DefaultModelConfig(split);
+    const ExperimentResult r = RunModel(
+        name, split, mc, DefaultMixerOptions("beauty-sim"), tc);
+    table.AddRow({name, Fmt4(r.test.hr5), Fmt4(r.test.ndcg5),
+                  Fmt4(r.test.hr10), Fmt4(r.test.ndcg10),
+                  Fmt4(r.seconds).substr(0, 5)});
+    std::fflush(stdout);
+  }
+  table.Print();
+  std::printf("\nWith cleanly separated behavioural frequencies, the\n"
+              "frequency-selective models can isolate each track where\n"
+              "time-domain attention sees one entangled sequence.\n");
+  return 0;
+}

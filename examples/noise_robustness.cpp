@@ -1,0 +1,43 @@
+// Domain scenario 4 — noisy interaction logs: demonstrates the paper's
+// robustness claim (Sec. IV-H) as an application. Injects increasing
+// amounts of random-item noise into the training region and watches the
+// frequency-filter model hold up while a pure time-domain model degrades.
+//
+//   ./examples/noise_robustness
+
+#include <cstdio>
+
+#include "bench_util/experiment.h"
+#include "bench_util/table_printer.h"
+
+int main() {
+  using namespace slime;
+  using namespace slime::bench;
+
+  const data::SyntheticConfig preset = data::BeautySimConfig(0.25);
+  train::TrainConfig tc = BenchTrainConfig();
+  tc.max_epochs = 8;
+
+  TablePrinter table(
+      {"noise", "SLIME4Rec HR@10", "SASRec HR@10"});
+  for (const double eps : {0.0, 0.15, 0.3}) {
+    Rng rng(99);
+    const data::InteractionDataset noisy =
+        data::GenerateSynthetic(preset).FilterMinInteractions(5).InjectNoise(
+            eps, &rng);
+    const data::SplitDataset split(noisy, 4);
+    const models::ModelConfig mc = DefaultModelConfig(split);
+    const core::FilterMixerOptions mixer = DefaultMixerOptions("beauty-sim");
+    const ExperimentResult slime =
+        RunSlimeVariant(MakeSlimeConfig(mc, mixer), split, tc);
+    const ExperimentResult sas = RunModel("SASRec", split, mc, mixer, tc);
+    table.AddRow({Fmt4(eps).substr(0, 4), Fmt4(slime.test.hr10),
+                  Fmt4(sas.test.hr10)});
+    std::fflush(stdout);
+  }
+  table.Print();
+  std::printf("\nThe slide filters attenuate the uniform noise in the\n"
+              "frequency domain; attention weights every (noisy) item in\n"
+              "the time domain.\n");
+  return 0;
+}

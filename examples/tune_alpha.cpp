@@ -1,0 +1,47 @@
+// Domain scenario 5 — hyper-parameter tuning the paper's way: "all these
+// parameters are tuned on the validation set" (Sec. IV-D). Runs a small
+// validation-based grid search over the dynamic filter size ratio alpha
+// and reports the winner's held-out test metrics.
+//
+//   ./examples/tune_alpha
+
+#include <cstdio>
+
+#include "data/synthetic.h"
+#include "train/grid_search.h"
+
+int main() {
+  using namespace slime;
+  const data::SplitDataset split(
+      data::GenerateSynthetic(data::SportsSimConfig(0.2))
+          .FilterMinInteractions(5),
+      4);
+
+  core::Slime4RecConfig base;
+  base.num_items = split.num_items();
+  base.num_users = split.num_users();
+  base.max_len = 32;
+  base.hidden_dim = 32;
+  base.num_layers = 2;
+  base.dropout = 0.4f;
+  base.emb_dropout = 0.4f;
+  base.cl_temperature = 0.2f;
+
+  train::TrainConfig tc;
+  tc.max_epochs = 8;
+  tc.patience = 8;
+  tc.lr = 2e-3f;
+
+  std::printf("grid-searching alpha on validation NDCG@10 (%lld users)\n",
+              static_cast<long long>(split.num_users()));
+  const auto grid =
+      train::SlimeAlphaGrid(base, {0.2, 0.4, 0.6, 0.8, 1.0});
+  const train::GridSearchResult result =
+      train::GridSearch(grid, split, tc, /*verbose=*/true);
+  std::printf("\nwinner: %s  ->  test HR@10 %.4f, NDCG@10 %.4f\n",
+              result.best_label.c_str(), result.best_test.hr10,
+              result.best_test.ndcg10);
+  std::printf("(the paper reports per-dataset optima: 0.4 Beauty, 0.8 "
+              "Clothing, 0.3 Sports)\n");
+  return 0;
+}

@@ -1,0 +1,12 @@
+#!/bin/bash
+# Runs every bench binary, logging to bench_logs/<name>.log, then
+# concatenates everything into bench_output.txt.
+cd /root/repo/build/bench
+for b in bench_table1_datasets bench_table2_overall bench_fig3_ablation \
+         bench_table4_slide_modes bench_fig6_noise bench_fig4_alpha \
+         bench_table3_sfs bench_table5_depth bench_fig5_seqlen_hidden \
+         bench_fig7_filters bench_complexity; do
+  echo "=== $b start $(date +%H:%M:%S) ==="
+  ./$b > /root/repo/bench_logs/$b.log 2>&1
+  echo "=== $b done  $(date +%H:%M:%S) rc=$? ==="
+done

@@ -1,0 +1,8 @@
+#!/bin/bash
+# Second wave: reruns and companion benches added after the main suite.
+cd /root/repo/build/bench
+for b in bench_table4_slide_modes bench_ablation_mixing bench_sampled_metrics; do
+  echo "=== $b start $(date +%H:%M:%S) ==="
+  ./$b > /root/repo/bench_logs/$b.log 2>&1
+  echo "=== $b done  $(date +%H:%M:%S) rc=$? ==="
+done

@@ -1,0 +1,55 @@
+#include "autograd/gradcheck.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace slime {
+namespace autograd {
+
+GradCheckResult CheckGradients(
+    const std::function<Variable(const std::vector<Variable>&)>& fn,
+    std::vector<Variable> inputs, double eps, double tol) {
+  GradCheckResult result;
+
+  // Analytic pass.
+  for (auto& v : inputs) v.ZeroGrad();
+  Variable out = fn(inputs);
+  SLIME_CHECK_EQ(out.numel(), 1);
+  out.Backward();
+  std::vector<Tensor> analytic;
+  analytic.reserve(inputs.size());
+  for (auto& v : inputs) analytic.push_back(v.grad().Clone());
+
+  // Numeric pass: central differences on every input element.
+  for (size_t vi = 0; vi < inputs.size(); ++vi) {
+    if (!inputs[vi].requires_grad()) continue;
+    Tensor& value = inputs[vi].mutable_value();
+    for (int64_t i = 0; i < value.numel(); ++i) {
+      const float orig = value[i];
+      value[i] = orig + static_cast<float>(eps);
+      const double fp = fn(inputs).value()[0];
+      value[i] = orig - static_cast<float>(eps);
+      const double fm = fn(inputs).value()[0];
+      value[i] = orig;
+      const double numeric = (fp - fm) / (2.0 * eps);
+      const double a = analytic[vi][i];
+      const double abs_err = std::abs(a - numeric);
+      const double rel_err =
+          abs_err / std::max({1.0, std::abs(a), std::abs(numeric)});
+      result.max_abs_err = std::max(result.max_abs_err, abs_err);
+      result.max_rel_err = std::max(result.max_rel_err, rel_err);
+      if (rel_err > tol && abs_err > tol) {
+        result.ok = false;
+        std::ostringstream os;
+        os << "input " << vi << " elem " << i << ": analytic " << a
+           << " vs numeric " << numeric;
+        if (result.message.empty()) result.message = os.str();
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace autograd
+}  // namespace slime

@@ -1,0 +1,36 @@
+#ifndef SLIME4REC_AUTOGRAD_GRADCHECK_H_
+#define SLIME4REC_AUTOGRAD_GRADCHECK_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace slime {
+namespace autograd {
+
+/// Result of a finite-difference gradient verification.
+struct GradCheckResult {
+  bool ok = true;
+  /// Largest |analytic - numeric| over all checked entries.
+  double max_abs_err = 0.0;
+  /// Largest relative error (|a-n| / max(1, |a|, |n|)).
+  double max_rel_err = 0.0;
+  std::string message;
+};
+
+/// Verifies the analytic gradients of `fn` (a scalar-valued function of the
+/// given inputs) against central finite differences.
+///
+/// `fn` is invoked many times and MUST be deterministic (seed any internal
+/// RNG identically per call). Inputs are perturbed in place through
+/// mutable_value(). Tolerances are float32-appropriate defaults.
+GradCheckResult CheckGradients(
+    const std::function<Variable(const std::vector<Variable>&)>& fn,
+    std::vector<Variable> inputs, double eps = 1e-3, double tol = 2e-2);
+
+}  // namespace autograd
+}  // namespace slime
+
+#endif  // SLIME4REC_AUTOGRAD_GRADCHECK_H_

@@ -1,0 +1,862 @@
+#include "autograd/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+
+namespace slime {
+namespace autograd {
+namespace {
+
+/// Reduces a broadcast gradient back to the operand shape and accumulates.
+void AccumulateBroadcast(const std::shared_ptr<Node>& node, const Tensor& g) {
+  if (!node || !node->requires_grad) return;
+  if (g.shape() == node->value.shape()) {
+    AccumulateGrad(node, g);
+  } else {
+    AccumulateGrad(node, ops::ReduceTo(g, node->value.shape()));
+  }
+}
+
+/// Builds a unary elementwise op where the local derivative can be computed
+/// from the *input* value.
+Variable UnaryFromInput(const Variable& a, float (*fwd)(float),
+                        float (*dfdx)(float)) {
+  Tensor out = ops::Map(a.value(), fwd);
+  auto an = a.node();
+  return MakeOpVariable(
+      std::move(out), {an}, [an, dfdx](const Tensor& g) {
+        Tensor dx(g.shape());
+        const float* px = an->value.data();
+        const float* pg = g.data();
+        float* pd = dx.data();
+        const int64_t n = g.numel();
+        for (int64_t i = 0; i < n; ++i) pd[i] = pg[i] * dfdx(px[i]);
+        AccumulateGrad(an, dx);
+      });
+}
+
+}  // namespace
+
+Variable Add(const Variable& a, const Variable& b) {
+  Tensor out = ops::Add(a.value(), b.value());
+  auto an = a.node();
+  auto bn = b.node();
+  return MakeOpVariable(std::move(out), {an, bn}, [an, bn](const Tensor& g) {
+    AccumulateBroadcast(an, g);
+    AccumulateBroadcast(bn, g);
+  });
+}
+
+Variable Sub(const Variable& a, const Variable& b) {
+  Tensor out = ops::Sub(a.value(), b.value());
+  auto an = a.node();
+  auto bn = b.node();
+  return MakeOpVariable(std::move(out), {an, bn}, [an, bn](const Tensor& g) {
+    AccumulateBroadcast(an, g);
+    if (bn && bn->requires_grad) {
+      AccumulateBroadcast(bn, ops::MulScalar(g, -1.0f));
+    }
+  });
+}
+
+Variable Mul(const Variable& a, const Variable& b) {
+  Tensor out = ops::Mul(a.value(), b.value());
+  auto an = a.node();
+  auto bn = b.node();
+  return MakeOpVariable(std::move(out), {an, bn}, [an, bn](const Tensor& g) {
+    if (an && an->requires_grad)
+      AccumulateBroadcast(an, ops::Mul(g, bn->value));
+    if (bn && bn->requires_grad)
+      AccumulateBroadcast(bn, ops::Mul(g, an->value));
+  });
+}
+
+Variable Div(const Variable& a, const Variable& b) {
+  Tensor out = ops::Div(a.value(), b.value());
+  auto an = a.node();
+  auto bn = b.node();
+  return MakeOpVariable(std::move(out), {an, bn}, [an, bn](const Tensor& g) {
+    if (an && an->requires_grad)
+      AccumulateBroadcast(an, ops::Div(g, bn->value));
+    if (bn && bn->requires_grad) {
+      // d/db (a/b) = -a / b^2
+      Tensor t = ops::Mul(g, an->value);
+      t = ops::Div(t, ops::Mul(bn->value, bn->value));
+      AccumulateBroadcast(bn, ops::MulScalar(t, -1.0f));
+    }
+  });
+}
+
+Variable Neg(const Variable& a) { return MulScalar(a, -1.0f); }
+
+Variable AddScalar(const Variable& a, float s) {
+  Tensor out = ops::AddScalar(a.value(), s);
+  auto an = a.node();
+  return MakeOpVariable(std::move(out), {an},
+                        [an](const Tensor& g) { AccumulateGrad(an, g); });
+}
+
+Variable MulScalar(const Variable& a, float s) {
+  Tensor out = ops::MulScalar(a.value(), s);
+  auto an = a.node();
+  return MakeOpVariable(std::move(out), {an}, [an, s](const Tensor& g) {
+    AccumulateGrad(an, ops::MulScalar(g, s));
+  });
+}
+
+Variable MulConst(const Variable& a, const Tensor& c) {
+  Tensor out = ops::Mul(a.value(), c);
+  SLIME_CHECK_MSG(out.shape() == a.value().shape(),
+                  "MulConst mask must broadcast to the input shape");
+  auto an = a.node();
+  Tensor cc = c;  // shares storage; cheap
+  return MakeOpVariable(std::move(out), {an}, [an, cc](const Tensor& g) {
+    AccumulateGrad(an, ops::Mul(g, cc));
+  });
+}
+
+Variable AddConst(const Variable& a, const Tensor& c) {
+  Tensor out = ops::Add(a.value(), c);
+  SLIME_CHECK(out.shape() == a.value().shape());
+  auto an = a.node();
+  return MakeOpVariable(std::move(out), {an},
+                        [an](const Tensor& g) { AccumulateGrad(an, g); });
+}
+
+Variable Relu(const Variable& a) {
+  return UnaryFromInput(
+      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float x) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+Variable Gelu(const Variable& a) {
+  // gelu(x) = x * Phi(x); d/dx = Phi(x) + x * phi(x).
+  return UnaryFromInput(
+      a,
+      [](float x) {
+        return 0.5f * x * (1.0f + std::erf(x * 0.70710678118654752f));
+      },
+      [](float x) {
+        const float cdf =
+            0.5f * (1.0f + std::erf(x * 0.70710678118654752f));
+        const float pdf = 0.3989422804014327f * std::exp(-0.5f * x * x);
+        return cdf + x * pdf;
+      });
+}
+
+Variable Sigmoid(const Variable& a) {
+  Tensor out = ops::Map(a.value(), [](float x) {
+    return x >= 0.0f ? 1.0f / (1.0f + std::exp(-x))
+                     : std::exp(x) / (1.0f + std::exp(x));
+  });
+  auto an = a.node();
+  Tensor y = out;  // alias for backward
+  return MakeOpVariable(std::move(out), {an}, [an, y](const Tensor& g) {
+    Tensor dx(g.shape());
+    const float* py = y.data();
+    const float* pg = g.data();
+    float* pd = dx.data();
+    for (int64_t i = 0; i < g.numel(); ++i)
+      pd[i] = pg[i] * py[i] * (1.0f - py[i]);
+    AccumulateGrad(an, dx);
+  });
+}
+
+Variable Tanh(const Variable& a) {
+  Tensor out = ops::Map(a.value(), [](float x) { return std::tanh(x); });
+  auto an = a.node();
+  Tensor y = out;
+  return MakeOpVariable(std::move(out), {an}, [an, y](const Tensor& g) {
+    Tensor dx(g.shape());
+    const float* py = y.data();
+    const float* pg = g.data();
+    float* pd = dx.data();
+    for (int64_t i = 0; i < g.numel(); ++i)
+      pd[i] = pg[i] * (1.0f - py[i] * py[i]);
+    AccumulateGrad(an, dx);
+  });
+}
+
+Variable Exp(const Variable& a) {
+  Tensor out = ops::Map(a.value(), [](float x) { return std::exp(x); });
+  auto an = a.node();
+  Tensor y = out;
+  return MakeOpVariable(std::move(out), {an}, [an, y](const Tensor& g) {
+    AccumulateGrad(an, ops::Mul(g, y));
+  });
+}
+
+Variable Log(const Variable& a) {
+  return UnaryFromInput(
+      a, [](float x) { return std::log(x); },
+      [](float x) { return 1.0f / x; });
+}
+
+Variable Sqrt(const Variable& a) {
+  Tensor out = ops::Map(a.value(), [](float x) { return std::sqrt(x); });
+  auto an = a.node();
+  Tensor y = out;
+  return MakeOpVariable(std::move(out), {an}, [an, y](const Tensor& g) {
+    Tensor dx(g.shape());
+    const float* py = y.data();
+    const float* pg = g.data();
+    float* pd = dx.data();
+    for (int64_t i = 0; i < g.numel(); ++i)
+      pd[i] = pg[i] * 0.5f / py[i];
+    AccumulateGrad(an, dx);
+  });
+}
+
+Variable Reshape(const Variable& a, std::vector<int64_t> shape) {
+  Tensor out = a.value().Clone().Reshape(std::move(shape));
+  auto an = a.node();
+  std::vector<int64_t> in_shape = a.value().shape();
+  return MakeOpVariable(std::move(out), {an},
+                        [an, in_shape](const Tensor& g) {
+                          AccumulateGrad(an, g.Clone().Reshape(in_shape));
+                        });
+}
+
+Variable TransposeLastTwo(const Variable& a) {
+  Tensor out = ops::TransposeLastTwo(a.value());
+  auto an = a.node();
+  return MakeOpVariable(std::move(out), {an}, [an](const Tensor& g) {
+    AccumulateGrad(an, ops::TransposeLastTwo(g));
+  });
+}
+
+Variable Slice(const Variable& a, int64_t axis, int64_t start, int64_t end) {
+  const Tensor& x = a.value();
+  const int64_t rank = x.dim();
+  if (axis < 0) axis += rank;
+  SLIME_CHECK(axis >= 0 && axis < rank);
+  SLIME_CHECK(0 <= start && start <= end && end <= x.size(axis));
+  int64_t outer = 1;
+  int64_t inner = 1;
+  for (int64_t i = 0; i < axis; ++i) outer *= x.size(i);
+  for (int64_t i = axis + 1; i < rank; ++i) inner *= x.size(i);
+  const int64_t extent = x.size(axis);
+  const int64_t width = end - start;
+  std::vector<int64_t> out_shape = x.shape();
+  out_shape[axis] = width;
+  Tensor out(out_shape);
+  const float* px = x.data();
+  float* po = out.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    const float* src = px + (o * extent + start) * inner;
+    float* dst = po + o * width * inner;
+    std::copy(src, src + width * inner, dst);
+  }
+  auto an = a.node();
+  std::vector<int64_t> in_shape = x.shape();
+  return MakeOpVariable(
+      std::move(out), {an},
+      [an, in_shape, outer, inner, extent, start, width](const Tensor& g) {
+        Tensor dx(in_shape);
+        const float* pg = g.data();
+        float* pd = dx.data();
+        for (int64_t o = 0; o < outer; ++o) {
+          const float* src = pg + o * width * inner;
+          float* dst = pd + (o * extent + start) * inner;
+          std::copy(src, src + width * inner, dst);
+        }
+        AccumulateGrad(an, dx);
+      });
+}
+
+Variable Concat(const std::vector<Variable>& vars, int64_t axis) {
+  SLIME_CHECK(!vars.empty());
+  const int64_t rank = vars[0].value().dim();
+  if (axis < 0) axis += rank;
+  SLIME_CHECK(axis >= 0 && axis < rank);
+  int64_t total = 0;
+  for (const auto& v : vars) {
+    SLIME_CHECK_EQ(v.value().dim(), rank);
+    for (int64_t i = 0; i < rank; ++i) {
+      if (i != axis) SLIME_CHECK_EQ(v.value().size(i), vars[0].value().size(i));
+    }
+    total += v.value().size(axis);
+  }
+  std::vector<int64_t> out_shape = vars[0].value().shape();
+  out_shape[axis] = total;
+  Tensor out(out_shape);
+  int64_t outer = 1;
+  int64_t inner = 1;
+  for (int64_t i = 0; i < axis; ++i) outer *= out_shape[i];
+  for (int64_t i = axis + 1; i < rank; ++i) inner *= out_shape[i];
+  // Copy each input into its slot.
+  std::vector<int64_t> widths;
+  int64_t off = 0;
+  for (const auto& v : vars) {
+    const int64_t w = v.value().size(axis);
+    widths.push_back(w);
+    const float* src = v.value().data();
+    for (int64_t o = 0; o < outer; ++o) {
+      std::copy(src + o * w * inner, src + (o + 1) * w * inner,
+                out.data() + (o * total + off) * inner);
+    }
+    off += w;
+  }
+  std::vector<std::shared_ptr<Node>> parents;
+  for (const auto& v : vars) parents.push_back(v.node());
+  return MakeOpVariable(
+      std::move(out), parents,
+      [parents, widths, outer, inner, total](const Tensor& g) {
+        int64_t off2 = 0;
+        for (size_t i = 0; i < parents.size(); ++i) {
+          const int64_t w = widths[i];
+          if (parents[i] && parents[i]->requires_grad) {
+            std::vector<int64_t> shape = parents[i]->value.shape();
+            Tensor dx(shape);
+            for (int64_t o = 0; o < outer; ++o) {
+              const float* src = g.data() + (o * total + off2) * inner;
+              std::copy(src, src + w * inner, dx.data() + o * w * inner);
+            }
+            AccumulateGrad(parents[i], dx);
+          }
+          off2 += w;
+        }
+      });
+}
+
+Variable MatMul(const Variable& a, const Variable& b) {
+  Tensor out = ops::MatMul(a.value(), b.value());
+  auto an = a.node();
+  auto bn = b.node();
+  return MakeOpVariable(std::move(out), {an, bn}, [an, bn](const Tensor& g) {
+    if (an && an->requires_grad)
+      AccumulateGrad(an, ops::MatMulTransB(g, bn->value));
+    if (bn && bn->requires_grad)
+      AccumulateGrad(bn, ops::MatMulTransA(an->value, g));
+  });
+}
+
+Variable MatMulTransB(const Variable& a, const Variable& b) {
+  Tensor out = ops::MatMulTransB(a.value(), b.value());
+  auto an = a.node();
+  auto bn = b.node();
+  return MakeOpVariable(std::move(out), {an, bn}, [an, bn](const Tensor& g) {
+    // y = a b^T: da = g b; db = g^T a.
+    if (an && an->requires_grad)
+      AccumulateGrad(an, ops::MatMul(g, bn->value));
+    if (bn && bn->requires_grad)
+      AccumulateGrad(bn, ops::MatMulTransA(g, an->value));
+  });
+}
+
+Variable BatchMatMul(const Variable& a, const Variable& b) {
+  Tensor out = ops::BatchMatMul(a.value(), b.value());
+  auto an = a.node();
+  auto bn = b.node();
+  return MakeOpVariable(std::move(out), {an, bn}, [an, bn](const Tensor& g) {
+    if (an && an->requires_grad)
+      AccumulateGrad(an, ops::BatchMatMulTransB(g, bn->value));
+    if (bn && bn->requires_grad)
+      AccumulateGrad(bn, ops::BatchMatMulTransA(an->value, g));
+  });
+}
+
+Variable BatchMatMulTransB(const Variable& a, const Variable& b) {
+  Tensor out = ops::BatchMatMulTransB(a.value(), b.value());
+  auto an = a.node();
+  auto bn = b.node();
+  return MakeOpVariable(std::move(out), {an, bn}, [an, bn](const Tensor& g) {
+    // y_i = a_i b_i^T: da_i = g_i b_i; db_i = g_i^T a_i.
+    if (an && an->requires_grad)
+      AccumulateGrad(an, ops::BatchMatMul(g, bn->value));
+    if (bn && bn->requires_grad)
+      AccumulateGrad(bn, ops::BatchMatMulTransA(g, an->value));
+  });
+}
+
+Variable BroadcastMatMul(const Variable& w, const Variable& x) {
+  const Tensor& wt = w.value();
+  const Tensor& xt = x.value();
+  SLIME_CHECK_EQ(wt.dim(), 2);
+  SLIME_CHECK_EQ(xt.dim(), 3);
+  const int64_t batch = xt.size(0);
+  const int64_t m = wt.size(0);
+  const int64_t k = wt.size(1);
+  SLIME_CHECK_EQ(xt.size(1), k);
+  const int64_t n = xt.size(2);
+  Tensor out({batch, m, n});
+  for (int64_t i = 0; i < batch; ++i) {
+    Tensor xi({k, n});
+    std::copy(xt.data() + i * k * n, xt.data() + (i + 1) * k * n, xi.data());
+    Tensor yi = ops::MatMul(wt, xi);
+    std::copy(yi.data(), yi.data() + m * n, out.data() + i * m * n);
+  }
+  auto wn = w.node();
+  auto xn = x.node();
+  return MakeOpVariable(
+      std::move(out), {wn, xn},
+      [wn, xn, batch, m, k, n](const Tensor& g) {
+        if (wn && wn->requires_grad) {
+          Tensor dw({m, k});
+          for (int64_t i = 0; i < batch; ++i) {
+            Tensor gi({m, n});
+            Tensor xi({k, n});
+            std::copy(g.data() + i * m * n, g.data() + (i + 1) * m * n,
+                      gi.data());
+            std::copy(xn->value.data() + i * k * n,
+                      xn->value.data() + (i + 1) * k * n, xi.data());
+            ops::AddInPlace(&dw, ops::MatMulTransB(gi, xi));
+          }
+          AccumulateGrad(wn, dw);
+        }
+        if (xn && xn->requires_grad) {
+          Tensor dx({batch, k, n});
+          for (int64_t i = 0; i < batch; ++i) {
+            Tensor gi({m, n});
+            std::copy(g.data() + i * m * n, g.data() + (i + 1) * m * n,
+                      gi.data());
+            Tensor dxi = ops::MatMulTransA(wn->value, gi);
+            std::copy(dxi.data(), dxi.data() + k * n, dx.data() + i * k * n);
+          }
+          AccumulateGrad(xn, dx);
+        }
+      });
+}
+
+Variable Sum(const Variable& a) {
+  Tensor out = Tensor::Scalar(ops::SumAll(a.value()));
+  auto an = a.node();
+  std::vector<int64_t> shape = a.value().shape();
+  return MakeOpVariable(std::move(out), {an}, [an, shape](const Tensor& g) {
+    AccumulateGrad(an, Tensor::Full(shape, g[0]));
+  });
+}
+
+Variable Mean(const Variable& a) {
+  const float inv = 1.0f / static_cast<float>(a.numel());
+  Tensor out = Tensor::Scalar(ops::SumAll(a.value()) * inv);
+  auto an = a.node();
+  std::vector<int64_t> shape = a.value().shape();
+  return MakeOpVariable(std::move(out), {an},
+                        [an, shape, inv](const Tensor& g) {
+                          AccumulateGrad(an, Tensor::Full(shape, g[0] * inv));
+                        });
+}
+
+Variable SumAxis(const Variable& a, int64_t axis, bool keepdim) {
+  const int64_t rank = a.value().dim();
+  if (axis < 0) axis += rank;
+  Tensor out = ops::SumAxis(a.value(), axis, keepdim);
+  auto an = a.node();
+  int64_t outer = 1;
+  int64_t inner = 1;
+  for (int64_t i = 0; i < axis; ++i) outer *= a.value().size(i);
+  for (int64_t i = axis + 1; i < rank; ++i) inner *= a.value().size(i);
+  const int64_t extent = a.value().size(axis);
+  std::vector<int64_t> in_shape = a.value().shape();
+  return MakeOpVariable(
+      std::move(out), {an},
+      [an, in_shape, outer, inner, extent](const Tensor& g) {
+        Tensor dx(in_shape);
+        const float* pg = g.data();
+        float* pd = dx.data();
+        for (int64_t o = 0; o < outer; ++o)
+          for (int64_t e = 0; e < extent; ++e) {
+            const float* src = pg + o * inner;
+            float* dst = pd + (o * extent + e) * inner;
+            for (int64_t i = 0; i < inner; ++i) dst[i] = src[i];
+          }
+        AccumulateGrad(an, dx);
+      });
+}
+
+namespace {
+
+/// Row-wise softmax over the last dim into a fresh tensor.
+Tensor SoftmaxRows(const Tensor& x) {
+  Tensor y(x.shape());
+  const int64_t d = x.size(-1);
+  const int64_t rows = x.numel() / d;
+  const float* px = x.data();
+  float* py = y.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* in = px + r * d;
+    float* out = py + r * d;
+    float mx = in[0];
+    for (int64_t i = 1; i < d; ++i) mx = std::max(mx, in[i]);
+    double z = 0.0;
+    for (int64_t i = 0; i < d; ++i) {
+      out[i] = std::exp(in[i] - mx);
+      z += out[i];
+    }
+    const float invz = static_cast<float>(1.0 / z);
+    for (int64_t i = 0; i < d; ++i) out[i] *= invz;
+  }
+  return y;
+}
+
+}  // namespace
+
+Variable Softmax(const Variable& a) {
+  Tensor y = SoftmaxRows(a.value());
+  auto an = a.node();
+  Tensor ycopy = y;
+  return MakeOpVariable(std::move(y), {an}, [an, ycopy](const Tensor& g) {
+    // dx = y * (g - sum(g*y)) per row.
+    Tensor dx(g.shape());
+    const int64_t d = g.size(-1);
+    const int64_t rows = g.numel() / d;
+    const float* py = ycopy.data();
+    const float* pg = g.data();
+    float* pd = dx.data();
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* yr = py + r * d;
+      const float* gr = pg + r * d;
+      float* dr = pd + r * d;
+      double dot = 0.0;
+      for (int64_t i = 0; i < d; ++i) dot += double(gr[i]) * yr[i];
+      for (int64_t i = 0; i < d; ++i)
+        dr[i] = yr[i] * (gr[i] - static_cast<float>(dot));
+    }
+    AccumulateGrad(an, dx);
+  });
+}
+
+Variable LogSoftmax(const Variable& a) {
+  const Tensor& x = a.value();
+  Tensor y(x.shape());
+  const int64_t d = x.size(-1);
+  const int64_t rows = x.numel() / d;
+  const float* px = x.data();
+  float* py = y.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* in = px + r * d;
+    float* out = py + r * d;
+    float mx = in[0];
+    for (int64_t i = 1; i < d; ++i) mx = std::max(mx, in[i]);
+    double z = 0.0;
+    for (int64_t i = 0; i < d; ++i) z += std::exp(in[i] - mx);
+    const float lz = mx + static_cast<float>(std::log(z));
+    for (int64_t i = 0; i < d; ++i) out[i] = in[i] - lz;
+  }
+  auto an = a.node();
+  Tensor ycopy = y;
+  return MakeOpVariable(std::move(y), {an}, [an, ycopy, d](const Tensor& g) {
+    // dx = g - softmax * rowsum(g).
+    Tensor dx(g.shape());
+    const int64_t rows2 = g.numel() / d;
+    const float* py2 = ycopy.data();
+    const float* pg = g.data();
+    float* pd = dx.data();
+    for (int64_t r = 0; r < rows2; ++r) {
+      const float* yr = py2 + r * d;
+      const float* gr = pg + r * d;
+      float* dr = pd + r * d;
+      double s = 0.0;
+      for (int64_t i = 0; i < d; ++i) s += gr[i];
+      for (int64_t i = 0; i < d; ++i)
+        dr[i] = gr[i] - std::exp(yr[i]) * static_cast<float>(s);
+    }
+    AccumulateGrad(an, dx);
+  });
+}
+
+Variable CrossEntropy(const Variable& logits,
+                      const std::vector<int64_t>& targets,
+                      int64_t ignore_index) {
+  const Tensor& x = logits.value();
+  SLIME_CHECK_EQ(x.dim(), 2);
+  const int64_t rows = x.size(0);
+  const int64_t v = x.size(1);
+  SLIME_CHECK_EQ(rows, static_cast<int64_t>(targets.size()));
+  // Stable log-softmax NLL with probabilities cached for backward.
+  Tensor probs = SoftmaxRows(x);
+  double loss = 0.0;
+  int64_t count = 0;
+  const float* pp = probs.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const int64_t t = targets[r];
+    if (t == ignore_index) continue;
+    SLIME_CHECK(t >= 0 && t < v);
+    loss += -std::log(std::max(pp[r * v + t], 1e-12f));
+    ++count;
+  }
+  SLIME_CHECK_MSG(count > 0, "CrossEntropy: every target was ignored");
+  Tensor out = Tensor::Scalar(static_cast<float>(loss / count));
+  auto an = logits.node();
+  return MakeOpVariable(
+      std::move(out), {an},
+      [an, probs, targets, ignore_index, rows, v, count](const Tensor& g) {
+        Tensor dx({rows, v});
+        const float scale = g[0] / static_cast<float>(count);
+        const float* pp2 = probs.data();
+        float* pd = dx.data();
+        for (int64_t r = 0; r < rows; ++r) {
+          const int64_t t = targets[r];
+          if (t == ignore_index) continue;
+          for (int64_t i = 0; i < v; ++i)
+            pd[r * v + i] = pp2[r * v + i] * scale;
+          pd[r * v + t] -= scale;
+        }
+        AccumulateGrad(an, dx);
+      });
+}
+
+Variable EmbeddingLookup(const Variable& weight,
+                         const std::vector<int64_t>& ids,
+                         std::vector<int64_t> out_shape) {
+  const Tensor& w = weight.value();
+  SLIME_CHECK_EQ(w.dim(), 2);
+  const int64_t vocab = w.size(0);
+  const int64_t d = w.size(1);
+  SLIME_CHECK_EQ(ShapeNumel(out_shape), static_cast<int64_t>(ids.size()));
+  std::vector<int64_t> full_shape = out_shape;
+  full_shape.push_back(d);
+  Tensor out(full_shape);
+  const float* pw = w.data();
+  float* po = out.data();
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const int64_t id = ids[i];
+    SLIME_CHECK_MSG(id >= 0 && id < vocab,
+                    "embedding id " << id << " out of range [0," << vocab
+                                    << ")");
+    std::copy(pw + id * d, pw + (id + 1) * d, po + i * d);
+  }
+  auto wn = weight.node();
+  return MakeOpVariable(std::move(out), {wn},
+                        [wn, ids, vocab, d](const Tensor& g) {
+                          Tensor dw({vocab, d});
+                          const float* pg = g.data();
+                          float* pd = dw.data();
+                          for (size_t i = 0; i < ids.size(); ++i) {
+                            float* dst = pd + ids[i] * d;
+                            const float* src = pg + i * d;
+                            for (int64_t j = 0; j < d; ++j) dst[j] += src[j];
+                          }
+                          AccumulateGrad(wn, dw);
+                        });
+}
+
+Variable LayerNorm(const Variable& x, const Variable& gamma,
+                   const Variable& beta, float eps) {
+  const Tensor& xt = x.value();
+  const int64_t d = xt.size(-1);
+  SLIME_CHECK_EQ(gamma.value().numel(), d);
+  SLIME_CHECK_EQ(beta.value().numel(), d);
+  const int64_t rows = xt.numel() / d;
+  Tensor y(xt.shape());
+  Tensor xhat(xt.shape());
+  Tensor inv_std({rows});
+  const float* px = xt.data();
+  const float* pgm = gamma.value().data();
+  const float* pbt = beta.value().data();
+  float* py = y.data();
+  float* ph = xhat.data();
+  float* pis = inv_std.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* in = px + r * d;
+    double mean = 0.0;
+    for (int64_t i = 0; i < d; ++i) mean += in[i];
+    mean /= d;
+    double var = 0.0;
+    for (int64_t i = 0; i < d; ++i) {
+      const double c = in[i] - mean;
+      var += c * c;
+    }
+    var /= d;
+    const float is = static_cast<float>(1.0 / std::sqrt(var + eps));
+    pis[r] = is;
+    float* hr = ph + r * d;
+    float* yr = py + r * d;
+    for (int64_t i = 0; i < d; ++i) {
+      hr[i] = (in[i] - static_cast<float>(mean)) * is;
+      yr[i] = hr[i] * pgm[i] + pbt[i];
+    }
+  }
+  auto xn = x.node();
+  auto gn = gamma.node();
+  auto bn = beta.node();
+  return MakeOpVariable(
+      std::move(y), {xn, gn, bn},
+      [xn, gn, bn, xhat, inv_std, rows, d](const Tensor& g) {
+        const float* pg = g.data();
+        const float* ph2 = xhat.data();
+        const float* pis2 = inv_std.data();
+        const float* pgm2 = gn->value.data();
+        if (gn && gn->requires_grad) {
+          Tensor dgamma({d});
+          Tensor dbeta({d});
+          float* pdg = dgamma.data();
+          float* pdb = dbeta.data();
+          for (int64_t r = 0; r < rows; ++r)
+            for (int64_t i = 0; i < d; ++i) {
+              pdg[i] += pg[r * d + i] * ph2[r * d + i];
+              pdb[i] += pg[r * d + i];
+            }
+          AccumulateGrad(gn, dgamma);
+          AccumulateGrad(bn, dbeta);
+        } else if (bn && bn->requires_grad) {
+          Tensor dbeta({d});
+          float* pdb = dbeta.data();
+          for (int64_t r = 0; r < rows; ++r)
+            for (int64_t i = 0; i < d; ++i) pdb[i] += pg[r * d + i];
+          AccumulateGrad(bn, dbeta);
+        }
+        if (xn && xn->requires_grad) {
+          Tensor dx(xn->value.shape());
+          float* pd = dx.data();
+          for (int64_t r = 0; r < rows; ++r) {
+            const float* gr = pg + r * d;
+            const float* hr = ph2 + r * d;
+            float* dr = pd + r * d;
+            // a_i = g_i * gamma_i; dx = inv_std * (a - mean(a) -
+            // xhat * mean(a * xhat)).
+            double ma = 0.0;
+            double mah = 0.0;
+            for (int64_t i = 0; i < d; ++i) {
+              const double a = double(gr[i]) * pgm2[i];
+              ma += a;
+              mah += a * hr[i];
+            }
+            ma /= d;
+            mah /= d;
+            for (int64_t i = 0; i < d; ++i) {
+              const double a = double(gr[i]) * pgm2[i];
+              dr[i] = pis2[r] *
+                      static_cast<float>(a - ma - double(hr[i]) * mah);
+            }
+          }
+          AccumulateGrad(xn, dx);
+        }
+      });
+}
+
+Variable Dropout(const Variable& x, float p, bool training, Rng* rng) {
+  if (!training || p <= 0.0f) return x;
+  SLIME_CHECK_LT(p, 1.0f);
+  const float keep = 1.0f - p;
+  const float scale = 1.0f / keep;
+  Tensor mask(x.value().shape());
+  float* pm = mask.data();
+  // Integer-threshold Bernoulli: one raw 64-bit draw per element.
+  const uint64_t threshold = static_cast<uint64_t>(
+      keep * 18446744073709551616.0 /* 2^64 */);
+  for (int64_t i = 0; i < mask.numel(); ++i)
+    pm[i] = rng->NextUint64() < threshold ? scale : 0.0f;
+  return MulConst(x, mask);
+}
+
+Variable MaxPoolAxis1(const Variable& x) {
+  const Tensor& xt = x.value();
+  SLIME_CHECK_EQ(xt.dim(), 3);
+  const int64_t b = xt.size(0);
+  const int64_t t = xt.size(1);
+  const int64_t f = xt.size(2);
+  Tensor out({b, f});
+  std::vector<int64_t> argmax(static_cast<size_t>(b * f));
+  const float* px = xt.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < b; ++i)
+    for (int64_t j = 0; j < f; ++j) {
+      float best = px[i * t * f + j];
+      int64_t bi = 0;
+      for (int64_t k = 1; k < t; ++k) {
+        const float v = px[(i * t + k) * f + j];
+        if (v > best) {
+          best = v;
+          bi = k;
+        }
+      }
+      po[i * f + j] = best;
+      argmax[i * f + j] = bi;
+    }
+  auto xn = x.node();
+  return MakeOpVariable(std::move(out), {xn},
+                        [xn, argmax, b, t, f](const Tensor& g) {
+                          Tensor dx({b, t, f});
+                          const float* pg = g.data();
+                          float* pd = dx.data();
+                          for (int64_t i = 0; i < b; ++i)
+                            for (int64_t j = 0; j < f; ++j) {
+                              const int64_t k = argmax[i * f + j];
+                              pd[(i * t + k) * f + j] += pg[i * f + j];
+                            }
+                          AccumulateGrad(xn, dx);
+                        });
+}
+
+Variable HorizontalConv(const Variable& x, const Variable& w,
+                        const Variable& bias) {
+  const Tensor& xt = x.value();
+  const Tensor& wt = w.value();
+  SLIME_CHECK_EQ(xt.dim(), 3);
+  SLIME_CHECK_EQ(wt.dim(), 3);
+  const int64_t b = xt.size(0);
+  const int64_t n = xt.size(1);
+  const int64_t d = xt.size(2);
+  const int64_t f = wt.size(0);
+  const int64_t h = wt.size(1);
+  SLIME_CHECK_EQ(wt.size(2), d);
+  SLIME_CHECK_LE(h, n);
+  SLIME_CHECK_EQ(bias.value().numel(), f);
+  const int64_t t = n - h + 1;
+  Tensor out({b, t, f});
+  const float* px = xt.data();
+  const float* pw = wt.data();
+  const float* pb = bias.value().data();
+  float* po = out.data();
+  for (int64_t bi = 0; bi < b; ++bi)
+    for (int64_t ti = 0; ti < t; ++ti)
+      for (int64_t fi = 0; fi < f; ++fi) {
+        double acc = pb[fi];
+        const float* wrow = pw + fi * h * d;
+        const float* xrow = px + (bi * n + ti) * d;
+        for (int64_t e = 0; e < h * d; ++e) acc += double(wrow[e]) * xrow[e];
+        po[(bi * t + ti) * f + fi] = static_cast<float>(acc);
+      }
+  auto xn = x.node();
+  auto wn = w.node();
+  auto bn = bias.node();
+  return MakeOpVariable(
+      std::move(out), {xn, wn, bn},
+      [xn, wn, bn, b, n, d, f, h, t](const Tensor& g) {
+        const float* pg = g.data();
+        if (bn && bn->requires_grad) {
+          Tensor db({f});
+          float* pd = db.data();
+          for (int64_t i = 0; i < b * t; ++i)
+            for (int64_t fi = 0; fi < f; ++fi) pd[fi] += pg[i * f + fi];
+          AccumulateGrad(bn, db);
+        }
+        if (wn && wn->requires_grad) {
+          Tensor dw({f, h, d});
+          float* pd = dw.data();
+          const float* px2 = xn->value.data();
+          for (int64_t bi = 0; bi < b; ++bi)
+            for (int64_t ti = 0; ti < t; ++ti)
+              for (int64_t fi = 0; fi < f; ++fi) {
+                const float gv = pg[(bi * t + ti) * f + fi];
+                if (gv == 0.0f) continue;
+                const float* xrow = px2 + (bi * n + ti) * d;
+                float* wrow = pd + fi * h * d;
+                for (int64_t e = 0; e < h * d; ++e) wrow[e] += gv * xrow[e];
+              }
+          AccumulateGrad(wn, dw);
+        }
+        if (xn && xn->requires_grad) {
+          Tensor dx({b, n, d});
+          float* pd = dx.data();
+          const float* pw2 = wn->value.data();
+          for (int64_t bi = 0; bi < b; ++bi)
+            for (int64_t ti = 0; ti < t; ++ti)
+              for (int64_t fi = 0; fi < f; ++fi) {
+                const float gv = pg[(bi * t + ti) * f + fi];
+                if (gv == 0.0f) continue;
+                const float* wrow = pw2 + fi * h * d;
+                float* xrow = pd + (bi * n + ti) * d;
+                for (int64_t e = 0; e < h * d; ++e) xrow[e] += gv * wrow[e];
+              }
+          AccumulateGrad(xn, dx);
+        }
+      });
+}
+
+}  // namespace autograd
+}  // namespace slime

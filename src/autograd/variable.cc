@@ -1,0 +1,120 @@
+#include "autograd/variable.h"
+
+#include <unordered_set>
+
+#include "tensor/tensor_ops.h"
+
+namespace slime {
+namespace autograd {
+
+void AccumulateGrad(const std::shared_ptr<Node>& node, const Tensor& g) {
+  if (!node || !node->requires_grad) return;
+  SLIME_CHECK_MSG(g.shape() == node->value.shape(),
+                  "gradient shape " << g.ShapeString() << " != value shape "
+                                    << node->value.ShapeString());
+  if (!node->grad.defined()) {
+    node->grad = g.Clone();
+  } else {
+    ops::AddInPlace(&node->grad, g);
+  }
+}
+
+Variable::Variable(Tensor value, bool requires_grad) {
+  node_ = std::make_shared<Node>();
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+}
+
+const Tensor& Variable::value() const {
+  SLIME_CHECK(defined());
+  return node_->value;
+}
+
+Tensor& Variable::mutable_value() {
+  SLIME_CHECK(defined());
+  return node_->value;
+}
+
+const Tensor& Variable::grad() const {
+  SLIME_CHECK(defined());
+  if (!node_->grad.defined()) {
+    node_->grad = Tensor::Zeros(node_->value.shape());
+  }
+  return node_->grad;
+}
+
+bool Variable::has_grad() const { return defined() && node_->grad.defined(); }
+
+bool Variable::requires_grad() const {
+  return defined() && node_->requires_grad;
+}
+
+void Variable::ZeroGrad() {
+  SLIME_CHECK(defined());
+  node_->grad = Tensor();
+}
+
+void Variable::Backward() const {
+  SLIME_CHECK(defined());
+  SLIME_CHECK_MSG(node_->value.numel() == 1,
+                  "Backward() requires a scalar, got shape "
+                      << node_->value.ShapeString());
+  // Iterative post-order DFS to get a topological order (children after all
+  // of their ancestors' processing). Traversal is pruned at nodes that do
+  // not require grad: nothing upstream of them can receive gradient.
+  std::vector<Node*> topo;
+  std::unordered_set<Node*> visited;
+  struct Frame {
+    Node* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  if (node_->requires_grad) {
+    stack.push_back({node_.get(), 0});
+    visited.insert(node_.get());
+  }
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_parent < f.node->parents.size()) {
+      Node* p = f.node->parents[f.next_parent++].get();
+      if (p->requires_grad && !visited.count(p)) {
+        visited.insert(p);
+        stack.push_back({p, 0});
+      }
+    } else {
+      topo.push_back(f.node);
+      stack.pop_back();
+    }
+  }
+  // topo is in post-order: parents before children. Seed the root and walk
+  // children-first (reverse order).
+  AccumulateGrad(node_, Tensor::Ones(node_->value.shape()));
+  for (size_t i = topo.size(); i-- > 0;) {
+    Node* n = topo[i];
+    if (n->backward_fn && n->grad.defined()) {
+      n->backward_fn(n->grad);
+    }
+  }
+}
+
+Variable MakeOpVariable(Tensor value,
+                        std::vector<std::shared_ptr<Node>> parents,
+                        std::function<void(const Tensor&)> backward) {
+  Variable v(std::move(value), false);
+  bool any = false;
+  for (const auto& p : parents) {
+    if (p && p->requires_grad) {
+      any = true;
+      break;
+    }
+  }
+  if (any) {
+    v.node()->requires_grad = true;
+    v.node()->parents = std::move(parents);
+    v.node()->backward_fn = std::move(backward);
+  }
+  return v;
+}
+
+}  // namespace autograd
+}  // namespace slime

@@ -1,0 +1,89 @@
+#ifndef SLIME4REC_AUTOGRAD_VARIABLE_H_
+#define SLIME4REC_AUTOGRAD_VARIABLE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace slime {
+namespace autograd {
+
+/// A node in the dynamically-built computation graph. Users interact with
+/// Variable (a shared handle); Node is exposed so operation implementations
+/// in ops.cc can build graphs.
+struct Node {
+  Tensor value;
+  /// Gradient of the final scalar loss w.r.t. `value`; lazily allocated by
+  /// AccumulateGrad during the backward pass.
+  Tensor grad;
+  bool requires_grad = false;
+  /// Parents (operation inputs). Only set on op outputs.
+  std::vector<std::shared_ptr<Node>> parents;
+  /// Propagates `grad` into the parents. Null on leaves.
+  std::function<void(const Tensor& grad_out)> backward_fn;
+};
+
+/// Adds `g` into `node->grad`, allocating zeros on first touch. No-op when
+/// the node does not require grad.
+void AccumulateGrad(const std::shared_ptr<Node>& node, const Tensor& g);
+
+/// A differentiable tensor: a shared handle to a graph Node. Copying a
+/// Variable aliases the node. Default-constructed Variables are undefined.
+class Variable {
+ public:
+  Variable() = default;
+
+  /// Wraps `value` as a graph leaf.
+  explicit Variable(Tensor value, bool requires_grad = false);
+
+  bool defined() const { return node_ != nullptr; }
+
+  const Tensor& value() const;
+  /// Mutable access for optimizers (in-place parameter updates).
+  Tensor& mutable_value();
+
+  /// Gradient accumulated by the last Backward(); zeros-shaped if the
+  /// backward pass never reached this node.
+  const Tensor& grad() const;
+  bool has_grad() const;
+
+  bool requires_grad() const;
+
+  /// Clears the accumulated gradient (optimizer step boundary).
+  void ZeroGrad();
+
+  /// Runs reverse-mode differentiation from this scalar (numel == 1)
+  /// variable, accumulating into every reachable requires-grad node.
+  void Backward() const;
+
+  const std::shared_ptr<Node>& node() const { return node_; }
+
+  /// Shorthand accessors.
+  const std::vector<int64_t>& shape() const { return value().shape(); }
+  int64_t numel() const { return value().numel(); }
+  int64_t size(int64_t i) const { return value().size(i); }
+
+ private:
+  friend Variable MakeOpVariable(Tensor value,
+                                 std::vector<std::shared_ptr<Node>> parents,
+                                 std::function<void(const Tensor&)> backward);
+
+  std::shared_ptr<Node> node_;
+};
+
+/// Builds an op-output Variable; requires_grad is inferred from parents and
+/// `backward` is dropped when no parent needs gradients.
+Variable MakeOpVariable(Tensor value,
+                        std::vector<std::shared_ptr<Node>> parents,
+                        std::function<void(const Tensor&)> backward);
+
+/// Convenience leaf constructors.
+inline Variable Constant(Tensor t) { return Variable(std::move(t), false); }
+inline Variable Param(Tensor t) { return Variable(std::move(t), true); }
+
+}  // namespace autograd
+}  // namespace slime
+
+#endif  // SLIME4REC_AUTOGRAD_VARIABLE_H_

@@ -1,0 +1,144 @@
+#include "bench_util/paper_values.h"
+
+#include <map>
+#include <utility>
+
+namespace slime {
+namespace bench {
+namespace {
+
+using Table2Map =
+    std::map<std::pair<std::string, std::string>, PaperMetrics>;
+
+const Table2Map& Table2() {
+  // Transcribed from the paper's Table II (HR@5, HR@10, NDCG@5, NDCG@10).
+  // Note: the paper prints Yelp/BPR-MF NDCG@5 as 0.0760, which exceeds its
+  // HR@5 and is an evident typo; we reproduce it verbatim.
+  static const Table2Map* table = new Table2Map{
+      {{"Beauty", "BPR-MF"}, {0.0120, 0.0299, 0.0040, 0.0053}},
+      {{"Beauty", "GRU4Rec"}, {0.0164, 0.0365, 0.0086, 0.0142}},
+      {{"Beauty", "Caser"}, {0.0259, 0.0418, 0.0127, 0.0253}},
+      {{"Beauty", "SASRec"}, {0.0365, 0.0627, 0.0236, 0.0281}},
+      {{"Beauty", "BERT4Rec"}, {0.0193, 0.0401, 0.0187, 0.0254}},
+      {{"Beauty", "FMLP-Rec"}, {0.0398, 0.0632, 0.0258, 0.0333}},
+      {{"Beauty", "CL4SRec"}, {0.0401, 0.0683, 0.0223, 0.0317}},
+      {{"Beauty", "ContrastVAE"}, {0.0422, 0.0681, 0.0268, 0.0350}},
+      {{"Beauty", "CoSeRec"}, {0.0537, 0.0752, 0.0361, 0.0430}},
+      {{"Beauty", "DuoRec"}, {0.0546, 0.0845, 0.0352, 0.0443}},
+      {{"Beauty", "SLIME4Rec"}, {0.0621, 0.0910, 0.0396, 0.0489}},
+
+      {{"Clothing", "BPR-MF"}, {0.0067, 0.0094, 0.0052, 0.0069}},
+      {{"Clothing", "GRU4Rec"}, {0.0095, 0.0165, 0.0061, 0.0083}},
+      {{"Clothing", "Caser"}, {0.0108, 0.0174, 0.0067, 0.0098}},
+      {{"Clothing", "SASRec"}, {0.0168, 0.0272, 0.0091, 0.0124}},
+      {{"Clothing", "BERT4Rec"}, {0.0125, 0.0208, 0.0075, 0.0102}},
+      {{"Clothing", "FMLP-Rec"}, {0.0126, 0.0206, 0.0082, 0.0107}},
+      {{"Clothing", "CL4SRec"}, {0.0168, 0.0266, 0.0090, 0.0121}},
+      {{"Clothing", "ContrastVAE"}, {0.0161, 0.0247, 0.0105, 0.0133}},
+      {{"Clothing", "CoSeRec"}, {0.0175, 0.0279, 0.0095, 0.0131}},
+      {{"Clothing", "DuoRec"}, {0.0193, 0.0302, 0.0113, 0.0148}},
+      {{"Clothing", "SLIME4Rec"}, {0.0225, 0.0343, 0.0126, 0.0164}},
+
+      {{"Sports", "BPR-MF"}, {0.0092, 0.0188, 0.0040, 0.0051}},
+      {{"Sports", "GRU4Rec"}, {0.0137, 0.0274, 0.0096, 0.0137}},
+      {{"Sports", "Caser"}, {0.0139, 0.0231, 0.0085, 0.0126}},
+      {{"Sports", "SASRec"}, {0.0218, 0.0336, 0.0127, 0.0169}},
+      {{"Sports", "BERT4Rec"}, {0.0176, 0.0326, 0.0105, 0.0153}},
+      {{"Sports", "FMLP-Rec"}, {0.0218, 0.0344, 0.0144, 0.0185}},
+      {{"Sports", "CL4SRec"}, {0.0227, 0.0374, 0.0129, 0.0197}},
+      {{"Sports", "ContrastVAE"}, {0.0225, 0.0366, 0.0151, 0.0184}},
+      {{"Sports", "CoSeRec"}, {0.0287, 0.0437, 0.0196, 0.0242}},
+      {{"Sports", "DuoRec"}, {0.0326, 0.0498, 0.0208, 0.0262}},
+      {{"Sports", "SLIME4Rec"}, {0.0373, 0.0565, 0.0243, 0.0305}},
+
+      {{"ML-1M", "BPR-MF"}, {0.0078, 0.0162, 0.0052, 0.0079}},
+      {{"ML-1M", "GRU4Rec"}, {0.0763, 0.1658, 0.0385, 0.0671}},
+      {{"ML-1M", "Caser"}, {0.0816, 0.1593, 0.0372, 0.0624}},
+      {{"ML-1M", "SASRec"}, {0.1087, 0.1904, 0.0638, 0.0910}},
+      {{"ML-1M", "BERT4Rec"}, {0.0733, 0.1323, 0.0432, 0.0619}},
+      {{"ML-1M", "FMLP-Rec"}, {0.1356, 0.2118, 0.0870, 0.1113}},
+      {{"ML-1M", "CL4SRec"}, {0.1147, 0.1975, 0.0662, 0.0928}},
+      {{"ML-1M", "ContrastVAE"}, {0.1406, 0.2220, 0.0895, 0.1157}},
+      {{"ML-1M", "CoSeRec"}, {0.1262, 0.2212, 0.0761, 0.1021}},
+      {{"ML-1M", "DuoRec"}, {0.2038, 0.2946, 0.1390, 0.1680}},
+      {{"ML-1M", "SLIME4Rec"}, {0.2237, 0.3156, 0.1567, 0.1864}},
+
+      {{"Yelp", "BPR-MF"}, {0.0127, 0.0245, 0.0760, 0.0119}},
+      {{"Yelp", "GRU4Rec"}, {0.0152, 0.0263, 0.0104, 0.0137}},
+      {{"Yelp", "Caser"}, {0.0156, 0.0252, 0.0096, 0.0129}},
+      {{"Yelp", "SASRec"}, {0.0161, 0.0265, 0.0102, 0.0134}},
+      {{"Yelp", "BERT4Rec"}, {0.0186, 0.0291, 0.0118, 0.0171}},
+      {{"Yelp", "FMLP-Rec"}, {0.0179, 0.0304, 0.0113, 0.0153}},
+      {{"Yelp", "CL4SRec"}, {0.0216, 0.0352, 0.0130, 0.0185}},
+      {{"Yelp", "ContrastVAE"}, {0.0177, 0.0294, 0.0113, 0.0147}},
+      {{"Yelp", "CoSeRec"}, {0.0241, 0.0395, 0.0151, 0.0205}},
+      {{"Yelp", "DuoRec"}, {0.0441, 0.0631, 0.0325, 0.0386}},
+      {{"Yelp", "SLIME4Rec"}, {0.0516, 0.0766, 0.0359, 0.0439}},
+  };
+  return *table;
+}
+
+}  // namespace
+
+const PaperMetrics* Table2Value(const std::string& dataset,
+                                const std::string& model) {
+  const auto it = Table2().find({dataset, model});
+  return it == Table2().end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Table2Datasets() {
+  return {"Beauty", "Clothing", "Sports", "ML-1M", "Yelp"};
+}
+
+std::string PaperDatasetName(const std::string& sim_name) {
+  if (sim_name == "beauty-sim") return "Beauty";
+  if (sim_name == "clothing-sim") return "Clothing";
+  if (sim_name == "sports-sim") return "Sports";
+  if (sim_name == "ml1m-sim") return "ML-1M";
+  if (sim_name == "yelp-sim") return "Yelp";
+  return sim_name;
+}
+
+const PaperDatasetStats* Table1Stats(const std::string& dataset) {
+  static const std::map<std::string, PaperDatasetStats>* table =
+      new std::map<std::string, PaperDatasetStats>{
+          {"Beauty", {22363, 12101, 8.9, 198502, 0.9993}},
+          {"Clothing", {39387, 23033, 7.1, 278677, 0.9997}},
+          {"Sports", {35598, 18357, 8.3, 296337, 0.9995}},
+          {"ML-1M", {6041, 3417, 165.5, 999611, 0.9516}},
+          {"Yelp", {30499, 20068, 10.4, 317182, 0.9995}},
+      };
+  const auto it = table->find(dataset);
+  return it == table->end() ? nullptr : &it->second;
+}
+
+const PaperModeMetrics* Table4Value(int mode, const std::string& dataset) {
+  static const std::map<std::pair<int, std::string>, PaperModeMetrics>*
+      table = new std::map<std::pair<int, std::string>, PaperModeMetrics>{
+          {{1, "Beauty"}, {0.0577, 0.0371}},
+          {{1, "Clothing"}, {0.0216, 0.0120}},
+          {{1, "Sports"}, {0.0360, 0.0239}},
+          {{1, "ML-1M"}, {0.2086, 0.1432}},
+          {{1, "Yelp"}, {0.0486, 0.0343}},
+          {{2, "Beauty"}, {0.0563, 0.0360}},
+          {{2, "Clothing"}, {0.0214, 0.0121}},
+          {{2, "Sports"}, {0.0361, 0.0224}},
+          {{2, "ML-1M"}, {0.2104, 0.1461}},
+          {{2, "Yelp"}, {0.0489, 0.0346}},
+          {{3, "Beauty"}, {0.0589, 0.0371}},
+          {{3, "Clothing"}, {0.0220, 0.0123}},
+          {{3, "Sports"}, {0.0367, 0.0233}},
+          {{3, "ML-1M"}, {0.2108, 0.1455}},
+          {{3, "Yelp"}, {0.0493, 0.0343}},
+          {{4, "Beauty"}, {0.0621, 0.0396}},
+          {{4, "Clothing"}, {0.0225, 0.0126}},
+          {{4, "Sports"}, {0.0373, 0.0243}},
+          {{4, "ML-1M"}, {0.2237, 0.1567}},
+          {{4, "Yelp"}, {0.0516, 0.0359}},
+      };
+  const auto it = table->find({mode, dataset});
+  return it == table->end() ? nullptr : &it->second;
+}
+
+}  // namespace bench
+}  // namespace slime

@@ -1,0 +1,58 @@
+#ifndef SLIME4REC_BENCH_UTIL_PAPER_VALUES_H_
+#define SLIME4REC_BENCH_UTIL_PAPER_VALUES_H_
+
+#include <string>
+#include <vector>
+
+namespace slime {
+namespace bench {
+
+/// Reference numbers transcribed from the paper, printed by the bench
+/// binaries next to our measured values so EXPERIMENTS.md can record
+/// paper-vs-measured per cell. Dataset keys use the paper's names
+/// ("Beauty", "Clothing", "Sports", "ML-1M", "Yelp").
+
+/// One Table II cell (a model on a dataset).
+struct PaperMetrics {
+  double hr5 = 0.0;
+  double hr10 = 0.0;
+  double ndcg5 = 0.0;
+  double ndcg10 = 0.0;
+};
+
+/// Table II: returns nullptr when (dataset, model) is unknown.
+const PaperMetrics* Table2Value(const std::string& dataset,
+                                const std::string& model);
+
+/// Paper's dataset column order.
+std::vector<std::string> Table2Datasets();
+
+/// Maps our synthetic preset names ("beauty-sim", ...) to the paper's
+/// dataset names; returns the input unchanged when unknown.
+std::string PaperDatasetName(const std::string& sim_name);
+
+/// One Table I column.
+struct PaperDatasetStats {
+  long long users = 0;
+  long long items = 0;
+  double avg_length = 0.0;
+  long long actions = 0;
+  double sparsity = 0.0;  // fraction, e.g. 0.9993
+};
+
+/// Table I; nullptr when unknown.
+const PaperDatasetStats* Table1Stats(const std::string& dataset);
+
+/// Table IV (slide modes), HR@5 / NDCG@5 only as in the paper.
+struct PaperModeMetrics {
+  double hr5 = 0.0;
+  double ndcg5 = 0.0;
+};
+
+/// `mode` in 1..4; nullptr when unknown.
+const PaperModeMetrics* Table4Value(int mode, const std::string& dataset);
+
+}  // namespace bench
+}  // namespace slime
+
+#endif  // SLIME4REC_BENCH_UTIL_PAPER_VALUES_H_

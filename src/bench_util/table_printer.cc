@@ -1,0 +1,64 @@
+#include "bench_util/table_printer.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/macros.h"
+
+namespace slime {
+namespace bench {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : num_cols_(header.size()) {
+  SLIME_CHECK_GT(num_cols_, 0u);
+  rows_.push_back(std::move(header));
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  SLIME_CHECK_EQ(cells.size(), num_cols_);
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::AddSeparator() { rows_.emplace_back(); }
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(num_cols_, 0);
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto rule = [&] {
+    std::string s = "+";
+    for (size_t c = 0; c < num_cols_; ++c) {
+      s += std::string(widths[c] + 2, '-') + "+";
+    }
+    return s + "\n";
+  };
+  std::ostringstream os;
+  os << rule();
+  bool printed_header = false;
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      os << rule();
+      continue;
+    }
+    os << "|";
+    for (size_t c = 0; c < num_cols_; ++c) {
+      os << " " << row[c] << std::string(widths[c] - row[c].size(), ' ')
+         << " |";
+    }
+    os << "\n";
+    if (!printed_header) {
+      os << rule();
+      printed_header = true;
+    }
+  }
+  os << rule();
+  return os.str();
+}
+
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+}  // namespace bench
+}  // namespace slime

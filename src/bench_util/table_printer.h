@@ -1,0 +1,34 @@
+#ifndef SLIME4REC_BENCH_UTIL_TABLE_PRINTER_H_
+#define SLIME4REC_BENCH_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace slime {
+namespace bench {
+
+/// Fixed-width console table used by every bench binary so the regenerated
+/// tables read like the paper's. Columns auto-size to their widest cell.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+  /// A horizontal rule between row groups.
+  void AddSeparator();
+
+  /// Renders to stdout.
+  void Print() const;
+
+  /// Renders to a string (tests).
+  std::string ToString() const;
+
+ private:
+  size_t num_cols_;
+  std::vector<std::vector<std::string>> rows_;  // empty row = separator
+};
+
+}  // namespace bench
+}  // namespace slime
+
+#endif  // SLIME4REC_BENCH_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,26 @@
+#include "common/status.h"
+
+namespace slime {
+
+std::string Status::ToString() const {
+  const char* name = "Unknown";
+  switch (code_) {
+    case Code::kOk:
+      return "OK";
+    case Code::kInvalidArgument:
+      name = "InvalidArgument";
+      break;
+    case Code::kNotFound:
+      name = "NotFound";
+      break;
+    case Code::kIOError:
+      name = "IOError";
+      break;
+    case Code::kCorruption:
+      name = "Corruption";
+      break;
+  }
+  return std::string(name) + ": " + message_;
+}
+
+}  // namespace slime

@@ -1,0 +1,94 @@
+#ifndef SLIME4REC_COMMON_STATUS_H_
+#define SLIME4REC_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace slime {
+
+/// Lightweight error-reporting type for fallible boundaries (file I/O,
+/// dataset parsing, user-supplied configuration). Internal invariants use
+/// SLIME_CHECK instead; Status is reserved for conditions a caller can
+/// meaningfully handle, following the RocksDB convention.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kIOError,
+    kCorruption,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "IOError: no such file".
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define SLIME_RETURN_IF_ERROR(expr)          \
+  do {                                       \
+    ::slime::Status _st = (expr);            \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+/// A value-or-Status pair for fallible factory functions.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    SLIME_CHECK(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    SLIME_CHECK_MSG(ok(), status_.ToString());
+    return value_;
+  }
+  T& value() & {
+    SLIME_CHECK_MSG(ok(), status_.ToString());
+    return value_;
+  }
+  T&& value() && {
+    SLIME_CHECK_MSG(ok(), status_.ToString());
+    return std::move(value_);
+  }
+
+ private:
+  T value_{};
+  Status status_;
+};
+
+}  // namespace slime
+
+#endif  // SLIME4REC_COMMON_STATUS_H_

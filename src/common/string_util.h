@@ -1,0 +1,25 @@
+#ifndef SLIME4REC_COMMON_STRING_UTIL_H_
+#define SLIME4REC_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace slime {
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> Split(const std::string& s, char delim);
+
+/// Trims ASCII whitespace from both ends.
+std::string Trim(const std::string& s);
+
+/// Formats a float with fixed decimals, e.g. FormatFloat(0.12345, 4) ->
+/// "0.1234". Used by the bench table printers so output matches the paper's
+/// 4-decimal convention.
+std::string FormatFloat(double v, int decimals);
+
+/// Joins strings with a separator.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+}  // namespace slime
+
+#endif  // SLIME4REC_COMMON_STRING_UTIL_H_

@@ -1,0 +1,50 @@
+#include "core/contrastive.h"
+
+#include <vector>
+
+#include "autograd/ops.h"
+
+namespace slime {
+namespace core {
+
+autograd::Variable NormalizeRows(const autograd::Variable& x, float eps) {
+  using autograd::AddScalar;
+  using autograd::Div;
+  using autograd::Mul;
+  using autograd::Sqrt;
+  using autograd::SumAxis;
+  autograd::Variable sq = Mul(x, x);
+  autograd::Variable norm = Sqrt(AddScalar(SumAxis(sq, -1, true), eps));
+  return Div(x, norm);  // (B,d) / (B,1) broadcasts
+}
+
+autograd::Variable InfoNceLoss(const autograd::Variable& h1,
+                               const autograd::Variable& h2,
+                               float temperature) {
+  using autograd::AddConst;
+  using autograd::Concat;
+  using autograd::CrossEntropy;
+  using autograd::MatMulTransB;
+  using autograd::MulScalar;
+  using autograd::Variable;
+  SLIME_CHECK_EQ(h1.value().dim(), 2);
+  SLIME_CHECK(h1.value().shape() == h2.value().shape());
+  SLIME_CHECK_GT(temperature, 0.0f);
+  const int64_t b = h1.size(0);
+  Variable z = NormalizeRows(Concat({h1, h2}, 0));  // (2B, d)
+  Variable sim = MulScalar(MatMulTransB(z, z), 1.0f / temperature);
+  // Self-similarities are excluded from the denominator.
+  Tensor diag_mask({2 * b, 2 * b});
+  for (int64_t i = 0; i < 2 * b; ++i) diag_mask.data()[i * 2 * b + i] = -1e9f;
+  sim = AddConst(sim, diag_mask);
+  // Row i's positive is its counterpart view i +/- B.
+  std::vector<int64_t> targets(2 * b);
+  for (int64_t i = 0; i < b; ++i) {
+    targets[i] = i + b;
+    targets[i + b] = i;
+  }
+  return CrossEntropy(sim, targets);
+}
+
+}  // namespace core
+}  // namespace slime

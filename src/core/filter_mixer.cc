@@ -1,0 +1,114 @@
+#include "core/filter_mixer.h"
+
+#include "autograd/ops.h"
+#include "fft/fft.h"
+#include "tensor/tensor_ops.h"
+
+namespace slime {
+namespace core {
+
+FilterMixerLayer::FilterMixerLayer(int64_t seq_len, int64_t dim,
+                                   int64_t num_layers, int64_t layer_index,
+                                   const FilterMixerOptions& options,
+                                   float dropout, Rng* rng)
+    : seq_len_(seq_len), options_(options) {
+  SLIME_CHECK_MSG(options.use_dynamic || options.use_static,
+                  "filter mixer needs at least one of DFS/SFS");
+  const int64_t m = fft::RfftBins(seq_len);
+  const FrequencyRamp ramp(m, num_layers, options.alpha,
+                           options.dynamic_direction,
+                           options.static_direction);
+  dynamic_window_ = options.full_spectrum ? FilterWindow{0, m}
+                                          : ramp.DynamicWindow(layer_index);
+  static_window_ = options.full_spectrum ? FilterWindow{0, m}
+                                         : ramp.StaticWindow(layer_index);
+  if (!options.full_spectrum) {
+    dynamic_mask_ = ramp.WindowMask(dynamic_window_);
+    static_mask_ = ramp.WindowMask(static_window_);
+  }
+  if (options.use_dynamic) {
+    dynamic_filter_ = RegisterModule(
+        "dynamic_filter", std::make_shared<LearnableFilter>(m, dim, rng));
+  }
+  if (options.use_static) {
+    static_filter_ = RegisterModule(
+        "static_filter", std::make_shared<LearnableFilter>(m, dim, rng));
+  }
+  dropout_ = RegisterModule("dropout", std::make_shared<nn::Dropout>(dropout));
+  layer_norm_ =
+      RegisterModule("layer_norm", std::make_shared<nn::LayerNorm>(dim));
+}
+
+autograd::Variable FilterMixerLayer::Forward(const autograd::Variable& x,
+                                             Rng* rng) const {
+  using autograd::Variable;
+  const int64_t n = x.size(1);
+  SLIME_CHECK_EQ(n, seq_len_);
+  // Eq. 12: transform to the frequency domain.
+  const fft::SpectralPair spectrum = fft::Rfft(x);
+  fft::SpectralPair mixed;
+  if (options_.use_dynamic && options_.use_static) {
+    // Eqs. 21, 25, 26.
+    const fft::SpectralPair xd =
+        dynamic_filter_->Apply(spectrum, dynamic_mask_);
+    const fft::SpectralPair xs = static_filter_->Apply(spectrum, static_mask_);
+    mixed = fft::MixSpectra(xd, xs, static_cast<float>(options_.gamma));
+  } else if (options_.use_dynamic) {
+    mixed = dynamic_filter_->Apply(spectrum, dynamic_mask_);
+  } else {
+    mixed = static_filter_->Apply(spectrum, static_mask_);
+  }
+  // Eq. 27: back to the time domain; Eq. 28: dropout + residual + LN.
+  Variable h = fft::Irfft(mixed, n);
+  h = dropout_->Forward(h, rng);
+  return layer_norm_->Forward(autograd::Add(x, h));
+}
+
+namespace {
+
+Tensor MaskedAmplitude(const LearnableFilter& filter, const Tensor& mask) {
+  Tensor amp = filter.Amplitude();
+  if (!mask.defined()) return amp;
+  return ops::Mul(amp, mask);  // mask (M,1) broadcasts over (M,d)
+}
+
+}  // namespace
+
+Tensor FilterMixerLayer::MaskedDynamicAmplitude() const {
+  SLIME_CHECK(options_.use_dynamic);
+  return MaskedAmplitude(*dynamic_filter_, dynamic_mask_);
+}
+
+Tensor FilterMixerLayer::MaskedStaticAmplitude() const {
+  SLIME_CHECK(options_.use_static);
+  return MaskedAmplitude(*static_filter_, static_mask_);
+}
+
+FilterMixerBlock::FilterMixerBlock(int64_t seq_len, int64_t dim,
+                                   int64_t num_layers, int64_t layer_index,
+                                   const FilterMixerOptions& options,
+                                   float dropout, Rng* rng) {
+  mixer_ = RegisterModule(
+      "mixer", std::make_shared<FilterMixerLayer>(
+                   seq_len, dim, num_layers, layer_index, options, dropout,
+                   rng));
+  ffn_ = RegisterModule("ffn",
+                        std::make_shared<nn::FeedForward>(dim, dropout, rng));
+  layer_norm_ =
+      RegisterModule("layer_norm", std::make_shared<nn::LayerNorm>(dim));
+}
+
+autograd::Variable FilterMixerBlock::Forward(const autograd::Variable& x,
+                                             Rng* rng) const {
+  using autograd::Add;
+  using autograd::Variable;
+  const Variable h_hat = mixer_->Forward(x, rng);
+  // Eq. 30: densely residual combination of block input, mixer output and
+  // FFN output; FeedForward's trailing dropout realises the Dropout(...)
+  // term.
+  const Variable f = ffn_->Forward(h_hat, rng);
+  return layer_norm_->Forward(Add(Add(x, h_hat), f));
+}
+
+}  // namespace core
+}  // namespace slime

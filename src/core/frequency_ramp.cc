@@ -1,0 +1,93 @@
+#include "core/frequency_ramp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace slime {
+namespace core {
+
+const char* ToString(SlideDirection d) {
+  return d == SlideDirection::kHighToLow ? "<-" : "->";
+}
+
+FrequencyRamp::FrequencyRamp(int64_t num_bins, int64_t num_layers,
+                             double alpha, SlideDirection dynamic_direction,
+                             SlideDirection static_direction)
+    : num_bins_(num_bins),
+      num_layers_(num_layers),
+      alpha_(alpha),
+      dynamic_direction_(dynamic_direction),
+      static_direction_(static_direction) {
+  SLIME_CHECK_GE(num_bins_, 1);
+  SLIME_CHECK_GE(num_layers_, 1);
+  SLIME_CHECK_MSG(alpha_ > 0.0 && alpha_ <= 1.0,
+                  "alpha must be in (0,1], got " << alpha_);
+}
+
+double FrequencyRamp::step() const {
+  if (num_layers_ <= 1) return 0.0;
+  return (1.0 - alpha_) * static_cast<double>(num_bins_) /
+         static_cast<double>(num_layers_ - 1);
+}
+
+FilterWindow FrequencyRamp::DynamicWindow(int64_t layer) const {
+  SLIME_CHECK(layer >= 0 && layer < num_layers_);
+  // The "->" ordering is the reversed layer list of "<-" (paper:
+  // sigma_->(omega) = inverse(sigma_<-(omega))).
+  const int64_t l = dynamic_direction_ == SlideDirection::kHighToLow
+                        ? layer
+                        : num_layers_ - 1 - layer;
+  const double m = static_cast<double>(num_bins_);
+  // Eq. 17-18: i = M(1-alpha) - l*step, j = M - l*step.
+  const double j = m - static_cast<double>(l) * step();
+  const double i = j - alpha_ * m;
+  FilterWindow w;
+  w.begin = std::clamp<int64_t>(static_cast<int64_t>(std::llround(i)), 0,
+                                num_bins_);
+  w.end = std::clamp<int64_t>(static_cast<int64_t>(std::llround(j)), 0,
+                              num_bins_);
+  // A filter always keeps at least one bin.
+  if (w.begin >= w.end) {
+    if (w.end < num_bins_) {
+      w.begin = w.end;
+      w.end = w.end + 1;
+    } else {
+      w.begin = w.end - 1;
+    }
+  }
+  return w;
+}
+
+FilterWindow FrequencyRamp::StaticWindow(int64_t layer) const {
+  SLIME_CHECK(layer >= 0 && layer < num_layers_);
+  const int64_t l = static_direction_ == SlideDirection::kHighToLow
+                        ? layer
+                        : num_layers_ - 1 - layer;
+  // Eq. 23-24 with S_S = M/L: layer l ("<-") covers
+  // [M - (l+1)M/L, M - l*M/L). Rounding both endpoints with the same rule
+  // yields an exact disjoint partition of [0, M).
+  const double m = static_cast<double>(num_bins_);
+  const double share = m / static_cast<double>(num_layers_);
+  FilterWindow w;
+  w.end = static_cast<int64_t>(
+      std::llround(m - static_cast<double>(l) * share));
+  w.begin = static_cast<int64_t>(
+      std::llround(m - static_cast<double>(l + 1) * share));
+  w.begin = std::clamp<int64_t>(w.begin, 0, num_bins_);
+  w.end = std::clamp<int64_t>(w.end, 0, num_bins_);
+  return w;
+}
+
+Tensor FrequencyRamp::WindowMask(const FilterWindow& window) const {
+  Tensor mask({num_bins_, 1});
+  float* p = mask.data();
+  for (int64_t w = 0; w < num_bins_; ++w) {
+    p[w] = window.Contains(w) ? 1.0f : 0.0f;
+  }
+  return mask;
+}
+
+}  // namespace core
+}  // namespace slime

@@ -1,0 +1,76 @@
+#ifndef SLIME4REC_CORE_FREQUENCY_RAMP_H_
+#define SLIME4REC_CORE_FREQUENCY_RAMP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace slime {
+namespace core {
+
+/// Direction in which a filter window slides across layers (Table IV).
+/// Frequency index 0 is the lowest (DC) bin and M-1 the highest, so
+/// kHighToLow (the paper's "<-", mode-4 default for both modules) starts at
+/// the high-frequency end in layer 0 and reaches the low-frequency end in
+/// layer L-1.
+enum class SlideDirection {
+  kHighToLow,  // "<-": layer 0 covers high frequencies, layer L-1 low
+  kLowToHigh,  // "->": the reverse ordering
+};
+
+const char* ToString(SlideDirection d);
+
+/// A half-open frequency window [begin, end) over the M rFFT bins.
+struct FilterWindow {
+  int64_t begin = 0;
+  int64_t end = 0;
+  int64_t size() const { return end - begin; }
+  bool Contains(int64_t w) const { return w >= begin && w < end; }
+};
+
+/// The frequency ramp structure (Sec. III-B2). Computes, per layer, the
+/// window selected by the Dynamic Frequency Selection module (Eqs. 16-20)
+/// and the Static Frequency Split module (Eqs. 22-24).
+class FrequencyRamp {
+ public:
+  /// `num_bins` is M (Eq. 13, see fft::RfftBins); `alpha` the dynamic
+  /// filter size ratio (Eq. 19) in (0, 1].
+  FrequencyRamp(int64_t num_bins, int64_t num_layers, double alpha,
+                SlideDirection dynamic_direction,
+                SlideDirection static_direction);
+
+  /// DFS window of `layer` (Eqs. 17-18 for "<-"; the "->" ordering is the
+  /// layer-reversed list, as the paper proves sigma_-> = inverse(sigma_<-)).
+  FilterWindow DynamicWindow(int64_t layer) const;
+
+  /// SFS window of `layer` (Eqs. 23-24): an exact L-way partition of the
+  /// spectrum (beta = 1/L, Eq. 22).
+  FilterWindow StaticWindow(int64_t layer) const;
+
+  /// 0/1 mask tensor of shape (num_bins, 1), broadcastable over (B, M, d)
+  /// spectra, realising the indicator sigma(omega) of Eq. 15.
+  Tensor WindowMask(const FilterWindow& window) const;
+
+  int64_t num_bins() const { return num_bins_; }
+  int64_t num_layers() const { return num_layers_; }
+  double alpha() const { return alpha_; }
+  /// beta = 1/L (Eq. 22).
+  double beta() const { return 1.0 / static_cast<double>(num_layers_); }
+  /// The slide step of Eq. 20 ((1-alpha)M / (L-1); 0 when L == 1 or
+  /// alpha == 1, i.e. the FMLP-Rec degenerate case).
+  double step() const;
+
+ private:
+  int64_t num_bins_;
+  int64_t num_layers_;
+  double alpha_;
+  SlideDirection dynamic_direction_;
+  SlideDirection static_direction_;
+};
+
+}  // namespace core
+}  // namespace slime
+
+#endif  // SLIME4REC_CORE_FREQUENCY_RAMP_H_

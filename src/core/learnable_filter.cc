@@ -1,0 +1,45 @@
+#include "core/learnable_filter.h"
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "nn/init.h"
+
+namespace slime {
+namespace core {
+
+LearnableFilter::LearnableFilter(int64_t num_bins, int64_t dim, Rng* rng,
+                                 float init_stddev) {
+  w_re_ = RegisterParameter(
+      "w_re",
+      autograd::Param(nn::NormalInit({num_bins, dim}, rng, init_stddev)));
+  w_im_ = RegisterParameter(
+      "w_im",
+      autograd::Param(nn::NormalInit({num_bins, dim}, rng, init_stddev)));
+}
+
+fft::SpectralPair LearnableFilter::Apply(const fft::SpectralPair& spectrum,
+                                         const Tensor& mask) const {
+  fft::SpectralPair filtered =
+      fft::ComplexMul(spectrum, fft::SpectralPair{w_re_, w_im_});
+  if (mask.defined()) {
+    filtered = fft::MaskSpectrum(filtered, mask);
+  }
+  return filtered;
+}
+
+Tensor LearnableFilter::Amplitude() const {
+  const Tensor& re = w_re_.value();
+  const Tensor& im = w_im_.value();
+  Tensor amp(re.shape());
+  const float* pr = re.data();
+  const float* pi = im.data();
+  float* pa = amp.data();
+  for (int64_t i = 0; i < amp.numel(); ++i) {
+    pa[i] = std::sqrt(pr[i] * pr[i] + pi[i] * pi[i]);
+  }
+  return amp;
+}
+
+}  // namespace core
+}  // namespace slime

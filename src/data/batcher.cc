@@ -1,0 +1,85 @@
+#include "data/batcher.h"
+
+#include <numeric>
+
+#include "common/macros.h"
+
+namespace slime {
+namespace data {
+
+TrainBatcher::TrainBatcher(const SplitDataset* split, int64_t batch_size,
+                           int64_t max_len, bool with_positives, Rng* rng)
+    : split_(split),
+      batch_size_(batch_size),
+      max_len_(max_len),
+      with_positives_(with_positives),
+      rng_(rng) {
+  SLIME_CHECK_GT(batch_size, 0);
+  SLIME_CHECK_GT(max_len, 0);
+  order_.resize(split_->train_samples().size());
+  std::iota(order_.begin(), order_.end(), 0);
+}
+
+int64_t TrainBatcher::batches_per_epoch() const {
+  const int64_t n = static_cast<int64_t>(order_.size());
+  return (n + batch_size_ - 1) / batch_size_;
+}
+
+std::vector<Batch> TrainBatcher::Epoch() {
+  rng_->Shuffle(&order_);
+  const auto& samples = split_->train_samples();
+  std::vector<Batch> batches;
+  batches.reserve(batches_per_epoch());
+  const int64_t n = static_cast<int64_t>(order_.size());
+  for (int64_t start = 0; start < n; start += batch_size_) {
+    const int64_t end = std::min(n, start + batch_size_);
+    Batch b;
+    b.size = end - start;
+    b.max_len = max_len_;
+    b.input_ids.reserve(b.size * max_len_);
+    for (int64_t i = start; i < end; ++i) {
+      const TrainSample& s = samples[order_[i]];
+      b.user_ids.push_back(s.user);
+      b.targets.push_back(s.target);
+      b.raw_prefixes.push_back(s.prefix);
+      const std::vector<int64_t> padded = PadTruncate(s.prefix, max_len_);
+      b.input_ids.insert(b.input_ids.end(), padded.begin(), padded.end());
+      if (with_positives_) {
+        const int64_t pos = split_->SameTargetPositive(order_[i], rng_);
+        const std::vector<int64_t> ppad =
+            PadTruncate(samples[pos].prefix, max_len_);
+        b.positive_input_ids.insert(b.positive_input_ids.end(), ppad.begin(),
+                                    ppad.end());
+      }
+    }
+    batches.push_back(std::move(b));
+  }
+  return batches;
+}
+
+std::vector<Batch> MakeEvalBatches(const SplitDataset& split, bool test,
+                                   int64_t batch_size, int64_t max_len) {
+  std::vector<Batch> batches;
+  const int64_t users = split.num_users();
+  for (int64_t start = 0; start < users; start += batch_size) {
+    const int64_t end = std::min(users, start + batch_size);
+    Batch b;
+    b.size = end - start;
+    b.max_len = max_len;
+    for (int64_t u = start; u < end; ++u) {
+      b.user_ids.push_back(u);
+      std::vector<int64_t> input =
+          test ? split.TestInput(u) : split.train_region()[u];
+      b.targets.push_back(test ? split.test_targets()[u]
+                               : split.valid_targets()[u]);
+      b.raw_prefixes.push_back(input);
+      const std::vector<int64_t> padded = PadTruncate(input, max_len);
+      b.input_ids.insert(b.input_ids.end(), padded.begin(), padded.end());
+    }
+    batches.push_back(std::move(b));
+  }
+  return batches;
+}
+
+}  // namespace data
+}  // namespace slime

@@ -1,0 +1,59 @@
+#ifndef SLIME4REC_DATA_BATCHER_H_
+#define SLIME4REC_DATA_BATCHER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "data/dataset.h"
+
+namespace slime {
+namespace data {
+
+/// A model-agnostic mini-batch. Sequences are left zero-padded to
+/// `max_len` (Eq. 1); augmentation-based models additionally receive the
+/// raw (unpadded) prefixes, and contrastive models with supervised
+/// positives receive a second padded sequence per sample whose target item
+/// matches (DuoRec semantics).
+struct Batch {
+  int64_t size = 0;
+  int64_t max_len = 0;
+  std::vector<int64_t> user_ids;             // (B)
+  std::vector<int64_t> input_ids;            // (B * max_len)
+  std::vector<int64_t> targets;              // (B)
+  std::vector<std::vector<int64_t>> raw_prefixes;  // (B) unpadded
+  /// Same-target positive sequences, (B * max_len); empty unless the
+  /// batcher was constructed with_positives.
+  std::vector<int64_t> positive_input_ids;
+};
+
+/// Shuffling mini-batch iterator over a SplitDataset's training samples.
+class TrainBatcher {
+ public:
+  TrainBatcher(const SplitDataset* split, int64_t batch_size, int64_t max_len,
+               bool with_positives, Rng* rng);
+
+  /// Reshuffles and materialises one epoch of batches.
+  std::vector<Batch> Epoch();
+
+  int64_t batches_per_epoch() const;
+
+ private:
+  const SplitDataset* split_;
+  int64_t batch_size_;
+  int64_t max_len_;
+  bool with_positives_;
+  Rng* rng_;
+  std::vector<int64_t> order_;
+};
+
+/// Builds evaluation batches: validation scores the training region against
+/// the held-out validation item; test scores (training region + validation
+/// item) against the held-out test item.
+std::vector<Batch> MakeEvalBatches(const SplitDataset& split, bool test,
+                                   int64_t batch_size, int64_t max_len);
+
+}  // namespace data
+}  // namespace slime
+
+#endif  // SLIME4REC_DATA_BATCHER_H_

@@ -1,0 +1,138 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace slime {
+namespace data {
+
+InteractionDataset::InteractionDataset(
+    std::string name, std::vector<std::vector<int64_t>> sequences,
+    int64_t num_items)
+    : name_(std::move(name)),
+      sequences_(std::move(sequences)),
+      num_items_(num_items) {
+  for (const auto& seq : sequences_) {
+    for (int64_t v : seq) {
+      SLIME_CHECK_MSG(v >= 1 && v <= num_items_,
+                      "item id " << v << " outside [1," << num_items_ << "]");
+    }
+  }
+}
+
+DatasetStats InteractionDataset::Stats() const {
+  DatasetStats s;
+  s.num_users = num_users();
+  s.num_items = num_items_;
+  for (const auto& seq : sequences_) {
+    s.num_actions += static_cast<int64_t>(seq.size());
+  }
+  s.avg_length = s.num_users > 0
+                     ? static_cast<double>(s.num_actions) / s.num_users
+                     : 0.0;
+  const double cells =
+      static_cast<double>(s.num_users) * static_cast<double>(s.num_items);
+  s.sparsity = cells > 0.0 ? 1.0 - static_cast<double>(s.num_actions) / cells
+                           : 0.0;
+  return s;
+}
+
+InteractionDataset InteractionDataset::FilterMinInteractions(
+    int64_t k) const {
+  std::vector<std::vector<int64_t>> kept;
+  for (const auto& seq : sequences_) {
+    if (static_cast<int64_t>(seq.size()) >= k) kept.push_back(seq);
+  }
+  return InteractionDataset(name_, std::move(kept), num_items_);
+}
+
+InteractionDataset InteractionDataset::InjectNoise(double epsilon,
+                                                   Rng* rng) const {
+  SLIME_CHECK(epsilon >= 0.0 && epsilon <= 1.0);
+  std::vector<std::vector<int64_t>> noisy = sequences_;
+  for (auto& seq : noisy) {
+    if (seq.size() < 3) continue;
+    // Leave the validation and test targets (last two items) untouched so
+    // the evaluation protocol measures the same ground truth.
+    for (size_t i = 0; i + 2 < seq.size(); ++i) {
+      if (rng->Bernoulli(epsilon)) {
+        seq[i] = rng->UniformInt(1, num_items_);
+      }
+    }
+  }
+  return InteractionDataset(name_, std::move(noisy), num_items_);
+}
+
+std::vector<int64_t> PadTruncate(const std::vector<int64_t>& seq, int64_t n) {
+  std::vector<int64_t> out(n, 0);
+  const int64_t len = static_cast<int64_t>(seq.size());
+  const int64_t take = std::min(len, n);
+  // Keep the most recent `take` items, right-aligned.
+  for (int64_t i = 0; i < take; ++i) {
+    out[n - take + i] = seq[len - take + i];
+  }
+  return out;
+}
+
+SplitDataset::SplitDataset(const InteractionDataset& dataset,
+                           int64_t max_prefixes_per_user)
+    : name_(dataset.name()), num_items_(dataset.num_items()) {
+  for (const auto& seq : dataset.sequences()) {
+    if (seq.size() < 3) continue;
+    const int64_t user = static_cast<int64_t>(train_region_.size());
+    std::vector<int64_t> region(seq.begin(), seq.end() - 2);
+    valid_targets_.push_back(seq[seq.size() - 2]);
+    test_targets_.push_back(seq[seq.size() - 1]);
+
+    // All (prefix, next) pairs inside the training region, most recent
+    // first when capped.
+    const int64_t region_len = static_cast<int64_t>(region.size());
+    int64_t first_target = 1;
+    if (max_prefixes_per_user > 0) {
+      first_target = std::max<int64_t>(1, region_len - max_prefixes_per_user);
+    }
+    for (int64_t t = first_target; t < region_len; ++t) {
+      TrainSample s;
+      s.user = user;
+      s.prefix.assign(region.begin(), region.begin() + t);
+      s.target = region[t];
+      train_samples_.push_back(std::move(s));
+    }
+    // The full training region predicting the validation target is NOT a
+    // training sample (that item is held out); the last training sample
+    // targets the final training-region item.
+    train_region_.push_back(std::move(region));
+  }
+  for (size_t i = 0; i < train_samples_.size(); ++i) {
+    target_to_samples_[train_samples_[i].target].push_back(
+        static_cast<int64_t>(i));
+  }
+}
+
+std::vector<int64_t> SplitDataset::TestInput(int64_t user) const {
+  SLIME_CHECK(user >= 0 && user < num_users());
+  std::vector<int64_t> input = train_region_[user];
+  input.push_back(valid_targets_[user]);
+  return input;
+}
+
+int64_t SplitDataset::SameTargetPositive(int64_t sample_index,
+                                         Rng* rng) const {
+  SLIME_CHECK(sample_index >= 0 &&
+              sample_index < static_cast<int64_t>(train_samples_.size()));
+  const int64_t target = train_samples_[sample_index].target;
+  const auto it = target_to_samples_.find(target);
+  SLIME_CHECK(it != target_to_samples_.end());
+  const auto& candidates = it->second;
+  if (candidates.size() <= 1) return sample_index;
+  // Rejection-sample a different index; the candidate list is small.
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const int64_t pick = candidates[rng->Uniform(candidates.size())];
+    if (pick != sample_index) return pick;
+  }
+  return candidates[0] != sample_index ? candidates[0] : candidates[1];
+}
+
+}  // namespace data
+}  // namespace slime

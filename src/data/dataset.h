@@ -1,0 +1,123 @@
+#ifndef SLIME4REC_DATA_DATASET_H_
+#define SLIME4REC_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+
+namespace slime {
+namespace data {
+
+/// Summary statistics in the format of the paper's Table I.
+struct DatasetStats {
+  int64_t num_users = 0;
+  int64_t num_items = 0;
+  int64_t num_actions = 0;
+  double avg_length = 0.0;
+  /// 1 - actions / (users * items).
+  double sparsity = 0.0;
+};
+
+/// A sequential-recommendation dataset: one chronologically ordered item-id
+/// list per user. Item ids are 1-based; id 0 is reserved for padding
+/// (Eq. 1's left zero-padding).
+class InteractionDataset {
+ public:
+  InteractionDataset() = default;
+  InteractionDataset(std::string name,
+                     std::vector<std::vector<int64_t>> sequences,
+                     int64_t num_items);
+
+  const std::string& name() const { return name_; }
+  int64_t num_users() const {
+    return static_cast<int64_t>(sequences_.size());
+  }
+  int64_t num_items() const { return num_items_; }
+  const std::vector<std::vector<int64_t>>& sequences() const {
+    return sequences_;
+  }
+
+  DatasetStats Stats() const;
+
+  /// K-core user filtering (the paper's 5-core setting): drops users with
+  /// fewer than `k` interactions.
+  InteractionDataset FilterMinInteractions(int64_t k) const;
+
+  /// Returns a copy where each item occurrence in the *training region*
+  /// (everything but the last two interactions, which are the validation
+  /// and test targets) is replaced by a uniformly random item with
+  /// probability `epsilon`. Implements the synthetic-noise protocol used
+  /// for the paper's Fig. 6 robustness study.
+  InteractionDataset InjectNoise(double epsilon, Rng* rng) const;
+
+ private:
+  std::string name_;
+  std::vector<std::vector<int64_t>> sequences_;
+  int64_t num_items_ = 0;
+};
+
+/// One training instance: a prefix of a user's training-region sequence and
+/// the item that follows it.
+struct TrainSample {
+  int64_t user = 0;
+  std::vector<int64_t> prefix;
+  int64_t target = 0;
+};
+
+/// The leave-one-out protocol of Sec. IV-B: per user, the last interaction
+/// is the test target, the second-to-last the validation target, and the
+/// rest is the training region. Training instances are all (prefix, next)
+/// pairs inside the training region, optionally capped to the most recent
+/// `max_prefixes_per_user` (0 = unlimited).
+class SplitDataset {
+ public:
+  /// Users with fewer than 3 interactions are dropped (they cannot supply
+  /// train + valid + test items).
+  SplitDataset(const InteractionDataset& dataset,
+               int64_t max_prefixes_per_user = 0);
+
+  int64_t num_users() const {
+    return static_cast<int64_t>(train_region_.size());
+  }
+  int64_t num_items() const { return num_items_; }
+  const std::string& name() const { return name_; }
+
+  const std::vector<TrainSample>& train_samples() const {
+    return train_samples_;
+  }
+  /// Training-region sequence per user (input for validation scoring).
+  const std::vector<std::vector<int64_t>>& train_region() const {
+    return train_region_;
+  }
+  const std::vector<int64_t>& valid_targets() const { return valid_targets_; }
+  const std::vector<int64_t>& test_targets() const { return test_targets_; }
+
+  /// Input sequence for test scoring: training region + validation item.
+  std::vector<int64_t> TestInput(int64_t user) const;
+
+  /// Index of a random other training sample with the same target as
+  /// `sample_index` (a semantically-positive pair in the DuoRec sense), or
+  /// `sample_index` itself when the target is unique in the training set.
+  int64_t SameTargetPositive(int64_t sample_index, Rng* rng) const;
+
+ private:
+  std::string name_;
+  int64_t num_items_ = 0;
+  std::vector<std::vector<int64_t>> train_region_;
+  std::vector<int64_t> valid_targets_;
+  std::vector<int64_t> test_targets_;
+  std::vector<TrainSample> train_samples_;
+  std::unordered_map<int64_t, std::vector<int64_t>> target_to_samples_;
+};
+
+/// Left-pads (with 0) or left-truncates `seq` to exactly `n` entries,
+/// keeping the most recent items (Eq. 1).
+std::vector<int64_t> PadTruncate(const std::vector<int64_t>& seq, int64_t n);
+
+}  // namespace data
+}  // namespace slime
+
+#endif  // SLIME4REC_DATA_DATASET_H_

@@ -1,0 +1,65 @@
+#include "data/loader.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace slime {
+namespace data {
+
+Result<InteractionDataset> LoadSequenceFile(const std::string& path,
+                                            const std::string& name) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open " + path);
+  }
+  std::vector<std::vector<int64_t>> sequences;
+  int64_t max_item = 0;
+  std::string line;
+  int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::vector<int64_t> seq;
+    int64_t id = 0;
+    while (ls >> id) {
+      if (id < 1) {
+        return Status::Corruption("non-positive item id at line " +
+                                  std::to_string(line_no) + " of " + path);
+      }
+      seq.push_back(id);
+      max_item = std::max(max_item, id);
+    }
+    if (!ls.eof()) {
+      return Status::Corruption("non-numeric token at line " +
+                                std::to_string(line_no) + " of " + path);
+    }
+    if (!seq.empty()) sequences.push_back(std::move(seq));
+  }
+  if (sequences.empty()) {
+    return Status::InvalidArgument("no sequences in " + path);
+  }
+  return InteractionDataset(name, std::move(sequences), max_item);
+}
+
+Status SaveSequenceFile(const InteractionDataset& dataset,
+                        const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  for (const auto& seq : dataset.sequences()) {
+    for (size_t i = 0; i < seq.size(); ++i) {
+      if (i > 0) out << ' ';
+      out << seq[i];
+    }
+    out << '\n';
+  }
+  if (!out) {
+    return Status::IOError("write failed for " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace data
+}  // namespace slime

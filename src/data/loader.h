@@ -1,0 +1,34 @@
+#ifndef SLIME4REC_DATA_LOADER_H_
+#define SLIME4REC_DATA_LOADER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace slime {
+namespace data {
+
+/// Plain-text dataset format (one user per line, items chronologically
+/// ordered, 1-based ids, whitespace separated):
+///
+///   <item_1> <item_2> ... <item_n>
+///
+/// This is the layout of the `*.txt` files shipped with the SASRec /
+/// FMLP-Rec / DuoRec reference repositories (minus the leading user id
+/// column, which is implicit in the line number here).
+
+/// Loads a dataset; `name` is attached for reporting. The item vocabulary
+/// size is the maximum id seen.
+Result<InteractionDataset> LoadSequenceFile(const std::string& path,
+                                            const std::string& name);
+
+/// Writes a dataset in the same format (used by examples to round-trip
+/// synthetic data and by tests).
+Status SaveSequenceFile(const InteractionDataset& dataset,
+                        const std::string& path);
+
+}  // namespace data
+}  // namespace slime
+
+#endif  // SLIME4REC_DATA_LOADER_H_

@@ -1,0 +1,360 @@
+#include "fft/fft.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+
+#include "common/macros.h"
+
+namespace slime {
+namespace fft {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+bool IsPowerOfTwo(int64_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+int64_t NextPowerOfTwo(int64_t n) {
+  int64_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// Iterative radix-2 Cooley-Tukey, in place, for power-of-two sizes.
+/// sign = -1 for the forward transform, +1 for the (unnormalised) inverse.
+void Radix2(std::vector<std::complex<double>>* data, int sign) {
+  const size_t n = data->size();
+  auto& a = *data;
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const double ang = sign * 2.0 * kPi / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(ang), std::sin(ang));
+    for (size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (size_t j = 0; j < len / 2; ++j) {
+        const std::complex<double> u = a[i + j];
+        const std::complex<double> v = a[i + j + len / 2] * w;
+        a[i + j] = u + v;
+        a[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+/// Bluestein chirp-z transform: forward DFT of arbitrary length via a
+/// power-of-two circular convolution.
+void Bluestein(std::vector<std::complex<double>>* data) {
+  const int64_t n = static_cast<int64_t>(data->size());
+  const int64_t m = NextPowerOfTwo(2 * n - 1);
+  // Chirp w_j = e^{-i*pi*j^2/n}; exponent taken mod 2n to stay accurate for
+  // large j^2.
+  std::vector<std::complex<double>> chirp(n);
+  for (int64_t j = 0; j < n; ++j) {
+    const int64_t e = static_cast<int64_t>(
+        (static_cast<unsigned long long>(j) * j) % (2ull * n));
+    const double ang = -kPi * static_cast<double>(e) / static_cast<double>(n);
+    chirp[j] = std::complex<double>(std::cos(ang), std::sin(ang));
+  }
+  std::vector<std::complex<double>> a(m, {0.0, 0.0});
+  std::vector<std::complex<double>> b(m, {0.0, 0.0});
+  for (int64_t j = 0; j < n; ++j) a[j] = (*data)[j] * chirp[j];
+  b[0] = std::conj(chirp[0]);
+  for (int64_t j = 1; j < n; ++j) {
+    b[j] = std::conj(chirp[j]);
+    b[m - j] = b[j];  // b is symmetric: b[-j] == b[j].
+  }
+  Radix2(&a, -1);
+  Radix2(&b, -1);
+  for (int64_t j = 0; j < m; ++j) a[j] *= b[j];
+  Radix2(&a, +1);
+  const double inv_m = 1.0 / static_cast<double>(m);
+  for (int64_t k = 0; k < n; ++k) (*data)[k] = a[k] * inv_m * chirp[k];
+}
+
+}  // namespace
+
+int64_t RfftBins(int64_t n) {
+  SLIME_CHECK_GT(n, 0);
+  return n / 2 + 1;
+}
+
+void Fft(std::vector<std::complex<double>>* data, bool inverse) {
+  const int64_t n = static_cast<int64_t>(data->size());
+  if (n <= 1) return;
+  if (inverse) {
+    // Unnormalised inverse = conj(forward(conj(x))).
+    for (auto& c : *data) c = std::conj(c);
+    Fft(data, false);
+    for (auto& c : *data) c = std::conj(c);
+    return;
+  }
+  if (IsPowerOfTwo(n)) {
+    Radix2(data, -1);
+  } else {
+    Bluestein(data);
+  }
+}
+
+void NaiveDft(const std::vector<std::complex<double>>& in,
+              std::vector<std::complex<double>>* out, bool inverse) {
+  const int64_t n = static_cast<int64_t>(in.size());
+  out->assign(n, {0.0, 0.0});
+  const double sign = inverse ? 1.0 : -1.0;
+  for (int64_t k = 0; k < n; ++k) {
+    std::complex<double> acc(0.0, 0.0);
+    for (int64_t j = 0; j < n; ++j) {
+      const double ang = sign * 2.0 * kPi * static_cast<double>(j) *
+                         static_cast<double>(k) / static_cast<double>(n);
+      acc += in[j] * std::complex<double>(std::cos(ang), std::sin(ang));
+    }
+    (*out)[k] = acc;
+  }
+}
+
+namespace {
+
+/// Reusable per-thread scratch to avoid allocating a complex buffer for
+/// every one of the B*d series transformed per layer.
+std::vector<std::complex<double>>& Scratch(int64_t n) {
+  static thread_local std::vector<std::complex<double>> buf;
+  buf.assign(n, {0.0, 0.0});
+  return buf;
+}
+
+}  // namespace
+
+void RfftForward(const float* x, int64_t n, float* out_re, float* out_im) {
+  const int64_t m = RfftBins(n);
+  std::vector<std::complex<double>>& buf = Scratch(n);
+  for (int64_t i = 0; i < n; ++i) buf[i] = {static_cast<double>(x[i]), 0.0};
+  Fft(&buf, false);
+  for (int64_t k = 0; k < m; ++k) {
+    out_re[k] = static_cast<float>(buf[k].real());
+    out_im[k] = static_cast<float>(buf[k].imag());
+  }
+}
+
+void RfftAdjoint(const float* g_re, const float* g_im, int64_t n,
+                 float* g_x) {
+  const int64_t m = RfftBins(n);
+  // Adjoint of "take the first m bins of a forward DFT of a real signal":
+  // g_x = Re( IDFT_unnormalised( zero-pad(g_re + i*g_im) ) ).
+  std::vector<std::complex<double>>& buf = Scratch(n);
+  for (int64_t k = 0; k < m; ++k)
+    buf[k] = {static_cast<double>(g_re[k]), static_cast<double>(g_im[k])};
+  Fft(&buf, true);
+  for (int64_t i = 0; i < n; ++i) g_x[i] = static_cast<float>(buf[i].real());
+}
+
+void IrfftForward(const float* re, const float* im, int64_t n, float* x) {
+  const int64_t m = RfftBins(n);
+  std::vector<std::complex<double>>& buf = Scratch(n);
+  for (int64_t k = 0; k < m; ++k)
+    buf[k] = {static_cast<double>(re[k]), static_cast<double>(im[k])};
+  // Conjugate-symmetric extension: bins 1..ceil(n/2)-1 mirror to n-k. For
+  // even n the Nyquist bin (k = n/2 = m-1) maps to itself and is used as-is.
+  for (int64_t k = 1; k < (n + 1) / 2; ++k) buf[n - k] = std::conj(buf[k]);
+  Fft(&buf, true);
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (int64_t i = 0; i < n; ++i)
+    x[i] = static_cast<float>(buf[i].real() * inv_n);
+}
+
+void IrfftAdjoint(const float* g_x, int64_t n, float* g_re, float* g_im) {
+  const int64_t m = RfftBins(n);
+  // G = (1/n) * DFT_forward(g_x); mirrored bins receive contributions from
+  // both k and n-k: g_re_k = Re(G_k) + Re(G_{n-k}), g_im_k = Im(G_k) -
+  // Im(G_{n-k}). Non-mirrored bins (DC; Nyquist for even n) use G_k alone.
+  std::vector<std::complex<double>>& buf = Scratch(n);
+  for (int64_t i = 0; i < n; ++i) buf[i] = {static_cast<double>(g_x[i]), 0.0};
+  Fft(&buf, false);
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (int64_t k = 0; k < m; ++k) {
+    double gr = buf[k].real();
+    double gi = buf[k].imag();
+    const bool mirrored = (k >= 1 && k < (n + 1) / 2);
+    if (mirrored) {
+      gr += buf[n - k].real();
+      gi -= buf[n - k].imag();
+    }
+    g_re[k] = static_cast<float>(gr * inv_n);
+    g_im[k] = static_cast<float>(gi * inv_n);
+  }
+}
+
+VerticalFftPlan::VerticalFftPlan(int64_t n) : n_(n) {
+  SLIME_CHECK_GE(n, 1);
+  pow2_ = (n & (n - 1)) == 0;
+  if (pow2_) {
+    bitrev_.resize(n);
+    for (int64_t i = 1, j = 0; i < n; ++i) {
+      int64_t bit = n >> 1;
+      for (; j & bit; bit >>= 1) j ^= bit;
+      j ^= bit;
+      bitrev_[i] = j;
+    }
+    tw_re_.resize(std::max<int64_t>(1, n / 2));
+    tw_im_.resize(std::max<int64_t>(1, n / 2));
+    for (int64_t j = 0; j < n / 2; ++j) {
+      const double ang = -2.0 * kPi * static_cast<double>(j) /
+                         static_cast<double>(n);
+      tw_re_[j] = static_cast<float>(std::cos(ang));
+      tw_im_[j] = static_cast<float>(std::sin(ang));
+    }
+    return;
+  }
+  // Bluestein: pad to a power of two >= 2n - 1 with an inner pow2 plan.
+  padded_ = NextPowerOfTwo(2 * n - 1);
+  inner_ = new VerticalFftPlan(padded_);
+  chirp_re_.resize(n);
+  chirp_im_.resize(n);
+  for (int64_t j = 0; j < n; ++j) {
+    const int64_t e = static_cast<int64_t>(
+        (static_cast<unsigned long long>(j) * j) % (2ull * n));
+    const double ang = -kPi * static_cast<double>(e) / static_cast<double>(n);
+    chirp_re_[j] = static_cast<float>(std::cos(ang));
+    chirp_im_[j] = static_cast<float>(std::sin(ang));
+  }
+  // b_j = conj(chirp_j) wrapped symmetrically; precompute its forward FFT
+  // (d = 1 column through the inner plan).
+  std::vector<float> bre(padded_, 0.0f);
+  std::vector<float> bim(padded_, 0.0f);
+  bre[0] = chirp_re_[0];
+  bim[0] = -chirp_im_[0];
+  for (int64_t j = 1; j < n; ++j) {
+    bre[j] = chirp_re_[j];
+    bim[j] = -chirp_im_[j];
+    bre[padded_ - j] = bre[j];
+    bim[padded_ - j] = bim[j];
+  }
+  inner_->Transform(bre.data(), bim.data(), 1, /*inverse=*/false);
+  bfft_re_ = std::move(bre);
+  bfft_im_ = std::move(bim);
+}
+
+VerticalFftPlan::~VerticalFftPlan() { delete inner_; }
+
+void VerticalFftPlan::TransformPow2(float* re, float* im, int64_t d,
+                                    bool inverse) const {
+  const int64_t n = n_;
+  // Bit-reversal permutation of rows.
+  for (int64_t i = 1; i < n; ++i) {
+    const int64_t j = bitrev_[i];
+    if (i < j) {
+      std::swap_ranges(re + i * d, re + (i + 1) * d, re + j * d);
+      std::swap_ranges(im + i * d, im + (i + 1) * d, im + j * d);
+    }
+  }
+  const float isign = inverse ? -1.0f : 1.0f;  // conjugate twiddles
+  for (int64_t len = 2; len <= n; len <<= 1) {
+    const int64_t half = len / 2;
+    const int64_t stride = n / len;
+    for (int64_t base = 0; base < n; base += len) {
+      for (int64_t j = 0; j < half; ++j) {
+        const float wr = tw_re_[j * stride];
+        const float wi = isign * tw_im_[j * stride];
+        float* ur = re + (base + j) * d;
+        float* ui = im + (base + j) * d;
+        float* vr = re + (base + j + half) * d;
+        float* vi = im + (base + j + half) * d;
+        for (int64_t f = 0; f < d; ++f) {
+          const float tr = vr[f] * wr - vi[f] * wi;
+          const float ti = vr[f] * wi + vi[f] * wr;
+          vr[f] = ur[f] - tr;
+          vi[f] = ui[f] - ti;
+          ur[f] += tr;
+          ui[f] += ti;
+        }
+      }
+    }
+  }
+}
+
+void VerticalFftPlan::TransformBluestein(float* re, float* im, int64_t d,
+                                         bool inverse) const {
+  const int64_t n = n_;
+  const int64_t m = padded_;
+  // inverse(x) = conj(forward(conj(x))): conjugate the data around the
+  // forward pipeline (the chirp/kernel constants stay untouched).
+  if (inverse) {
+    for (int64_t i = 0; i < n * d; ++i) im[i] = -im[i];
+  }
+  static thread_local std::vector<float> are;
+  static thread_local std::vector<float> aim;
+  are.assign(m * d, 0.0f);
+  aim.assign(m * d, 0.0f);
+  for (int64_t j = 0; j < n; ++j) {
+    const float cr = chirp_re_[j];
+    const float ci = chirp_im_[j];
+    const float* xr = re + j * d;
+    const float* xi = im + j * d;
+    float* ar = are.data() + j * d;
+    float* ai = aim.data() + j * d;
+    for (int64_t f = 0; f < d; ++f) {
+      ar[f] = xr[f] * cr - xi[f] * ci;
+      ai[f] = xr[f] * ci + xi[f] * cr;
+    }
+  }
+  inner_->TransformPow2(are.data(), aim.data(), d, false);
+  // Row-wise multiply by the precomputed kernel spectrum.
+  for (int64_t j = 0; j < m; ++j) {
+    const float br = bfft_re_[j];
+    const float bi = bfft_im_[j];
+    float* ar = are.data() + j * d;
+    float* ai = aim.data() + j * d;
+    for (int64_t f = 0; f < d; ++f) {
+      const float vr = ar[f];
+      const float vi = ai[f];
+      ar[f] = vr * br - vi * bi;
+      ai[f] = vr * bi + vi * br;
+    }
+  }
+  inner_->TransformPow2(are.data(), aim.data(), d, true);
+  const float inv_m = 1.0f / static_cast<float>(m);
+  const float osign = inverse ? -1.0f : 1.0f;  // output conjugation
+  for (int64_t k = 0; k < n; ++k) {
+    const float cr = chirp_re_[k];
+    const float ci = chirp_im_[k];
+    const float* ar = are.data() + k * d;
+    const float* ai = aim.data() + k * d;
+    float* xr = re + k * d;
+    float* xi = im + k * d;
+    for (int64_t f = 0; f < d; ++f) {
+      const float vr = ar[f] * inv_m;
+      const float vi = ai[f] * inv_m;
+      xr[f] = vr * cr - vi * ci;
+      xi[f] = osign * (vr * ci + vi * cr);
+    }
+  }
+}
+
+void VerticalFftPlan::Transform(float* re, float* im, int64_t d,
+                                bool inverse) const {
+  if (n_ <= 1) return;
+  if (pow2_) {
+    TransformPow2(re, im, d, inverse);
+  } else {
+    TransformBluestein(re, im, d, inverse);
+  }
+}
+
+const VerticalFftPlan& GetVerticalPlan(int64_t n) {
+  static thread_local std::map<int64_t, std::unique_ptr<VerticalFftPlan>>*
+      plans = new std::map<int64_t, std::unique_ptr<VerticalFftPlan>>();
+  auto it = plans->find(n);
+  if (it == plans->end()) {
+    it = plans->emplace(n, std::make_unique<VerticalFftPlan>(n)).first;
+  }
+  return *it->second;
+}
+
+}  // namespace fft
+}  // namespace slime

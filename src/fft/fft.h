@@ -1,0 +1,98 @@
+#ifndef SLIME4REC_FFT_FFT_H_
+#define SLIME4REC_FFT_FFT_H_
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace slime {
+namespace fft {
+
+/// Number of independent rFFT bins for a real signal of length n:
+/// floor(n/2) + 1. (The paper's Eq. 13 writes ceil(N/2)+1, which equals this
+/// for even N; for odd N the paper's formula over-counts by one bin, and
+/// torch.fft.rfft — used by the authors' code — produces floor(n/2)+1, so we
+/// follow the standard definition. See DESIGN.md.)
+int64_t RfftBins(int64_t n);
+
+/// In-place unnormalised complex DFT of length data.size().
+///   forward:  X_k = sum_n x_n e^{-2*pi*i*n*k/N}
+///   inverse:  X_n = sum_k x_k e^{+2*pi*i*n*k/N}   (NO 1/N factor)
+/// Uses iterative radix-2 Cooley-Tukey when N is a power of two and
+/// Bluestein's chirp-z algorithm otherwise, so any length is O(N log N).
+void Fft(std::vector<std::complex<double>>* data, bool inverse);
+
+/// Naive O(N^2) reference DFT with identical conventions; used by tests.
+void NaiveDft(const std::vector<std::complex<double>>& in,
+              std::vector<std::complex<double>>* out, bool inverse);
+
+/// Real-to-complex forward transform: out_re/out_im receive RfftBins(n)
+/// values of X_k = sum_n x_n e^{-2*pi*i*n*k/N}.
+void RfftForward(const float* x, int64_t n, float* out_re, float* out_im);
+
+/// Adjoint (transpose) of RfftForward viewed as a real-linear map
+/// R^n -> R^{2M}: given cotangents (g_re, g_im) produces the cotangent on x.
+/// This is the exact backward operator for the autograd Rfft op.
+void RfftAdjoint(const float* g_re, const float* g_im, int64_t n, float* g_x);
+
+/// Complex-to-real inverse transform of a half spectrum: treats
+/// (re, im)[0..M) as the non-negative-frequency bins of a conjugate-
+/// symmetric length-n spectrum (mirroring bins 1..; the given values of the
+/// DC and, for even n, Nyquist bins are used as-is) and emits
+/// x_n = Re( (1/N) * sum_k X~_k e^{+2*pi*i*n*k/N} ).
+void IrfftForward(const float* re, const float* im, int64_t n, float* x);
+
+/// Adjoint of IrfftForward: given the cotangent on x (length n), produces
+/// cotangents on (re, im) (length M each). Exact backward operator for the
+/// autograd Irfft op.
+void IrfftAdjoint(const float* g_x, int64_t n, float* g_re, float* g_im);
+
+/// A "vertical" (channel-parallel) complex FFT plan: transforms d
+/// independent length-n series stored column-wise in row-major (n, d)
+/// buffers. Each butterfly operates on contiguous rows of d floats, which
+/// the compiler vectorises — this is the throughput path used by the
+/// spectral autograd ops (the scalar functions above remain as the
+/// reference implementation; tests check they agree).
+///
+/// Power-of-two sizes run iterative radix-2 directly; other sizes run a
+/// vertical Bluestein transform over an internal power-of-two plan.
+/// Conventions match Fft(): forward is e^{-i...}, inverse is unnormalised.
+class VerticalFftPlan {
+ public:
+  explicit VerticalFftPlan(int64_t n);
+  ~VerticalFftPlan();
+  VerticalFftPlan(const VerticalFftPlan&) = delete;
+  VerticalFftPlan& operator=(const VerticalFftPlan&) = delete;
+
+  int64_t n() const { return n_; }
+
+  /// In-place transform of the (n, d) complex buffer pair.
+  void Transform(float* re, float* im, int64_t d, bool inverse) const;
+
+ private:
+  void TransformPow2(float* re, float* im, int64_t d, bool inverse) const;
+  void TransformBluestein(float* re, float* im, int64_t d,
+                          bool inverse) const;
+
+  int64_t n_;
+  bool pow2_;
+  // Radix-2 tables (pow2 path and the inner plan of the Bluestein path).
+  std::vector<int64_t> bitrev_;
+  std::vector<float> tw_re_;  // e^{-2 pi i j / n}, j in [0, n/2)
+  std::vector<float> tw_im_;
+  // Bluestein tables.
+  int64_t padded_ = 0;
+  std::vector<float> chirp_re_;  // e^{-i pi j^2 / n}, j in [0, n)
+  std::vector<float> chirp_im_;
+  std::vector<float> bfft_re_;  // forward FFT of the chirp kernel b
+  std::vector<float> bfft_im_;
+  VerticalFftPlan* inner_ = nullptr;
+};
+
+/// Returns a process-cached plan for length n.
+const VerticalFftPlan& GetVerticalPlan(int64_t n);
+
+}  // namespace fft
+}  // namespace slime
+
+#endif  // SLIME4REC_FFT_FFT_H_

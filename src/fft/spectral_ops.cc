@@ -1,0 +1,179 @@
+#include "fft/spectral_ops.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "fft/fft.h"
+#include "tensor/tensor_ops.h"
+
+namespace slime {
+namespace fft {
+namespace {
+
+using autograd::AccumulateGrad;
+using autograd::MakeOpVariable;
+using autograd::Variable;
+
+/// Per-thread (n, d) scratch pair for the vertical transforms.
+struct Scratch2D {
+  std::vector<float> re;
+  std::vector<float> im;
+  void Reset(int64_t n, int64_t d) {
+    re.assign(n * d, 0.0f);
+    im.assign(n * d, 0.0f);
+  }
+};
+
+Scratch2D& GetScratch() {
+  static thread_local Scratch2D s;
+  return s;
+}
+
+}  // namespace
+
+SpectralPair Rfft(const Variable& x) {
+  const Tensor& xt = x.value();
+  SLIME_CHECK_EQ(xt.dim(), 3);
+  const int64_t b = xt.size(0);
+  const int64_t n = xt.size(1);
+  const int64_t d = xt.size(2);
+  const int64_t m = RfftBins(n);
+  const VerticalFftPlan& plan = GetVerticalPlan(n);
+  Tensor re({b, m, d});
+  Tensor im({b, m, d});
+  Scratch2D& s = GetScratch();
+  for (int64_t bi = 0; bi < b; ++bi) {
+    s.Reset(n, d);
+    std::copy(xt.data() + bi * n * d, xt.data() + (bi + 1) * n * d,
+              s.re.data());
+    plan.Transform(s.re.data(), s.im.data(), d, /*inverse=*/false);
+    std::copy(s.re.data(), s.re.data() + m * d, re.data() + bi * m * d);
+    std::copy(s.im.data(), s.im.data() + m * d, im.data() + bi * m * d);
+  }
+  auto xn = x.node();
+  // The two outputs are independent linear functions of x; each backward
+  // applies the adjoint with the other component's cotangent set to zero:
+  // g_x = Re(IDFT_unnormalised(zero-pad(g))).
+  auto make_backward = [xn, b, n, d, m](bool imag_component) {
+    return [xn, b, n, d, m, imag_component](const Tensor& g) {
+      const VerticalFftPlan& plan2 = GetVerticalPlan(n);
+      Tensor dx({b, n, d});
+      Scratch2D& s2 = GetScratch();
+      for (int64_t bi = 0; bi < b; ++bi) {
+        s2.Reset(n, d);
+        float* dst = imag_component ? s2.im.data() : s2.re.data();
+        std::copy(g.data() + bi * m * d, g.data() + (bi + 1) * m * d, dst);
+        plan2.Transform(s2.re.data(), s2.im.data(), d, /*inverse=*/true);
+        std::copy(s2.re.data(), s2.re.data() + n * d,
+                  dx.data() + bi * n * d);
+      }
+      AccumulateGrad(xn, dx);
+    };
+  };
+  Variable vre = MakeOpVariable(std::move(re), {xn}, make_backward(false));
+  Variable vim = MakeOpVariable(std::move(im), {xn}, make_backward(true));
+  return {vre, vim};
+}
+
+Variable Irfft(const SpectralPair& spectrum, int64_t n) {
+  const Tensor& re = spectrum.re.value();
+  const Tensor& im = spectrum.im.value();
+  SLIME_CHECK(re.shape() == im.shape());
+  SLIME_CHECK_EQ(re.dim(), 3);
+  const int64_t b = re.size(0);
+  const int64_t m = re.size(1);
+  const int64_t d = re.size(2);
+  SLIME_CHECK_EQ(RfftBins(n), m);
+  const VerticalFftPlan& plan = GetVerticalPlan(n);
+  const float inv_n = 1.0f / static_cast<float>(n);
+  Tensor x({b, n, d});
+  Scratch2D& s = GetScratch();
+  for (int64_t bi = 0; bi < b; ++bi) {
+    s.Reset(n, d);
+    std::copy(re.data() + bi * m * d, re.data() + (bi + 1) * m * d,
+              s.re.data());
+    std::copy(im.data() + bi * m * d, im.data() + (bi + 1) * m * d,
+              s.im.data());
+    // Conjugate-symmetric extension (bins 1..ceil(n/2)-1 mirror to n-k).
+    for (int64_t k = 1; k < (n + 1) / 2; ++k) {
+      const float* src_re = s.re.data() + k * d;
+      const float* src_im = s.im.data() + k * d;
+      float* dst_re = s.re.data() + (n - k) * d;
+      float* dst_im = s.im.data() + (n - k) * d;
+      for (int64_t f = 0; f < d; ++f) {
+        dst_re[f] = src_re[f];
+        dst_im[f] = -src_im[f];
+      }
+    }
+    plan.Transform(s.re.data(), s.im.data(), d, /*inverse=*/true);
+    float* out = x.data() + bi * n * d;
+    for (int64_t i = 0; i < n * d; ++i) out[i] = s.re[i] * inv_n;
+  }
+  auto rn = spectrum.re.node();
+  auto in_ = spectrum.im.node();
+  return MakeOpVariable(
+      std::move(x), {rn, in_}, [rn, in_, b, n, d, m](const Tensor& g) {
+        // Adjoint: G = (1/n) DFT(g); mirrored bins add Re(G_{n-k}) and
+        // subtract Im(G_{n-k}).
+        const VerticalFftPlan& plan2 = GetVerticalPlan(n);
+        const float inv_n2 = 1.0f / static_cast<float>(n);
+        Tensor dre({b, m, d});
+        Tensor dim({b, m, d});
+        Scratch2D& s2 = GetScratch();
+        for (int64_t bi = 0; bi < b; ++bi) {
+          s2.Reset(n, d);
+          std::copy(g.data() + bi * n * d, g.data() + (bi + 1) * n * d,
+                    s2.re.data());
+          plan2.Transform(s2.re.data(), s2.im.data(), d, /*inverse=*/false);
+          for (int64_t k = 0; k < m; ++k) {
+            const bool mirrored = (k >= 1 && k < (n + 1) / 2);
+            const float* gr = s2.re.data() + k * d;
+            const float* gi = s2.im.data() + k * d;
+            const float* mr =
+                mirrored ? s2.re.data() + (n - k) * d : nullptr;
+            const float* mi =
+                mirrored ? s2.im.data() + (n - k) * d : nullptr;
+            float* out_r = dre.data() + (bi * m + k) * d;
+            float* out_i = dim.data() + (bi * m + k) * d;
+            for (int64_t f = 0; f < d; ++f) {
+              float r = gr[f];
+              float i = gi[f];
+              if (mirrored) {
+                r += mr[f];
+                i -= mi[f];
+              }
+              out_r[f] = r * inv_n2;
+              out_i[f] = i * inv_n2;
+            }
+          }
+        }
+        AccumulateGrad(rn, dre);
+        AccumulateGrad(in_, dim);
+      });
+}
+
+SpectralPair ComplexMul(const SpectralPair& a, const SpectralPair& b) {
+  using autograd::Add;
+  using autograd::Mul;
+  using autograd::Sub;
+  // (ar + i*ai)(br + i*bi) = (ar*br - ai*bi) + i*(ar*bi + ai*br).
+  Variable re = Sub(Mul(a.re, b.re), Mul(a.im, b.im));
+  Variable im = Add(Mul(a.re, b.im), Mul(a.im, b.re));
+  return {re, im};
+}
+
+SpectralPair MaskSpectrum(const SpectralPair& a, const Tensor& mask) {
+  return {autograd::MulConst(a.re, mask), autograd::MulConst(a.im, mask)};
+}
+
+SpectralPair MixSpectra(const SpectralPair& a, const SpectralPair& b,
+                        float gamma) {
+  using autograd::Add;
+  using autograd::MulScalar;
+  return {Add(MulScalar(a.re, 1.0f - gamma), MulScalar(b.re, gamma)),
+          Add(MulScalar(a.im, 1.0f - gamma), MulScalar(b.im, gamma))};
+}
+
+}  // namespace fft
+}  // namespace slime

@@ -1,0 +1,38 @@
+#ifndef SLIME4REC_IO_CHECKPOINT_H_
+#define SLIME4REC_IO_CHECKPOINT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "nn/module.h"
+
+namespace slime {
+namespace io {
+
+/// Binary checkpoint format for model parameters.
+///
+/// Layout (little-endian):
+///   magic   "SLM1" (4 bytes)
+///   count   uint64        number of parameter entries
+///   entries repeated:
+///     name_len uint32, name bytes
+///     rank     uint32, dims int64[rank]
+///     data     float32[numel]
+///
+/// Names are the Module::NamedParameters() qualified names, so a
+/// checkpoint written by a model loads only into an identically-structured
+/// model — mismatches are reported, not silently ignored.
+
+/// Writes every parameter of `module` to `path`.
+Status SaveCheckpoint(const nn::Module& module, const std::string& path);
+
+/// Loads a checkpoint into `module`. Every parameter in the module must be
+/// present in the file with an identical shape, and vice versa; any
+/// mismatch fails with InvalidArgument/Corruption and leaves already-copied
+/// parameters modified (load into a fresh model).
+Status LoadCheckpoint(nn::Module* module, const std::string& path);
+
+}  // namespace io
+}  // namespace slime
+
+#endif  // SLIME4REC_IO_CHECKPOINT_H_

@@ -1,0 +1,79 @@
+#include "metrics/ranking.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace slime {
+namespace metrics {
+
+void RankingAccumulator::Add(const Tensor& scores,
+                             const std::vector<int64_t>& targets) {
+  SLIME_CHECK_EQ(scores.dim(), 2);
+  const int64_t b = scores.size(0);
+  const int64_t cols = scores.size(1);
+  SLIME_CHECK_EQ(b, static_cast<int64_t>(targets.size()));
+  const float* p = scores.data();
+  for (int64_t i = 0; i < b; ++i) {
+    const int64_t t = targets[i];
+    SLIME_CHECK_MSG(t >= 1 && t < cols,
+                    "target " << t << " outside item range [1," << cols
+                              << ")");
+    const float target_score = p[i * cols + t];
+    // 1-based rank = 1 + number of real items strictly above the target.
+    // Ties resolve in the target's favour, matching common practice.
+    int64_t above = 0;
+    for (int64_t j = 1; j < cols; ++j) {
+      if (p[i * cols + j] > target_score) ++above;
+    }
+    AddRank(above + 1);
+  }
+}
+
+void RankingAccumulator::AddRank(int64_t rank) {
+  SLIME_CHECK_GE(rank, 1);
+  ++count_;
+  reciprocal_rank_sum_ += 1.0 / static_cast<double>(rank);
+  if (rank <= 5) {
+    ++hits5_;
+    ndcg5_ += 1.0 / std::log2(static_cast<double>(rank) + 1.0);
+  }
+  if (rank <= 10) {
+    ++hits10_;
+    ndcg10_ += 1.0 / std::log2(static_cast<double>(rank) + 1.0);
+  }
+}
+
+double RankingAccumulator::HrAt(int64_t k) const {
+  SLIME_CHECK(k == 5 || k == 10);
+  if (count_ == 0) return 0.0;
+  return static_cast<double>(k == 5 ? hits5_ : hits10_) / count_;
+}
+
+double RankingAccumulator::NdcgAt(int64_t k) const {
+  SLIME_CHECK(k == 5 || k == 10);
+  if (count_ == 0) return 0.0;
+  return (k == 5 ? ndcg5_ : ndcg10_) / count_;
+}
+
+std::string RankingAccumulator::Summary() const {
+  std::ostringstream os;
+  os << "HR@5 " << FormatFloat(HrAt(5), 4) << "  NDCG@5 "
+     << FormatFloat(NdcgAt(5), 4) << "  HR@10 " << FormatFloat(HrAt(10), 4)
+     << "  NDCG@10 " << FormatFloat(NdcgAt(10), 4);
+  return os.str();
+}
+
+double RankingAccumulator::Mrr() const {
+  return count_ == 0 ? 0.0 : reciprocal_rank_sum_ / count_;
+}
+
+RankingMetrics RankingMetrics::From(const RankingAccumulator& acc) {
+  return {acc.HrAt(5), acc.HrAt(10), acc.NdcgAt(5), acc.NdcgAt(10),
+          acc.Mrr()};
+}
+
+}  // namespace metrics
+}  // namespace slime

@@ -1,0 +1,59 @@
+#ifndef SLIME4REC_METRICS_RANKING_H_
+#define SLIME4REC_METRICS_RANKING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace slime {
+namespace metrics {
+
+/// Accumulator for the paper's evaluation metrics (Sec. IV-B): Hit Ratio
+/// and NDCG at K in {5, 10}, computed by ranking the ground-truth item
+/// against the *entire* item set with no negative sampling.
+class RankingAccumulator {
+ public:
+  /// `scores` is (B, num_items + 1): column j scores item id j, with column
+  /// 0 the padding pseudo-item (always excluded from the ranking).
+  /// `targets` holds the B ground-truth item ids (1-based).
+  void Add(const Tensor& scores, const std::vector<int64_t>& targets);
+
+  /// Adds one user given the 1-based rank of its ground-truth item.
+  void AddRank(int64_t rank);
+
+  double HrAt(int64_t k) const;
+  double NdcgAt(int64_t k) const;
+  /// Mean reciprocal rank over all users (no cutoff); not reported in the
+  /// paper's tables but commonly requested downstream.
+  double Mrr() const;
+  int64_t count() const { return count_; }
+
+  /// "HR@5 0.0621  NDCG@5 0.0396  HR@10 0.0910  NDCG@10 0.0489".
+  std::string Summary() const;
+
+ private:
+  int64_t count_ = 0;
+  double reciprocal_rank_sum_ = 0.0;
+  int64_t hits5_ = 0;
+  int64_t hits10_ = 0;
+  double ndcg5_ = 0.0;
+  double ndcg10_ = 0.0;
+};
+
+/// Four-metric bundle used throughout the bench harness.
+struct RankingMetrics {
+  double hr5 = 0.0;
+  double hr10 = 0.0;
+  double ndcg5 = 0.0;
+  double ndcg10 = 0.0;
+  double mrr = 0.0;
+
+  static RankingMetrics From(const RankingAccumulator& acc);
+};
+
+}  // namespace metrics
+}  // namespace slime
+
+#endif  // SLIME4REC_METRICS_RANKING_H_

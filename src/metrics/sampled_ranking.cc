@@ -1,0 +1,38 @@
+#include "metrics/sampled_ranking.h"
+
+#include "common/macros.h"
+
+namespace slime {
+namespace metrics {
+
+void SampledRankingAccumulator::Add(const Tensor& scores,
+                                    const std::vector<int64_t>& targets) {
+  SLIME_CHECK_EQ(scores.dim(), 2);
+  const int64_t b = scores.size(0);
+  const int64_t cols = scores.size(1);
+  SLIME_CHECK_EQ(b, static_cast<int64_t>(targets.size()));
+  SLIME_CHECK_GE(cols - 2, num_negatives_);  // enough non-target items
+  const float* p = scores.data();
+  for (int64_t i = 0; i < b; ++i) {
+    const int64_t t = targets[i];
+    SLIME_CHECK(t >= 1 && t < cols);
+    const float target_score = p[i * cols + t];
+    int64_t above = 0;
+    // Sample negatives without replacement via rejection; the negative
+    // count is far below the catalogue size in practice.
+    std::vector<bool> used(cols, false);
+    used[t] = true;
+    int64_t drawn = 0;
+    while (drawn < num_negatives_) {
+      const int64_t neg = rng_->UniformInt(1, cols - 1);
+      if (used[neg]) continue;
+      used[neg] = true;
+      ++drawn;
+      if (p[i * cols + neg] > target_score) ++above;
+    }
+    acc_.AddRank(above + 1);
+  }
+}
+
+}  // namespace metrics
+}  // namespace slime

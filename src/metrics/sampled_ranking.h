@@ -1,0 +1,49 @@
+#ifndef SLIME4REC_METRICS_SAMPLED_RANKING_H_
+#define SLIME4REC_METRICS_SAMPLED_RANKING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "metrics/ranking.h"
+#include "tensor/tensor.h"
+
+namespace slime {
+namespace metrics {
+
+/// Sampled-negative evaluation: ranks the ground-truth item against
+/// `num_negatives` uniformly sampled non-target items instead of the full
+/// catalogue.
+///
+/// The paper deliberately avoids this protocol, citing Krichene & Rendle
+/// (KDD'20): sampled metrics are biased estimates of the full-ranking
+/// metrics and can even reorder models. We implement it (a) because many
+/// earlier SR papers report it, so downstream users need it for
+/// comparability, and (b) to let bench_sampled_metrics demonstrate the
+/// bias empirically — reproducing the argument behind the paper's
+/// Sec. IV-B protocol choice.
+class SampledRankingAccumulator {
+ public:
+  SampledRankingAccumulator(int64_t num_negatives, Rng* rng)
+      : num_negatives_(num_negatives), rng_(rng) {}
+
+  /// `scores` is (B, num_items + 1) as in RankingAccumulator::Add; for
+  /// each row the target competes against `num_negatives` sampled items
+  /// (excluding the target and the padding column).
+  void Add(const Tensor& scores, const std::vector<int64_t>& targets);
+
+  const RankingAccumulator& ranks() const { return acc_; }
+  double HrAt(int64_t k) const { return acc_.HrAt(k); }
+  double NdcgAt(int64_t k) const { return acc_.NdcgAt(k); }
+  int64_t count() const { return acc_.count(); }
+
+ private:
+  int64_t num_negatives_;
+  Rng* rng_;
+  RankingAccumulator acc_;
+};
+
+}  // namespace metrics
+}  // namespace slime
+
+#endif  // SLIME4REC_METRICS_SAMPLED_RANKING_H_

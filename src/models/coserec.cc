@@ -1,0 +1,81 @@
+#include "models/coserec.h"
+
+#include <unordered_map>
+
+namespace slime {
+namespace models {
+
+void CoSeRec::Prepare(const data::SplitDataset& split) {
+  const int64_t v = config_.num_items;
+  std::vector<std::unordered_map<int64_t, int64_t>> counts(v + 1);
+  constexpr int64_t kWindow = 2;
+  for (const auto& seq : split.train_region()) {
+    const int64_t n = static_cast<int64_t>(seq.size());
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = i + 1; j <= std::min(n - 1, i + kWindow); ++j) {
+        if (seq[i] == seq[j]) continue;
+        ++counts[seq[i]][seq[j]];
+        ++counts[seq[j]][seq[i]];
+      }
+    }
+  }
+  correlated_.assign(v + 1, 0);
+  for (int64_t item = 1; item <= v; ++item) {
+    int64_t best = 0;
+    int64_t best_count = 0;
+    for (const auto& [peer, c] : counts[item]) {
+      if (c > best_count || (c == best_count && peer < best)) {
+        best = peer;
+        best_count = c;
+      }
+    }
+    correlated_[item] = best;
+  }
+}
+
+int64_t CoSeRec::MostCorrelated(int64_t item) const {
+  if (correlated_.empty() || item < 1 ||
+      item >= static_cast<int64_t>(correlated_.size())) {
+    return 0;
+  }
+  return correlated_[item];
+}
+
+std::vector<int64_t> CoSeRec::Substitute(const std::vector<int64_t>& seq) {
+  std::vector<int64_t> out = seq;
+  if (out.empty()) return out;
+  const int64_t pos = rng_.Uniform(out.size());
+  const int64_t peer = MostCorrelated(out[pos]);
+  if (peer != 0) out[pos] = peer;
+  return out;
+}
+
+std::vector<int64_t> CoSeRec::Insert(const std::vector<int64_t>& seq) {
+  std::vector<int64_t> out = seq;
+  if (out.empty()) return out;
+  const int64_t pos = rng_.Uniform(out.size());
+  const int64_t peer = MostCorrelated(out[pos]);
+  if (peer != 0) {
+    out.insert(out.begin() + pos + 1, peer);
+  }
+  return out;
+}
+
+std::vector<int64_t> CoSeRec::Augment(const std::vector<int64_t>& seq) {
+  // Five operators: the CL4SRec trio plus the correlation-informed pair.
+  switch (rng_.Uniform(5)) {
+    case 0:
+      return augment::Crop(seq, 0.6, &rng_);
+    case 1:
+      return augment::Mask(seq, 0.3, &rng_);
+    case 2:
+      return augment::Reorder(seq, 0.6, &rng_);
+    case 3:
+      return Substitute(seq);
+    default:
+      return Insert(seq);
+  }
+}
+
+}  // namespace models
+}  // namespace slime

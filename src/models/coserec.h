@@ -1,0 +1,44 @@
+#ifndef SLIME4REC_MODELS_COSEREC_H_
+#define SLIME4REC_MODELS_COSEREC_H_
+
+#include <string>
+#include <vector>
+
+#include "models/cl4srec.h"
+
+namespace slime {
+namespace models {
+
+/// CoSeRec (Liu et al., 2021): CL4SRec with two additional *informative*
+/// augmentations that use item correlations learned from the training
+/// data — Substitute (swap an item for its most co-occurring peer) and
+/// Insert (inject a correlated item next to an anchor). The correlation
+/// table is a co-occurrence count over training sequences within a small
+/// window, fitted in Prepare().
+class CoSeRec : public Cl4SRec {
+ public:
+  explicit CoSeRec(const ModelConfig& config) : Cl4SRec(config) {}
+
+  std::string name() const override { return "CoSeRec"; }
+
+  void Prepare(const data::SplitDataset& split) override;
+
+  /// Most-correlated item of `item` (0 when unknown). Exposed for tests.
+  int64_t MostCorrelated(int64_t item) const;
+
+ protected:
+  std::vector<int64_t> Augment(const std::vector<int64_t>& seq) override;
+
+  std::vector<int64_t> Substitute(const std::vector<int64_t>& seq);
+  std::vector<int64_t> Insert(const std::vector<int64_t>& seq);
+
+ private:
+  /// correlated_[v] = the item most frequently co-occurring with v within
+  /// a +/-2 window in training sequences (0 = none observed).
+  std::vector<int64_t> correlated_;
+};
+
+}  // namespace models
+}  // namespace slime
+
+#endif  // SLIME4REC_MODELS_COSEREC_H_

@@ -1,0 +1,51 @@
+#include "models/model_factory.h"
+
+#include "models/bert4rec.h"
+#include "models/bpr_mf.h"
+#include "models/caser.h"
+#include "models/cl4srec.h"
+#include "models/contrast_vae.h"
+#include "models/coserec.h"
+#include "models/duorec.h"
+#include "models/fmlp_rec.h"
+#include "models/gru4rec.h"
+#include "models/most_pop.h"
+#include "models/sasrec.h"
+
+namespace slime {
+namespace models {
+
+std::vector<std::string> AllModelNames() {
+  return {"BPR-MF",   "GRU4Rec", "Caser",       "SASRec",
+          "BERT4Rec", "FMLP-Rec", "CL4SRec",    "ContrastVAE",
+          "CoSeRec",  "DuoRec",  "SLIME4Rec"};
+}
+
+std::unique_ptr<SequentialRecommender> CreateModel(
+    const std::string& name, const ModelConfig& config,
+    const core::FilterMixerOptions& slime_options) {
+  if (name == "BPR-MF") return std::make_unique<BprMf>(config);
+  // Extra (not part of the paper's Table II): popularity sanity floor.
+  if (name == "MostPop") return std::make_unique<MostPop>(config);
+  if (name == "GRU4Rec") return std::make_unique<Gru4Rec>(config);
+  if (name == "Caser") return std::make_unique<Caser>(config);
+  if (name == "SASRec") return std::make_unique<SasRec>(config);
+  if (name == "BERT4Rec") return std::make_unique<Bert4Rec>(config);
+  if (name == "FMLP-Rec") return std::make_unique<FmlpRec>(config);
+  if (name == "CL4SRec") return std::make_unique<Cl4SRec>(config);
+  if (name == "ContrastVAE") return std::make_unique<ContrastVae>(config);
+  if (name == "CoSeRec") return std::make_unique<CoSeRec>(config);
+  if (name == "DuoRec") return std::make_unique<DuoRec>(config);
+  if (name == "SLIME4Rec") {
+    core::Slime4RecConfig sc;
+    static_cast<ModelConfig&>(sc) = config;
+    sc.mixer = slime_options;
+    sc.use_contrastive = true;
+    return std::make_unique<core::Slime4Rec>(sc);
+  }
+  SLIME_CHECK_MSG(false, "unknown model name: " << name);
+  return nullptr;
+}
+
+}  // namespace models
+}  // namespace slime

@@ -1,0 +1,28 @@
+#ifndef SLIME4REC_MODELS_MODEL_FACTORY_H_
+#define SLIME4REC_MODELS_MODEL_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/slime4rec.h"
+#include "models/recommender.h"
+
+namespace slime {
+namespace models {
+
+/// Names of the eleven models of Table II, in the paper's column order.
+std::vector<std::string> AllModelNames();
+
+/// Instantiates a model by its Table II name ("BPR-MF", "GRU4Rec",
+/// "Caser", "SASRec", "BERT4Rec", "FMLP-Rec", "CL4SRec", "ContrastVAE",
+/// "CoSeRec", "DuoRec", "SLIME4Rec"). For SLIME4Rec, `slime_options`
+/// configures the filter mixer; it is ignored for every other model.
+std::unique_ptr<SequentialRecommender> CreateModel(
+    const std::string& name, const ModelConfig& config,
+    const core::FilterMixerOptions& slime_options = {});
+
+}  // namespace models
+}  // namespace slime
+
+#endif  // SLIME4REC_MODELS_MODEL_FACTORY_H_

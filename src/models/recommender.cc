@@ -1,0 +1,7 @@
+#include "models/recommender.h"
+
+// The interface is header-only; this translation unit anchors the vtable.
+
+namespace slime {
+namespace models {}  // namespace models
+}  // namespace slime

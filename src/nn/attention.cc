@@ -1,0 +1,90 @@
+#include "nn/attention.h"
+
+#include <cmath>
+#include <vector>
+
+#include "autograd/ops.h"
+
+namespace slime {
+namespace nn {
+
+Tensor CausalMask(int64_t n) {
+  Tensor mask({n, n});
+  float* p = mask.data();
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t j = 0; j < n; ++j)
+      p[i * n + j] = j > i ? -1e9f : 0.0f;
+  return mask;
+}
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(int64_t dim, int64_t num_heads,
+                                               float dropout, Rng* rng)
+    : dim_(dim), num_heads_(num_heads), head_dim_(dim / num_heads) {
+  SLIME_CHECK_MSG(dim % num_heads == 0,
+                  "dim " << dim << " not divisible by heads " << num_heads);
+  w_q_ = RegisterModule("w_q", std::make_shared<Linear>(dim, dim, rng));
+  w_k_ = RegisterModule("w_k", std::make_shared<Linear>(dim, dim, rng));
+  w_v_ = RegisterModule("w_v", std::make_shared<Linear>(dim, dim, rng));
+  w_o_ = RegisterModule("w_o", std::make_shared<Linear>(dim, dim, rng));
+  attn_dropout_ =
+      RegisterModule("attn_dropout", std::make_shared<Dropout>(dropout));
+  out_dropout_ =
+      RegisterModule("out_dropout", std::make_shared<Dropout>(dropout));
+}
+
+autograd::Variable MultiHeadSelfAttention::Forward(
+    const autograd::Variable& x, bool causal, const Tensor& key_padding,
+    Rng* rng) const {
+  using autograd::AddConst;
+  using autograd::BatchMatMul;
+  using autograd::BatchMatMulTransB;
+  using autograd::Concat;
+  using autograd::MulScalar;
+  using autograd::Slice;
+  using autograd::Softmax;
+  using autograd::Variable;
+
+  const int64_t b = x.size(0);
+  const int64_t n = x.size(1);
+  SLIME_CHECK_EQ(x.size(2), dim_);
+
+  Variable q = w_q_->Forward(x);
+  Variable k = w_k_->Forward(x);
+  Variable v = w_v_->Forward(x);
+
+  // Precompute the additive mask broadcast over the batch: (B, N, N).
+  Tensor add_mask({b, n, n});
+  {
+    float* pm = add_mask.data();
+    const Tensor causal_mask = causal ? CausalMask(n) : Tensor();
+    for (int64_t bi = 0; bi < b; ++bi)
+      for (int64_t i = 0; i < n; ++i)
+        for (int64_t j = 0; j < n; ++j) {
+          float mval = causal ? causal_mask.data()[i * n + j] : 0.0f;
+          if (key_padding.defined()) mval += key_padding.data()[bi * n + j];
+          pm[(bi * n + i) * n + j] = mval;
+        }
+  }
+
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  std::vector<Variable> head_outputs;
+  head_outputs.reserve(num_heads_);
+  for (int64_t h = 0; h < num_heads_; ++h) {
+    const int64_t lo = h * head_dim_;
+    const int64_t hi = lo + head_dim_;
+    Variable qh = Slice(q, 2, lo, hi);  // (B, N, dk)
+    Variable kh = Slice(k, 2, lo, hi);
+    Variable vh = Slice(v, 2, lo, hi);
+    Variable scores = MulScalar(BatchMatMulTransB(qh, kh), scale);
+    scores = AddConst(scores, add_mask);
+    Variable attn = Softmax(scores);
+    attn = attn_dropout_->Forward(attn, rng);
+    head_outputs.push_back(BatchMatMul(attn, vh));  // (B, N, dk)
+  }
+  Variable out = num_heads_ == 1 ? head_outputs[0] : Concat(head_outputs, 2);
+  out = w_o_->Forward(out);
+  return out_dropout_->Forward(out, rng);
+}
+
+}  // namespace nn
+}  // namespace slime

@@ -1,0 +1,50 @@
+#ifndef SLIME4REC_NN_ATTENTION_H_
+#define SLIME4REC_NN_ATTENTION_H_
+
+#include <memory>
+
+#include "nn/dropout.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace slime {
+namespace nn {
+
+/// Multi-head scaled dot-product self-attention over (B, N, d) inputs, the
+/// encoder core of the SASRec family of baselines. `causal` selects the
+/// unidirectional mask (SASRec) vs. full bidirectional attention
+/// (BERT4Rec). An additive `key padding` mask is built from the batch's
+/// padding positions by the caller and passed in as a (B, N) 0/-inf tensor
+/// (undefined Tensor to disable).
+class MultiHeadSelfAttention : public Module {
+ public:
+  MultiHeadSelfAttention(int64_t dim, int64_t num_heads, float dropout,
+                         Rng* rng);
+
+  /// x: (B, N, d); key_padding: undefined or (B, N) additive mask applied to
+  /// attention logits for every query position.
+  autograd::Variable Forward(const autograd::Variable& x, bool causal,
+                             const Tensor& key_padding, Rng* rng) const;
+
+  int64_t num_heads() const { return num_heads_; }
+
+ private:
+  int64_t dim_;
+  int64_t num_heads_;
+  int64_t head_dim_;
+  std::shared_ptr<Linear> w_q_;
+  std::shared_ptr<Linear> w_k_;
+  std::shared_ptr<Linear> w_v_;
+  std::shared_ptr<Linear> w_o_;
+  std::shared_ptr<Dropout> attn_dropout_;
+  std::shared_ptr<Dropout> out_dropout_;
+};
+
+/// Builds the additive causal mask (N, N): 0 on/below the diagonal, -1e9
+/// above (future positions).
+Tensor CausalMask(int64_t n);
+
+}  // namespace nn
+}  // namespace slime
+
+#endif  // SLIME4REC_NN_ATTENTION_H_

@@ -1,0 +1,65 @@
+#include "nn/conv.h"
+
+#include <string>
+
+#include "autograd/ops.h"
+#include "nn/init.h"
+
+namespace slime {
+namespace nn {
+
+HorizontalConvBank::HorizontalConvBank(int64_t dim,
+                                       std::vector<int64_t> window_sizes,
+                                       int64_t filters_per_size, Rng* rng)
+    : window_sizes_(std::move(window_sizes)),
+      filters_per_size_(filters_per_size) {
+  for (size_t i = 0; i < window_sizes_.size(); ++i) {
+    const int64_t h = window_sizes_[i];
+    std::string wname = "w";
+    wname += std::to_string(h);
+    std::string bname = "b";
+    bname += std::to_string(h);
+    weights_.push_back(RegisterParameter(
+        std::move(wname),
+        autograd::Param(XavierUniform({filters_per_size_, h, dim}, rng))));
+    biases_.push_back(RegisterParameter(
+        std::move(bname),
+        autograd::Param(Tensor::Zeros({filters_per_size_}))));
+  }
+}
+
+autograd::Variable HorizontalConvBank::Forward(
+    const autograd::Variable& x) const {
+  using autograd::Concat;
+  using autograd::HorizontalConv;
+  using autograd::MaxPoolAxis1;
+  using autograd::Relu;
+  using autograd::Variable;
+  std::vector<Variable> pooled;
+  pooled.reserve(weights_.size());
+  for (size_t i = 0; i < weights_.size(); ++i) {
+    Variable conv = Relu(HorizontalConv(x, weights_[i], biases_[i]));
+    pooled.push_back(MaxPoolAxis1(conv));  // (B, F)
+  }
+  return pooled.size() == 1 ? pooled[0] : Concat(pooled, 1);
+}
+
+VerticalConv::VerticalConv(int64_t seq_len, int64_t num_filters, Rng* rng)
+    : seq_len_(seq_len), num_filters_(num_filters) {
+  weight_ = RegisterParameter(
+      "weight", autograd::Param(XavierUniform({num_filters, seq_len}, rng)));
+}
+
+autograd::Variable VerticalConv::Forward(const autograd::Variable& x) const {
+  using autograd::BroadcastMatMul;
+  using autograd::Reshape;
+  SLIME_CHECK_EQ(x.size(1), seq_len_);
+  const int64_t b = x.size(0);
+  const int64_t d = x.size(2);
+  // (num_filters, N) @ (B, N, d) -> (B, num_filters, d) -> flatten.
+  autograd::Variable y = BroadcastMatMul(weight_, x);
+  return Reshape(y, {b, num_filters_ * d});
+}
+
+}  // namespace nn
+}  // namespace slime

@@ -1,0 +1,53 @@
+#ifndef SLIME4REC_NN_CONV_H_
+#define SLIME4REC_NN_CONV_H_
+
+#include <vector>
+
+#include "nn/module.h"
+
+namespace slime {
+namespace nn {
+
+/// Caser's horizontal convolution bank: for each window size
+/// h in `window_sizes` a set of `filters_per_size` filters of shape (h, d)
+/// slides over the sequence; outputs are max-pooled over time and
+/// concatenated into (B, len(window_sizes) * filters_per_size).
+class HorizontalConvBank : public Module {
+ public:
+  HorizontalConvBank(int64_t dim, std::vector<int64_t> window_sizes,
+                     int64_t filters_per_size, Rng* rng);
+
+  autograd::Variable Forward(const autograd::Variable& x) const;
+
+  int64_t output_dim() const {
+    return static_cast<int64_t>(window_sizes_.size()) * filters_per_size_;
+  }
+
+ private:
+  std::vector<int64_t> window_sizes_;
+  int64_t filters_per_size_;
+  std::vector<autograd::Variable> weights_;  // one (F, h, d) per window size
+  std::vector<autograd::Variable> biases_;   // one (F) per window size
+};
+
+/// Caser's vertical convolution: `num_filters` learnable length-N weight
+/// rows, each taking a weighted sum of the sequence positions per embedding
+/// dimension: (B, N, d) -> (B, num_filters * d).
+class VerticalConv : public Module {
+ public:
+  VerticalConv(int64_t seq_len, int64_t num_filters, Rng* rng);
+
+  autograd::Variable Forward(const autograd::Variable& x) const;
+
+  int64_t output_dim(int64_t dim) const { return num_filters_ * dim; }
+
+ private:
+  int64_t seq_len_;
+  int64_t num_filters_;
+  autograd::Variable weight_;  // (num_filters, seq_len)
+};
+
+}  // namespace nn
+}  // namespace slime
+
+#endif  // SLIME4REC_NN_CONV_H_

@@ -1,0 +1,21 @@
+#include "nn/embedding.h"
+
+#include "autograd/ops.h"
+#include "nn/init.h"
+
+namespace slime {
+namespace nn {
+
+Embedding::Embedding(int64_t vocab, int64_t dim, Rng* rng, float init_stddev)
+    : vocab_(vocab), dim_(dim) {
+  weight_ = RegisterParameter(
+      "weight", autograd::Param(NormalInit({vocab, dim}, rng, init_stddev)));
+}
+
+autograd::Variable Embedding::Forward(const std::vector<int64_t>& ids,
+                                      std::vector<int64_t> out_shape) const {
+  return autograd::EmbeddingLookup(weight_, ids, std::move(out_shape));
+}
+
+}  // namespace nn
+}  // namespace slime

@@ -1,0 +1,36 @@
+#ifndef SLIME4REC_NN_EMBEDDING_H_
+#define SLIME4REC_NN_EMBEDDING_H_
+
+#include <vector>
+
+#include "nn/module.h"
+
+namespace slime {
+namespace nn {
+
+/// Lookup table of `vocab` embeddings of size `dim`. Row 0 conventionally
+/// holds the padding item; callers that want a frozen zero pad row should
+/// simply never feed gradients into it (padding positions are masked before
+/// the loss in this codebase, matching the reference implementations).
+class Embedding : public Module {
+ public:
+  Embedding(int64_t vocab, int64_t dim, Rng* rng, float init_stddev = 0.02f);
+
+  /// Gathers rows for `ids`, returning shape out_shape + [dim].
+  autograd::Variable Forward(const std::vector<int64_t>& ids,
+                             std::vector<int64_t> out_shape) const;
+
+  const autograd::Variable& weight() const { return weight_; }
+  int64_t vocab() const { return vocab_; }
+  int64_t dim() const { return dim_; }
+
+ private:
+  int64_t vocab_;
+  int64_t dim_;
+  autograd::Variable weight_;
+};
+
+}  // namespace nn
+}  // namespace slime
+
+#endif  // SLIME4REC_NN_EMBEDDING_H_

@@ -1,0 +1,28 @@
+#include "nn/feed_forward.h"
+
+#include "autograd/ops.h"
+
+namespace slime {
+namespace nn {
+
+FeedForward::FeedForward(int64_t dim, float dropout, Rng* rng,
+                         int64_t hidden_multiplier) {
+  const int64_t hidden = dim * hidden_multiplier;
+  w1_ = RegisterModule("w1", std::make_shared<Linear>(dim, hidden, rng));
+  w2_ = RegisterModule("w2", std::make_shared<Linear>(hidden, dim, rng));
+  inner_dropout_ =
+      RegisterModule("inner_dropout", std::make_shared<Dropout>(dropout));
+  out_dropout_ =
+      RegisterModule("out_dropout", std::make_shared<Dropout>(dropout));
+}
+
+autograd::Variable FeedForward::Forward(const autograd::Variable& x,
+                                        Rng* rng) const {
+  autograd::Variable h = autograd::Gelu(w1_->Forward(x));
+  h = inner_dropout_->Forward(h, rng);
+  h = w2_->Forward(h);
+  return out_dropout_->Forward(h, rng);
+}
+
+}  // namespace nn
+}  // namespace slime

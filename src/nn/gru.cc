@@ -1,0 +1,73 @@
+#include "nn/gru.h"
+
+#include <vector>
+
+#include "autograd/ops.h"
+
+namespace slime {
+namespace nn {
+
+Gru::Gru(int64_t input_dim, int64_t hidden_dim, Rng* rng)
+    : input_dim_(input_dim), hidden_dim_(hidden_dim) {
+  w_x_ = RegisterModule(
+      "w_x", std::make_shared<Linear>(input_dim, 2 * hidden_dim, rng));
+  w_h_ = RegisterModule(
+      "w_h",
+      std::make_shared<Linear>(hidden_dim, 2 * hidden_dim, rng,
+                               /*use_bias=*/false));
+  w_c_x_ = RegisterModule(
+      "w_c_x", std::make_shared<Linear>(input_dim, hidden_dim, rng));
+  w_c_h_ = RegisterModule(
+      "w_c_h", std::make_shared<Linear>(hidden_dim, hidden_dim, rng,
+                                        /*use_bias=*/false));
+}
+
+autograd::Variable Gru::Step(const autograd::Variable& xt,
+                             const autograd::Variable& h_prev) const {
+  using autograd::Add;
+  using autograd::Mul;
+  using autograd::Sigmoid;
+  using autograd::Slice;
+  using autograd::Sub;
+  using autograd::Tanh;
+  using autograd::Variable;
+  // Gates z and r from the stacked projection.
+  Variable gates = Sigmoid(Add(w_x_->Forward(xt), w_h_->Forward(h_prev)));
+  Variable z = Slice(gates, 1, 0, hidden_dim_);
+  Variable r = Slice(gates, 1, hidden_dim_, 2 * hidden_dim_);
+  Variable c =
+      Tanh(Add(w_c_x_->Forward(xt), w_c_h_->Forward(Mul(r, h_prev))));
+  // h = (1 - z) . h_prev + z . c = h_prev + z . (c - h_prev).
+  return Add(h_prev, Mul(z, Sub(c, h_prev)));
+}
+
+autograd::Variable Gru::Forward(const autograd::Variable& x) const {
+  using autograd::Concat;
+  using autograd::Reshape;
+  using autograd::Slice;
+  using autograd::Variable;
+  const int64_t b = x.size(0);
+  const int64_t n = x.size(1);
+  SLIME_CHECK_EQ(x.size(2), input_dim_);
+  Variable h = autograd::Constant(Tensor::Zeros({b, hidden_dim_}));
+  std::vector<Variable> states;
+  states.reserve(n);
+  for (int64_t t = 0; t < n; ++t) {
+    Variable xt = Reshape(Slice(x, 1, t, t + 1), {b, input_dim_});
+    h = Step(xt, h);
+    states.push_back(Reshape(h, {b, 1, hidden_dim_}));
+  }
+  return Concat(states, 1);
+}
+
+autograd::Variable Gru::ForwardLast(const autograd::Variable& x) const {
+  using autograd::Reshape;
+  using autograd::Slice;
+  const int64_t b = x.size(0);
+  const int64_t n = x.size(1);
+  autograd::Variable all = Forward(x);
+  return Reshape(Slice(all, 1, n - 1, n), {b, hidden_dim_});
+}
+
+}  // namespace nn
+}  // namespace slime

@@ -1,0 +1,47 @@
+#ifndef SLIME4REC_NN_GRU_H_
+#define SLIME4REC_NN_GRU_H_
+
+#include <memory>
+
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace slime {
+namespace nn {
+
+/// Single-layer gated recurrent unit over (B, N, d) input sequences,
+/// the encoder of GRU4Rec. Gate equations:
+///   z_t = sigmoid(x_t W_z + h_{t-1} U_z + b_z)
+///   r_t = sigmoid(x_t W_r + h_{t-1} U_r + b_r)
+///   c_t = tanh(x_t W_c + (r_t . h_{t-1}) U_c + b_c)
+///   h_t = (1 - z_t) . h_{t-1} + z_t . c_t
+class Gru : public Module {
+ public:
+  Gru(int64_t input_dim, int64_t hidden_dim, Rng* rng);
+
+  /// Runs the recurrence; returns all hidden states stacked as (B, N, h).
+  autograd::Variable Forward(const autograd::Variable& x) const;
+
+  /// Convenience: returns only the final hidden state (B, h).
+  autograd::Variable ForwardLast(const autograd::Variable& x) const;
+
+  int64_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  autograd::Variable Step(const autograd::Variable& xt,
+                          const autograd::Variable& h_prev) const;
+
+  int64_t input_dim_;
+  int64_t hidden_dim_;
+  // w_x_/w_h_ produce the stacked [z | r] gates (width 2h); the candidate
+  // projections are separate because the recurrent term uses r . h_{t-1}.
+  std::shared_ptr<Linear> w_x_;
+  std::shared_ptr<Linear> w_h_;
+  std::shared_ptr<Linear> w_c_x_;
+  std::shared_ptr<Linear> w_c_h_;
+};
+
+}  // namespace nn
+}  // namespace slime
+
+#endif  // SLIME4REC_NN_GRU_H_

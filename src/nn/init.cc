@@ -1,0 +1,24 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace slime {
+namespace nn {
+
+Tensor XavierUniform(std::vector<int64_t> shape, Rng* rng) {
+  SLIME_CHECK_GE(shape.size(), 1u);
+  int64_t fan_out = shape[0];
+  int64_t fan_in = 1;
+  for (size_t i = 1; i < shape.size(); ++i) fan_in *= shape[i];
+  if (shape.size() == 1) fan_in = fan_out;
+  const float a =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Tensor::RandUniform(std::move(shape), rng, -a, a);
+}
+
+Tensor NormalInit(std::vector<int64_t> shape, Rng* rng, float stddev) {
+  return Tensor::Randn(std::move(shape), rng, stddev);
+}
+
+}  // namespace nn
+}  // namespace slime

@@ -1,0 +1,24 @@
+#ifndef SLIME4REC_NN_INIT_H_
+#define SLIME4REC_NN_INIT_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace slime {
+namespace nn {
+
+/// Xavier/Glorot uniform initialisation: U(-a, a) with
+/// a = sqrt(6 / (fan_in + fan_out)) for a 2-D weight (fan_in, fan_out).
+/// Higher-rank tensors treat the first extent as fan_out-style rows and the
+/// product of the rest as fan_in.
+Tensor XavierUniform(std::vector<int64_t> shape, Rng* rng);
+
+/// Truncated-free normal initialisation N(0, stddev), the default for
+/// embedding tables in the SASRec/FMLP-Rec family (stddev 0.02).
+Tensor NormalInit(std::vector<int64_t> shape, Rng* rng, float stddev = 0.02f);
+
+}  // namespace nn
+}  // namespace slime
+
+#endif  // SLIME4REC_NN_INIT_H_

@@ -1,0 +1,18 @@
+#include "nn/layer_norm.h"
+
+#include "autograd/ops.h"
+
+namespace slime {
+namespace nn {
+
+LayerNorm::LayerNorm(int64_t dim, float eps) : eps_(eps) {
+  gamma_ = RegisterParameter("gamma", autograd::Param(Tensor::Ones({dim})));
+  beta_ = RegisterParameter("beta", autograd::Param(Tensor::Zeros({dim})));
+}
+
+autograd::Variable LayerNorm::Forward(const autograd::Variable& x) const {
+  return autograd::LayerNorm(x, gamma_, beta_, eps_);
+}
+
+}  // namespace nn
+}  // namespace slime

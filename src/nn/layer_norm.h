@@ -1,0 +1,26 @@
+#ifndef SLIME4REC_NN_LAYER_NORM_H_
+#define SLIME4REC_NN_LAYER_NORM_H_
+
+#include "nn/module.h"
+
+namespace slime {
+namespace nn {
+
+/// Layer normalisation over the last dimension with learnable gain/bias,
+/// eps 1e-12 to match the reference implementations of the SASRec family.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int64_t dim, float eps = 1e-12f);
+
+  autograd::Variable Forward(const autograd::Variable& x) const;
+
+ private:
+  float eps_;
+  autograd::Variable gamma_;
+  autograd::Variable beta_;
+};
+
+}  // namespace nn
+}  // namespace slime
+
+#endif  // SLIME4REC_NN_LAYER_NORM_H_

@@ -1,0 +1,36 @@
+#ifndef SLIME4REC_NN_LINEAR_H_
+#define SLIME4REC_NN_LINEAR_H_
+
+#include "nn/module.h"
+
+namespace slime {
+namespace nn {
+
+/// Affine map y = x W + b with W (in_features, out_features). Accepts 2-D
+/// (rows, in) or 3-D (B, N, in) inputs; 3-D inputs are flattened over the
+/// leading dimensions.
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, Rng* rng,
+         bool use_bias = true);
+
+  autograd::Variable Forward(const autograd::Variable& x) const;
+
+  const autograd::Variable& weight() const { return weight_; }
+  const autograd::Variable& bias() const { return bias_; }
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  bool use_bias_;
+  autograd::Variable weight_;
+  autograd::Variable bias_;
+};
+
+}  // namespace nn
+}  // namespace slime
+
+#endif  // SLIME4REC_NN_LINEAR_H_

@@ -1,0 +1,60 @@
+#include "nn/module.h"
+
+namespace slime {
+namespace nn {
+
+std::vector<autograd::Variable> Module::Parameters() const {
+  std::vector<autograd::Variable> out;
+  for (const auto& [name, param] : NamedParameters()) {
+    (void)name;
+    out.push_back(param);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, autograd::Variable>>
+Module::NamedParameters() const {
+  std::vector<std::pair<std::string, autograd::Variable>> out;
+  CollectNamed("", &out);
+  return out;
+}
+
+void Module::CollectNamed(
+    const std::string& prefix,
+    std::vector<std::pair<std::string, autograd::Variable>>* out) const {
+  for (const auto& [name, v] : params_) {
+    out->emplace_back(prefix.empty() ? name : prefix + "." + name, v);
+  }
+  for (const auto& [name, child] : children_) {
+    child->CollectNamed(prefix.empty() ? name : prefix + "." + name, out);
+  }
+}
+
+int64_t Module::ParameterCount() const {
+  int64_t n = 0;
+  for (const auto& p : Parameters()) n += p.numel();
+  return n;
+}
+
+void Module::SetTraining(bool training) {
+  training_ = training;
+  for (auto& [name, child] : children_) {
+    (void)name;
+    child->SetTraining(training);
+  }
+}
+
+void Module::ZeroGrad() {
+  for (auto& p : Parameters()) p.ZeroGrad();
+}
+
+autograd::Variable Module::RegisterParameter(std::string name,
+                                             autograd::Variable v) {
+  SLIME_CHECK_MSG(v.requires_grad(), "parameter '" << name
+                                                   << "' must require grad");
+  params_.emplace_back(std::move(name), v);
+  return v;
+}
+
+}  // namespace nn
+}  // namespace slime

@@ -1,0 +1,69 @@
+#ifndef SLIME4REC_NN_MODULE_H_
+#define SLIME4REC_NN_MODULE_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace slime {
+namespace nn {
+
+/// Base class for neural-network layers and models. Provides parameter
+/// registration (recursively collected for the optimizer) and a train/eval
+/// flag consumed by stochastic layers (dropout).
+///
+/// Forward signatures are defined by each concrete layer; there is no
+/// virtual Forward, because layers take heterogeneous inputs (ids, masks,
+/// spectra, ...).
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// All parameters of this module and its registered children. Returned
+  /// Variables are shared handles: mutating them updates the module.
+  std::vector<autograd::Variable> Parameters() const;
+
+  /// (qualified-name, parameter) pairs, e.g. "encoder.0.w_q".
+  std::vector<std::pair<std::string, autograd::Variable>> NamedParameters()
+      const;
+
+  /// Total scalar parameter count.
+  int64_t ParameterCount() const;
+
+  /// Switches train/eval mode recursively.
+  void SetTraining(bool training);
+  bool training() const { return training_; }
+
+  /// Zeroes gradients of all parameters.
+  void ZeroGrad();
+
+ protected:
+  /// Registers a parameter; returns a shared handle.
+  autograd::Variable RegisterParameter(std::string name,
+                                       autograd::Variable v);
+
+  /// Registers a child module; returns the argument for chaining.
+  template <typename M>
+  std::shared_ptr<M> RegisterModule(std::string name, std::shared_ptr<M> m) {
+    children_.emplace_back(std::move(name),
+                           std::static_pointer_cast<Module>(m));
+    return m;
+  }
+
+ private:
+  void CollectNamed(
+      const std::string& prefix,
+      std::vector<std::pair<std::string, autograd::Variable>>* out) const;
+
+  std::vector<std::pair<std::string, autograd::Variable>> params_;
+  std::vector<std::pair<std::string, std::shared_ptr<Module>>> children_;
+  bool training_ = true;
+};
+
+}  // namespace nn
+}  // namespace slime
+
+#endif  // SLIME4REC_NN_MODULE_H_

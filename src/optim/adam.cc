@@ -1,0 +1,74 @@
+#include "optim/adam.h"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+
+namespace slime {
+namespace optim {
+
+void Optimizer::ClipGradNorm(double max_norm) {
+  double total = 0.0;
+  for (auto& p : params_) {
+    if (!p.has_grad()) continue;
+    const double n = ops::Norm(p.grad());
+    total += n * n;
+  }
+  total = std::sqrt(total);
+  if (total <= max_norm || total == 0.0) return;
+  const float scale = static_cast<float>(max_norm / total);
+  for (auto& p : params_) {
+    if (!p.has_grad()) continue;
+    Tensor g = p.grad();  // shares the node's grad storage
+    ops::ScaleInPlace(&g, scale);
+  }
+}
+
+Adam::Adam(std::vector<autograd::Variable> params)
+    : Adam(std::move(params), Options()) {}
+
+Adam::Adam(std::vector<autograd::Variable> params, Options options)
+    : Optimizer(std::move(params)), options_(options) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(Tensor::Zeros(p.value().shape()));
+    v_.emplace_back(Tensor::Zeros(p.value().shape()));
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float b1 = options_.beta1;
+  const float b2 = options_.beta2;
+  const float bc1 =
+      1.0f - std::pow(b1, static_cast<float>(t_));
+  const float bc2 =
+      1.0f - std::pow(b2, static_cast<float>(t_));
+  const float lr = options_.lr;
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    if (!p.has_grad()) continue;
+    const Tensor& g = p.grad();
+    Tensor& value = p.mutable_value();
+    float* pm = m_[i].data();
+    float* pv = v_[i].data();
+    float* pw = value.data();
+    const float* pg = g.data();
+    const int64_t n = value.numel();
+    for (int64_t j = 0; j < n; ++j) {
+      pm[j] = b1 * pm[j] + (1.0f - b1) * pg[j];
+      pv[j] = b2 * pv[j] + (1.0f - b2) * pg[j] * pg[j];
+      const float mhat = pm[j] / bc1;
+      const float vhat = pv[j] / bc2;
+      float update = mhat / (std::sqrt(vhat) + options_.eps);
+      if (options_.weight_decay > 0.0f)
+        update += options_.weight_decay * pw[j];
+      pw[j] -= lr * update;
+    }
+  }
+  ZeroGrad();
+}
+
+}  // namespace optim
+}  // namespace slime

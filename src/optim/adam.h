@@ -1,0 +1,43 @@
+#ifndef SLIME4REC_OPTIM_ADAM_H_
+#define SLIME4REC_OPTIM_ADAM_H_
+
+#include <vector>
+
+#include "optim/optimizer.h"
+#include "tensor/tensor.h"
+
+namespace slime {
+namespace optim {
+
+/// Adam (Kingma & Ba) with bias correction and optional decoupled weight
+/// decay. Defaults mirror the paper's training setup (lr 1e-3).
+class Adam : public Optimizer {
+ public:
+  struct Options {
+    float lr = 1e-3f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float eps = 1e-8f;
+    /// Decoupled (AdamW-style) weight decay; 0 disables.
+    float weight_decay = 0.0f;
+  };
+
+  Adam(std::vector<autograd::Variable> params, Options options);
+  explicit Adam(std::vector<autograd::Variable> params);
+
+  void Step() override;
+
+  const Options& options() const { return options_; }
+  void set_lr(float lr) { options_.lr = lr; }
+
+ private:
+  Options options_;
+  int64_t t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace optim
+}  // namespace slime
+
+#endif  // SLIME4REC_OPTIM_ADAM_H_

@@ -1,0 +1,42 @@
+#ifndef SLIME4REC_OPTIM_OPTIMIZER_H_
+#define SLIME4REC_OPTIM_OPTIMIZER_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace slime {
+namespace optim {
+
+/// Base interface for first-order optimizers over a fixed parameter list.
+/// Parameters are shared Variable handles; Step() reads their accumulated
+/// gradients and updates values in place, then the caller ZeroGrad()s (or
+/// uses Step()'s implicit zeroing, see below) before the next batch.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<autograd::Variable> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update from the current gradients and clears them.
+  virtual void Step() = 0;
+
+  /// Clears all parameter gradients.
+  void ZeroGrad() {
+    for (auto& p : params_) p.ZeroGrad();
+  }
+
+  /// Global-norm gradient clipping; a no-op if the norm is under
+  /// `max_norm`. Call before Step().
+  void ClipGradNorm(double max_norm);
+
+  const std::vector<autograd::Variable>& params() const { return params_; }
+
+ protected:
+  std::vector<autograd::Variable> params_;
+};
+
+}  // namespace optim
+}  // namespace slime
+
+#endif  // SLIME4REC_OPTIM_OPTIMIZER_H_

@@ -1,0 +1,43 @@
+#include "optim/sgd.h"
+
+namespace slime {
+namespace optim {
+
+Sgd::Sgd(std::vector<autograd::Variable> params)
+    : Sgd(std::move(params), Options()) {}
+
+Sgd::Sgd(std::vector<autograd::Variable> params, Options options)
+    : Optimizer(std::move(params)), options_(options) {
+  if (options_.momentum > 0.0f) {
+    velocity_.reserve(params_.size());
+    for (const auto& p : params_) {
+      velocity_.emplace_back(Tensor::Zeros(p.value().shape()));
+    }
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    if (!p.has_grad()) continue;
+    const Tensor& g = p.grad();
+    Tensor& value = p.mutable_value();
+    float* pw = value.data();
+    const float* pg = g.data();
+    const int64_t n = value.numel();
+    for (int64_t j = 0; j < n; ++j) {
+      float upd = pg[j];
+      if (options_.weight_decay > 0.0f) upd += options_.weight_decay * pw[j];
+      if (options_.momentum > 0.0f) {
+        float* pvel = velocity_[i].data();
+        pvel[j] = options_.momentum * pvel[j] + upd;
+        upd = pvel[j];
+      }
+      pw[j] -= options_.lr * upd;
+    }
+  }
+  ZeroGrad();
+}
+
+}  // namespace optim
+}  // namespace slime

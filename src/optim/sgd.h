@@ -1,0 +1,37 @@
+#ifndef SLIME4REC_OPTIM_SGD_H_
+#define SLIME4REC_OPTIM_SGD_H_
+
+#include <vector>
+
+#include "optim/optimizer.h"
+#include "tensor/tensor.h"
+
+namespace slime {
+namespace optim {
+
+/// Stochastic gradient descent with optional classical momentum; used in
+/// tests and for the BPR-MF baseline's simpler training dynamics.
+class Sgd : public Optimizer {
+ public:
+  struct Options {
+    float lr = 1e-2f;
+    float momentum = 0.0f;
+    float weight_decay = 0.0f;
+  };
+
+  Sgd(std::vector<autograd::Variable> params, Options options);
+  explicit Sgd(std::vector<autograd::Variable> params);
+
+  void Step() override;
+
+  void set_lr(float lr) { options_.lr = lr; }
+
+ private:
+  Options options_;
+  std::vector<Tensor> velocity_;
+};
+
+}  // namespace optim
+}  // namespace slime
+
+#endif  // SLIME4REC_OPTIM_SGD_H_

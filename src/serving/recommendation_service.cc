@@ -1,0 +1,95 @@
+#include "serving/recommendation_service.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "data/batcher.h"
+
+namespace slime {
+namespace serving {
+
+RecommendationService::RecommendationService(
+    models::SequentialRecommender* model)
+    : model_(model) {
+  SLIME_CHECK(model != nullptr);
+}
+
+std::vector<Recommendation> TopKFromScores(
+    const float* row, int64_t num_items, int64_t k,
+    const std::vector<bool>& excluded) {
+  SLIME_CHECK_EQ(static_cast<int64_t>(excluded.size()), num_items + 1);
+  std::vector<Recommendation> candidates;
+  candidates.reserve(num_items);
+  for (int64_t item = 1; item <= num_items; ++item) {
+    if (excluded[item]) continue;
+    candidates.push_back({item, row[item]});
+  }
+  const int64_t take = std::min<int64_t>(k, candidates.size());
+  std::partial_sort(candidates.begin(), candidates.begin() + take,
+                    candidates.end(),
+                    [](const Recommendation& a, const Recommendation& b) {
+                      return a.score > b.score ||
+                             (a.score == b.score && a.item < b.item);
+                    });
+  candidates.resize(take);
+  return candidates;
+}
+
+std::vector<Recommendation> RecommendationService::Recommend(
+    const std::vector<int64_t>& history,
+    const RecommendOptions& options) const {
+  return RecommendBatch({history}, options)[0];
+}
+
+std::vector<std::vector<Recommendation>>
+RecommendationService::RecommendBatch(
+    const std::vector<std::vector<int64_t>>& histories,
+    const RecommendOptions& options) const {
+  SLIME_CHECK(!histories.empty());
+  SLIME_CHECK_GT(options.top_k, 0);
+  const int64_t n = model_->config().max_len;
+  const int64_t num_items = model_->config().num_items;
+
+  data::Batch batch;
+  batch.size = static_cast<int64_t>(histories.size());
+  batch.max_len = n;
+  for (const auto& history : histories) {
+    SLIME_CHECK_MSG(!history.empty(), "cannot recommend from an empty history");
+    for (int64_t item : history) {
+      SLIME_CHECK_MSG(item >= 1 && item <= num_items,
+                      "history item " << item << " outside catalogue");
+    }
+    batch.user_ids.push_back(0);   // models that use user ids need real ones;
+    batch.targets.push_back(1);    // placeholder, unused by ScoreAll
+    batch.raw_prefixes.push_back(history);
+    const std::vector<int64_t> padded = data::PadTruncate(history, n);
+    batch.input_ids.insert(batch.input_ids.end(), padded.begin(),
+                           padded.end());
+  }
+
+  const bool was_training = model_->training();
+  model_->SetTraining(false);
+  const Tensor scores = model_->ScoreAll(batch);
+  model_->SetTraining(was_training);
+  SLIME_CHECK_EQ(scores.size(0), batch.size);
+  SLIME_CHECK_EQ(scores.size(1), num_items + 1);
+
+  std::vector<std::vector<Recommendation>> results;
+  results.reserve(histories.size());
+  for (size_t i = 0; i < histories.size(); ++i) {
+    std::vector<bool> excluded(num_items + 1, false);
+    if (options.exclude_seen) {
+      for (int64_t item : histories[i]) excluded[item] = true;
+    }
+    for (int64_t item : options.exclude_items) {
+      if (item >= 1 && item <= num_items) excluded[item] = true;
+    }
+    results.push_back(TopKFromScores(
+        scores.data() + static_cast<int64_t>(i) * (num_items + 1),
+        num_items, options.top_k, excluded));
+  }
+  return results;
+}
+
+}  // namespace serving
+}  // namespace slime

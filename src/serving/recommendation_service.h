@@ -1,0 +1,65 @@
+#ifndef SLIME4REC_SERVING_RECOMMENDATION_SERVICE_H_
+#define SLIME4REC_SERVING_RECOMMENDATION_SERVICE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "models/recommender.h"
+
+namespace slime {
+namespace serving {
+
+/// One ranked recommendation.
+struct Recommendation {
+  int64_t item = 0;
+  float score = 0.0f;
+};
+
+/// Options for a recommendation request.
+struct RecommendOptions {
+  int64_t top_k = 10;
+  /// Drop items that already appear in the user's history (the common
+  /// serving default; evaluation benches do NOT filter, matching the
+  /// paper's protocol).
+  bool exclude_seen = true;
+  /// Optional explicit blocklist (e.g. out-of-stock items).
+  std::vector<int64_t> exclude_items;
+};
+
+/// Thin serving wrapper over any trained SequentialRecommender: takes raw
+/// user histories, handles padding/truncation and batching, and returns
+/// ranked top-K lists. The service switches the model to eval mode for
+/// the duration of each call and restores the previous mode afterwards.
+///
+/// The model pointer is non-owning; the caller keeps it alive and must
+/// not train it concurrently (single-threaded, like the library).
+class RecommendationService {
+ public:
+  explicit RecommendationService(models::SequentialRecommender* model);
+
+  /// Top-K for one user history (chronological item ids, 1-based).
+  std::vector<Recommendation> Recommend(
+      const std::vector<int64_t>& history,
+      const RecommendOptions& options = {}) const;
+
+  /// Batched variant; one ranked list per history.
+  std::vector<std::vector<Recommendation>> RecommendBatch(
+      const std::vector<std::vector<int64_t>>& histories,
+      const RecommendOptions& options = {}) const;
+
+  int64_t num_items() const { return model_->config().num_items; }
+
+ private:
+  models::SequentialRecommender* model_;
+};
+
+/// Standalone helper: top-k (item, score) pairs from one score row
+/// (column 0 = padding is always excluded), honouring an exclusion mask.
+std::vector<Recommendation> TopKFromScores(const float* row,
+                                           int64_t num_items, int64_t k,
+                                           const std::vector<bool>& excluded);
+
+}  // namespace serving
+}  // namespace slime
+
+#endif  // SLIME4REC_SERVING_RECOMMENDATION_SERVICE_H_

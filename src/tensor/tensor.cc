@@ -1,0 +1,151 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace slime {
+
+int64_t ShapeNumel(const std::vector<int64_t>& shape) {
+  int64_t n = 1;
+  for (int64_t s : shape) {
+    SLIME_CHECK_GE(s, 0);
+    n *= s;
+  }
+  return n;
+}
+
+std::string ShapeToString(const std::vector<int64_t>& shape) {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << shape[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+Tensor::Tensor(std::vector<int64_t> shape)
+    : shape_(std::move(shape)), numel_(ShapeNumel(shape_)) {
+  data_ = std::make_shared<std::vector<float>>(numel_, 0.0f);
+}
+
+Tensor Tensor::Scalar(float v) {
+  Tensor t{std::vector<int64_t>{}};
+  (*t.data_)[0] = v;
+  return t;
+}
+
+Tensor Tensor::Zeros(std::vector<int64_t> shape) {
+  return Tensor(std::move(shape));
+}
+
+Tensor Tensor::Ones(std::vector<int64_t> shape) {
+  return Full(std::move(shape), 1.0f);
+}
+
+Tensor Tensor::Full(std::vector<int64_t> shape, float v) {
+  Tensor t(std::move(shape));
+  t.Fill(v);
+  return t;
+}
+
+Tensor Tensor::FromVector(std::vector<int64_t> shape,
+                          const std::vector<float>& values) {
+  Tensor t(std::move(shape));
+  SLIME_CHECK_EQ(t.numel(), static_cast<int64_t>(values.size()));
+  std::copy(values.begin(), values.end(), t.data());
+  return t;
+}
+
+Tensor Tensor::Randn(std::vector<int64_t> shape, Rng* rng, float stddev) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) p[i] = rng->Gaussian() * stddev;
+  return t;
+}
+
+Tensor Tensor::RandUniform(std::vector<int64_t> shape, Rng* rng, float lo,
+                           float hi) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i)
+    p[i] = lo + (hi - lo) * rng->UniformFloat();
+  return t;
+}
+
+int64_t Tensor::size(int64_t i) const {
+  const int64_t d = dim();
+  if (i < 0) i += d;
+  SLIME_CHECK(i >= 0 && i < d);
+  return shape_[i];
+}
+
+float& Tensor::At(std::initializer_list<int64_t> idx) {
+  SLIME_CHECK_EQ(static_cast<int64_t>(idx.size()), dim());
+  int64_t flat = 0;
+  int64_t i = 0;
+  for (int64_t v : idx) {
+    SLIME_CHECK(v >= 0 && v < shape_[i]);
+    flat = flat * shape_[i] + v;
+    ++i;
+  }
+  return data()[flat];
+}
+
+float Tensor::At(std::initializer_list<int64_t> idx) const {
+  return const_cast<Tensor*>(this)->At(idx);
+}
+
+Tensor Tensor::Reshape(std::vector<int64_t> shape) const {
+  SLIME_CHECK(defined());
+  int64_t known = 1;
+  int64_t infer_pos = -1;
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (shape[i] == -1) {
+      SLIME_CHECK_MSG(infer_pos == -1, "more than one -1 in reshape");
+      infer_pos = static_cast<int64_t>(i);
+    } else {
+      SLIME_CHECK_GE(shape[i], 0);
+      known *= shape[i];
+    }
+  }
+  if (infer_pos >= 0) {
+    SLIME_CHECK_MSG(known > 0 && numel_ % known == 0,
+                    "cannot infer reshape extent for " << ShapeString()
+                                                       << " -> "
+                                                       << ShapeToString(shape));
+    shape[infer_pos] = numel_ / known;
+  }
+  SLIME_CHECK_MSG(ShapeNumel(shape) == numel_,
+                  "reshape numel mismatch: " << ShapeString() << " -> "
+                                             << ShapeToString(shape));
+  Tensor t;
+  t.data_ = data_;
+  t.offset_ = offset_;
+  t.numel_ = numel_;
+  t.shape_ = std::move(shape);
+  return t;
+}
+
+Tensor Tensor::Clone() const {
+  SLIME_CHECK(defined());
+  Tensor t(shape_);
+  std::copy(data(), data() + numel_, t.data());
+  return t;
+}
+
+void Tensor::Fill(float v) {
+  SLIME_CHECK(defined());
+  std::fill(data(), data() + numel_, v);
+}
+
+std::string Tensor::ShapeString() const { return ShapeToString(shape_); }
+
+std::vector<float> Tensor::ToVector() const {
+  SLIME_CHECK(defined());
+  return std::vector<float>(data(), data() + numel_);
+}
+
+}  // namespace slime

@@ -1,0 +1,555 @@
+#include "tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace slime {
+namespace ops {
+namespace {
+
+/// Strides for a contiguous row-major tensor of `shape`, padded on the left
+/// to `rank` entries; broadcast (size-1) dimensions get stride 0 so a single
+/// indexing loop handles all broadcasting.
+std::vector<int64_t> BroadcastStrides(const std::vector<int64_t>& shape,
+                                      size_t rank) {
+  std::vector<int64_t> strides(rank, 0);
+  int64_t s = 1;
+  const size_t pad = rank - shape.size();
+  for (size_t i = shape.size(); i-- > 0;) {
+    strides[pad + i] = (shape[i] == 1) ? 0 : s;
+    s *= shape[i];
+  }
+  return strides;
+}
+
+}  // namespace
+
+std::vector<int64_t> BroadcastShape(const std::vector<int64_t>& a,
+                                    const std::vector<int64_t>& b) {
+  const size_t rank = std::max(a.size(), b.size());
+  std::vector<int64_t> out(rank);
+  for (size_t i = 0; i < rank; ++i) {
+    const int64_t da =
+        i < rank - a.size() ? 1 : a[i - (rank - a.size())];
+    const int64_t db =
+        i < rank - b.size() ? 1 : b[i - (rank - b.size())];
+    SLIME_CHECK_MSG(da == db || da == 1 || db == 1,
+                    "incompatible broadcast: " << ShapeToString(a) << " vs "
+                                               << ShapeToString(b));
+    out[i] = std::max(da, db);
+  }
+  return out;
+}
+
+namespace {
+
+/// Generic broadcast binary kernel, templated so the functor inlines into
+/// the per-element loop (a function pointer here shows up as ~20% of
+/// training time under gprof).
+template <typename F>
+Tensor BinaryOpT(const Tensor& a, const Tensor& b, F f) {
+  if (a.shape() == b.shape()) {
+    Tensor out(a.shape());
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+    const int64_t n = a.numel();
+    for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+    return out;
+  }
+  const std::vector<int64_t> out_shape = BroadcastShape(a.shape(), b.shape());
+  // Fast path: b broadcasts as a repeated trailing block of a (bias adds,
+  // (B,N,d) + (N,d), (B,M,d) * (M,d) filters, ...).
+  if (out_shape == a.shape() && a.numel() % std::max<int64_t>(b.numel(), 1) == 0) {
+    const size_t rank = a.shape().size();
+    const size_t brank = b.shape().size();
+    bool suffix = brank <= rank;
+    if (suffix) {
+      for (size_t i = 0; i < brank; ++i) {
+        if (b.shape()[i] != a.shape()[rank - brank + i]) {
+          suffix = false;
+          break;
+        }
+      }
+    }
+    if (suffix) {
+      Tensor out(a.shape());
+      const int64_t block = b.numel();
+      const int64_t repeats = a.numel() / block;
+      const float* pa = a.data();
+      const float* pb = b.data();
+      float* po = out.data();
+      for (int64_t r = 0; r < repeats; ++r) {
+        const float* ar = pa + r * block;
+        float* orow = po + r * block;
+        for (int64_t i = 0; i < block; ++i) orow[i] = f(ar[i], pb[i]);
+      }
+      return out;
+    }
+  }
+  // Fast path: equal rank, b differs from a only by a size-1 trailing dim
+  // (row-normalisation patterns like (B,d) op (B,1)).
+  if (out_shape == a.shape() && b.shape().size() == a.shape().size() &&
+      b.shape().back() == 1) {
+    bool column = true;
+    for (size_t i = 0; i + 1 < a.shape().size(); ++i) {
+      column = column && a.shape()[i] == b.shape()[i];
+    }
+    if (column) {
+      Tensor out(a.shape());
+      const int64_t cols = a.shape().back();
+      const int64_t rows = a.numel() / cols;
+      const float* pa = a.data();
+      const float* pb = b.data();
+      float* po = out.data();
+      for (int64_t r = 0; r < rows; ++r) {
+        const float bv = pb[r];
+        const float* ar = pa + r * cols;
+        float* orow = po + r * cols;
+        for (int64_t i = 0; i < cols; ++i) orow[i] = f(ar[i], bv);
+      }
+      return out;
+    }
+  }
+  Tensor out(out_shape);
+  const size_t rank = out_shape.size();
+  const std::vector<int64_t> sa = BroadcastStrides(a.shape(), rank);
+  const std::vector<int64_t> sb = BroadcastStrides(b.shape(), rank);
+  std::vector<int64_t> idx(rank, 0);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  const int64_t n = out.numel();
+  int64_t off_a = 0;
+  int64_t off_b = 0;
+  for (int64_t flat = 0; flat < n; ++flat) {
+    po[flat] = f(pa[off_a], pb[off_b]);
+    // Odometer increment of the multi-index, updating both offsets.
+    for (size_t d = rank; d-- > 0;) {
+      ++idx[d];
+      off_a += sa[d];
+      off_b += sb[d];
+      if (idx[d] < out_shape[d]) break;
+      off_a -= sa[d] * out_shape[d];
+      off_b -= sb[d] * out_shape[d];
+      idx[d] = 0;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor BinaryOp(const Tensor& a, const Tensor& b, float (*f)(float, float)) {
+  return BinaryOpT(a, b, f);
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BinaryOpT(a, b, [](float x, float y) { return x + y; });
+}
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BinaryOpT(a, b, [](float x, float y) { return x - y; });
+}
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BinaryOpT(a, b, [](float x, float y) { return x * y; });
+}
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return BinaryOpT(a, b, [](float x, float y) { return x / y; });
+}
+
+void AddInPlace(Tensor* out, const Tensor& a) {
+  SLIME_CHECK(out->SameShape(a));
+  float* po = out->data();
+  const float* pa = a.data();
+  const int64_t n = out->numel();
+  for (int64_t i = 0; i < n; ++i) po[i] += pa[i];
+}
+
+void AxpyInPlace(Tensor* out, const Tensor& a, float scale) {
+  SLIME_CHECK(out->SameShape(a));
+  float* po = out->data();
+  const float* pa = a.data();
+  const int64_t n = out->numel();
+  for (int64_t i = 0; i < n; ++i) po[i] += pa[i] * scale;
+}
+
+void ScaleInPlace(Tensor* out, float scale) {
+  float* po = out->data();
+  const int64_t n = out->numel();
+  for (int64_t i = 0; i < n; ++i) po[i] *= scale;
+}
+
+Tensor Map(const Tensor& a, const std::function<float(float)>& f) {
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i]);
+  return out;
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] = pa[i] + s;
+  return out;
+}
+Tensor MulScalar(const Tensor& a, float s) {
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] = pa[i] * s;
+  return out;
+}
+
+Tensor ReduceTo(const Tensor& t, const std::vector<int64_t>& target_shape) {
+  if (t.shape() == target_shape) return t.Clone();
+  // Verify compatibility (target broadcasts to t's shape).
+  SLIME_CHECK(BroadcastShape(t.shape(), target_shape) == t.shape());
+  // Fast path: target is a trailing block of t (bias/filter/positional
+  // gradients) -> sum over the leading repeats.
+  {
+    const size_t rank = t.shape().size();
+    const size_t trank = target_shape.size();
+    bool suffix = trank <= rank && ShapeNumel(target_shape) > 0;
+    if (suffix) {
+      for (size_t i = 0; i < trank; ++i) {
+        if (target_shape[i] != t.shape()[rank - trank + i]) {
+          suffix = false;
+          break;
+        }
+      }
+    }
+    if (suffix) {
+      Tensor out(target_shape);
+      const int64_t block = out.numel();
+      const int64_t repeats = t.numel() / block;
+      const float* pt = t.data();
+      float* po = out.data();
+      for (int64_t r = 0; r < repeats; ++r) {
+        const float* row = pt + r * block;
+        for (int64_t i = 0; i < block; ++i) po[i] += row[i];
+      }
+      return out;
+    }
+  }
+  // Fast path: equal rank and only the trailing dim collapses to 1 (row
+  // norms, (B,d) -> (B,1)).
+  if (target_shape.size() == t.shape().size()) {
+    bool trailing_only = target_shape.back() == 1;
+    for (size_t i = 0; trailing_only && i + 1 < target_shape.size(); ++i) {
+      trailing_only = target_shape[i] == t.shape()[i];
+    }
+    if (trailing_only) {
+      Tensor out(target_shape);
+      const int64_t cols = t.shape().back();
+      const int64_t rows = t.numel() / cols;
+      const float* pt = t.data();
+      float* po = out.data();
+      for (int64_t r = 0; r < rows; ++r) {
+        float acc = 0.0f;
+        const float* row = pt + r * cols;
+        for (int64_t i = 0; i < cols; ++i) acc += row[i];
+        po[r] = acc;
+      }
+      return out;
+    }
+  }
+  Tensor out(target_shape);
+  const size_t rank = t.shape().size();
+  const std::vector<int64_t> st = BroadcastStrides(target_shape, rank);
+  const std::vector<int64_t>& shape = t.shape();
+  std::vector<int64_t> idx(rank, 0);
+  const float* pt = t.data();
+  float* po = out.data();
+  const int64_t n = t.numel();
+  int64_t off = 0;
+  for (int64_t flat = 0; flat < n; ++flat) {
+    po[off] += pt[flat];
+    for (size_t d = rank; d-- > 0;) {
+      ++idx[d];
+      off += st[d];
+      if (idx[d] < shape[d]) break;
+      off -= st[d] * shape[d];
+      idx[d] = 0;
+    }
+  }
+  return out;
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  SLIME_CHECK_EQ(a.dim(), 2);
+  SLIME_CHECK_EQ(b.dim(), 2);
+  const int64_t m = a.size(0);
+  const int64_t k = a.size(1);
+  SLIME_CHECK_EQ(b.size(0), k);
+  const int64_t n = b.size(1);
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // i-k-j order: unit-stride inner loop over both B's row and C's row,
+  // which GCC auto-vectorises.
+  for (int64_t i = 0; i < m; ++i) {
+    float* crow = pc + i * n;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = pa[i * k + kk];
+      if (av == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
+  SLIME_CHECK_EQ(a.dim(), 2);
+  SLIME_CHECK_EQ(b.dim(), 2);
+  const int64_t m = a.size(0);
+  const int64_t k = a.size(1);
+  SLIME_CHECK_EQ(b.size(1), k);
+  const int64_t n = b.size(0);
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // Both operands are traversed along contiguous rows: dot products, with
+  // the j-loop blocked by four so four accumulators stream through one pass
+  // over a's row.
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    float* crow = pc + i * n;
+    int64_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const float* b0 = pb + j * k;
+      const float* b1 = b0 + k;
+      const float* b2 = b1 + k;
+      const float* b3 = b2 + k;
+      float a0 = 0.0f;
+      float a1 = 0.0f;
+      float a2 = 0.0f;
+      float a3 = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float av = arow[kk];
+        a0 += av * b0[kk];
+        a1 += av * b1[kk];
+        a2 += av * b2[kk];
+        a3 += av * b3[kk];
+      }
+      crow[j] = a0;
+      crow[j + 1] = a1;
+      crow[j + 2] = a2;
+      crow[j + 3] = a3;
+    }
+    for (; j < n; ++j) {
+      const float* brow = pb + j * k;
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] = acc;
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
+  SLIME_CHECK_EQ(a.dim(), 2);
+  SLIME_CHECK_EQ(b.dim(), 2);
+  const int64_t k = a.size(0);
+  const int64_t m = a.size(1);
+  SLIME_CHECK_EQ(b.size(0), k);
+  const int64_t n = b.size(1);
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (int64_t kk = 0; kk < k; ++kk) {
+    const float* arow = pa + kk * m;
+    const float* brow = pb + kk * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = pc + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+namespace {
+
+/// Raw kernels over pre-zeroed output rows; used by the batched products to
+/// avoid materialising per-batch slices.
+void MatMulRaw(const float* a, const float* b, float* c, int64_t m,
+               int64_t k, int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = a[i * k + kk];
+      if (av == 0.0f) continue;
+      const float* brow = b + kk * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void MatMulTransBRaw(const float* a, const float* b, float* c, int64_t m,
+                     int64_t k, int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] = acc;
+    }
+  }
+}
+
+void MatMulTransARaw(const float* a, const float* b, float* c, int64_t k,
+                     int64_t m, int64_t n) {
+  for (int64_t kk = 0; kk < k; ++kk) {
+    const float* arow = a + kk * m;
+    const float* brow = b + kk * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+Tensor BatchMatMul(const Tensor& a, const Tensor& b) {
+  SLIME_CHECK_EQ(a.dim(), 3);
+  SLIME_CHECK_EQ(b.dim(), 3);
+  SLIME_CHECK_EQ(a.size(0), b.size(0));
+  const int64_t batch = a.size(0);
+  const int64_t m = a.size(1);
+  const int64_t k = a.size(2);
+  SLIME_CHECK_EQ(b.size(1), k);
+  const int64_t n = b.size(2);
+  Tensor c({batch, m, n});
+  for (int64_t i = 0; i < batch; ++i) {
+    MatMulRaw(a.data() + i * m * k, b.data() + i * k * n,
+              c.data() + i * m * n, m, k, n);
+  }
+  return c;
+}
+
+Tensor BatchMatMulTransB(const Tensor& a, const Tensor& b) {
+  SLIME_CHECK_EQ(a.dim(), 3);
+  SLIME_CHECK_EQ(b.dim(), 3);
+  SLIME_CHECK_EQ(a.size(0), b.size(0));
+  const int64_t batch = a.size(0);
+  const int64_t m = a.size(1);
+  const int64_t k = a.size(2);
+  SLIME_CHECK_EQ(b.size(2), k);
+  const int64_t n = b.size(1);
+  Tensor c({batch, m, n});
+  for (int64_t i = 0; i < batch; ++i) {
+    MatMulTransBRaw(a.data() + i * m * k, b.data() + i * n * k,
+                    c.data() + i * m * n, m, k, n);
+  }
+  return c;
+}
+
+Tensor BatchMatMulTransA(const Tensor& a, const Tensor& b) {
+  SLIME_CHECK_EQ(a.dim(), 3);
+  SLIME_CHECK_EQ(b.dim(), 3);
+  SLIME_CHECK_EQ(a.size(0), b.size(0));
+  const int64_t batch = a.size(0);
+  const int64_t k = a.size(1);
+  const int64_t m = a.size(2);
+  SLIME_CHECK_EQ(b.size(1), k);
+  const int64_t n = b.size(2);
+  Tensor c({batch, m, n});
+  for (int64_t i = 0; i < batch; ++i) {
+    MatMulTransARaw(a.data() + i * k * m, b.data() + i * k * n,
+                    c.data() + i * m * n, k, m, n);
+  }
+  return c;
+}
+
+Tensor TransposeLastTwo(const Tensor& a) {
+  SLIME_CHECK_GE(a.dim(), 2);
+  std::vector<int64_t> shape = a.shape();
+  std::swap(shape[shape.size() - 1], shape[shape.size() - 2]);
+  Tensor out(shape);
+  const int64_t rows = a.size(-2);
+  const int64_t cols = a.size(-1);
+  const int64_t mat = rows * cols;
+  const int64_t batch = a.numel() / mat;
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t bidx = 0; bidx < batch; ++bidx) {
+    const float* src = pa + bidx * mat;
+    float* dst = po + bidx * mat;
+    for (int64_t r = 0; r < rows; ++r)
+      for (int64_t c = 0; c < cols; ++c) dst[c * rows + r] = src[r * cols + c];
+  }
+  return out;
+}
+
+float SumAll(const Tensor& a) {
+  const float* p = a.data();
+  double acc = 0.0;
+  for (int64_t i = 0; i < a.numel(); ++i) acc += p[i];
+  return static_cast<float>(acc);
+}
+
+Tensor SumAxis(const Tensor& a, int64_t axis, bool keepdim) {
+  const int64_t rank = a.dim();
+  if (axis < 0) axis += rank;
+  SLIME_CHECK(axis >= 0 && axis < rank);
+  int64_t outer = 1;
+  int64_t inner = 1;
+  for (int64_t i = 0; i < axis; ++i) outer *= a.size(i);
+  for (int64_t i = axis + 1; i < rank; ++i) inner *= a.size(i);
+  const int64_t extent = a.size(axis);
+  std::vector<int64_t> out_shape;
+  for (int64_t i = 0; i < rank; ++i) {
+    if (i == axis) {
+      if (keepdim) out_shape.push_back(1);
+    } else {
+      out_shape.push_back(a.size(i));
+    }
+  }
+  Tensor out(out_shape);
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t o = 0; o < outer; ++o)
+    for (int64_t e = 0; e < extent; ++e) {
+      const float* src = pa + (o * extent + e) * inner;
+      float* dst = po + o * inner;
+      for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
+    }
+  return out;
+}
+
+float MaxAll(const Tensor& a) {
+  SLIME_CHECK_GT(a.numel(), 0);
+  const float* p = a.data();
+  float m = p[0];
+  for (int64_t i = 1; i < a.numel(); ++i) m = std::max(m, p[i]);
+  return m;
+}
+
+double Dot(const Tensor& a, const Tensor& b) {
+  SLIME_CHECK_EQ(a.numel(), b.numel());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  double acc = 0.0;
+  for (int64_t i = 0; i < a.numel(); ++i) acc += double(pa[i]) * pb[i];
+  return acc;
+}
+
+double Norm(const Tensor& a) { return std::sqrt(Dot(a, a)); }
+
+}  // namespace ops
+}  // namespace slime

@@ -1,0 +1,16 @@
+#include "train/config.h"
+
+#include <cstdlib>
+
+namespace slime {
+namespace train {
+
+double TrainConfig::BenchScale() {
+  const char* env = std::getenv("SLIME_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double v = std::atof(env);
+  return v > 0.0 ? v : 1.0;
+}
+
+}  // namespace train
+}  // namespace slime

@@ -1,0 +1,53 @@
+#include "train/grid_search.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace slime {
+namespace train {
+
+GridSearchResult GridSearch(const std::vector<GridPoint>& grid,
+                            const data::SplitDataset& split,
+                            const TrainConfig& train_config, bool verbose) {
+  SLIME_CHECK(!grid.empty());
+  GridSearchResult result;
+  double best_valid = -1.0;
+  for (size_t i = 0; i < grid.size(); ++i) {
+    auto model = grid[i].factory();
+    SLIME_CHECK(model != nullptr);
+    Trainer trainer(train_config);
+    const TrainResult r = trainer.Fit(model.get(), split);
+    result.valid_ndcg10.push_back(r.valid.ndcg10);
+    if (verbose) {
+      std::printf("[grid] %-24s valid NDCG@10 %s  test NDCG@10 %s\n",
+                  grid[i].label.c_str(), FormatFloat(r.valid.ndcg10, 4).c_str(),
+                  FormatFloat(r.test.ndcg10, 4).c_str());
+    }
+    if (r.valid.ndcg10 > best_valid) {
+      best_valid = r.valid.ndcg10;
+      result.best_index = i;
+      result.best_label = grid[i].label;
+      result.best_test = r.test;
+    }
+  }
+  return result;
+}
+
+std::vector<GridPoint> SlimeAlphaGrid(const core::Slime4RecConfig& base,
+                                      const std::vector<double>& alphas) {
+  std::vector<GridPoint> grid;
+  for (const double alpha : alphas) {
+    core::Slime4RecConfig config = base;
+    config.mixer.alpha = alpha;
+    grid.push_back(
+        {"alpha=" + FormatFloat(alpha, 2), [config]() {
+           return std::unique_ptr<models::SequentialRecommender>(
+               new core::Slime4Rec(config));
+         }});
+  }
+  return grid;
+}
+
+}  // namespace train
+}  // namespace slime

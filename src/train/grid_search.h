@@ -1,0 +1,53 @@
+#ifndef SLIME4REC_TRAIN_GRID_SEARCH_H_
+#define SLIME4REC_TRAIN_GRID_SEARCH_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/slime4rec.h"
+#include "data/dataset.h"
+#include "metrics/ranking.h"
+#include "models/recommender.h"
+#include "train/trainer.h"
+
+namespace slime {
+namespace train {
+
+/// One point of a hyper-parameter grid: a label for reporting plus a
+/// factory that builds the candidate model.
+struct GridPoint {
+  std::string label;
+  std::function<std::unique_ptr<models::SequentialRecommender>()> factory;
+};
+
+/// Result of a grid search.
+struct GridSearchResult {
+  /// Index of the winning grid point (highest validation NDCG@10, the
+  /// paper's model-selection criterion).
+  size_t best_index = 0;
+  std::string best_label;
+  /// Test metrics of the winner at its best-validation epoch.
+  metrics::RankingMetrics best_test;
+  /// Validation NDCG@10 of every candidate, in grid order.
+  std::vector<double> valid_ndcg10;
+};
+
+/// Trains every candidate with the same TrainConfig and picks the best by
+/// validation NDCG@10 — the "all these parameters are tuned on the
+/// validation set" protocol of Sec. IV-D. Deterministic given the configs'
+/// seeds.
+GridSearchResult GridSearch(const std::vector<GridPoint>& grid,
+                            const data::SplitDataset& split,
+                            const TrainConfig& train_config,
+                            bool verbose = false);
+
+/// Convenience: builds a SLIME4Rec alpha grid over `alphas` from a base
+/// configuration.
+std::vector<GridPoint> SlimeAlphaGrid(const core::Slime4RecConfig& base,
+                                      const std::vector<double>& alphas);
+
+}  // namespace train
+}  // namespace slime
+
+#endif  // SLIME4REC_TRAIN_GRID_SEARCH_H_

@@ -1,0 +1,106 @@
+#include "train/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "optim/adam.h"
+
+namespace slime {
+namespace train {
+
+metrics::RankingMetrics Evaluate(models::SequentialRecommender* model,
+                                 const data::SplitDataset& split, bool test,
+                                 int64_t batch_size) {
+  const bool was_training = model->training();
+  model->SetTraining(false);
+  metrics::RankingAccumulator acc;
+  for (const data::Batch& batch : data::MakeEvalBatches(
+           split, test, batch_size, model->config().max_len)) {
+    const Tensor scores = model->ScoreAll(batch);
+    acc.Add(scores, batch.targets);
+  }
+  model->SetTraining(was_training);
+  return metrics::RankingMetrics::From(acc);
+}
+
+TrainResult Trainer::Fit(models::SequentialRecommender* model,
+                         const data::SplitDataset& split) {
+  model->Prepare(split);
+  Rng batch_rng(config_.seed);
+  data::TrainBatcher batcher(&split, config_.batch_size,
+                             model->config().max_len,
+                             model->needs_positives(), &batch_rng);
+  optim::Adam optimizer(model->Parameters(), {.lr = config_.lr});
+
+  TrainResult result;
+  double best_valid = -1.0;
+  int64_t since_best = 0;
+  // Snapshot of the best-validation parameters (deep copies).
+  std::vector<Tensor> best_params;
+
+  for (int64_t epoch = 1; epoch <= config_.max_epochs; ++epoch) {
+    // Per-epoch learning-rate schedule: linear warmup then exponential
+    // decay.
+    float lr = config_.lr;
+    if (config_.warmup_epochs > 0 && epoch <= config_.warmup_epochs) {
+      lr *= static_cast<float>(epoch) /
+            static_cast<float>(config_.warmup_epochs);
+    } else if (config_.lr_decay != 1.0f) {
+      const int64_t decay_epochs =
+          epoch - std::max<int64_t>(config_.warmup_epochs, 0) - 1;
+      if (decay_epochs > 0) {
+        lr *= std::pow(config_.lr_decay, static_cast<float>(decay_epochs));
+      }
+    }
+    optimizer.set_lr(lr);
+    model->SetTraining(true);
+    double loss_sum = 0.0;
+    int64_t loss_count = 0;
+    for (const data::Batch& batch : batcher.Epoch()) {
+      autograd::Variable loss = model->Loss(batch);
+      loss_sum += loss.value()[0];
+      ++loss_count;
+      loss.Backward();
+      if (config_.grad_clip_norm > 0.0) {
+        optimizer.ClipGradNorm(config_.grad_clip_norm);
+      }
+      optimizer.Step();
+    }
+    result.final_train_loss = loss_count ? loss_sum / loss_count : 0.0;
+    result.epochs_run = epoch;
+
+    const metrics::RankingMetrics valid = Evaluate(model, split, false);
+    if (config_.verbose) {
+      std::printf("[%s] epoch %2lld loss %.4f valid NDCG@10 %.4f\n",
+                  model->name().c_str(), static_cast<long long>(epoch),
+                  result.final_train_loss, valid.ndcg10);
+    }
+    if (valid.ndcg10 > best_valid) {
+      best_valid = valid.ndcg10;
+      result.valid = valid;
+      result.best_epoch = epoch;
+      since_best = 0;
+      best_params.clear();
+      for (const auto& p : model->Parameters()) {
+        best_params.push_back(p.value().Clone());
+      }
+    } else if (++since_best >= config_.patience) {
+      break;
+    }
+  }
+
+  // Restore the best-validation parameters before the test pass.
+  if (!best_params.empty()) {
+    auto params = model->Parameters();
+    SLIME_CHECK_EQ(params.size(), best_params.size());
+    for (size_t i = 0; i < params.size(); ++i) {
+      params[i].mutable_value() = best_params[i];
+    }
+  }
+  result.test = Evaluate(model, split, true);
+  return result;
+}
+
+}  // namespace train
+}  // namespace slime

@@ -1,0 +1,51 @@
+#ifndef SLIME4REC_TRAIN_TRAINER_H_
+#define SLIME4REC_TRAIN_TRAINER_H_
+
+#include <vector>
+
+#include "data/batcher.h"
+#include "data/dataset.h"
+#include "metrics/ranking.h"
+#include "models/recommender.h"
+#include "train/config.h"
+
+namespace slime {
+namespace train {
+
+/// Outcome of a training run.
+struct TrainResult {
+  /// Test-set metrics at the best-validation epoch.
+  metrics::RankingMetrics test;
+  /// Best validation metrics observed.
+  metrics::RankingMetrics valid;
+  int64_t best_epoch = 0;
+  int64_t epochs_run = 0;
+  double final_train_loss = 0.0;
+};
+
+/// Evaluates `model` (switched to eval mode) with the full-ranking
+/// leave-one-out protocol on the validation (`test = false`) or test split.
+metrics::RankingMetrics Evaluate(models::SequentialRecommender* model,
+                                 const data::SplitDataset& split, bool test,
+                                 int64_t batch_size = 256);
+
+/// Orchestrates training: shuffled mini-batches, Adam, gradient clipping,
+/// per-epoch validation, early stopping with best-parameter restore, and a
+/// final test evaluation. The same trainer drives all eleven models.
+class Trainer {
+ public:
+  explicit Trainer(TrainConfig config) : config_(config) {}
+
+  TrainResult Fit(models::SequentialRecommender* model,
+                  const data::SplitDataset& split);
+
+  const TrainConfig& config() const { return config_; }
+
+ private:
+  TrainConfig config_;
+};
+
+}  // namespace train
+}  // namespace slime
+
+#endif  // SLIME4REC_TRAIN_TRAINER_H_

@@ -1,0 +1,342 @@
+#include "autograd/ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/gradcheck.h"
+#include "autograd/variable.h"
+#include "tensor/tensor_ops.h"
+
+namespace slime {
+namespace autograd {
+namespace {
+
+using Fn = std::function<Variable(const std::vector<Variable>&)>;
+
+void ExpectGradOk(const Fn& fn, std::vector<Variable> inputs,
+                  double tol = 2e-2) {
+  const GradCheckResult r = CheckGradients(fn, std::move(inputs), 1e-3, tol);
+  EXPECT_TRUE(r.ok) << r.message << " (max_abs_err=" << r.max_abs_err
+                    << ", max_rel_err=" << r.max_rel_err << ")";
+}
+
+Variable RandParam(std::vector<int64_t> shape, uint64_t seed,
+                   float scale = 1.0f) {
+  Rng rng(seed);
+  return Param(Tensor::Randn(std::move(shape), &rng, scale));
+}
+
+TEST(AutogradTest, BackwardOnScalarAccumulatesOnes) {
+  Variable x = Param(Tensor::Scalar(2.0f));
+  Variable y = MulScalar(x, 3.0f);
+  y.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 3.0f);
+}
+
+TEST(AutogradTest, GradAccumulatesAcrossUses) {
+  Variable x = Param(Tensor::Scalar(2.0f));
+  // y = x * x uses x twice: dy/dx = 2x = 4.
+  Variable y = Mul(x, x);
+  y.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 4.0f);
+}
+
+TEST(AutogradTest, ZeroGradClears) {
+  Variable x = Param(Tensor::Scalar(1.0f));
+  Variable y = MulScalar(x, 5.0f);
+  y.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 5.0f);
+  x.ZeroGrad();
+  EXPECT_FALSE(x.has_grad());
+}
+
+TEST(AutogradTest, ConstantsReceiveNoGradient) {
+  Variable c = Constant(Tensor::Scalar(3.0f));
+  Variable x = Param(Tensor::Scalar(2.0f));
+  Variable y = Mul(c, x);
+  y.Backward();
+  EXPECT_FALSE(c.has_grad());
+  EXPECT_FLOAT_EQ(x.grad()[0], 3.0f);
+}
+
+TEST(AutogradTest, DiamondGraphTopologicalOrder) {
+  // z = (x*2) + (x*3); dz/dx = 5.
+  Variable x = Param(Tensor::Scalar(1.0f));
+  Variable a = MulScalar(x, 2.0f);
+  Variable b = MulScalar(x, 3.0f);
+  Variable z = Add(a, b);
+  z.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 5.0f);
+}
+
+TEST(AutogradGradcheck, AddBroadcast) {
+  ExpectGradOk(
+      [](const std::vector<Variable>& in) {
+        return Sum(Add(in[0], in[1]));
+      },
+      {RandParam({2, 3}, 1), RandParam({3}, 2)});
+}
+
+TEST(AutogradGradcheck, SubBroadcastColumn) {
+  ExpectGradOk(
+      [](const std::vector<Variable>& in) {
+        return Sum(Sub(in[0], in[1]));
+      },
+      {RandParam({2, 3}, 3), RandParam({2, 1}, 4)});
+}
+
+TEST(AutogradGradcheck, MulBroadcast) {
+  ExpectGradOk(
+      [](const std::vector<Variable>& in) {
+        return Sum(Mul(in[0], in[1]));
+      },
+      {RandParam({2, 3}, 5), RandParam({1, 3}, 6)});
+}
+
+TEST(AutogradGradcheck, DivisionAwayFromZero) {
+  Rng rng(7);
+  Tensor denom = Tensor::RandUniform({2, 3}, &rng, 1.0f, 2.0f);
+  ExpectGradOk(
+      [](const std::vector<Variable>& in) {
+        return Sum(Div(in[0], in[1]));
+      },
+      {RandParam({2, 3}, 8), Param(denom)});
+}
+
+TEST(AutogradGradcheck, MatMul) {
+  ExpectGradOk(
+      [](const std::vector<Variable>& in) {
+        return Sum(MatMul(in[0], in[1]));
+      },
+      {RandParam({3, 4}, 9), RandParam({4, 2}, 10)});
+}
+
+TEST(AutogradGradcheck, MatMulTransB) {
+  ExpectGradOk(
+      [](const std::vector<Variable>& in) {
+        return Sum(MatMulTransB(in[0], in[1]));
+      },
+      {RandParam({3, 4}, 11), RandParam({5, 4}, 12)});
+}
+
+TEST(AutogradGradcheck, BatchMatMul) {
+  ExpectGradOk(
+      [](const std::vector<Variable>& in) {
+        return Sum(BatchMatMul(in[0], in[1]));
+      },
+      {RandParam({2, 3, 4}, 13), RandParam({2, 4, 2}, 14)});
+}
+
+TEST(AutogradGradcheck, BatchMatMulTransB) {
+  ExpectGradOk(
+      [](const std::vector<Variable>& in) {
+        return Sum(BatchMatMulTransB(in[0], in[1]));
+      },
+      {RandParam({2, 3, 4}, 15), RandParam({2, 5, 4}, 16)});
+}
+
+TEST(AutogradGradcheck, BroadcastMatMul) {
+  ExpectGradOk(
+      [](const std::vector<Variable>& in) {
+        return Sum(BroadcastMatMul(in[0], in[1]));
+      },
+      {RandParam({3, 4}, 17), RandParam({2, 4, 5}, 18)});
+}
+
+TEST(AutogradGradcheck, UnaryNonlinearities) {
+  ExpectGradOk(
+      [](const std::vector<Variable>& in) { return Sum(Gelu(in[0])); },
+      {RandParam({2, 5}, 19)});
+  ExpectGradOk(
+      [](const std::vector<Variable>& in) { return Sum(Sigmoid(in[0])); },
+      {RandParam({2, 5}, 20)});
+  ExpectGradOk(
+      [](const std::vector<Variable>& in) { return Sum(Tanh(in[0])); },
+      {RandParam({2, 5}, 21)});
+  ExpectGradOk(
+      [](const std::vector<Variable>& in) { return Sum(Exp(in[0])); },
+      {RandParam({2, 5}, 22, 0.5f)});
+}
+
+TEST(AutogradGradcheck, LogAndSqrtPositiveDomain) {
+  Rng rng(23);
+  ExpectGradOk(
+      [](const std::vector<Variable>& in) { return Sum(Log(in[0])); },
+      {Param(Tensor::RandUniform({2, 4}, &rng, 0.5f, 2.0f))});
+  ExpectGradOk(
+      [](const std::vector<Variable>& in) { return Sum(Sqrt(in[0])); },
+      {Param(Tensor::RandUniform({2, 4}, &rng, 0.5f, 2.0f))});
+}
+
+TEST(AutogradGradcheck, ReluAwayFromKink) {
+  Rng rng(24);
+  Tensor t = Tensor::Randn({2, 5}, &rng);
+  // Keep values away from 0 so finite differences are valid.
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    if (std::abs(t[i]) < 0.1f) t[i] = 0.5f;
+  }
+  ExpectGradOk(
+      [](const std::vector<Variable>& in) { return Sum(Relu(in[0])); },
+      {Param(t)});
+}
+
+TEST(AutogradGradcheck, ReshapeSliceConcat) {
+  ExpectGradOk(
+      [](const std::vector<Variable>& in) {
+        return Sum(Reshape(in[0], {6, 2}));
+      },
+      {RandParam({3, 4}, 25)});
+  ExpectGradOk(
+      [](const std::vector<Variable>& in) {
+        return Sum(Slice(in[0], 1, 1, 3));
+      },
+      {RandParam({2, 4, 3}, 26)});
+  ExpectGradOk(
+      [](const std::vector<Variable>& in) {
+        return Sum(Concat({in[0], in[1]}, 1));
+      },
+      {RandParam({2, 3}, 27), RandParam({2, 2}, 28)});
+}
+
+TEST(AutogradGradcheck, TransposeLastTwo) {
+  ExpectGradOk(
+      [](const std::vector<Variable>& in) {
+        return Sum(Mul(TransposeLastTwo(in[0]), TransposeLastTwo(in[0])));
+      },
+      {RandParam({2, 3, 4}, 29)});
+}
+
+TEST(AutogradGradcheck, Reductions) {
+  ExpectGradOk(
+      [](const std::vector<Variable>& in) { return Mean(in[0]); },
+      {RandParam({3, 4}, 30)});
+  ExpectGradOk(
+      [](const std::vector<Variable>& in) {
+        return Sum(Mul(SumAxis(in[0], 1, true), SumAxis(in[0], 1, true)));
+      },
+      {RandParam({2, 3, 2}, 31)});
+}
+
+TEST(AutogradGradcheck, SoftmaxAndLogSoftmax) {
+  ExpectGradOk(
+      [](const std::vector<Variable>& in) {
+        // Weighted sum to make the gradient non-uniform.
+        Rng rng(100);
+        Tensor w = Tensor::Randn({2, 5}, &rng);
+        return Sum(MulConst(Softmax(in[0]), w));
+      },
+      {RandParam({2, 5}, 32)});
+  ExpectGradOk(
+      [](const std::vector<Variable>& in) {
+        Rng rng(101);
+        Tensor w = Tensor::Randn({2, 5}, &rng);
+        return Sum(MulConst(LogSoftmax(in[0]), w));
+      },
+      {RandParam({2, 5}, 33)});
+}
+
+TEST(AutogradGradcheck, CrossEntropy) {
+  const std::vector<int64_t> targets = {1, 3, 0};
+  ExpectGradOk(
+      [targets](const std::vector<Variable>& in) {
+        return CrossEntropy(in[0], targets);
+      },
+      {RandParam({3, 5}, 34)});
+}
+
+TEST(AutogradGradcheck, CrossEntropyWithIgnoredRows) {
+  const std::vector<int64_t> targets = {1, -100, 2};
+  ExpectGradOk(
+      [targets](const std::vector<Variable>& in) {
+        return CrossEntropy(in[0], targets, -100);
+      },
+      {RandParam({3, 4}, 35)});
+}
+
+TEST(AutogradGradcheck, EmbeddingLookupScatterAdd) {
+  const std::vector<int64_t> ids = {0, 2, 2, 1};
+  ExpectGradOk(
+      [ids](const std::vector<Variable>& in) {
+        Rng rng(102);
+        Tensor w = Tensor::Randn({2, 2, 3}, &rng);
+        return Sum(MulConst(EmbeddingLookup(in[0], ids, {2, 2}), w));
+      },
+      {RandParam({4, 3}, 36)});
+}
+
+TEST(AutogradGradcheck, LayerNormAllInputs) {
+  ExpectGradOk(
+      [](const std::vector<Variable>& in) {
+        Rng rng(103);
+        Tensor w = Tensor::Randn({2, 4}, &rng);
+        return Sum(MulConst(LayerNorm(in[0], in[1], in[2]), w));
+      },
+      {RandParam({2, 4}, 37), RandParam({4}, 38, 0.3f),
+       RandParam({4}, 39, 0.3f)},
+      4e-2);
+}
+
+TEST(AutogradGradcheck, MaxPoolAxis1) {
+  ExpectGradOk(
+      [](const std::vector<Variable>& in) {
+        return Sum(MaxPoolAxis1(in[0]));
+      },
+      {RandParam({2, 4, 3}, 40)});
+}
+
+TEST(AutogradGradcheck, HorizontalConv) {
+  ExpectGradOk(
+      [](const std::vector<Variable>& in) {
+        return Sum(HorizontalConv(in[0], in[1], in[2]));
+      },
+      {RandParam({2, 5, 3}, 41), RandParam({2, 2, 3}, 42),
+       RandParam({2}, 43)});
+}
+
+TEST(AutogradTest, CrossEntropyMatchesManual) {
+  // Two rows, uniform logits: loss = log(V).
+  Variable logits = Param(Tensor::Zeros({2, 4}));
+  Variable loss = CrossEntropy(logits, {0, 3});
+  EXPECT_NEAR(loss.value()[0], std::log(4.0), 1e-5);
+}
+
+TEST(AutogradTest, DropoutEvalIsIdentity) {
+  Rng rng(44);
+  Variable x = RandParam({3, 3}, 45);
+  Variable y = Dropout(x, 0.5f, /*training=*/false, &rng);
+  EXPECT_EQ(y.node().get(), x.node().get());
+}
+
+TEST(AutogradTest, DropoutTrainScalesSurvivors) {
+  Rng rng(46);
+  Variable x = Param(Tensor::Ones({1000}));
+  Variable y = Dropout(x, 0.25f, /*training=*/true, &rng);
+  int64_t zeros = 0;
+  double sum = 0.0;
+  for (int64_t i = 0; i < 1000; ++i) {
+    const float v = y.value()[i];
+    if (v == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(v, 1.0f / 0.75f, 1e-5);
+      sum += v;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / 1000.0, 0.25, 0.06);
+  EXPECT_NEAR(sum / 1000.0, 1.0, 0.1);
+}
+
+TEST(AutogradTest, MulConstBackwardUsesMask) {
+  Variable x = Param(Tensor::Ones({3}));
+  Tensor mask = Tensor::FromVector({3}, {0.0f, 2.0f, 1.0f});
+  Variable y = Sum(MulConst(x, mask));
+  y.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.0f);
+  EXPECT_FLOAT_EQ(x.grad()[1], 2.0f);
+  EXPECT_FLOAT_EQ(x.grad()[2], 1.0f);
+}
+
+}  // namespace
+}  // namespace autograd
+}  // namespace slime

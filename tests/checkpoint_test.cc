@@ -1,0 +1,166 @@
+#include "io/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/slime4rec.h"
+#include "data/batcher.h"
+#include "models/model_factory.h"
+#include "nn/linear.h"
+
+namespace slime {
+namespace io {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+core::Slime4RecConfig SmallConfig() {
+  core::Slime4RecConfig c;
+  c.num_items = 15;
+  c.num_users = 5;
+  c.max_len = 8;
+  c.hidden_dim = 8;
+  c.num_layers = 2;
+  c.mixer.alpha = 0.5;
+  c.seed = 3;
+  return c;
+}
+
+data::Batch OneBatch() {
+  data::Batch b;
+  b.size = 2;
+  b.max_len = 8;
+  b.user_ids = {0, 1};
+  b.targets = {3, 7};
+  b.raw_prefixes = {{1, 2}, {4, 5, 6}};
+  for (const auto& raw : b.raw_prefixes) {
+    const auto padded = data::PadTruncate(raw, 8);
+    b.input_ids.insert(b.input_ids.end(), padded.begin(), padded.end());
+  }
+  return b;
+}
+
+TEST(CheckpointTest, RoundTripRestoresExactScores) {
+  const std::string path = TempPath("ckpt_roundtrip.bin");
+  core::Slime4RecConfig config = SmallConfig();
+  Tensor scores_before;
+  {
+    core::Slime4Rec model(config);
+    model.SetTraining(false);
+    scores_before = model.ScoreAll(OneBatch());
+    ASSERT_TRUE(SaveCheckpoint(model, path).ok());
+  }
+  {
+    config.seed = 999;  // different init, must be fully overwritten
+    core::Slime4Rec model(config);
+    ASSERT_TRUE(LoadCheckpoint(&model, path).ok());
+    model.SetTraining(false);
+    const Tensor scores_after = model.ScoreAll(OneBatch());
+    ASSERT_TRUE(scores_before.SameShape(scores_after));
+    for (int64_t i = 0; i < scores_before.numel(); ++i) {
+      EXPECT_FLOAT_EQ(scores_before[i], scores_after[i]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, MissingFileIsIOError) {
+  core::Slime4Rec model(SmallConfig());
+  const Status st = LoadCheckpoint(&model, "/nonexistent/x.bin");
+  EXPECT_EQ(st.code(), Status::Code::kIOError);
+}
+
+TEST(CheckpointTest, BadMagicIsCorruption) {
+  const std::string path = TempPath("ckpt_badmagic.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOPE we are not a checkpoint";
+  }
+  core::Slime4Rec model(SmallConfig());
+  const Status st = LoadCheckpoint(&model, path);
+  EXPECT_EQ(st.code(), Status::Code::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, TruncatedFileIsCorruption) {
+  const std::string path = TempPath("ckpt_truncated.bin");
+  core::Slime4Rec model(SmallConfig());
+  ASSERT_TRUE(SaveCheckpoint(model, path).ok());
+  // Chop the file in half.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  core::Slime4Rec fresh(SmallConfig());
+  const Status st = LoadCheckpoint(&fresh, path);
+  EXPECT_EQ(st.code(), Status::Code::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, ArchitectureMismatchIsInvalidArgument) {
+  const std::string path = TempPath("ckpt_mismatch.bin");
+  core::Slime4Rec model(SmallConfig());
+  ASSERT_TRUE(SaveCheckpoint(model, path).ok());
+  // Different layer count -> different parameter set.
+  core::Slime4RecConfig other = SmallConfig();
+  other.num_layers = 4;
+  other.mixer.alpha = 0.25;
+  core::Slime4Rec wrong(other);
+  const Status st = LoadCheckpoint(&wrong, path);
+  EXPECT_EQ(st.code(), Status::Code::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, ShapeMismatchIsInvalidArgument) {
+  const std::string path = TempPath("ckpt_shape.bin");
+  Rng rng(1);
+  nn::Linear small(4, 4, &rng);
+  ASSERT_TRUE(SaveCheckpoint(small, path).ok());
+  nn::Linear big(8, 8, &rng);
+  const Status st = LoadCheckpoint(&big, path);
+  EXPECT_EQ(st.code(), Status::Code::kInvalidArgument);
+  EXPECT_NE(st.message().find("shape mismatch"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, AllElevenModelsRoundTrip) {
+  // Serialisation must cover every model's parameter structure.
+  for (const auto& name : models::AllModelNames()) {
+    models::ModelConfig c;
+    c.num_items = 12;
+    c.num_users = 6;
+    c.max_len = 8;
+    c.hidden_dim = 8;
+    c.num_layers = 1;
+    c.num_heads = 2;
+    c.seed = 17;
+    auto model = models::CreateModel(name, c);
+    const std::string path = TempPath("ckpt_zoo.bin");
+    ASSERT_TRUE(SaveCheckpoint(*model, path).ok()) << name;
+    auto model2 = models::CreateModel(name, c);
+    ASSERT_TRUE(LoadCheckpoint(model2.get(), path).ok()) << name;
+    const auto p1 = model->NamedParameters();
+    const auto p2 = model2->NamedParameters();
+    ASSERT_EQ(p1.size(), p2.size()) << name;
+    for (size_t i = 0; i < p1.size(); ++i) {
+      for (int64_t j = 0; j < p1[i].second.numel(); ++j) {
+        ASSERT_FLOAT_EQ(p1[i].second.value()[j], p2[i].second.value()[j])
+            << name << " " << p1[i].first;
+      }
+    }
+    std::remove(path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace io
+}  // namespace slime

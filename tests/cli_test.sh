@@ -1,0 +1,29 @@
+#!/bin/sh
+# End-to-end smoke test of the slime4rec_cli binary: generate -> stats ->
+# train+save -> evaluate (checkpoint round-trip) -> recommend.
+set -e
+CLI="$1"
+TMP="${TMPDIR:-/tmp}/slime_cli_test_$$"
+mkdir -p "$TMP"
+trap 'rm -rf "$TMP"' EXIT
+
+"$CLI" generate --preset beauty-sim --scale 0.08 --out "$TMP/data.txt"
+"$CLI" stats --data "$TMP/data.txt" | grep -q users
+"$CLI" train --data "$TMP/data.txt" --epochs 2 --save "$TMP/m.ckpt" \
+    > "$TMP/train.log"
+grep -q "^test" "$TMP/train.log"
+"$CLI" evaluate --data "$TMP/data.txt" --load "$TMP/m.ckpt" > "$TMP/eval.log"
+# The evaluate metrics must match the post-training test metrics exactly
+# (checkpoint round-trip determinism).
+TRAIN_LINE=$(grep '^test' "$TMP/train.log" | tr -s ' ')
+EVAL_LINE=$(grep '^test' "$TMP/eval.log" | tr -s ' ')
+[ "$TRAIN_LINE" = "$EVAL_LINE" ] || { echo "metric mismatch:"; echo "$TRAIN_LINE"; echo "$EVAL_LINE"; exit 1; }
+"$CLI" recommend --data "$TMP/data.txt" --load "$TMP/m.ckpt" --user 0 --topk 3 | grep -q top-3
+# Error paths: bad preset and missing file must fail cleanly.
+if "$CLI" generate --preset not-a-preset --out "$TMP/x.txt" 2>/dev/null; then
+  echo "expected bad preset to fail"; exit 1
+fi
+if "$CLI" stats --data /nonexistent/file.txt 2>/dev/null; then
+  echo "expected missing file to fail"; exit 1
+fi
+echo "cli_test OK"

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "tensor/tensor.h"
+
+namespace slime {
+namespace {
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilTest, TrimBothEnds) {
+  EXPECT_EQ(Trim("  x y\t\n"), "x y");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("abc"), "abc");
+}
+
+TEST(StringUtilTest, FormatFloatDecimals) {
+  EXPECT_EQ(FormatFloat(0.123456, 4), "0.1235");
+  EXPECT_EQ(FormatFloat(2.0, 1), "2.0");
+  EXPECT_EQ(FormatFloat(-0.5, 2), "-0.50");
+}
+
+TEST(StringUtilTest, JoinWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(ResultTest, ValueAndStatusPaths) {
+  Result<int> ok(42);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  Result<int> bad(Status::NotFound("nope"));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), Status::Code::kNotFound);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(3);
+  const std::vector<double> weights = {0.0, 9.0, 1.0};
+  int64_t counts[3] = {0, 0, 0};
+  for (int i = 0; i < 5000; ++i) ++counts[rng.Categorical(weights)];
+  EXPECT_EQ(counts[0], 0);  // zero weight never drawn
+  EXPECT_NEAR(static_cast<double>(counts[1]) / 5000.0, 0.9, 0.03);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(4);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto shuffled = v;
+  rng.Shuffle(&shuffled);
+  auto sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, v);
+}
+
+TEST(RngTest, SeedResetsStream) {
+  Rng rng(9);
+  const uint64_t first = rng.NextUint64();
+  rng.NextUint64();
+  rng.Seed(9);
+  EXPECT_EQ(rng.NextUint64(), first);
+}
+
+using CheckDeathTest = ::testing::Test;
+
+TEST(CheckDeathTest, TensorShapeMismatchAborts) {
+  Tensor t = Tensor::Zeros({2, 3});
+  EXPECT_DEATH(t.Reshape({4, 2}), "reshape numel mismatch");
+}
+
+TEST(CheckDeathTest, OutOfRangeFlatIndexAborts) {
+  Tensor t = Tensor::Zeros({3});
+  EXPECT_DEATH(t[5], "SLIME_CHECK failed");
+}
+
+TEST(CheckDeathTest, CheckMacrosFormatValues) {
+  EXPECT_DEATH(SLIME_CHECK_EQ(1, 2), "\\(1 vs 2\\)");
+}
+
+TEST(CheckDeathTest, UniformZeroAborts) {
+  Rng rng(1);
+  EXPECT_DEATH(rng.Uniform(0), "SLIME_CHECK failed");
+}
+
+}  // namespace
+}  // namespace slime

@@ -1,0 +1,136 @@
+#include "core/contrastive.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/gradcheck.h"
+#include "autograd/ops.h"
+
+namespace slime {
+namespace core {
+namespace {
+
+using autograd::Param;
+using autograd::Variable;
+
+TEST(NormalizeRowsTest, RowsHaveUnitNorm) {
+  Rng rng(1);
+  Variable x = Param(Tensor::Randn({4, 6}, &rng, 3.0f));
+  Variable y = NormalizeRows(x);
+  for (int64_t r = 0; r < 4; ++r) {
+    double norm = 0.0;
+    for (int64_t j = 0; j < 6; ++j) {
+      const double v = y.value().At({r, j});
+      norm += v * v;
+    }
+    EXPECT_NEAR(std::sqrt(norm), 1.0, 1e-4);
+  }
+}
+
+TEST(NormalizeRowsTest, Gradcheck) {
+  Rng rng(2);
+  Variable x = Param(Tensor::Randn({3, 4}, &rng));
+  const auto result = autograd::CheckGradients(
+      [](const std::vector<Variable>& in) {
+        Rng wrng(7);
+        Tensor w = Tensor::Randn({3, 4}, &wrng);
+        return autograd::Sum(autograd::MulConst(NormalizeRows(in[0]), w));
+      },
+      {x});
+  EXPECT_TRUE(result.ok) << result.message;
+}
+
+TEST(InfoNceTest, PerfectAlignmentBeatsRandom) {
+  Rng rng(3);
+  const Tensor h = Tensor::Randn({8, 16}, &rng);
+  // Aligned views: identical representations.
+  Variable aligned =
+      InfoNceLoss(Param(h.Clone()), Param(h.Clone()), 0.5f);
+  // Random views.
+  Variable random = InfoNceLoss(Param(Tensor::Randn({8, 16}, &rng)),
+                                Param(Tensor::Randn({8, 16}, &rng)), 0.5f);
+  EXPECT_LT(aligned.value()[0], random.value()[0]);
+}
+
+TEST(InfoNceTest, RandomPairsNearLogNumNegatives) {
+  // With random high-dimensional views all similarities are ~0, so the
+  // loss approaches log(2B - 1).
+  Rng rng(4);
+  const int64_t b = 16;
+  Variable loss = InfoNceLoss(Param(Tensor::Randn({b, 256}, &rng)),
+                              Param(Tensor::Randn({b, 256}, &rng)), 1.0f);
+  EXPECT_NEAR(loss.value()[0], std::log(2.0 * b - 1.0), 0.35);
+}
+
+TEST(InfoNceTest, LowerTemperatureSharpensAlignedLoss) {
+  Rng rng(5);
+  const Tensor h = Tensor::Randn({8, 16}, &rng);
+  Variable t1 = InfoNceLoss(Param(h.Clone()), Param(h.Clone()), 1.0f);
+  Variable t01 = InfoNceLoss(Param(h.Clone()), Param(h.Clone()), 0.1f);
+  // With perfectly aligned positives, a sharper temperature reduces the
+  // loss (positives dominate the partition function).
+  EXPECT_LT(t01.value()[0], t1.value()[0]);
+}
+
+TEST(InfoNceTest, GradientsPullViewsTogether) {
+  // One gradient step on the views should increase the cosine similarity
+  // of each positive pair.
+  Rng rng(6);
+  Variable h1 = Param(Tensor::Randn({4, 8}, &rng));
+  Variable h2 = Param(Tensor::Randn({4, 8}, &rng));
+  auto cosine = [](const Tensor& a, const Tensor& b, int64_t row) {
+    double dot = 0.0;
+    double na = 0.0;
+    double nb = 0.0;
+    for (int64_t j = 0; j < 8; ++j) {
+      const double x = a.At({row, j});
+      const double y = b.At({row, j});
+      dot += x * y;
+      na += x * x;
+      nb += y * y;
+    }
+    return dot / std::sqrt(na * nb);
+  };
+  std::vector<double> before(4);
+  for (int64_t r = 0; r < 4; ++r) {
+    before[r] = cosine(h1.value(), h2.value(), r);
+  }
+  InfoNceLoss(h1, h2, 0.5f).Backward();
+  // Manual SGD step.
+  for (auto* v : {&h1, &h2}) {
+    Tensor& val = v->mutable_value();
+    const Tensor& g = v->grad();
+    for (int64_t i = 0; i < val.numel(); ++i) val[i] -= 0.5f * g[i];
+  }
+  double improved = 0;
+  for (int64_t r = 0; r < 4; ++r) {
+    if (cosine(h1.value(), h2.value(), r) > before[r]) ++improved;
+  }
+  EXPECT_GE(improved, 3);
+}
+
+TEST(InfoNceTest, Gradcheck) {
+  Rng rng(8);
+  Variable h1 = Param(Tensor::Randn({3, 5}, &rng));
+  Variable h2 = Param(Tensor::Randn({3, 5}, &rng));
+  const auto result = autograd::CheckGradients(
+      [](const std::vector<Variable>& in) {
+        return InfoNceLoss(in[0], in[1], 0.5f);
+      },
+      {h1, h2}, 1e-3, 3e-2);
+  EXPECT_TRUE(result.ok) << result.message;
+}
+
+TEST(InfoNceTest, SymmetricInViews) {
+  Rng rng(9);
+  const Tensor a = Tensor::Randn({5, 7}, &rng);
+  const Tensor b = Tensor::Randn({5, 7}, &rng);
+  Variable l1 = InfoNceLoss(Param(a.Clone()), Param(b.Clone()), 0.7f);
+  Variable l2 = InfoNceLoss(Param(b.Clone()), Param(a.Clone()), 0.7f);
+  EXPECT_NEAR(l1.value()[0], l2.value()[0], 1e-5);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace slime

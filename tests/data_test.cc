@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+#include <unordered_set>
+
+#include "data/batcher.h"
+#include "data/dataset.h"
+#include "data/loader.h"
+#include "data/synthetic.h"
+
+namespace slime {
+namespace data {
+namespace {
+
+InteractionDataset TinyDataset() {
+  return InteractionDataset("tiny",
+                            {{1, 2, 3, 4, 5},
+                             {2, 3, 4},
+                             {5, 4, 3, 2, 1, 5, 4},
+                             {1, 2}},
+                            /*num_items=*/5);
+}
+
+TEST(PadTruncateTest, LeftPadsShortSequences) {
+  EXPECT_EQ(PadTruncate({7, 8}, 5), (std::vector<int64_t>{0, 0, 0, 7, 8}));
+}
+
+TEST(PadTruncateTest, KeepsMostRecentWhenTruncating) {
+  // Eq. 1: keep the final N items.
+  EXPECT_EQ(PadTruncate({1, 2, 3, 4, 5}, 3), (std::vector<int64_t>{3, 4, 5}));
+}
+
+TEST(PadTruncateTest, ExactLengthUnchanged) {
+  EXPECT_EQ(PadTruncate({1, 2, 3}, 3), (std::vector<int64_t>{1, 2, 3}));
+}
+
+TEST(DatasetTest, StatsMatchHandComputation) {
+  const DatasetStats s = TinyDataset().Stats();
+  EXPECT_EQ(s.num_users, 4);
+  EXPECT_EQ(s.num_items, 5);
+  EXPECT_EQ(s.num_actions, 5 + 3 + 7 + 2);
+  EXPECT_DOUBLE_EQ(s.avg_length, 17.0 / 4.0);
+  EXPECT_DOUBLE_EQ(s.sparsity, 1.0 - 17.0 / 20.0);
+}
+
+TEST(DatasetTest, FiveCoreFilterDropsShortUsers) {
+  const InteractionDataset filtered =
+      TinyDataset().FilterMinInteractions(5);
+  EXPECT_EQ(filtered.num_users(), 2);  // lengths 5 and 7 survive
+}
+
+TEST(DatasetTest, NoiseInjectionPreservesEvalTargets) {
+  Rng rng(42);
+  const InteractionDataset original = TinyDataset();
+  const InteractionDataset noisy = original.InjectNoise(1.0, &rng);
+  const auto& orig = original.sequences();
+  const auto& seqs = noisy.sequences();
+  for (size_t u = 0; u < seqs.size(); ++u) {
+    if (orig[u].size() < 3) continue;
+    const size_t n = orig[u].size();
+    EXPECT_EQ(seqs[u][n - 1], orig[u][n - 1]);  // test target
+    EXPECT_EQ(seqs[u][n - 2], orig[u][n - 2]);  // validation target
+  }
+}
+
+TEST(DatasetTest, NoiseInjectionZeroEpsilonIsIdentity) {
+  Rng rng(1);
+  const InteractionDataset noisy = TinyDataset().InjectNoise(0.0, &rng);
+  EXPECT_EQ(noisy.sequences(), TinyDataset().sequences());
+}
+
+TEST(SplitTest, LeaveOneOutTargets) {
+  const SplitDataset split(TinyDataset(), 0);
+  // Users with >= 3 interactions: the first three.
+  EXPECT_EQ(split.num_users(), 3);
+  EXPECT_EQ(split.test_targets()[0], 5);
+  EXPECT_EQ(split.valid_targets()[0], 4);
+  EXPECT_EQ(split.train_region()[0], (std::vector<int64_t>{1, 2, 3}));
+  EXPECT_EQ(split.TestInput(0), (std::vector<int64_t>{1, 2, 3, 4}));
+}
+
+TEST(SplitTest, TrainSamplesArePrefixNextPairs) {
+  const SplitDataset split(TinyDataset(), 0);
+  // User 0 region {1,2,3} -> samples ({1},2), ({1,2},3).
+  int found = 0;
+  for (const auto& s : split.train_samples()) {
+    if (s.user == 0) {
+      ++found;
+      EXPECT_EQ(s.prefix.back() + 1, s.target);  // chain 1,2,3
+    }
+  }
+  EXPECT_EQ(found, 2);
+}
+
+TEST(SplitTest, PrefixCapKeepsMostRecent) {
+  const SplitDataset all(TinyDataset(), 0);
+  const SplitDataset capped(TinyDataset(), 2);
+  EXPECT_GT(all.train_samples().size(), capped.train_samples().size());
+  // User 2 (region length 5) contributes exactly 2 capped samples with the
+  // longest prefixes.
+  int64_t count = 0;
+  size_t max_prefix = 0;
+  for (const auto& s : capped.train_samples()) {
+    if (s.user == 2) {
+      ++count;
+      max_prefix = std::max(max_prefix, s.prefix.size());
+    }
+  }
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(max_prefix, 4u);
+}
+
+TEST(SplitTest, SameTargetPositiveHasSameTarget) {
+  const SplitDataset split(TinyDataset(), 0);
+  Rng rng(3);
+  for (int64_t i = 0; i < static_cast<int64_t>(split.train_samples().size());
+       ++i) {
+    const int64_t j = split.SameTargetPositive(i, &rng);
+    EXPECT_EQ(split.train_samples()[i].target,
+              split.train_samples()[j].target);
+  }
+}
+
+TEST(BatcherTest, BatchShapesAndPadding) {
+  const SplitDataset split(TinyDataset(), 0);
+  Rng rng(4);
+  TrainBatcher batcher(&split, 3, 4, false, &rng);
+  const auto batches = batcher.Epoch();
+  int64_t total = 0;
+  for (const auto& b : batches) {
+    total += b.size;
+    EXPECT_EQ(static_cast<int64_t>(b.input_ids.size()), b.size * 4);
+    EXPECT_EQ(static_cast<int64_t>(b.targets.size()), b.size);
+    EXPECT_TRUE(b.positive_input_ids.empty());
+  }
+  EXPECT_EQ(total, static_cast<int64_t>(split.train_samples().size()));
+}
+
+TEST(BatcherTest, PositivesProducedOnRequest) {
+  const SplitDataset split(TinyDataset(), 0);
+  Rng rng(5);
+  TrainBatcher batcher(&split, 2, 4, true, &rng);
+  for (const auto& b : batcher.Epoch()) {
+    EXPECT_EQ(b.positive_input_ids.size(), b.input_ids.size());
+  }
+}
+
+TEST(BatcherTest, EpochsShuffleDifferently) {
+  const SplitDataset split(TinyDataset(), 0);
+  Rng rng(6);
+  TrainBatcher batcher(&split, 100, 4, false, &rng);
+  const auto e1 = batcher.Epoch();
+  const auto e2 = batcher.Epoch();
+  ASSERT_EQ(e1.size(), 1u);
+  EXPECT_NE(e1[0].targets, e2[0].targets);
+}
+
+TEST(BatcherTest, EvalBatchesCoverAllUsers) {
+  const SplitDataset split(TinyDataset(), 0);
+  const auto valid = MakeEvalBatches(split, false, 2, 4);
+  int64_t users = 0;
+  for (const auto& b : valid) users += b.size;
+  EXPECT_EQ(users, split.num_users());
+  // Validation target of user 0 is 4; test input includes it.
+  EXPECT_EQ(valid[0].targets[0], 4);
+  const auto test = MakeEvalBatches(split, true, 2, 4);
+  EXPECT_EQ(test[0].targets[0], 5);
+  // Test input ends with the validation item.
+  EXPECT_EQ(test[0].input_ids[3], 4);
+}
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  SyntheticConfig config;
+  config.num_users = 50;
+  config.seed = 9;
+  const InteractionDataset a = GenerateSynthetic(config);
+  const InteractionDataset b = GenerateSynthetic(config);
+  EXPECT_EQ(a.sequences(), b.sequences());
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  SyntheticConfig config;
+  config.num_users = 50;
+  config.seed = 10;
+  const InteractionDataset a = GenerateSynthetic(config);
+  config.seed = 11;
+  const InteractionDataset b = GenerateSynthetic(config);
+  EXPECT_NE(a.sequences(), b.sequences());
+}
+
+TEST(SyntheticTest, RespectsLengthBoundsAndItemRange) {
+  SyntheticConfig config;
+  config.num_users = 100;
+  config.min_len = 6;
+  config.max_len = 12;
+  const InteractionDataset d = GenerateSynthetic(config);
+  EXPECT_EQ(d.num_users(), 100);
+  for (const auto& seq : d.sequences()) {
+    EXPECT_GE(seq.size(), 6u);
+    EXPECT_LE(seq.size(), 12u);
+    for (int64_t v : seq) {
+      EXPECT_GE(v, 1);
+      EXPECT_LE(v, config.num_items);
+    }
+  }
+}
+
+TEST(SyntheticTest, PresetsMirrorPaperOrdering) {
+  // Relative dataset character from Table I: ml1m-sim is the dense preset
+  // with the longest sequences; clothing-sim has the shortest sequences and
+  // the most items (sparsest).
+  const auto presets = AllPresets(0.25);
+  ASSERT_EQ(presets.size(), 5u);
+  DatasetStats stats[5];
+  for (int i = 0; i < 5; ++i) {
+    stats[i] = GenerateSynthetic(presets[i]).Stats();
+  }
+  const int kBeauty = 0;
+  const int kClothing = 1;
+  const int kMl1m = 3;
+  EXPECT_GT(stats[kMl1m].avg_length, 2 * stats[kBeauty].avg_length);
+  EXPECT_LT(stats[kMl1m].sparsity, stats[kBeauty].sparsity);
+  EXPECT_LT(stats[kClothing].avg_length, stats[kMl1m].avg_length);
+  EXPECT_GT(stats[kClothing].sparsity, stats[kMl1m].sparsity);
+}
+
+TEST(SyntheticTest, MarkovStructureIsLearnable) {
+  // With strong markov_strength and zero noise, consecutive same-category
+  // items frequently follow the +1 successor chain: the signature pattern
+  // the sequence models should learn.
+  SyntheticConfig config;
+  config.num_users = 200;
+  config.noise_prob = 0.0;
+  config.markov_strength = 1.0;
+  config.min_tracks = 1;
+  config.max_tracks = 1;  // single track: pure chain
+  config.periods = {1};
+  const InteractionDataset d = GenerateSynthetic(config);
+  int64_t chain = 0;
+  int64_t total = 0;
+  for (const auto& seq : d.sequences()) {
+    for (size_t i = 1; i < seq.size(); ++i) {
+      ++total;
+      if (seq[i] == seq[i - 1] + 1) ++chain;
+    }
+  }
+  // Chains wrap at category boundaries, so the rate is high but not 1.
+  EXPECT_GT(static_cast<double>(chain) / total, 0.8);
+}
+
+TEST(LoaderTest, RoundTripThroughFile) {
+  const InteractionDataset d = TinyDataset();
+  const std::string path = ::testing::TempDir() + "/slime_loader_test.txt";
+  ASSERT_TRUE(SaveSequenceFile(d, path).ok());
+  const Result<InteractionDataset> loaded = LoadSequenceFile(path, "tiny");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().sequences(), d.sequences());
+  EXPECT_EQ(loaded.value().num_items(), 5);
+  std::remove(path.c_str());
+}
+
+TEST(LoaderTest, MissingFileReportsIOError) {
+  const Result<InteractionDataset> r =
+      LoadSequenceFile("/nonexistent/nope.txt", "x");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kIOError);
+}
+
+TEST(LoaderTest, CorruptTokenReportsCorruption) {
+  const std::string path = ::testing::TempDir() + "/slime_corrupt_test.txt";
+  {
+    FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("1 2 banana 3\n", f);
+    std::fclose(f);
+  }
+  const Result<InteractionDataset> r = LoadSequenceFile(path, "x");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(StatusTest, ToStringFormatsCodeAndMessage) {
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+  EXPECT_EQ(Status::NotFound("thing").ToString(), "NotFound: thing");
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace slime

@@ -1,0 +1,229 @@
+// Edge cases and failure-injection tests across module boundaries: odd
+// sequence lengths (Bluestein path inside a full model), minimum-size
+// configurations, degenerate batches, and adversarial loader inputs.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/slime4rec.h"
+#include "data/batcher.h"
+#include "data/loader.h"
+#include "data/synthetic.h"
+#include "models/model_factory.h"
+#include "optim/adam.h"
+#include "train/trainer.h"
+
+namespace slime {
+namespace {
+
+data::Batch MakeBatch(int64_t size, int64_t max_len, int64_t num_items,
+                      uint64_t seed) {
+  data::Batch b;
+  b.size = size;
+  b.max_len = max_len;
+  Rng rng(seed);
+  for (int64_t i = 0; i < size; ++i) {
+    b.user_ids.push_back(i);
+    b.targets.push_back(rng.UniformInt(1, num_items));
+    std::vector<int64_t> raw;
+    const int64_t len = rng.UniformInt(1, max_len);
+    for (int64_t j = 0; j < len; ++j) {
+      raw.push_back(rng.UniformInt(1, num_items));
+    }
+    b.raw_prefixes.push_back(raw);
+    const auto padded = data::PadTruncate(raw, max_len);
+    b.input_ids.insert(b.input_ids.end(), padded.begin(), padded.end());
+    b.positive_input_ids.insert(b.positive_input_ids.end(), padded.begin(),
+                                padded.end());
+  }
+  return b;
+}
+
+TEST(EdgeCaseTest, SlimeWithOddMaxLenUsesBluesteinEndToEnd) {
+  // N = 25 and 75 are paper-candidate lengths that are not powers of two;
+  // the whole train/score path must work through the Bluestein FFT.
+  for (const int64_t n : {25, 75}) {
+    core::Slime4RecConfig c;
+    c.num_items = 30;
+    c.num_users = 8;
+    c.max_len = n;
+    c.hidden_dim = 8;
+    c.num_layers = 2;
+    c.mixer.alpha = 0.5;
+    c.seed = 3;
+    core::Slime4Rec model(c);
+    const data::Batch b = MakeBatch(4, n, 30, 11);
+    autograd::Variable loss = model.Loss(b);
+    EXPECT_TRUE(std::isfinite(loss.value()[0])) << "n=" << n;
+    loss.Backward();
+    optim::Adam adam(model.Parameters(), {.lr = 0.01f});
+    adam.Step();
+    model.SetTraining(false);
+    const Tensor scores = model.ScoreAll(b);
+    for (int64_t i = 0; i < scores.numel(); ++i) {
+      ASSERT_TRUE(std::isfinite(scores[i])) << "n=" << n;
+    }
+  }
+}
+
+TEST(EdgeCaseTest, BatchOfOne) {
+  core::Slime4RecConfig c;
+  c.num_items = 10;
+  c.num_users = 2;
+  c.max_len = 8;
+  c.hidden_dim = 8;
+  c.num_layers = 1;
+  core::Slime4Rec model(c);
+  const data::Batch b = MakeBatch(1, 8, 10, 5);
+  EXPECT_TRUE(std::isfinite(model.Loss(b).value()[0]));
+}
+
+TEST(EdgeCaseTest, SingleLayerSingleHeadModels) {
+  models::ModelConfig c;
+  c.num_items = 12;
+  c.num_users = 4;
+  c.max_len = 4;   // minimal but > 1
+  c.hidden_dim = 4;
+  c.num_layers = 1;
+  c.num_heads = 1;
+  for (const auto& name : models::AllModelNames()) {
+    auto model = models::CreateModel(name, c);
+    const data::Batch b = MakeBatch(2, 4, 12, 7);
+    EXPECT_TRUE(std::isfinite(model->Loss(b).value()[0])) << name;
+  }
+}
+
+TEST(EdgeCaseTest, HiddenDimOne) {
+  // d = 1 stresses LayerNorm (zero variance per row) and the filters.
+  core::Slime4RecConfig c;
+  c.num_items = 6;
+  c.num_users = 2;
+  c.max_len = 8;
+  c.hidden_dim = 1;
+  c.num_layers = 1;
+  core::Slime4Rec model(c);
+  const data::Batch b = MakeBatch(2, 8, 6, 9);
+  EXPECT_TRUE(std::isfinite(model.Loss(b).value()[0]));
+}
+
+TEST(EdgeCaseTest, AllUsersSameTarget) {
+  // Degenerate contrastive batch: every "negative" shares the anchor's
+  // target. The loss must stay finite (the diagonal mask still leaves
+  // 2B-2 negatives).
+  core::Slime4RecConfig c;
+  c.num_items = 10;
+  c.num_users = 4;
+  c.max_len = 8;
+  c.hidden_dim = 8;
+  c.num_layers = 1;
+  core::Slime4Rec model(c);
+  data::Batch b = MakeBatch(4, 8, 10, 13);
+  for (auto& t : b.targets) t = 5;
+  EXPECT_TRUE(std::isfinite(model.Loss(b).value()[0]));
+}
+
+TEST(EdgeCaseTest, LoaderSurvivesGarbageBytes) {
+  // Fuzz-ish: random binary junk must produce a clean Status, never UB.
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::string path = ::testing::TempDir() + "/slime_fuzz.bin";
+    {
+      std::ofstream out(path, std::ios::binary);
+      const int64_t len = rng.UniformInt(0, 200);
+      for (int64_t i = 0; i < len; ++i) {
+        const char c = static_cast<char>(rng.Uniform(256));
+        out.write(&c, 1);
+      }
+    }
+    const Result<data::InteractionDataset> r =
+        data::LoadSequenceFile(path, "fuzz");
+    if (r.ok()) {
+      // If it happened to parse, invariants must hold.
+      EXPECT_GE(r.value().num_items(), 1);
+    } else {
+      EXPECT_FALSE(r.status().message().empty());
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST(EdgeCaseTest, TrainerOnMinimalSplit) {
+  // Three users of length 3 — the smallest viable leave-one-out dataset.
+  data::InteractionDataset dataset("mini",
+                                   {{1, 2, 3}, {2, 3, 4}, {3, 4, 5}}, 5);
+  data::SplitDataset split(dataset, 0);
+  models::ModelConfig c;
+  c.num_items = 5;
+  c.num_users = 3;
+  c.max_len = 4;
+  c.hidden_dim = 4;
+  c.num_layers = 1;
+  auto model = models::CreateModel("FMLP-Rec", c);
+  train::TrainConfig tc;
+  tc.max_epochs = 2;
+  tc.batch_size = 2;
+  train::Trainer trainer(tc);
+  const train::TrainResult r = trainer.Fit(model.get(), split);
+  EXPECT_GE(r.test.hr10, 0.0);
+  EXPECT_LE(r.test.hr10, 1.0);
+}
+
+TEST(EdgeCaseTest, MaxLenLongerThanAnySequence) {
+  // Heavy left padding: max_len 64 with length-2 histories.
+  core::Slime4RecConfig c;
+  c.num_items = 10;
+  c.num_users = 2;
+  c.max_len = 64;
+  c.hidden_dim = 8;
+  c.num_layers = 1;
+  core::Slime4Rec model(c);
+  data::Batch b;
+  b.size = 2;
+  b.max_len = 64;
+  b.user_ids = {0, 1};
+  b.targets = {3, 4};
+  b.raw_prefixes = {{1, 2}, {5}};
+  for (const auto& raw : b.raw_prefixes) {
+    const auto padded = data::PadTruncate(raw, 64);
+    b.input_ids.insert(b.input_ids.end(), padded.begin(), padded.end());
+    b.positive_input_ids.insert(b.positive_input_ids.end(), padded.begin(),
+                                padded.end());
+  }
+  EXPECT_TRUE(std::isfinite(model.Loss(b).value()[0]));
+}
+
+TEST(EdgeCaseTest, GeneratorExtremeNoiseStillValid) {
+  data::SyntheticConfig cfg;
+  cfg.num_users = 30;
+  cfg.noise_prob = 1.0;  // pure noise
+  cfg.seed = 23;
+  const data::InteractionDataset d = data::GenerateSynthetic(cfg);
+  EXPECT_EQ(d.num_users(), 30);
+  for (const auto& seq : d.sequences()) {
+    for (int64_t v : seq) {
+      EXPECT_GE(v, 1);
+      EXPECT_LE(v, cfg.num_items);
+    }
+  }
+}
+
+TEST(EdgeCaseTest, GeneratorSingleUserSingleCategory) {
+  data::SyntheticConfig cfg;
+  cfg.num_users = 1;
+  cfg.num_items = 5;
+  cfg.num_categories = 1;
+  cfg.num_clusters = 1;
+  cfg.min_tracks = 1;
+  cfg.max_tracks = 1;
+  cfg.seed = 29;
+  const data::InteractionDataset d = data::GenerateSynthetic(cfg);
+  EXPECT_EQ(d.num_users(), 1);
+  EXPECT_GE(d.sequences()[0].size(), 5u);
+}
+
+}  // namespace
+}  // namespace slime

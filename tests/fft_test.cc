@@ -1,0 +1,325 @@
+#include "fft/fft.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "autograd/gradcheck.h"
+#include "autograd/ops.h"
+#include "fft/spectral_ops.h"
+
+namespace slime {
+namespace fft {
+namespace {
+
+using autograd::Param;
+using autograd::Sum;
+using autograd::Variable;
+
+std::vector<std::complex<double>> RandomComplex(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::complex<double>> v(n);
+  for (auto& c : v) c = {rng.Gaussian(), rng.Gaussian()};
+  return v;
+}
+
+class FftSizeTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(FftSizeTest, MatchesNaiveDft) {
+  const int64_t n = GetParam();
+  const auto input = RandomComplex(n, 1000 + n);
+  std::vector<std::complex<double>> fast = input;
+  Fft(&fast, false);
+  std::vector<std::complex<double>> naive;
+  NaiveDft(input, &naive, false);
+  for (int64_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(fast[k].real(), naive[k].real(), 1e-8 * n) << "bin " << k;
+    EXPECT_NEAR(fast[k].imag(), naive[k].imag(), 1e-8 * n) << "bin " << k;
+  }
+}
+
+TEST_P(FftSizeTest, InverseRoundTrip) {
+  const int64_t n = GetParam();
+  const auto input = RandomComplex(n, 2000 + n);
+  std::vector<std::complex<double>> buf = input;
+  Fft(&buf, false);
+  Fft(&buf, true);
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(buf[i].real() / n, input[i].real(), 1e-9 * n);
+    EXPECT_NEAR(buf[i].imag() / n, input[i].imag(), 1e-9 * n);
+  }
+}
+
+TEST_P(FftSizeTest, ParsevalHolds) {
+  const int64_t n = GetParam();
+  const auto input = RandomComplex(n, 3000 + n);
+  double time_energy = 0.0;
+  for (const auto& c : input) time_energy += std::norm(c);
+  std::vector<std::complex<double>> buf = input;
+  Fft(&buf, false);
+  double freq_energy = 0.0;
+  for (const auto& c : buf) freq_energy += std::norm(c);
+  EXPECT_NEAR(freq_energy / n, time_energy, 1e-8 * n);
+}
+
+// Powers of two exercise Radix2; other sizes exercise Bluestein. 25, 50,
+// 75, 100 are the paper's candidate sequence lengths (Sec. IV-D).
+INSTANTIATE_TEST_SUITE_P(AllSizes, FftSizeTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 12, 16, 25,
+                                           32, 50, 64, 75, 100, 128));
+
+TEST(RfftBinsTest, MatchesStandardDefinition) {
+  EXPECT_EQ(RfftBins(1), 1);
+  EXPECT_EQ(RfftBins(2), 2);
+  EXPECT_EQ(RfftBins(8), 5);
+  EXPECT_EQ(RfftBins(25), 13);
+  EXPECT_EQ(RfftBins(50), 26);   // paper Eq. 13 for even N: N/2 + 1
+  EXPECT_EQ(RfftBins(100), 51);
+}
+
+class RfftSizeTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(RfftSizeTest, ConjugateSymmetryRecoversSignal) {
+  // irfft(rfft(x)) == x for any real x: the half spectrum holds the full
+  // information (Sec. II-B of the paper).
+  const int64_t n = GetParam();
+  Rng rng(4000 + n);
+  std::vector<float> x(n);
+  for (auto& v : x) v = rng.Gaussian();
+  const int64_t m = RfftBins(n);
+  std::vector<float> re(m);
+  std::vector<float> im(m);
+  RfftForward(x.data(), n, re.data(), im.data());
+  std::vector<float> recovered(n);
+  IrfftForward(re.data(), im.data(), n, recovered.data());
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(recovered[i], x[i], 1e-4) << "n=" << n << " i=" << i;
+  }
+}
+
+TEST_P(RfftSizeTest, DcBinIsSumOfSignal) {
+  const int64_t n = GetParam();
+  Rng rng(5000 + n);
+  std::vector<float> x(n);
+  double sum = 0.0;
+  for (auto& v : x) {
+    v = rng.Gaussian();
+    sum += v;
+  }
+  const int64_t m = RfftBins(n);
+  std::vector<float> re(m);
+  std::vector<float> im(m);
+  RfftForward(x.data(), n, re.data(), im.data());
+  EXPECT_NEAR(re[0], sum, 1e-3);
+  EXPECT_NEAR(im[0], 0.0, 1e-4);
+}
+
+TEST_P(RfftSizeTest, RfftAdjointIsTransposeOfForward) {
+  // <F x, g> == <x, F^T g> for random x, g (the defining property of the
+  // adjoint, which is what backward must implement).
+  const int64_t n = GetParam();
+  const int64_t m = RfftBins(n);
+  Rng rng(6000 + n);
+  std::vector<float> x(n);
+  for (auto& v : x) v = rng.Gaussian();
+  std::vector<float> g_re(m);
+  std::vector<float> g_im(m);
+  for (auto& v : g_re) v = rng.Gaussian();
+  for (auto& v : g_im) v = rng.Gaussian();
+  std::vector<float> fx_re(m);
+  std::vector<float> fx_im(m);
+  RfftForward(x.data(), n, fx_re.data(), fx_im.data());
+  std::vector<float> ftg(n);
+  RfftAdjoint(g_re.data(), g_im.data(), n, ftg.data());
+  double lhs = 0.0;
+  for (int64_t k = 0; k < m; ++k) {
+    lhs += double(fx_re[k]) * g_re[k] + double(fx_im[k]) * g_im[k];
+  }
+  double rhs = 0.0;
+  for (int64_t i = 0; i < n; ++i) rhs += double(x[i]) * ftg[i];
+  EXPECT_NEAR(lhs, rhs, 1e-2 * std::max(1.0, std::abs(lhs)));
+}
+
+TEST_P(RfftSizeTest, IrfftAdjointIsTransposeOfForward) {
+  const int64_t n = GetParam();
+  const int64_t m = RfftBins(n);
+  Rng rng(7000 + n);
+  std::vector<float> re(m);
+  std::vector<float> im(m);
+  for (auto& v : re) v = rng.Gaussian();
+  for (auto& v : im) v = rng.Gaussian();
+  std::vector<float> g(n);
+  for (auto& v : g) v = rng.Gaussian();
+  std::vector<float> x(n);
+  IrfftForward(re.data(), im.data(), n, x.data());
+  std::vector<float> gt_re(m);
+  std::vector<float> gt_im(m);
+  IrfftAdjoint(g.data(), n, gt_re.data(), gt_im.data());
+  double lhs = 0.0;
+  for (int64_t i = 0; i < n; ++i) lhs += double(x[i]) * g[i];
+  double rhs = 0.0;
+  for (int64_t k = 0; k < m; ++k) {
+    rhs += double(re[k]) * gt_re[k] + double(im[k]) * gt_im[k];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-2 * std::max(1.0, std::abs(lhs)));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSizes, RfftSizeTest,
+                         ::testing::Values(2, 3, 4, 5, 8, 12, 16, 25, 32, 50,
+                                           64, 75, 100));
+
+TEST(SpectralOpsTest, RfftShapes) {
+  Rng rng(1);
+  Variable x = Param(Tensor::Randn({2, 8, 3}, &rng));
+  const SpectralPair s = Rfft(x);
+  EXPECT_EQ(s.re.shape(), (std::vector<int64_t>{2, 5, 3}));
+  EXPECT_EQ(s.im.shape(), (std::vector<int64_t>{2, 5, 3}));
+}
+
+TEST(SpectralOpsTest, RfftIrfftRoundTripBatched) {
+  Rng rng(2);
+  Variable x = Param(Tensor::Randn({3, 10, 4}, &rng));
+  Variable y = Irfft(Rfft(x), 10);
+  ASSERT_EQ(y.shape(), x.shape());
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    EXPECT_NEAR(y.value()[i], x.value()[i], 1e-4);
+  }
+}
+
+TEST(SpectralOpsTest, RfftGradcheck) {
+  Rng rng(3);
+  Variable x = Param(Tensor::Randn({2, 6, 2}, &rng, 0.5f));
+  const auto result = autograd::CheckGradients(
+      [](const std::vector<Variable>& in) {
+        const SpectralPair s = Rfft(in[0]);
+        // Use both components with distinct weights so each adjoint path
+        // is exercised.
+        Rng wrng(99);
+        Tensor w1 = Tensor::Randn({2, 4, 2}, &wrng);
+        Tensor w2 = Tensor::Randn({2, 4, 2}, &wrng);
+        return autograd::Add(Sum(autograd::MulConst(s.re, w1)),
+                             Sum(autograd::MulConst(s.im, w2)));
+      },
+      {x});
+  EXPECT_TRUE(result.ok) << result.message;
+}
+
+TEST(SpectralOpsTest, IrfftGradcheck) {
+  Rng rng(4);
+  Variable re = Param(Tensor::Randn({2, 4, 2}, &rng, 0.5f));
+  Variable im = Param(Tensor::Randn({2, 4, 2}, &rng, 0.5f));
+  const auto result = autograd::CheckGradients(
+      [](const std::vector<Variable>& in) {
+        Rng wrng(98);
+        Tensor w = Tensor::Randn({2, 6, 2}, &wrng);
+        return Sum(autograd::MulConst(Irfft({in[0], in[1]}, 6), w));
+      },
+      {re, im});
+  EXPECT_TRUE(result.ok) << result.message;
+}
+
+TEST(SpectralOpsTest, FilterPipelineGradcheck) {
+  // The exact op composition of the paper's filter step (Eq. 21):
+  // irfft(mask . (rfft(x) . W)).
+  Rng rng(5);
+  Variable x = Param(Tensor::Randn({1, 6, 2}, &rng, 0.5f));
+  Variable wre = Param(Tensor::Randn({4, 2}, &rng, 0.5f));
+  Variable wim = Param(Tensor::Randn({4, 2}, &rng, 0.5f));
+  Tensor mask = Tensor::FromVector({4, 1}, {0, 1, 1, 0});
+  const auto result = autograd::CheckGradients(
+      [mask](const std::vector<Variable>& in) {
+        const SpectralPair s = Rfft(in[0]);
+        const SpectralPair filtered =
+            MaskSpectrum(ComplexMul(s, {in[1], in[2]}), mask);
+        return Sum(Irfft(filtered, 6));
+      },
+      {x, wre, wim});
+  EXPECT_TRUE(result.ok) << result.message;
+}
+
+TEST(SpectralOpsTest, ComplexMulMatchesManual) {
+  // (1 + 2i) * (3 + 4i) = -5 + 10i.
+  Variable ar = Param(Tensor::FromVector({1, 1, 1}, {1}));
+  Variable ai = Param(Tensor::FromVector({1, 1, 1}, {2}));
+  Variable br = Param(Tensor::FromVector({1, 1, 1}, {3}));
+  Variable bi = Param(Tensor::FromVector({1, 1, 1}, {4}));
+  const SpectralPair p = ComplexMul({ar, ai}, {br, bi});
+  EXPECT_FLOAT_EQ(p.re.value()[0], -5.0f);
+  EXPECT_FLOAT_EQ(p.im.value()[0], 10.0f);
+}
+
+TEST(SpectralOpsTest, MixSpectraConvexCombination) {
+  Variable a = Param(Tensor::FromVector({1, 1, 1}, {1}));
+  Variable b = Param(Tensor::FromVector({1, 1, 1}, {3}));
+  const SpectralPair mixed = MixSpectra({a, a}, {b, b}, 0.25f);
+  EXPECT_FLOAT_EQ(mixed.re.value()[0], 1.5f);
+  EXPECT_FLOAT_EQ(mixed.im.value()[0], 1.5f);
+}
+
+TEST(SpectralOpsTest, PureToneConcentratesInOneBin) {
+  // x_t = cos(2 pi k t / N) has energy only in bin k.
+  const int64_t n = 16;
+  const int64_t k = 3;
+  Tensor x({1, n, 1});
+  for (int64_t t = 0; t < n; ++t) {
+    x.data()[t] = std::cos(2.0 * M_PI * k * t / n);
+  }
+  const SpectralPair s = Rfft(Param(x));
+  const int64_t m = RfftBins(n);
+  for (int64_t bin = 0; bin < m; ++bin) {
+    const float re = s.re.value()[bin];
+    const float im = s.im.value()[bin];
+    const float amp = std::sqrt(re * re + im * im);
+    if (bin == k) {
+      EXPECT_NEAR(amp, n / 2.0, 1e-3);
+    } else {
+      EXPECT_NEAR(amp, 0.0, 1e-3) << "bin " << bin;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fft
+}  // namespace slime
+
+namespace slime {
+namespace fft {
+namespace {
+
+class VerticalPlanTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(VerticalPlanTest, AgreesWithScalarReferenceForwardAndInverse) {
+  const int64_t n = GetParam();
+  const int64_t d = 3;
+  Rng rng(8000 + n);
+  std::vector<float> re(n * d);
+  std::vector<float> im(n * d);
+  for (auto& v : re) v = rng.Gaussian();
+  for (auto& v : im) v = rng.Gaussian();
+  for (const bool inverse : {false, true}) {
+    std::vector<float> vre = re;
+    std::vector<float> vim = im;
+    GetVerticalPlan(n).Transform(vre.data(), vim.data(), d, inverse);
+    for (int64_t f = 0; f < d; ++f) {
+      std::vector<std::complex<double>> col(n);
+      for (int64_t t = 0; t < n; ++t) {
+        col[t] = {re[t * d + f], im[t * d + f]};
+      }
+      Fft(&col, inverse);
+      for (int64_t t = 0; t < n; ++t) {
+        EXPECT_NEAR(vre[t * d + f], col[t].real(), 2e-3 * n)
+            << "n=" << n << " inv=" << inverse << " t=" << t;
+        EXPECT_NEAR(vim[t * d + f], col[t].imag(), 2e-3 * n);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSizes, VerticalPlanTest,
+                         ::testing::Values(1, 2, 4, 8, 16, 25, 32, 50, 64,
+                                           75, 100, 128));
+
+}  // namespace
+}  // namespace fft
+}  // namespace slime

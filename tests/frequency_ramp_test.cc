@@ -1,0 +1,167 @@
+#include "core/frequency_ramp.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+namespace slime {
+namespace core {
+namespace {
+
+TEST(FrequencyRampTest, AlphaOneCoversFullSpectrumEveryLayer) {
+  // The FMLP-Rec degenerate case noted below Eq. 20: alpha = 1 => step = 0
+  // and every layer's dynamic window is the whole spectrum.
+  const FrequencyRamp ramp(17, 4, 1.0, SlideDirection::kHighToLow,
+                           SlideDirection::kHighToLow);
+  EXPECT_DOUBLE_EQ(ramp.step(), 0.0);
+  for (int64_t l = 0; l < 4; ++l) {
+    const FilterWindow w = ramp.DynamicWindow(l);
+    EXPECT_EQ(w.begin, 0);
+    EXPECT_EQ(w.end, 17);
+  }
+}
+
+TEST(FrequencyRampTest, HighToLowStartsAtTopAndEndsAtBottom) {
+  const int64_t m = 26;  // N = 50
+  const FrequencyRamp ramp(m, 4, 0.25, SlideDirection::kHighToLow,
+                           SlideDirection::kHighToLow);
+  // Layer 0 ends at the highest bin (Eq. 18 with l = 0: j = M).
+  EXPECT_EQ(ramp.DynamicWindow(0).end, m);
+  // Layer L-1 starts at bin 0 (i = M(1-a) - (L-1)step = 0).
+  EXPECT_EQ(ramp.DynamicWindow(3).begin, 0);
+}
+
+TEST(FrequencyRampTest, LowToHighIsLayerReversedHighToLow) {
+  // The paper: sigma_->(omega) = inverse(sigma_<-(omega)).
+  const FrequencyRamp fwd(26, 4, 0.3, SlideDirection::kHighToLow,
+                          SlideDirection::kHighToLow);
+  const FrequencyRamp rev(26, 4, 0.3, SlideDirection::kLowToHigh,
+                          SlideDirection::kLowToHigh);
+  for (int64_t l = 0; l < 4; ++l) {
+    EXPECT_EQ(fwd.DynamicWindow(l).begin, rev.DynamicWindow(3 - l).begin);
+    EXPECT_EQ(fwd.DynamicWindow(l).end, rev.DynamicWindow(3 - l).end);
+    EXPECT_EQ(fwd.StaticWindow(l).begin, rev.StaticWindow(3 - l).begin);
+    EXPECT_EQ(fwd.StaticWindow(l).end, rev.StaticWindow(3 - l).end);
+  }
+}
+
+TEST(FrequencyRampTest, SingleLayerCoversEverything) {
+  const FrequencyRamp ramp(9, 1, 0.5, SlideDirection::kHighToLow,
+                           SlideDirection::kHighToLow);
+  EXPECT_EQ(ramp.StaticWindow(0).begin, 0);
+  EXPECT_EQ(ramp.StaticWindow(0).end, 9);
+  EXPECT_DOUBLE_EQ(ramp.step(), 0.0);
+}
+
+TEST(FrequencyRampTest, WindowMaskMatchesWindow) {
+  const FrequencyRamp ramp(8, 2, 0.5, SlideDirection::kHighToLow,
+                           SlideDirection::kHighToLow);
+  const FilterWindow w = ramp.DynamicWindow(0);
+  const Tensor mask = ramp.WindowMask(w);
+  EXPECT_EQ(mask.shape(), (std::vector<int64_t>{8, 1}));
+  for (int64_t bin = 0; bin < 8; ++bin) {
+    EXPECT_FLOAT_EQ(mask[bin], w.Contains(bin) ? 1.0f : 0.0f);
+  }
+}
+
+// Property sweep over (M, L, alpha).
+class RampPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t, double>> {
+};
+
+TEST_P(RampPropertyTest, StaticWindowsPartitionTheSpectrum) {
+  // Eq. 22-24 with beta = 1/L: the L static windows are disjoint and cover
+  // [0, M) exactly — the "recapture all frequencies" guarantee the paper
+  // claims for the SFS module.
+  const auto [m, layers, alpha] = GetParam();
+  const FrequencyRamp ramp(m, layers, alpha, SlideDirection::kHighToLow,
+                           SlideDirection::kHighToLow);
+  std::set<int64_t> covered;
+  for (int64_t l = 0; l < layers; ++l) {
+    const FilterWindow w = ramp.StaticWindow(l);
+    for (int64_t bin = w.begin; bin < w.end; ++bin) {
+      EXPECT_TRUE(covered.insert(bin).second)
+          << "bin " << bin << " covered twice (m=" << m << ", L=" << layers
+          << ")";
+    }
+  }
+  EXPECT_EQ(static_cast<int64_t>(covered.size()), m);
+}
+
+TEST_P(RampPropertyTest, DynamicWindowsAreValidAndSized) {
+  const auto [m, layers, alpha] = GetParam();
+  const FrequencyRamp ramp(m, layers, alpha, SlideDirection::kHighToLow,
+                           SlideDirection::kHighToLow);
+  for (int64_t l = 0; l < layers; ++l) {
+    const FilterWindow w = ramp.DynamicWindow(l);
+    EXPECT_GE(w.begin, 0);
+    EXPECT_LE(w.end, m);
+    EXPECT_GT(w.size(), 0);
+    // Window size ~ alpha * M (within rounding).
+    EXPECT_NEAR(static_cast<double>(w.size()), alpha * m, 1.5);
+  }
+}
+
+TEST_P(RampPropertyTest, DynamicWindowsSlideMonotonically) {
+  // In the <- ordering, deeper layers cover lower frequencies.
+  const auto [m, layers, alpha] = GetParam();
+  const FrequencyRamp ramp(m, layers, alpha, SlideDirection::kHighToLow,
+                           SlideDirection::kHighToLow);
+  for (int64_t l = 1; l < layers; ++l) {
+    EXPECT_LE(ramp.DynamicWindow(l).end, ramp.DynamicWindow(l - 1).end);
+    EXPECT_LE(ramp.DynamicWindow(l).begin, ramp.DynamicWindow(l - 1).begin);
+  }
+}
+
+TEST_P(RampPropertyTest, DynamicUnionCoversSpectrumWhenAlphaAtLeastBeta) {
+  // When alpha >= 1/L consecutive windows overlap or abut, so the union of
+  // dynamic windows covers all bins (no SFS needed for coverage); this is
+  // the contrapositive of the paper's alpha < 1/L gap analysis
+  // (Sec. III-B3).
+  const auto [m, layers, alpha] = GetParam();
+  if (alpha < 1.0 / static_cast<double>(layers)) {
+    GTEST_SKIP() << "gap regime";
+  }
+  const FrequencyRamp ramp(m, layers, alpha, SlideDirection::kHighToLow,
+                           SlideDirection::kHighToLow);
+  std::set<int64_t> covered;
+  for (int64_t l = 0; l < layers; ++l) {
+    const FilterWindow w = ramp.DynamicWindow(l);
+    for (int64_t bin = w.begin; bin < w.end; ++bin) covered.insert(bin);
+  }
+  EXPECT_EQ(static_cast<int64_t>(covered.size()), m);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RampPropertyTest,
+    ::testing::Combine(
+        // M values for N in {8, 25, 32, 50, 64, 75, 100}.
+        ::testing::Values<int64_t>(5, 13, 17, 26, 33, 38, 51),
+        ::testing::Values<int64_t>(1, 2, 4, 8),
+        ::testing::Values(0.1, 0.2, 0.3, 0.5, 0.8, 1.0)));
+
+TEST(FrequencyRampTest, GapExistsWhenAlphaBelowBeta) {
+  // The paper's motivating case for SFS: with alpha < 1/L the dynamic
+  // windows leave uncovered bins between steps.
+  const int64_t m = 26;
+  const int64_t layers = 8;
+  const double alpha = 0.05;  // < 1/8
+  const FrequencyRamp ramp(m, layers, alpha, SlideDirection::kHighToLow,
+                           SlideDirection::kHighToLow);
+  std::set<int64_t> covered;
+  for (int64_t l = 0; l < layers; ++l) {
+    const FilterWindow w = ramp.DynamicWindow(l);
+    for (int64_t bin = w.begin; bin < w.end; ++bin) covered.insert(bin);
+  }
+  EXPECT_LT(static_cast<int64_t>(covered.size()), m);
+}
+
+TEST(FrequencyRampTest, DirectionToString) {
+  EXPECT_STREQ(ToString(SlideDirection::kHighToLow), "<-");
+  EXPECT_STREQ(ToString(SlideDirection::kLowToHigh), "->");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace slime

@@ -1,0 +1,94 @@
+#include "train/grid_search.h"
+
+#include <gtest/gtest.h>
+
+#include "core/slime4rec.h"
+#include "data/synthetic.h"
+#include "models/model_factory.h"
+
+namespace slime {
+namespace train {
+namespace {
+
+data::SplitDataset TinySplit() {
+  data::SyntheticConfig config;
+  config.name = "grid-tiny";
+  config.num_users = 80;
+  config.num_items = 30;
+  config.num_categories = 3;
+  config.num_clusters = 3;
+  config.min_len = 6;
+  config.max_len = 10;
+  config.seed = 21;
+  return data::SplitDataset(data::GenerateSynthetic(config), 3);
+}
+
+TrainConfig FastConfig() {
+  TrainConfig t;
+  t.max_epochs = 3;
+  t.patience = 3;
+  t.batch_size = 64;
+  return t;
+}
+
+core::Slime4RecConfig BaseConfig(const data::SplitDataset& split) {
+  core::Slime4RecConfig c;
+  c.num_items = split.num_items();
+  c.num_users = split.num_users();
+  c.max_len = 8;
+  c.hidden_dim = 8;
+  c.num_layers = 2;
+  c.seed = 5;
+  return c;
+}
+
+TEST(GridSearchTest, PicksHighestValidationCandidate) {
+  const data::SplitDataset split = TinySplit();
+  const auto grid =
+      SlimeAlphaGrid(BaseConfig(split), {0.25, 0.5, 1.0});
+  const GridSearchResult r = GridSearch(grid, split, FastConfig());
+  ASSERT_EQ(r.valid_ndcg10.size(), 3u);
+  double best = -1.0;
+  size_t best_idx = 0;
+  for (size_t i = 0; i < 3; ++i) {
+    if (r.valid_ndcg10[i] > best) {
+      best = r.valid_ndcg10[i];
+      best_idx = i;
+    }
+  }
+  EXPECT_EQ(r.best_index, best_idx);
+  EXPECT_EQ(r.best_label, grid[best_idx].label);
+}
+
+TEST(GridSearchTest, DeterministicAcrossRuns) {
+  const data::SplitDataset split = TinySplit();
+  const auto grid = SlimeAlphaGrid(BaseConfig(split), {0.5, 1.0});
+  const GridSearchResult a = GridSearch(grid, split, FastConfig());
+  const GridSearchResult b = GridSearch(grid, split, FastConfig());
+  EXPECT_EQ(a.best_index, b.best_index);
+  EXPECT_EQ(a.valid_ndcg10, b.valid_ndcg10);
+}
+
+TEST(GridSearchTest, MixedModelGrid) {
+  // The grid is model-agnostic: compare entirely different architectures.
+  const data::SplitDataset split = TinySplit();
+  models::ModelConfig mc;
+  mc.num_items = split.num_items();
+  mc.num_users = split.num_users();
+  mc.max_len = 8;
+  mc.hidden_dim = 8;
+  mc.num_layers = 1;
+  std::vector<GridPoint> grid;
+  for (const std::string name : {"BPR-MF", "FMLP-Rec"}) {
+    grid.push_back({name, [name, mc]() {
+                      return models::CreateModel(name, mc);
+                    }});
+  }
+  const GridSearchResult r = GridSearch(grid, split, FastConfig());
+  EXPECT_LT(r.best_index, 2u);
+  EXPECT_FALSE(r.best_label.empty());
+}
+
+}  // namespace
+}  // namespace train
+}  // namespace slime

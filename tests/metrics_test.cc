@@ -1,0 +1,125 @@
+#include "metrics/ranking.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace slime {
+namespace metrics {
+namespace {
+
+TEST(RankingTest, RankOneIsPerfect) {
+  RankingAccumulator acc;
+  acc.AddRank(1);
+  EXPECT_DOUBLE_EQ(acc.HrAt(5), 1.0);
+  EXPECT_DOUBLE_EQ(acc.HrAt(10), 1.0);
+  EXPECT_DOUBLE_EQ(acc.NdcgAt(5), 1.0);
+  EXPECT_DOUBLE_EQ(acc.NdcgAt(10), 1.0);
+}
+
+TEST(RankingTest, RankOutsideTopTenScoresZero) {
+  RankingAccumulator acc;
+  acc.AddRank(11);
+  EXPECT_DOUBLE_EQ(acc.HrAt(10), 0.0);
+  EXPECT_DOUBLE_EQ(acc.NdcgAt(10), 0.0);
+}
+
+TEST(RankingTest, RankBetweenFiveAndTen) {
+  RankingAccumulator acc;
+  acc.AddRank(7);
+  EXPECT_DOUBLE_EQ(acc.HrAt(5), 0.0);
+  EXPECT_DOUBLE_EQ(acc.HrAt(10), 1.0);
+  EXPECT_DOUBLE_EQ(acc.NdcgAt(5), 0.0);
+  EXPECT_NEAR(acc.NdcgAt(10), 1.0 / std::log2(8.0), 1e-12);
+}
+
+TEST(RankingTest, AveragesOverUsers) {
+  RankingAccumulator acc;
+  acc.AddRank(1);
+  acc.AddRank(3);
+  acc.AddRank(20);
+  EXPECT_EQ(acc.count(), 3);
+  EXPECT_NEAR(acc.HrAt(5), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(acc.NdcgAt(5), (1.0 + 1.0 / std::log2(4.0)) / 3.0, 1e-12);
+}
+
+TEST(RankingTest, AddComputesRankFromScores) {
+  // Scores for 4 items (+pad col 0). Target 2 has the 2nd-highest score.
+  Tensor scores = Tensor::FromVector({1, 5}, {99.0f, 0.1f, 0.5f, 0.9f, 0.2f});
+  RankingAccumulator acc;
+  acc.Add(scores, {2});
+  EXPECT_EQ(acc.count(), 1);
+  EXPECT_NEAR(acc.NdcgAt(5), 1.0 / std::log2(3.0), 1e-6);
+}
+
+TEST(RankingTest, PaddingColumnIsExcluded) {
+  // Column 0 has a huge score but must not affect the rank.
+  Tensor scores = Tensor::FromVector({1, 3}, {1e9f, 2.0f, 1.0f});
+  RankingAccumulator acc;
+  acc.Add(scores, {1});
+  EXPECT_DOUBLE_EQ(acc.NdcgAt(5), 1.0);  // rank 1 among real items
+}
+
+TEST(RankingTest, TiesResolveInTargetsFavour) {
+  Tensor scores = Tensor::FromVector({1, 4}, {0.0f, 1.0f, 1.0f, 1.0f});
+  RankingAccumulator acc;
+  acc.Add(scores, {2});
+  EXPECT_DOUBLE_EQ(acc.NdcgAt(5), 1.0);
+}
+
+TEST(RankingTest, BatchOfUsers) {
+  Tensor scores = Tensor::FromVector(
+      {2, 4}, {0.0f, 3.0f, 2.0f, 1.0f,   // target 1 -> rank 1
+               0.0f, 3.0f, 2.0f, 1.0f});  // target 3 -> rank 3
+  RankingAccumulator acc;
+  acc.Add(scores, {1, 3});
+  EXPECT_EQ(acc.count(), 2);
+  EXPECT_DOUBLE_EQ(acc.HrAt(5), 1.0);
+  EXPECT_NEAR(acc.NdcgAt(5), (1.0 + 1.0 / std::log2(4.0)) / 2.0, 1e-12);
+}
+
+TEST(RankingTest, EmptyAccumulatorIsZero) {
+  RankingAccumulator acc;
+  EXPECT_DOUBLE_EQ(acc.HrAt(5), 0.0);
+  EXPECT_DOUBLE_EQ(acc.NdcgAt(10), 0.0);
+}
+
+TEST(RankingTest, SummaryFormat) {
+  RankingAccumulator acc;
+  acc.AddRank(1);
+  EXPECT_EQ(acc.Summary(),
+            "HR@5 1.0000  NDCG@5 1.0000  HR@10 1.0000  NDCG@10 1.0000");
+}
+
+TEST(RankingTest, MetricsBundleCopiesAccumulator) {
+  RankingAccumulator acc;
+  acc.AddRank(2);
+  const RankingMetrics m = RankingMetrics::From(acc);
+  EXPECT_DOUBLE_EQ(m.hr5, 1.0);
+  EXPECT_NEAR(m.ndcg5, 1.0 / std::log2(3.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace metrics
+}  // namespace slime
+
+namespace slime {
+namespace metrics {
+namespace {
+
+TEST(RankingTest, MrrIsMeanReciprocalRank) {
+  RankingAccumulator acc;
+  acc.AddRank(1);
+  acc.AddRank(4);
+  acc.AddRank(20);
+  EXPECT_NEAR(acc.Mrr(), (1.0 + 0.25 + 0.05) / 3.0, 1e-12);
+}
+
+TEST(RankingTest, MrrEmptyIsZero) {
+  RankingAccumulator acc;
+  EXPECT_DOUBLE_EQ(acc.Mrr(), 0.0);
+}
+
+}  // namespace
+}  // namespace metrics
+}  // namespace slime

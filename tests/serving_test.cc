@@ -1,0 +1,157 @@
+#include "serving/recommendation_service.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/slime4rec.h"
+#include "models/model_factory.h"
+
+namespace slime {
+namespace serving {
+namespace {
+
+core::Slime4RecConfig SmallConfig() {
+  core::Slime4RecConfig c;
+  c.num_items = 25;
+  c.num_users = 5;
+  c.max_len = 8;
+  c.hidden_dim = 8;
+  c.num_layers = 1;
+  c.mixer.alpha = 1.0;
+  c.seed = 19;
+  return c;
+}
+
+TEST(ServingTest, ReturnsKRankedItems) {
+  core::Slime4Rec model(SmallConfig());
+  RecommendationService service(&model);
+  RecommendOptions options;
+  options.top_k = 5;
+  const auto recs = service.Recommend({1, 2, 3}, options);
+  ASSERT_EQ(recs.size(), 5u);
+  for (size_t i = 1; i < recs.size(); ++i) {
+    EXPECT_GE(recs[i - 1].score, recs[i].score);  // descending
+  }
+  std::set<int64_t> unique;
+  for (const auto& r : recs) {
+    EXPECT_GE(r.item, 1);
+    EXPECT_LE(r.item, 25);
+    unique.insert(r.item);
+  }
+  EXPECT_EQ(unique.size(), recs.size());
+}
+
+TEST(ServingTest, ExcludeSeenFiltersHistory) {
+  core::Slime4Rec model(SmallConfig());
+  RecommendationService service(&model);
+  const std::vector<int64_t> history = {4, 9, 17};
+  RecommendOptions options;
+  options.top_k = 22;
+  const auto recs = service.Recommend(history, options);
+  // 25 items - 3 seen = 22 remain.
+  ASSERT_EQ(recs.size(), 22u);
+  for (const auto& r : recs) {
+    EXPECT_TRUE(std::find(history.begin(), history.end(), r.item) ==
+                history.end());
+  }
+}
+
+TEST(ServingTest, ExcludeSeenOffKeepsHistoryItems) {
+  core::Slime4Rec model(SmallConfig());
+  RecommendationService service(&model);
+  RecommendOptions options;
+  options.top_k = 25;
+  options.exclude_seen = false;
+  const auto recs = service.Recommend({4, 9, 17}, options);
+  EXPECT_EQ(recs.size(), 25u);
+}
+
+TEST(ServingTest, ExplicitBlocklistApplies) {
+  core::Slime4Rec model(SmallConfig());
+  RecommendationService service(&model);
+  RecommendOptions options;
+  options.top_k = 25;
+  options.exclude_seen = false;
+  options.exclude_items = {1, 2, 3, 4, 5};
+  const auto recs = service.Recommend({10}, options);
+  EXPECT_EQ(recs.size(), 20u);
+  for (const auto& r : recs) {
+    EXPECT_GT(r.item, 5);
+  }
+}
+
+TEST(ServingTest, BatchMatchesSingleRequests) {
+  core::Slime4Rec model(SmallConfig());
+  RecommendationService service(&model);
+  const std::vector<std::vector<int64_t>> histories = {{1, 2}, {7, 8, 9}};
+  RecommendOptions options;
+  options.top_k = 4;
+  const auto batched = service.RecommendBatch(histories, options);
+  ASSERT_EQ(batched.size(), 2u);
+  for (size_t i = 0; i < histories.size(); ++i) {
+    const auto single = service.Recommend(histories[i], options);
+    ASSERT_EQ(single.size(), batched[i].size());
+    for (size_t j = 0; j < single.size(); ++j) {
+      EXPECT_EQ(single[j].item, batched[i][j].item) << i << "," << j;
+      EXPECT_NEAR(single[j].score, batched[i][j].score, 1e-4);
+    }
+  }
+}
+
+TEST(ServingTest, RestoresTrainingMode) {
+  core::Slime4Rec model(SmallConfig());
+  model.SetTraining(true);
+  RecommendationService service(&model);
+  RecommendOptions options;
+  options.top_k = 3;
+  service.Recommend({1}, options);
+  EXPECT_TRUE(model.training());
+}
+
+TEST(ServingTest, LongHistoryTruncatedToMostRecent) {
+  // Histories longer than max_len must not crash and should use the most
+  // recent items (PadTruncate semantics).
+  core::Slime4Rec model(SmallConfig());
+  RecommendationService service(&model);
+  std::vector<int64_t> history;
+  for (int i = 0; i < 40; ++i) history.push_back(1 + (i % 25));
+  RecommendOptions options;
+  options.top_k = 3;
+  // The 40-item history covers the whole catalogue; keep seen items so
+  // candidates remain.
+  options.exclude_seen = false;
+  const auto recs = service.Recommend(history, options);
+  EXPECT_EQ(recs.size(), 3u);
+}
+
+TEST(ServingTest, WorksWithEveryZooModel) {
+  models::ModelConfig c;
+  c.num_items = 15;
+  c.num_users = 4;
+  c.max_len = 8;
+  c.hidden_dim = 8;
+  c.num_layers = 1;
+  c.num_heads = 2;
+  for (const auto& name : models::AllModelNames()) {
+    auto model = models::CreateModel(name, c);
+    RecommendationService service(model.get());
+    RecommendOptions options;
+    options.top_k = 3;
+    const auto recs = service.Recommend({3, 5}, options);
+    EXPECT_EQ(recs.size(), 3u) << name;
+  }
+}
+
+TEST(ServingTest, TopKFromScoresTieBreaksByItemId) {
+  std::vector<float> row = {0.0f, 1.0f, 1.0f, 1.0f};
+  std::vector<bool> excluded(4, false);
+  const auto recs = TopKFromScores(row.data(), 3, 2, excluded);
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].item, 1);
+  EXPECT_EQ(recs[1].item, 2);
+}
+
+}  // namespace
+}  // namespace serving
+}  // namespace slime

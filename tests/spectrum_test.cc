@@ -1,0 +1,87 @@
+#include "analysis/spectrum.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.h"
+#include "fft/fft.h"
+
+namespace slime {
+namespace analysis {
+namespace {
+
+TEST(SpectrumTest, NormalizedSumsToOne) {
+  const data::InteractionDataset d = data::GenerateSynthetic(
+      data::BeautySimConfig(0.1));
+  const SpectrumProfile p = ComputeSpectrumProfile(d, 16);
+  double sum = 0.0;
+  for (double v : p.normalized) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_EQ(static_cast<int64_t>(p.amplitude.size()), fft::RfftBins(16));
+}
+
+TEST(SpectrumTest, BandsPartitionNonDcEnergy) {
+  const data::InteractionDataset d = data::GenerateSynthetic(
+      data::SportsSimConfig(0.1));
+  const SpectrumProfile p = ComputeSpectrumProfile(d, 32);
+  EXPECT_NEAR(p.low_band + p.mid_band + p.high_band, 1.0, 1e-9);
+  EXPECT_GE(p.entropy, 0.0);
+}
+
+TEST(SpectrumTest, DeterministicForSeed) {
+  const data::InteractionDataset d = data::GenerateSynthetic(
+      data::YelpSimConfig(0.1));
+  const SpectrumProfile a = ComputeSpectrumProfile(d, 16, 8, 7);
+  const SpectrumProfile b = ComputeSpectrumProfile(d, 16, 8, 7);
+  EXPECT_EQ(a.amplitude, b.amplitude);
+}
+
+TEST(SpectrumTest, PeriodicDataConcentratesEnergyAtItsFrequency) {
+  // A dataset where every user alternates between two items with period 2
+  // puts its non-DC energy at the Nyquist region.
+  std::vector<std::vector<int64_t>> seqs;
+  for (int u = 0; u < 50; ++u) {
+    std::vector<int64_t> s;
+    for (int t = 0; t < 16; ++t) s.push_back(1 + (t % 2));
+    seqs.push_back(s);
+  }
+  const data::InteractionDataset d("alternating", seqs, 2);
+  // Raw codes: smoothing would average the two co-occurring items into
+  // near-identical codes and push the signal to DC.
+  const SpectrumProfile p =
+      ComputeSpectrumProfile(d, 16, 16, 13, /*smooth_codes=*/false);
+  // Alternation = the highest representable frequency: high band dominates.
+  EXPECT_GT(p.high_band, 0.8);
+  // And the spectrum is highly concentrated: low entropy.
+  EXPECT_LT(p.entropy, 1.0);
+}
+
+TEST(SpectrumTest, RandomDataHasScatteredSpectrum) {
+  Rng rng(5);
+  std::vector<std::vector<int64_t>> seqs;
+  for (int u = 0; u < 50; ++u) {
+    std::vector<int64_t> s;
+    for (int t = 0; t < 16; ++t) s.push_back(rng.UniformInt(1, 50));
+    seqs.push_back(s);
+  }
+  const data::InteractionDataset d("random", seqs, 50);
+  const SpectrumProfile p =
+      ComputeSpectrumProfile(d, 16, 16, 13, /*smooth_codes=*/false);
+  // White-ish: entropy near log(num non-DC bins) = log(8) = 2.08.
+  EXPECT_GT(p.entropy, 1.8);
+}
+
+TEST(SpectrumTest, DensePresetMoreScatteredThanSparsePresets) {
+  // The Sec. IV-G1 claim on our presets: ml1m-sim (many tracks, diverse
+  // periods) has a more scattered spectrum than beauty-sim.
+  const SpectrumProfile beauty = ComputeSpectrumProfile(
+      data::GenerateSynthetic(data::BeautySimConfig(0.1)), 32);
+  const SpectrumProfile ml1m = ComputeSpectrumProfile(
+      data::GenerateSynthetic(data::Ml1mSimConfig(0.1)), 32);
+  EXPECT_GT(ml1m.entropy, beauty.entropy);
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace slime

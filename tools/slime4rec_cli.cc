@@ -1,0 +1,284 @@
+// slime4rec — command-line interface to the library.
+//
+// Subcommands:
+//   stats      --data FILE
+//   generate   --preset NAME --scale S --out FILE [--seed N]
+//   train      --data FILE [--model NAME] [--epochs N] [--alpha A]
+//              [--layers L] [--hidden D] [--max-len N] [--save CKPT]
+//   evaluate   --data FILE --load CKPT [--model NAME] [...model flags]
+//   recommend  --data FILE --load CKPT --user U [--topk K] [...model flags]
+//
+// Dataset files use the plain-text format of data/loader.h (one user per
+// line, chronological 1-based item ids).
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util/table_printer.h"
+#include "common/string_util.h"
+#include "data/loader.h"
+#include "data/synthetic.h"
+#include "io/checkpoint.h"
+#include "models/model_factory.h"
+#include "train/trainer.h"
+
+namespace slime {
+namespace cli {
+namespace {
+
+/// Minimal --key value flag parser; flags may appear in any order.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", key.c_str());
+        std::exit(2);
+      }
+      key = key.substr(2);
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag --%s needs a value\n", key.c_str());
+        std::exit(2);
+      }
+      values_[key] = argv[++i];
+    }
+  }
+
+  std::string Get(const std::string& key,
+                  const std::string& fallback = "") const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  double GetDouble(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atoll(it->second.c_str());
+  }
+
+  std::string Require(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+      std::fprintf(stderr, "missing required flag --%s\n", key.c_str());
+      std::exit(2);
+    }
+    return it->second;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Fail(const Status& st) {
+  std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+  return 1;
+}
+
+data::InteractionDataset LoadOrDie(const std::string& path) {
+  Result<data::InteractionDataset> r = data::LoadSequenceFile(path, path);
+  if (!r.ok()) {
+    std::fprintf(stderr, "error: %s\n", r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(r).value();
+}
+
+models::ModelConfig ConfigFromFlags(const Flags& flags,
+                                    const data::SplitDataset& split) {
+  models::ModelConfig c;
+  c.num_items = split.num_items();
+  c.num_users = split.num_users();
+  c.max_len = flags.GetInt("max-len", 32);
+  c.hidden_dim = flags.GetInt("hidden", 32);
+  c.num_layers = flags.GetInt("layers", 2);
+  c.num_heads = flags.GetInt("heads", 2);
+  c.dropout = static_cast<float>(flags.GetDouble("dropout", 0.2));
+  c.emb_dropout = c.dropout;
+  c.cl_weight = static_cast<float>(flags.GetDouble("cl-weight", 0.1));
+  c.cl_temperature =
+      static_cast<float>(flags.GetDouble("cl-temperature", 0.5));
+  c.seed = flags.GetInt("seed", 7);
+  return c;
+}
+
+std::unique_ptr<models::SequentialRecommender> BuildModel(
+    const Flags& flags, const data::SplitDataset& split) {
+  const std::string name = flags.Get("model", "SLIME4Rec");
+  core::FilterMixerOptions mixer;
+  mixer.alpha = flags.GetDouble("alpha", 0.4);
+  mixer.gamma = flags.GetDouble("gamma", 0.5);
+  return models::CreateModel(name, ConfigFromFlags(flags, split), mixer);
+}
+
+void PrintMetrics(const char* label, const metrics::RankingMetrics& m) {
+  std::printf("%s  HR@5 %.4f  NDCG@5 %.4f  HR@10 %.4f  NDCG@10 %.4f\n",
+              label, m.hr5, m.ndcg5, m.hr10, m.ndcg10);
+}
+
+int CmdStats(const Flags& flags) {
+  const data::InteractionDataset dataset =
+      LoadOrDie(flags.Require("data"));
+  const data::DatasetStats s = dataset.Stats();
+  bench::TablePrinter table({"users", "items", "actions", "avg len",
+                             "sparsity"});
+  table.AddRow({std::to_string(s.num_users), std::to_string(s.num_items),
+                std::to_string(s.num_actions), FormatFloat(s.avg_length, 2),
+                FormatFloat(100.0 * s.sparsity, 2) + "%"});
+  table.Print();
+  return 0;
+}
+
+int CmdGenerate(const Flags& flags) {
+  const std::string preset = flags.Get("preset", "beauty-sim");
+  const double scale = flags.GetDouble("scale", 1.0);
+  data::SyntheticConfig config;
+  bool found = false;
+  for (const auto& p : data::AllPresets(scale)) {
+    if (p.name == preset) {
+      config = p;
+      found = true;
+    }
+  }
+  if (!found) {
+    std::fprintf(stderr,
+                 "unknown preset '%s' (beauty-sim, clothing-sim, sports-sim, "
+                 "ml1m-sim, yelp-sim)\n",
+                 preset.c_str());
+    return 2;
+  }
+  config.seed = flags.GetInt("seed", config.seed);
+  const data::InteractionDataset dataset = data::GenerateSynthetic(config);
+  const Status st = data::SaveSequenceFile(dataset, flags.Require("out"));
+  if (!st.ok()) return Fail(st);
+  std::printf("wrote %lld sequences to %s\n",
+              static_cast<long long>(dataset.num_users()),
+              flags.Get("out").c_str());
+  return 0;
+}
+
+int CmdTrain(const Flags& flags) {
+  const data::InteractionDataset dataset =
+      LoadOrDie(flags.Require("data")).FilterMinInteractions(5);
+  const data::SplitDataset split(dataset,
+                                 flags.GetInt("max-prefixes", 4));
+  auto model = BuildModel(flags, split);
+  std::printf("training %s (%lld parameters) on %s: %lld users, %lld "
+              "items\n",
+              model->name().c_str(),
+              static_cast<long long>(model->ParameterCount()),
+              flags.Get("data").c_str(),
+              static_cast<long long>(split.num_users()),
+              static_cast<long long>(split.num_items()));
+  train::TrainConfig tc;
+  tc.max_epochs = flags.GetInt("epochs", 20);
+  tc.patience = flags.GetInt("patience", 3);
+  tc.batch_size = flags.GetInt("batch", 128);
+  tc.lr = static_cast<float>(flags.GetDouble("lr", 1e-3));
+  tc.verbose = true;
+  train::Trainer trainer(tc);
+  const train::TrainResult result = trainer.Fit(model.get(), split);
+  PrintMetrics("valid(best)", result.valid);
+  PrintMetrics("test       ", result.test);
+  const std::string ckpt = flags.Get("save");
+  if (!ckpt.empty()) {
+    const Status st = io::SaveCheckpoint(*model, ckpt);
+    if (!st.ok()) return Fail(st);
+    std::printf("saved checkpoint to %s\n", ckpt.c_str());
+  }
+  return 0;
+}
+
+int CmdEvaluate(const Flags& flags) {
+  const data::InteractionDataset dataset =
+      LoadOrDie(flags.Require("data")).FilterMinInteractions(5);
+  const data::SplitDataset split(dataset, flags.GetInt("max-prefixes", 4));
+  auto model = BuildModel(flags, split);
+  const Status st = io::LoadCheckpoint(model.get(), flags.Require("load"));
+  if (!st.ok()) return Fail(st);
+  PrintMetrics("valid", train::Evaluate(model.get(), split, false));
+  PrintMetrics("test ", train::Evaluate(model.get(), split, true));
+  return 0;
+}
+
+int CmdRecommend(const Flags& flags) {
+  const data::InteractionDataset dataset =
+      LoadOrDie(flags.Require("data")).FilterMinInteractions(5);
+  const data::SplitDataset split(dataset, 4);
+  auto model = BuildModel(flags, split);
+  const Status st = io::LoadCheckpoint(model.get(), flags.Require("load"));
+  if (!st.ok()) return Fail(st);
+  const int64_t user = flags.GetInt("user", 0);
+  if (user < 0 || user >= split.num_users()) {
+    std::fprintf(stderr, "user %lld out of range [0, %lld)\n",
+                 static_cast<long long>(user),
+                 static_cast<long long>(split.num_users()));
+    return 2;
+  }
+  const int64_t topk = flags.GetInt("topk", 10);
+  model->SetTraining(false);
+  data::Batch batch;
+  batch.size = 1;
+  batch.max_len = model->config().max_len;
+  batch.user_ids = {user};
+  batch.targets = {split.test_targets()[user]};
+  const std::vector<int64_t> history = split.TestInput(user);
+  batch.raw_prefixes = {history};
+  batch.input_ids = data::PadTruncate(history, batch.max_len);
+  const Tensor scores = model->ScoreAll(batch);
+  std::printf("history:");
+  for (int64_t v : history) std::printf(" %lld", static_cast<long long>(v));
+  std::printf("\ntop-%lld:", static_cast<long long>(topk));
+  std::vector<std::pair<float, int64_t>> ranked;
+  for (int64_t item = 1; item <= split.num_items(); ++item) {
+    ranked.emplace_back(scores[item], item);
+  }
+  const int64_t k = std::min<int64_t>(topk, split.num_items());
+  std::partial_sort(ranked.begin(), ranked.begin() + k, ranked.end(),
+                    std::greater<>());
+  for (int64_t i = 0; i < k; ++i) {
+    std::printf(" %lld", static_cast<long long>(ranked[i].second));
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: slime4rec_cli <stats|generate|train|evaluate|recommend> "
+      "[--flag value ...]\n"
+      "  stats     --data FILE\n"
+      "  generate  --preset beauty-sim --scale 0.5 --out FILE\n"
+      "  train     --data FILE [--model SLIME4Rec] [--epochs 20] "
+      "[--alpha 0.4] [--save CKPT]\n"
+      "  evaluate  --data FILE --load CKPT [--model ...]\n"
+      "  recommend --data FILE --load CKPT --user 0 [--topk 10]\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  const Flags flags(argc, argv, 2);
+  if (cmd == "stats") return CmdStats(flags);
+  if (cmd == "generate") return CmdGenerate(flags);
+  if (cmd == "train") return CmdTrain(flags);
+  if (cmd == "evaluate") return CmdEvaluate(flags);
+  if (cmd == "recommend") return CmdRecommend(flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace cli
+}  // namespace slime
+
+int main(int argc, char** argv) { return slime::cli::Main(argc, argv); }
