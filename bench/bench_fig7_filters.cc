@@ -63,7 +63,7 @@ void Run() {
   m.alpha = 0.1;  // < beta = 0.25: DFS leaves gaps, SFS recaptures them
   core::Slime4Rec model(MakeSlimeConfig(base, m));
   train::Trainer trainer(BenchTrainConfig());
-  const train::TrainResult r = trainer.Fit(&model, split);
+  const train::TrainResult r = trainer.Fit(&model, split).value();
   std::printf("trained to test %s\n\n",
               ("HR@5 " + Fmt4(r.test.hr5) + ", NDCG@5 " + Fmt4(r.test.ndcg5))
                   .c_str());

@@ -61,7 +61,7 @@ void Run() {
     auto model = models::CreateModel(name, DefaultModelConfig(split),
                                      DefaultMixerOptions(split.name()));
     train::Trainer trainer(tc);
-    trainer.Fit(model.get(), split);
+    trainer.Fit(model.get(), split).value();
     const EvalRow row = EvaluateBoth(model.get(), split, negative_counts);
     table.AddRow({name, Fmt4(row.full_hr10), Fmt4(row.sampled_hr10[0]),
                   Fmt4(row.sampled_hr10[1]), Fmt4(row.sampled_hr10[2])});

@@ -62,7 +62,7 @@ int main(int argc, char** argv) {
   tc.max_epochs = 6;
   tc.patience = 2;
   train::Trainer trainer(tc);
-  const train::TrainResult result = trainer.Fit(&model, split);
+  const train::TrainResult result = trainer.Fit(&model, split).value();
   std::printf("trained on the loaded file: HR@10 %.4f, NDCG@10 %.4f\n",
               result.test.hr10, result.test.ndcg10);
   std::remove(path.c_str());

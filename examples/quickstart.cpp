@@ -45,7 +45,7 @@ int main() {
   tc.patience = 3;
   tc.verbose = true;
   train::Trainer trainer(tc);
-  const train::TrainResult result = trainer.Fit(&model, split);
+  const train::TrainResult result = trainer.Fit(&model, split).value();
   std::printf("\ntest metrics:  HR@5 %.4f  NDCG@5 %.4f  HR@10 %.4f  "
               "NDCG@10 %.4f  (best epoch %lld)\n",
               result.test.hr5, result.test.ndcg5, result.test.hr10,

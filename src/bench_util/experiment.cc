@@ -92,7 +92,7 @@ ExperimentResult RunPrepared(models::SequentialRecommender* model,
                              const train::TrainConfig& train_config) {
   const auto start = std::chrono::steady_clock::now();
   train::Trainer trainer(train_config);
-  const train::TrainResult r = trainer.Fit(model, split);
+  const train::TrainResult r = trainer.Fit(model, split).value();
   const auto stop = std::chrono::steady_clock::now();
   ExperimentResult out;
   out.test = r.test;

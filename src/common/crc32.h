@@ -1,0 +1,23 @@
+#ifndef SLIME4REC_COMMON_CRC32_H_
+#define SLIME4REC_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace slime {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), the checksum used by zip and
+/// PNG. Table-driven, byte-at-a-time; plenty fast for checkpoint-sized
+/// payloads and requires no hardware support.
+///
+/// `Crc32(data, n)` is equivalent to `ExtendCrc32(0, data, n)`; the extend
+/// form lets callers checksum a file incrementally.
+uint32_t Crc32(const void* data, size_t n);
+uint32_t ExtendCrc32(uint32_t crc, const void* data, size_t n);
+
+inline uint32_t Crc32(std::string_view s) { return Crc32(s.data(), s.size()); }
+
+}  // namespace slime
+
+#endif  // SLIME4REC_COMMON_CRC32_H_

@@ -19,6 +19,20 @@ inline uint64_t SplitMix64(uint64_t* state) {
 
 }  // namespace
 
+RngState Rng::state() const {
+  RngState st;
+  for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+  st.have_cached_gaussian = have_cached_gaussian_;
+  st.cached_gaussian = cached_gaussian_;
+  return st;
+}
+
+void Rng::set_state(const RngState& state) {
+  for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+  have_cached_gaussian_ = state.have_cached_gaussian;
+  cached_gaussian_ = state.cached_gaussian;
+}
+
 void Rng::Seed(uint64_t seed) {
   uint64_t sm = seed;
   for (auto& s : s_) s = SplitMix64(&sm);

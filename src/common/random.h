@@ -8,6 +8,15 @@
 
 namespace slime {
 
+/// The full serialisable state of an Rng: the xoshiro256++ words plus the
+/// Box-Muller spare. Capturing and restoring this makes a generator resume
+/// its stream bit-for-bit (train-state snapshots rely on it).
+struct RngState {
+  uint64_t s[4] = {0, 0, 0, 0};
+  bool have_cached_gaussian = false;
+  float cached_gaussian = 0.0f;
+};
+
 /// Deterministic, seedable PRNG used everywhere in the library so that every
 /// experiment in the paper reproduction is bit-reproducible for a given
 /// seed. Xoshiro256++ (Blackman & Vigna) seeded through SplitMix64; fast,
@@ -18,6 +27,10 @@ class Rng {
 
   /// Re-seeds the generator; identical seeds yield identical streams.
   void Seed(uint64_t seed);
+
+  /// Captures / restores the complete generator state.
+  RngState state() const;
+  void set_state(const RngState& state);
 
   /// Uniform 64-bit value.
   uint64_t NextUint64();

@@ -19,6 +19,9 @@ std::string Status::ToString() const {
     case Code::kCorruption:
       name = "Corruption";
       break;
+    case Code::kAborted:
+      name = "Aborted";
+      break;
   }
   return std::string(name) + ": " + message_;
 }

@@ -20,6 +20,7 @@ class Status {
     kNotFound,
     kIOError,
     kCorruption,
+    kAborted,
   };
 
   Status() : code_(Code::kOk) {}
@@ -36,6 +37,11 @@ class Status {
   }
   static Status Corruption(std::string msg) {
     return Status(Code::kCorruption, std::move(msg));
+  }
+  /// An operation that started but was deliberately given up on (e.g.
+  /// training abandoned after repeated divergence rollbacks).
+  static Status Aborted(std::string msg) {
+    return Status(Code::kAborted, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }

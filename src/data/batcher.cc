@@ -20,6 +20,26 @@ TrainBatcher::TrainBatcher(const SplitDataset* split, int64_t batch_size,
   std::iota(order_.begin(), order_.end(), 0);
 }
 
+Status TrainBatcher::RestoreOrder(std::vector<int64_t> order) {
+  if (order.size() != order_.size()) {
+    return Status::InvalidArgument(
+        "batch order has " + std::to_string(order.size()) +
+        " entries, split has " + std::to_string(order_.size()) +
+        " training samples");
+  }
+  std::vector<bool> seen(order.size(), false);
+  for (int64_t idx : order) {
+    if (idx < 0 || idx >= static_cast<int64_t>(order.size()) || seen[idx]) {
+      return Status::InvalidArgument(
+          "batch order is not a permutation (bad entry " +
+          std::to_string(idx) + ")");
+    }
+    seen[idx] = true;
+  }
+  order_ = std::move(order);
+  return Status::OK();
+}
+
 int64_t TrainBatcher::batches_per_epoch() const {
   const int64_t n = static_cast<int64_t>(order_.size());
   return (n + batch_size_ - 1) / batch_size_;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/status.h"
 #include "data/dataset.h"
 
 namespace slime {
@@ -37,6 +38,16 @@ class TrainBatcher {
   std::vector<Batch> Epoch();
 
   int64_t batches_per_epoch() const;
+
+  /// The current visit order. Epoch() shuffles this vector in place, so the
+  /// order at epoch E depends on the order left by epoch E-1 — train-state
+  /// snapshots must persist it (alongside the RNG state) for a resumed run
+  /// to replay the exact same batches.
+  const std::vector<int64_t>& order() const { return order_; }
+
+  /// Restores an order captured by order(). Rejects anything that is not a
+  /// permutation of [0, train_samples) with InvalidArgument.
+  Status RestoreOrder(std::vector<int64_t> order);
 
  private:
   const SplitDataset* split_;

@@ -2,65 +2,26 @@
 
 #include <cstdint>
 #include <cstring>
-#include <fstream>
 #include <map>
+#include <vector>
 
+#include "io/serializer.h"
 #include "tensor/tensor.h"
 
 namespace slime {
 namespace io {
 namespace {
 
-constexpr char kMagic[4] = {'S', 'L', 'M', '1'};
+constexpr std::string_view kMagicV1 = "SLM1";
+constexpr std::string_view kMagicV2 = "SLM2";
 
-template <typename T>
-void WritePod(std::ofstream& out, T v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
-}
-
-template <typename T>
-bool ReadPod(std::ifstream& in, T* v) {
-  in.read(reinterpret_cast<char*>(v), sizeof(T));
-  return static_cast<bool>(in);
-}
-
-}  // namespace
-
-Status SaveCheckpoint(const nn::Module& module, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) {
-    return Status::IOError("cannot open " + path + " for writing");
-  }
-  const auto params = module.NamedParameters();
-  out.write(kMagic, sizeof(kMagic));
-  WritePod<uint64_t>(out, params.size());
-  for (const auto& [name, variable] : params) {
-    const Tensor& value = variable.value();
-    WritePod<uint32_t>(out, static_cast<uint32_t>(name.size()));
-    out.write(name.data(), static_cast<std::streamsize>(name.size()));
-    WritePod<uint32_t>(out, static_cast<uint32_t>(value.dim()));
-    for (int64_t d : value.shape()) WritePod<int64_t>(out, d);
-    out.write(reinterpret_cast<const char*>(value.data()),
-              static_cast<std::streamsize>(value.numel() * sizeof(float)));
-  }
-  if (!out) {
-    return Status::IOError("write failed for " + path);
-  }
-  return Status::OK();
-}
-
-Status LoadCheckpoint(nn::Module* module, const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return Status::IOError("cannot open " + path);
-  }
-  char magic[4];
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::Corruption("bad checkpoint magic in " + path);
-  }
+/// Parses the shared entry layout (count + named tensors) of v1/v2 bodies
+/// into `module`, validating names and shapes against the live model.
+Status ParseBody(nn::Module* module, std::string_view body,
+                 const std::string& path) {
+  BinaryReader reader(body);
   uint64_t count = 0;
-  if (!ReadPod(in, &count)) {
+  if (!reader.GetU64(&count)) {
     return Status::Corruption("truncated checkpoint header in " + path);
   }
   auto params = module->NamedParameters();
@@ -74,26 +35,23 @@ Status LoadCheckpoint(nn::Module* module, const std::string& path) {
         std::to_string(by_name.size()));
   }
   for (uint64_t i = 0; i < count; ++i) {
-    uint32_t name_len = 0;
-    if (!ReadPod(in, &name_len) || name_len > 4096) {
+    std::string name;
+    if (!reader.GetString(&name, /*max_len=*/4096)) {
       return Status::Corruption("bad parameter name length in " + path);
     }
-    std::string name(name_len, '\0');
-    in.read(name.data(), name_len);
     uint32_t rank = 0;
-    if (!in || !ReadPod(in, &rank) || rank > 16) {
+    if (!reader.GetU32(&rank) || rank > 16) {
       return Status::Corruption("bad parameter header for '" + name + "'");
     }
     std::vector<int64_t> shape(rank);
     for (auto& d : shape) {
-      if (!ReadPod(in, &d) || d < 0) {
+      if (!reader.GetI64(&d) || d < 0) {
         return Status::Corruption("bad shape for '" + name + "'");
       }
     }
     const auto it = by_name.find(name);
     if (it == by_name.end()) {
-      return Status::InvalidArgument("model has no parameter '" + name +
-                                     "'");
+      return Status::InvalidArgument("model has no parameter '" + name + "'");
     }
     Tensor& value = it->second->mutable_value();
     if (value.shape() != shape) {
@@ -101,13 +59,43 @@ Status LoadCheckpoint(nn::Module* module, const std::string& path) {
           "shape mismatch for '" + name + "': checkpoint " +
           ShapeToString(shape) + " vs model " + value.ShapeString());
     }
-    in.read(reinterpret_cast<char*>(value.data()),
-            static_cast<std::streamsize>(value.numel() * sizeof(float)));
-    if (!in) {
+    if (!reader.GetRaw(value.data(),
+                       static_cast<size_t>(value.numel()) * sizeof(float))) {
       return Status::Corruption("truncated data for '" + name + "'");
     }
   }
   return Status::OK();
+}
+
+}  // namespace
+
+Status SaveCheckpoint(const nn::Module& module, const std::string& path,
+                      Env* env) {
+  if (env == nullptr) env = Env::Default();
+  const auto params = module.NamedParameters();
+  BinaryWriter writer;
+  writer.PutU64(params.size());
+  for (const auto& [name, variable] : params) {
+    writer.PutString(name);
+    writer.PutTensor(variable.value());
+  }
+  return WriteEnvelope(env, path, kMagicV2, writer.buffer());
+}
+
+Status LoadCheckpoint(nn::Module* module, const std::string& path, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  Result<std::string> file = env->ReadFile(path);
+  if (!file.ok()) return file.status();
+  const std::string& bytes = file.value();
+  if (bytes.size() >= 4 && std::string_view(bytes).substr(0, 4) == kMagicV1) {
+    // Legacy v1: entry layout with no CRC footer.
+    return ParseBody(module, std::string_view(bytes).substr(4), path);
+  }
+  // v2 (or corrupt/foreign): envelope verification reports truncation, bad
+  // magic and bit flips as Corruption before any parsing happens.
+  Result<std::string> payload = ReadEnvelope(env, path, kMagicV2);
+  if (!payload.ok()) return payload.status();
+  return ParseBody(module, payload.value(), path);
 }
 
 }  // namespace io

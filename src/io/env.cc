@@ -1,0 +1,139 @@
+#include "io/env.h"
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace slime {
+namespace io {
+
+namespace {
+
+bool IsRegularFile(const std::string& path) {
+  struct ::stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+}  // namespace
+
+Result<std::string> Env::ReadFile(const std::string& path) {
+  if (!IsRegularFile(path)) {
+    return Status::IOError("cannot open " + path +
+                           " for reading (not a regular file)");
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open " + path + " for reading");
+  }
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    return Status::IOError("read failed for " + path);
+  }
+  return contents;
+}
+
+Status Env::WriteFile(const std::string& path, std::string_view contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  out.flush();
+  if (!out) {
+    return Status::IOError("write failed for " + path);
+  }
+  return Status::OK();
+}
+
+Status Env::RenameFile(const std::string& from, const std::string& to) {
+  if (std::rename(from.c_str(), to.c_str()) != 0) {
+    return Status::IOError("rename " + from + " -> " + to + " failed");
+  }
+  return Status::OK();
+}
+
+Status Env::RemoveFile(const std::string& path) {
+  std::remove(path.c_str());
+  return Status::OK();
+}
+
+bool Env::FileExists(const std::string& path) {
+  // Regular files only: a directory is not a loadable checkpoint, and
+  // ResolveResumePath relies on this to map directories to their snapshot.
+  return IsRegularFile(path);
+}
+
+Env* Env::Default() {
+  static Env env;
+  return &env;
+}
+
+void FaultInjectionEnv::ArmFault(Fault fault, int64_t nth) {
+  fault_ = fault;
+  fire_at_ = nth;
+}
+
+bool FaultInjectionEnv::ShouldFire(bool is_rename) {
+  const bool matches = is_rename ? (fault_ == Fault::kFailRename)
+                                 : (fault_ != Fault::kNone &&
+                                    fault_ != Fault::kFailRename);
+  if (!matches) return false;
+  if (--fire_at_ > 0) return false;
+  return true;
+}
+
+Result<std::string> FaultInjectionEnv::ReadFile(const std::string& path) {
+  return base_->ReadFile(path);
+}
+
+Status FaultInjectionEnv::WriteFile(const std::string& path,
+                                    std::string_view contents) {
+  ++writes_seen_;
+  if (!ShouldFire(/*is_rename=*/false)) {
+    return base_->WriteFile(path, contents);
+  }
+  const Fault fault = fault_;
+  Disarm();
+  switch (fault) {
+    case Fault::kFailWrite:
+      return Status::IOError("injected write failure for " + path);
+    case Fault::kShortWrite:
+      // Half the bytes land; the env itself reports success.
+      return base_->WriteFile(path, contents.substr(0, contents.size() / 2));
+    case Fault::kCorruptAfterWrite: {
+      std::string copy(contents);
+      if (!copy.empty()) copy[copy.size() / 2] ^= 0x40;
+      return base_->WriteFile(path, copy);
+    }
+    case Fault::kCrashDuringWrite: {
+      // Leave a half-written temp file behind, then "die".
+      (void)base_->WriteFile(path, contents.substr(0, contents.size() / 2));
+      throw InjectedCrash{path};
+    }
+    default:
+      return base_->WriteFile(path, contents);
+  }
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  ++renames_seen_;
+  if (!ShouldFire(/*is_rename=*/true)) {
+    return base_->RenameFile(from, to);
+  }
+  Disarm();
+  return Status::IOError("injected rename failure for " + from);
+}
+
+Status FaultInjectionEnv::RemoveFile(const std::string& path) {
+  return base_->RemoveFile(path);
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+}  // namespace io
+}  // namespace slime

@@ -1,0 +1,107 @@
+#ifndef SLIME4REC_IO_ENV_H_
+#define SLIME4REC_IO_ENV_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace slime {
+namespace io {
+
+/// Filesystem seam for everything the checkpoint/snapshot layer touches.
+/// Production code uses Env::Default() (plain POSIX files); tests substitute
+/// a FaultInjectionEnv to deterministically exercise crash, short-write and
+/// corruption paths without real hardware faults (the LevelDB/RocksDB
+/// fault-injection pattern).
+///
+/// All operations are whole-file: checkpoints are small enough that staging
+/// a full buffer is cheaper than streaming, and whole-file writes make the
+/// atomic temp-file + rename protocol trivial to reason about.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Reads the entire file into a string.
+  virtual Result<std::string> ReadFile(const std::string& path);
+
+  /// Creates/truncates `path` and writes `contents`. Durable on return as
+  /// far as the OS buffer cache is concerned; no fsync (matching the rest
+  /// of the library's single-node, experiment-oriented durability needs).
+  virtual Status WriteFile(const std::string& path, std::string_view contents);
+
+  /// Atomically replaces `to` with `from` (POSIX rename semantics: either
+  /// the old `to` or the complete new file exists, never a mix).
+  virtual Status RenameFile(const std::string& from, const std::string& to);
+
+  /// Deletes a file; missing files are not an error (idempotent cleanup).
+  virtual Status RemoveFile(const std::string& path);
+
+  virtual bool FileExists(const std::string& path);
+
+  /// The process-wide default environment (plain filesystem).
+  static Env* Default();
+};
+
+/// Thrown by FaultInjectionEnv for Fault::kCrashDuringWrite: simulates the
+/// process being killed mid-write. A partially-written temp file is left on
+/// disk, exactly as a real kill would.
+struct InjectedCrash {
+  std::string path;
+};
+
+/// Wraps a base Env and injects one fault at the Nth mutating operation of
+/// the fault's kind (write faults count WriteFile calls, rename faults count
+/// RenameFile calls). Faults are one-shot: after firing, the env behaves
+/// normally until re-armed. Counting restarts at every ArmFault call, so
+/// `ArmFault(f, 1)` means "the very next matching operation".
+class FaultInjectionEnv : public Env {
+ public:
+  enum class Fault {
+    kNone,
+    /// WriteFile fails up front; nothing is written.
+    kFailWrite,
+    /// WriteFile silently writes only the first half of the buffer and
+    /// reports success — the save path must catch this itself.
+    kShortWrite,
+    /// WriteFile succeeds, then one payload byte on disk is flipped —
+    /// models post-write bit rot; only a checksum can catch it.
+    kCorruptAfterWrite,
+    /// WriteFile writes half the buffer, then throws InjectedCrash.
+    kCrashDuringWrite,
+    /// RenameFile fails; source and destination are left untouched.
+    kFailRename,
+  };
+
+  explicit FaultInjectionEnv(Env* base = Env::Default()) : base_(base) {}
+
+  /// Arms `fault` to fire on the `nth` (1-based) matching operation from
+  /// now.
+  void ArmFault(Fault fault, int64_t nth = 1);
+  void Disarm() { fault_ = Fault::kNone; }
+
+  /// Mutating operations (writes + renames) observed since construction.
+  int64_t mutating_ops() const { return writes_seen_ + renames_seen_; }
+
+  Result<std::string> ReadFile(const std::string& path) override;
+  Status WriteFile(const std::string& path,
+                   std::string_view contents) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+
+ private:
+  bool ShouldFire(bool is_rename);
+
+  Env* base_;
+  Fault fault_ = Fault::kNone;
+  int64_t fire_at_ = 0;  // remaining matching ops before firing
+  int64_t writes_seen_ = 0;
+  int64_t renames_seen_ = 0;
+};
+
+}  // namespace io
+}  // namespace slime
+
+#endif  // SLIME4REC_IO_ENV_H_

@@ -37,6 +37,33 @@ Adam::Adam(std::vector<autograd::Variable> params, Options options)
   }
 }
 
+Status Adam::RestoreState(int64_t step_count, std::vector<Tensor> m,
+                          std::vector<Tensor> v) {
+  if (step_count < 0) {
+    return Status::InvalidArgument("negative Adam step count " +
+                                   std::to_string(step_count));
+  }
+  if (m.size() != params_.size() || v.size() != params_.size()) {
+    return Status::InvalidArgument(
+        "Adam state has " + std::to_string(m.size()) + "/" +
+        std::to_string(v.size()) + " moment tensors, optimizer has " +
+        std::to_string(params_.size()) + " parameters");
+  }
+  for (size_t i = 0; i < params_.size(); ++i) {
+    if (m[i].shape() != params_[i].value().shape() ||
+        v[i].shape() != params_[i].value().shape()) {
+      return Status::InvalidArgument(
+          "Adam moment shape mismatch at parameter " + std::to_string(i) +
+          ": " + m[i].ShapeString() + " vs " +
+          params_[i].value().ShapeString());
+    }
+  }
+  t_ = step_count;
+  m_ = std::move(m);
+  v_ = std::move(v);
+  return Status::OK();
+}
+
 void Adam::Step() {
   ++t_;
   const float b1 = options_.beta1;

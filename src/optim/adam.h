@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/status.h"
 #include "optim/optimizer.h"
 #include "tensor/tensor.h"
 
@@ -29,6 +30,19 @@ class Adam : public Optimizer {
 
   const Options& options() const { return options_; }
   void set_lr(float lr) { options_.lr = lr; }
+
+  /// Serialisable optimizer state, exposed so train-state snapshots can
+  /// persist the moments and bias-correction step across a crash/resume.
+  int64_t step_count() const { return t_; }
+  const std::vector<Tensor>& first_moments() const { return m_; }
+  const std::vector<Tensor>& second_moments() const { return v_; }
+
+  /// Restores state captured from an identically-parameterised Adam. The
+  /// moment lists must match the parameter list element-for-element in
+  /// count and shape; mismatches are rejected with InvalidArgument and
+  /// leave the optimizer unchanged.
+  Status RestoreState(int64_t step_count, std::vector<Tensor> m,
+                      std::vector<Tensor> v);
 
  private:
   Options options_;

@@ -1,6 +1,7 @@
 #include "serving/recommendation_service.h"
 
 #include <algorithm>
+#include <string>
 
 #include "common/macros.h"
 #include "data/batcher.h"
@@ -35,18 +36,48 @@ std::vector<Recommendation> TopKFromScores(
   return candidates;
 }
 
-std::vector<Recommendation> RecommendationService::Recommend(
-    const std::vector<int64_t>& history,
+Status RecommendationService::Validate(
+    const std::vector<std::vector<int64_t>>& histories,
     const RecommendOptions& options) const {
-  return RecommendBatch({history}, options)[0];
+  if (options.top_k <= 0) {
+    return Status::InvalidArgument("top_k must be positive, got " +
+                                   std::to_string(options.top_k));
+  }
+  const int64_t num_items = model_->config().num_items;
+  for (size_t i = 0; i < histories.size(); ++i) {
+    if (histories[i].empty()) {
+      return Status::InvalidArgument("history " + std::to_string(i) +
+                                     " is empty; cannot recommend without "
+                                     "at least one interaction");
+    }
+    for (int64_t item : histories[i]) {
+      if (item < 1 || item > num_items) {
+        return Status::InvalidArgument(
+            "history " + std::to_string(i) + " contains item id " +
+            std::to_string(item) + " outside the catalogue [1, " +
+            std::to_string(num_items) + "]");
+      }
+    }
+  }
+  return Status::OK();
 }
 
-std::vector<std::vector<Recommendation>>
+Result<std::vector<Recommendation>> RecommendationService::Recommend(
+    const std::vector<int64_t>& history,
+    const RecommendOptions& options) const {
+  Result<std::vector<std::vector<Recommendation>>> batch =
+      RecommendBatch({history}, options);
+  if (!batch.ok()) return batch.status();
+  return std::move(batch.value()[0]);
+}
+
+Result<std::vector<std::vector<Recommendation>>>
 RecommendationService::RecommendBatch(
     const std::vector<std::vector<int64_t>>& histories,
     const RecommendOptions& options) const {
-  SLIME_CHECK(!histories.empty());
-  SLIME_CHECK_GT(options.top_k, 0);
+  SLIME_RETURN_IF_ERROR(Validate(histories, options));
+  std::vector<std::vector<Recommendation>> results;
+  if (histories.empty()) return results;  // an empty batch is a no-op
   const int64_t n = model_->config().max_len;
   const int64_t num_items = model_->config().num_items;
 
@@ -54,11 +85,6 @@ RecommendationService::RecommendBatch(
   batch.size = static_cast<int64_t>(histories.size());
   batch.max_len = n;
   for (const auto& history : histories) {
-    SLIME_CHECK_MSG(!history.empty(), "cannot recommend from an empty history");
-    for (int64_t item : history) {
-      SLIME_CHECK_MSG(item >= 1 && item <= num_items,
-                      "history item " << item << " outside catalogue");
-    }
     batch.user_ids.push_back(0);   // models that use user ids need real ones;
     batch.targets.push_back(1);    // placeholder, unused by ScoreAll
     batch.raw_prefixes.push_back(history);
@@ -74,7 +100,6 @@ RecommendationService::RecommendBatch(
   SLIME_CHECK_EQ(scores.size(0), batch.size);
   SLIME_CHECK_EQ(scores.size(1), num_items + 1);
 
-  std::vector<std::vector<Recommendation>> results;
   results.reserve(histories.size());
   for (size_t i = 0; i < histories.size(); ++i) {
     std::vector<bool> excluded(num_items + 1, false);

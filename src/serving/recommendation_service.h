@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
 #include "models/recommender.h"
 
 namespace slime {
@@ -31,6 +32,12 @@ struct RecommendOptions {
 /// ranked top-K lists. The service switches the model to eval mode for
 /// the duration of each call and restores the previous mode afterwards.
 ///
+/// Requests are untrusted input: malformed histories (item ids outside
+/// [1, num_items], empty histories) and non-positive top_k are rejected
+/// with Status::InvalidArgument rather than crossing into the model, where
+/// an out-of-range id would index out of bounds. An empty batch is valid
+/// and yields an empty result.
+///
 /// The model pointer is non-owning; the caller keeps it alive and must
 /// not train it concurrently (single-threaded, like the library).
 class RecommendationService {
@@ -38,18 +45,22 @@ class RecommendationService {
   explicit RecommendationService(models::SequentialRecommender* model);
 
   /// Top-K for one user history (chronological item ids, 1-based).
-  std::vector<Recommendation> Recommend(
+  Result<std::vector<Recommendation>> Recommend(
       const std::vector<int64_t>& history,
       const RecommendOptions& options = {}) const;
 
   /// Batched variant; one ranked list per history.
-  std::vector<std::vector<Recommendation>> RecommendBatch(
+  Result<std::vector<std::vector<Recommendation>>> RecommendBatch(
       const std::vector<std::vector<int64_t>>& histories,
       const RecommendOptions& options = {}) const;
 
   int64_t num_items() const { return model_->config().num_items; }
 
  private:
+  /// Validates one request; non-OK for any malformed history or option.
+  Status Validate(const std::vector<std::vector<int64_t>>& histories,
+                  const RecommendOptions& options) const;
+
   models::SequentialRecommender* model_;
 };
 

@@ -17,7 +17,7 @@ GridSearchResult GridSearch(const std::vector<GridPoint>& grid,
     auto model = grid[i].factory();
     SLIME_CHECK(model != nullptr);
     Trainer trainer(train_config);
-    const TrainResult r = trainer.Fit(model.get(), split);
+    const TrainResult r = trainer.Fit(model.get(), split).value();
     result.valid_ndcg10.push_back(r.valid.ndcg10);
     if (verbose) {
       std::printf("[grid] %-24s valid NDCG@10 %s  test NDCG@10 %s\n",

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/status.h"
 #include "data/batcher.h"
 #include "data/dataset.h"
 #include "metrics/ranking.h"
@@ -21,6 +22,8 @@ struct TrainResult {
   int64_t best_epoch = 0;
   int64_t epochs_run = 0;
   double final_train_loss = 0.0;
+  /// Divergence rollbacks consumed (0 for a healthy run).
+  int64_t rollbacks = 0;
 };
 
 /// Evaluates `model` (switched to eval mode) with the full-ranking
@@ -32,12 +35,20 @@ metrics::RankingMetrics Evaluate(models::SequentialRecommender* model,
 /// Orchestrates training: shuffled mini-batches, Adam, gradient clipping,
 /// per-epoch validation, early stopping with best-parameter restore, and a
 /// final test evaluation. The same trainer drives all eleven models.
+///
+/// Fault tolerance (see TrainConfig): with `checkpoint_dir` set, a full
+/// TrainState snapshot is written crash-safely after qualifying epochs and
+/// a killed run resumed via `resume_from` replays the remaining epochs
+/// bit-for-bit. A non-finite loss or gradient triggers a rollback to the
+/// last completed epoch with the learning rate halved; after
+/// `max_rollbacks` failures Fit returns Status::Aborted. Snapshot I/O
+/// errors are returned, never swallowed.
 class Trainer {
  public:
   explicit Trainer(TrainConfig config) : config_(config) {}
 
-  TrainResult Fit(models::SequentialRecommender* model,
-                  const data::SplitDataset& split);
+  Result<TrainResult> Fit(models::SequentialRecommender* model,
+                          const data::SplitDataset& split);
 
   const TrainConfig& config() const { return config_; }
 

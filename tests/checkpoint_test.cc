@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 
 #include "core/slime4rec.h"
@@ -129,6 +131,97 @@ TEST(CheckpointTest, ShapeMismatchIsInvalidArgument) {
   const Status st = LoadCheckpoint(&big, path);
   EXPECT_EQ(st.code(), Status::Code::kInvalidArgument);
   EXPECT_NE(st.message().find("shape mismatch"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteAll(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(CheckpointTest, FlippedPayloadByteIsCorruption) {
+  // A single bit flip anywhere in the file must be caught by the CRC
+  // footer, not silently loaded as slightly-wrong weights.
+  const std::string path = TempPath("ckpt_bitflip.bin");
+  core::Slime4Rec model(SmallConfig());
+  ASSERT_TRUE(SaveCheckpoint(model, path).ok());
+  std::string bytes = ReadAll(path);
+  bytes[bytes.size() / 2] ^= 0x01;
+  WriteAll(path, bytes);
+  core::Slime4Rec fresh(SmallConfig());
+  const Status st = LoadCheckpoint(&fresh, path);
+  EXPECT_EQ(st.code(), Status::Code::kCorruption);
+  EXPECT_NE(st.message().find("CRC"), std::string::npos) << st.message();
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, TrailingGarbageIsCorruption) {
+  const std::string path = TempPath("ckpt_trailing.bin");
+  core::Slime4Rec model(SmallConfig());
+  ASSERT_TRUE(SaveCheckpoint(model, path).ok());
+  WriteAll(path, ReadAll(path) + "junk appended after the footer");
+  core::Slime4Rec fresh(SmallConfig());
+  EXPECT_EQ(LoadCheckpoint(&fresh, path).code(), Status::Code::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, LegacySlm1FileStillLoads) {
+  // Files written before the CRC footer (magic "SLM1", same entry layout,
+  // no checksum) must keep loading: users have old checkpoints on disk.
+  const std::string path = TempPath("ckpt_legacy.bin");
+  core::Slime4RecConfig config = SmallConfig();
+  core::Slime4Rec model(config);
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write("SLM1", 4);
+    const auto params = model.NamedParameters();
+    const uint64_t count = params.size();
+    out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+    for (const auto& [name, variable] : params) {
+      const Tensor& value = variable.value();
+      const auto name_len = static_cast<uint32_t>(name.size());
+      out.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
+      out.write(name.data(), static_cast<std::streamsize>(name.size()));
+      const auto rank = static_cast<uint32_t>(value.dim());
+      out.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+      for (int64_t d : value.shape()) {
+        out.write(reinterpret_cast<const char*>(&d), sizeof(d));
+      }
+      out.write(reinterpret_cast<const char*>(value.data()),
+                static_cast<std::streamsize>(value.numel() * sizeof(float)));
+    }
+    ASSERT_TRUE(static_cast<bool>(out));
+  }
+  config.seed = 1234;  // different init, must be fully overwritten
+  core::Slime4Rec fresh(config);
+  ASSERT_TRUE(LoadCheckpoint(&fresh, path).ok());
+  const auto p1 = model.NamedParameters();
+  const auto p2 = fresh.NamedParameters();
+  ASSERT_EQ(p1.size(), p2.size());
+  for (size_t i = 0; i < p1.size(); ++i) {
+    for (int64_t j = 0; j < p1[i].second.numel(); ++j) {
+      ASSERT_FLOAT_EQ(p1[i].second.value()[j], p2[i].second.value()[j])
+          << p1[i].first;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, NewFilesCarryV2MagicAndNoTempResidue) {
+  const std::string path = TempPath("ckpt_v2magic.bin");
+  core::Slime4Rec model(SmallConfig());
+  ASSERT_TRUE(SaveCheckpoint(model, path).ok());
+  const std::string bytes = ReadAll(path);
+  ASSERT_GE(bytes.size(), 8u);
+  EXPECT_EQ(bytes.substr(0, 4), "SLM2");
+  // The staging file must be gone after a successful atomic save.
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
   std::remove(path.c_str());
 }
 

@@ -19,6 +19,24 @@ TRAIN_LINE=$(grep '^test' "$TMP/train.log" | tr -s ' ')
 EVAL_LINE=$(grep '^test' "$TMP/eval.log" | tr -s ' ')
 [ "$TRAIN_LINE" = "$EVAL_LINE" ] || { echo "metric mismatch:"; echo "$TRAIN_LINE"; echo "$EVAL_LINE"; exit 1; }
 "$CLI" recommend --data "$TMP/data.txt" --load "$TMP/m.ckpt" --user 0 --topk 3 | grep -q top-3
+# Fault tolerance: an interrupted run resumed from its snapshot must end
+# with exactly the metrics of an uninterrupted run of the same length.
+"$CLI" train --data "$TMP/data.txt" --epochs 4 > "$TMP/full.log"
+FULL_LINE=$(grep '^test' "$TMP/full.log" | tr -s ' ')
+"$CLI" train --data "$TMP/data.txt" --epochs 2 \
+    --checkpoint-dir "$TMP/ckpts" --checkpoint-every 1 > /dev/null
+[ -f "$TMP/ckpts/train_state.slt" ] || { echo "no snapshot written"; exit 1; }
+[ -f "$TMP/ckpts/best_model.ckpt" ] || { echo "no best model written"; exit 1; }
+"$CLI" train --data "$TMP/data.txt" --epochs 4 \
+    --checkpoint-dir "$TMP/ckpts" --resume "$TMP/ckpts" > "$TMP/resume.log"
+grep -q "resumed from" "$TMP/resume.log"
+RESUME_LINE=$(grep '^test' "$TMP/resume.log" | tr -s ' ')
+[ "$FULL_LINE" = "$RESUME_LINE" ] || { echo "resume metric mismatch:"; echo "$FULL_LINE"; echo "$RESUME_LINE"; exit 1; }
+# Resuming from a directory with no snapshot must fail cleanly.
+if "$CLI" train --data "$TMP/data.txt" --epochs 2 \
+    --resume "$TMP/empty_ckpts" 2>/dev/null >/dev/null; then
+  echo "expected resume from missing snapshot to fail"; exit 1
+fi
 # Error paths: bad preset and missing file must fail cleanly.
 if "$CLI" generate --preset not-a-preset --out "$TMP/x.txt" 2>/dev/null; then
   echo "expected bad preset to fail"; exit 1

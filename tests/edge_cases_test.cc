@@ -167,7 +167,7 @@ TEST(EdgeCaseTest, TrainerOnMinimalSplit) {
   tc.max_epochs = 2;
   tc.batch_size = 2;
   train::Trainer trainer(tc);
-  const train::TrainResult r = trainer.Fit(model.get(), split);
+  const train::TrainResult r = trainer.Fit(model.get(), split).value();
   EXPECT_GE(r.test.hr10, 0.0);
   EXPECT_LE(r.test.hr10, 1.0);
 }

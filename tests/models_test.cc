@@ -303,8 +303,8 @@ TEST(MostPopTest, TrainableZooModelsBeatPopularityOnSequentialData) {
   auto pop = CreateModel("MostPop", c);
   auto fmlp = CreateModel("FMLP-Rec", c);
   train::Trainer trainer(tc);
-  const auto pop_result = trainer.Fit(pop.get(), split);
-  const auto fmlp_result = trainer.Fit(fmlp.get(), split);
+  const auto pop_result = trainer.Fit(pop.get(), split).value();
+  const auto fmlp_result = trainer.Fit(fmlp.get(), split).value();
   EXPECT_GT(fmlp_result.test.ndcg10, pop_result.test.ndcg10);
 }
 
@@ -321,7 +321,7 @@ TEST(LrScheduleTest, WarmupAndDecayTrainWithoutDivergence) {
   tc.warmup_epochs = 2;
   tc.lr_decay = 0.5f;
   train::Trainer trainer(tc);
-  const auto r = trainer.Fit(model.get(), split);
+  const auto r = trainer.Fit(model.get(), split).value();
   EXPECT_GT(r.final_train_loss, 0.0);
   EXPECT_TRUE(std::isfinite(r.final_train_loss));
 }

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "core/slime4rec.h"
@@ -28,7 +29,7 @@ TEST(ServingTest, ReturnsKRankedItems) {
   RecommendationService service(&model);
   RecommendOptions options;
   options.top_k = 5;
-  const auto recs = service.Recommend({1, 2, 3}, options);
+  const auto recs = service.Recommend({1, 2, 3}, options).value();
   ASSERT_EQ(recs.size(), 5u);
   for (size_t i = 1; i < recs.size(); ++i) {
     EXPECT_GE(recs[i - 1].score, recs[i].score);  // descending
@@ -48,7 +49,7 @@ TEST(ServingTest, ExcludeSeenFiltersHistory) {
   const std::vector<int64_t> history = {4, 9, 17};
   RecommendOptions options;
   options.top_k = 22;
-  const auto recs = service.Recommend(history, options);
+  const auto recs = service.Recommend(history, options).value();
   // 25 items - 3 seen = 22 remain.
   ASSERT_EQ(recs.size(), 22u);
   for (const auto& r : recs) {
@@ -63,7 +64,7 @@ TEST(ServingTest, ExcludeSeenOffKeepsHistoryItems) {
   RecommendOptions options;
   options.top_k = 25;
   options.exclude_seen = false;
-  const auto recs = service.Recommend({4, 9, 17}, options);
+  const auto recs = service.Recommend({4, 9, 17}, options).value();
   EXPECT_EQ(recs.size(), 25u);
 }
 
@@ -74,7 +75,7 @@ TEST(ServingTest, ExplicitBlocklistApplies) {
   options.top_k = 25;
   options.exclude_seen = false;
   options.exclude_items = {1, 2, 3, 4, 5};
-  const auto recs = service.Recommend({10}, options);
+  const auto recs = service.Recommend({10}, options).value();
   EXPECT_EQ(recs.size(), 20u);
   for (const auto& r : recs) {
     EXPECT_GT(r.item, 5);
@@ -87,10 +88,10 @@ TEST(ServingTest, BatchMatchesSingleRequests) {
   const std::vector<std::vector<int64_t>> histories = {{1, 2}, {7, 8, 9}};
   RecommendOptions options;
   options.top_k = 4;
-  const auto batched = service.RecommendBatch(histories, options);
+  const auto batched = service.RecommendBatch(histories, options).value();
   ASSERT_EQ(batched.size(), 2u);
   for (size_t i = 0; i < histories.size(); ++i) {
-    const auto single = service.Recommend(histories[i], options);
+    const auto single = service.Recommend(histories[i], options).value();
     ASSERT_EQ(single.size(), batched[i].size());
     for (size_t j = 0; j < single.size(); ++j) {
       EXPECT_EQ(single[j].item, batched[i][j].item) << i << "," << j;
@@ -105,7 +106,7 @@ TEST(ServingTest, RestoresTrainingMode) {
   RecommendationService service(&model);
   RecommendOptions options;
   options.top_k = 3;
-  service.Recommend({1}, options);
+  ASSERT_TRUE(service.Recommend({1}, options).ok());
   EXPECT_TRUE(model.training());
 }
 
@@ -121,7 +122,7 @@ TEST(ServingTest, LongHistoryTruncatedToMostRecent) {
   // The 40-item history covers the whole catalogue; keep seen items so
   // candidates remain.
   options.exclude_seen = false;
-  const auto recs = service.Recommend(history, options);
+  const auto recs = service.Recommend(history, options).value();
   EXPECT_EQ(recs.size(), 3u);
 }
 
@@ -138,7 +139,7 @@ TEST(ServingTest, WorksWithEveryZooModel) {
     RecommendationService service(model.get());
     RecommendOptions options;
     options.top_k = 3;
-    const auto recs = service.Recommend({3, 5}, options);
+    const auto recs = service.Recommend({3, 5}, options).value();
     EXPECT_EQ(recs.size(), 3u) << name;
   }
 }
@@ -150,6 +151,67 @@ TEST(ServingTest, TopKFromScoresTieBreaksByItemId) {
   ASSERT_EQ(recs.size(), 2u);
   EXPECT_EQ(recs[0].item, 1);
   EXPECT_EQ(recs[1].item, 2);
+}
+
+// --- Untrusted-input hardening -------------------------------------------
+
+TEST(ServingValidationTest, RejectsOutOfCatalogueItemIds) {
+  core::Slime4Rec model(SmallConfig());
+  RecommendationService service(&model);
+  for (const int64_t bad : {int64_t{0}, int64_t{-3}, int64_t{26},
+                            int64_t{1000000}}) {
+    const auto r = service.Recommend({1, bad, 2});
+    ASSERT_FALSE(r.ok()) << "item " << bad;
+    EXPECT_EQ(r.status().code(), Status::Code::kInvalidArgument);
+    EXPECT_NE(r.status().message().find(std::to_string(bad)),
+              std::string::npos)
+        << r.status().message();
+  }
+}
+
+TEST(ServingValidationTest, RejectsEmptyHistory) {
+  core::Slime4Rec model(SmallConfig());
+  RecommendationService service(&model);
+  const auto single = service.Recommend({});
+  ASSERT_FALSE(single.ok());
+  EXPECT_EQ(single.status().code(), Status::Code::kInvalidArgument);
+  // A batch with one empty history among valid ones is rejected whole.
+  const auto batch = service.RecommendBatch({{1, 2}, {}, {3}});
+  ASSERT_FALSE(batch.ok());
+  EXPECT_EQ(batch.status().code(), Status::Code::kInvalidArgument);
+  EXPECT_NE(batch.status().message().find("history 1"), std::string::npos)
+      << batch.status().message();
+}
+
+TEST(ServingValidationTest, EmptyBatchYieldsEmptyResult) {
+  core::Slime4Rec model(SmallConfig());
+  RecommendationService service(&model);
+  const auto r = service.RecommendBatch({});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().empty());
+}
+
+TEST(ServingValidationTest, RejectsNonPositiveTopK) {
+  core::Slime4Rec model(SmallConfig());
+  RecommendationService service(&model);
+  RecommendOptions options;
+  options.top_k = 0;
+  const auto r = service.Recommend({1, 2}, options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(ServingValidationTest, OutOfRangeBlocklistEntriesIgnored) {
+  // The blocklist is operator configuration, not user input: out-of-range
+  // entries (e.g. for items not in this shard) are skipped, not an error.
+  core::Slime4Rec model(SmallConfig());
+  RecommendationService service(&model);
+  RecommendOptions options;
+  options.top_k = 25;
+  options.exclude_seen = false;
+  options.exclude_items = {-5, 0, 26, 9999};
+  const auto recs = service.Recommend({10}, options).value();
+  EXPECT_EQ(recs.size(), 25u);
 }
 
 }  // namespace

@@ -73,7 +73,7 @@ TEST(TrainerTest, TrainingImprovesOverUntrained) {
   const metrics::RankingMetrics before =
       Evaluate(model.get(), split, true);
   Trainer trainer(FastTrainConfig(6));
-  const TrainResult result = trainer.Fit(model.get(), split);
+  const TrainResult result = trainer.Fit(model.get(), split).value();
   EXPECT_GT(result.test.ndcg10, before.ndcg10);
   EXPECT_GT(result.test.hr10, 0.2);  // far above the random ~0.25/2 band
   EXPECT_GE(result.best_epoch, 1);
@@ -87,7 +87,7 @@ TEST(TrainerTest, EarlyStoppingHaltsBeforeMaxEpochs) {
   t.patience = 1;
   t.lr = 0.05f;  // aggressive: validation degrades quickly after the peak
   Trainer trainer(t);
-  const TrainResult result = trainer.Fit(model.get(), split);
+  const TrainResult result = trainer.Fit(model.get(), split).value();
   EXPECT_LT(result.epochs_run, 60);
 }
 
@@ -97,7 +97,7 @@ TEST(TrainerTest, BestParametersRestoredForTest) {
   const data::SplitDataset split = TinySplit();
   auto model = models::CreateModel("SASRec", TinyModelConfig(split));
   Trainer trainer(FastTrainConfig(4));
-  const TrainResult result = trainer.Fit(model.get(), split);
+  const TrainResult result = trainer.Fit(model.get(), split).value();
   const metrics::RankingMetrics re_eval =
       Evaluate(model.get(), split, true);
   EXPECT_DOUBLE_EQ(result.test.ndcg10, re_eval.ndcg10);
@@ -110,7 +110,7 @@ TEST(TrainerTest, DuoRecTrainsWithPositives) {
   c.cl_weight = 0.1f;
   auto model = models::CreateModel("DuoRec", c);
   Trainer trainer(FastTrainConfig(3));
-  const TrainResult result = trainer.Fit(model.get(), split);
+  const TrainResult result = trainer.Fit(model.get(), split).value();
   EXPECT_GT(result.test.hr10, 0.0);
   EXPECT_GT(result.final_train_loss, 0.0);
 }
@@ -121,11 +121,11 @@ TEST(TrainerTest, DeterministicGivenSeeds) {
   TrainResult r2;
   {
     auto model = models::CreateModel("FMLP-Rec", TinyModelConfig(split));
-    r1 = Trainer(FastTrainConfig(2)).Fit(model.get(), split);
+    r1 = Trainer(FastTrainConfig(2)).Fit(model.get(), split).value();
   }
   {
     auto model = models::CreateModel("FMLP-Rec", TinyModelConfig(split));
-    r2 = Trainer(FastTrainConfig(2)).Fit(model.get(), split);
+    r2 = Trainer(FastTrainConfig(2)).Fit(model.get(), split).value();
   }
   EXPECT_DOUBLE_EQ(r1.test.ndcg10, r2.test.ndcg10);
   EXPECT_DOUBLE_EQ(r1.final_train_loss, r2.final_train_loss);

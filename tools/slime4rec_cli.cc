@@ -5,11 +5,15 @@
 //   generate   --preset NAME --scale S --out FILE [--seed N]
 //   train      --data FILE [--model NAME] [--epochs N] [--alpha A]
 //              [--layers L] [--hidden D] [--max-len N] [--save CKPT]
+//              [--checkpoint-dir DIR] [--checkpoint-every N]
+//              [--resume DIR_OR_SNAPSHOT]
 //   evaluate   --data FILE --load CKPT [--model NAME] [...model flags]
 //   recommend  --data FILE --load CKPT --user U [--topk K] [...model flags]
 //
 // Dataset files use the plain-text format of data/loader.h (one user per
 // line, chronological 1-based item ids).
+
+#include <sys/stat.h>
 
 #include <cstdio>
 #include <cstdlib>
@@ -184,8 +188,17 @@ int CmdTrain(const Flags& flags) {
   tc.batch_size = flags.GetInt("batch", 128);
   tc.lr = static_cast<float>(flags.GetDouble("lr", 1e-3));
   tc.verbose = true;
+  tc.checkpoint_dir = flags.Get("checkpoint-dir");
+  tc.checkpoint_every = flags.GetInt("checkpoint-every", 1);
+  tc.resume_from = flags.Get("resume");
+  if (!tc.checkpoint_dir.empty()) {
+    // Best effort; an unwritable directory surfaces as a snapshot IOError.
+    ::mkdir(tc.checkpoint_dir.c_str(), 0755);
+  }
   train::Trainer trainer(tc);
-  const train::TrainResult result = trainer.Fit(model.get(), split);
+  Result<train::TrainResult> fit = trainer.Fit(model.get(), split);
+  if (!fit.ok()) return Fail(fit.status());
+  const train::TrainResult result = std::move(fit).value();
   PrintMetrics("valid(best)", result.valid);
   PrintMetrics("test       ", result.test);
   const std::string ckpt = flags.Get("save");
@@ -260,6 +273,8 @@ int Usage() {
       "  generate  --preset beauty-sim --scale 0.5 --out FILE\n"
       "  train     --data FILE [--model SLIME4Rec] [--epochs 20] "
       "[--alpha 0.4] [--save CKPT]\n"
+      "            [--checkpoint-dir DIR] [--checkpoint-every 1] "
+      "[--resume DIR]\n"
       "  evaluate  --data FILE --load CKPT [--model ...]\n"
       "  recommend --data FILE --load CKPT --user 0 [--topk 10]\n");
   return 2;
