@@ -1,0 +1,267 @@
+// Kernel/dispatch-layer benchmark: measures GFLOP/s and thread scaling of
+// the compute kernels plus end-to-end train/serve phases, and verifies that
+// every thread count produces bit-identical results (CRC32 over the output
+// buffers). Emits BENCH_kernels.json.
+//
+// Usage: bench_kernels [--quick] [--out FILE]
+//   --quick          shrink problem sizes (CI smoke run)
+//   --out FILE       output path (default BENCH_kernels.json)
+// SLIME_BENCH_SCALE scales the synthetic dataset (default 0.25).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/crc32.h"
+#include "common/random.h"
+#include "compute/kernels.h"
+#include "compute/thread_pool.h"
+#include "data/synthetic.h"
+#include "models/model_factory.h"
+#include "serving/recommendation_service.h"
+#include "train/trainer.h"
+
+namespace slime {
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Measurement {
+  int threads = 0;
+  double seconds = 0.0;
+  double gflops = 0.0;  // 0 when not meaningful
+  uint32_t crc = 0;
+};
+
+/// Best-of-`reps` wall time for `fn`; returns seconds.
+template <typename Fn>
+double BestOf(int reps, Fn fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const double t0 = NowSeconds();
+    fn();
+    best = std::min(best, NowSeconds() - t0);
+  }
+  return best;
+}
+
+std::vector<Measurement> BenchMatMul(int64_t n, int reps,
+                                     const std::vector<int>& thread_counts) {
+  Rng rng(1);
+  std::vector<float> a(n * n), b(n * n), c(n * n);
+  for (auto& x : a) x = rng.UniformFloat() - 0.5f;
+  for (auto& x : b) x = rng.UniformFloat() - 0.5f;
+  std::vector<Measurement> out;
+  const double flops = 2.0 * n * n * n;
+  for (int threads : thread_counts) {
+    compute::ComputeContext ctx(threads);
+    const double secs = BestOf(reps, [&] {
+      std::memset(c.data(), 0, c.size() * sizeof(float));
+      compute::Dispatch().matmul(a.data(), b.data(), c.data(), n, n, n);
+    });
+    out.push_back({threads, secs, flops / secs / 1e9,
+                   Crc32(c.data(), c.size() * sizeof(float))});
+  }
+  return out;
+}
+
+std::vector<Measurement> BenchComplexMul(
+    int64_t repeats, int64_t block, int reps,
+    const std::vector<int>& thread_counts) {
+  Rng rng(2);
+  const int64_t total = repeats * block;
+  std::vector<float> ar(total), ai(total), br(block), bi(block), re(total),
+      im(total);
+  for (auto* v : {&ar, &ai, &br, &bi}) {
+    for (auto& x : *v) x = rng.UniformFloat() - 0.5f;
+  }
+  std::vector<Measurement> out;
+  const double flops = 6.0 * total;
+  for (int threads : thread_counts) {
+    compute::ComputeContext ctx(threads);
+    const double secs = BestOf(reps, [&] {
+      compute::Dispatch().complex_mul(ar.data(), ai.data(), br.data(),
+                                      bi.data(), re.data(), im.data(),
+                                      repeats, block);
+    });
+    uint32_t crc = Crc32(re.data(), re.size() * sizeof(float));
+    crc = ExtendCrc32(crc, im.data(), im.size() * sizeof(float));
+    out.push_back({threads, secs, flops / secs / 1e9, crc});
+  }
+  return out;
+}
+
+data::SplitDataset BenchSplit(double scale) {
+  data::SyntheticConfig config = data::BeautySimConfig(scale);
+  config.seed = 4242;
+  return data::SplitDataset(data::GenerateSynthetic(config), 2);
+}
+
+std::vector<Measurement> BenchTrainEpoch(
+    const data::SplitDataset& split, const std::vector<int>& thread_counts) {
+  std::vector<Measurement> out;
+  for (int threads : thread_counts) {
+    compute::ComputeContext ctx(threads);
+    models::ModelConfig c;
+    c.num_items = split.num_items();
+    c.num_users = split.num_users();
+    c.max_len = 16;
+    c.hidden_dim = 32;
+    c.num_layers = 2;
+    c.seed = 11;
+    auto model = models::CreateModel("SLIME4Rec", c);
+    train::TrainConfig t;
+    t.max_epochs = 1;
+    t.batch_size = 64;
+    t.seed = 5;
+    t.patience = 100;
+    train::Trainer trainer(t);
+    const double t0 = NowSeconds();
+    const train::TrainResult result = trainer.Fit(model.get(), split).value();
+    const double secs = NowSeconds() - t0;
+    // The final loss doubles as the cross-thread-count identity witness.
+    const double loss = result.final_train_loss;
+    out.push_back(
+        {threads, secs, 0.0, Crc32(&loss, sizeof(loss))});
+  }
+  return out;
+}
+
+std::vector<Measurement> BenchServeBatch(
+    const data::SplitDataset& split, int reps,
+    const std::vector<int>& thread_counts) {
+  models::ModelConfig c;
+  c.num_items = split.num_items();
+  c.num_users = split.num_users();
+  c.max_len = 16;
+  c.hidden_dim = 32;
+  c.num_layers = 2;
+  c.seed = 11;
+  auto model = models::CreateModel("SLIME4Rec", c);
+  serving::RecommendationService service(model.get());
+  serving::RecommendOptions options;
+  options.top_k = 10;
+  Rng rng(8);
+  std::vector<std::vector<int64_t>> histories;
+  for (int u = 0; u < 64; ++u) {
+    std::vector<int64_t> h;
+    const int len = 4 + static_cast<int>(rng.Uniform(12));
+    for (int i = 0; i < len; ++i)
+      h.push_back(1 + static_cast<int64_t>(rng.Uniform(c.num_items)));
+    histories.push_back(std::move(h));
+  }
+  std::vector<Measurement> out;
+  for (int threads : thread_counts) {
+    compute::ComputeContext ctx(threads);
+    std::vector<std::vector<serving::Recommendation>> recs;
+    const double secs = BestOf(reps, [&] {
+      recs = service.RecommendBatch(histories, options).value();
+    });
+    uint32_t crc = 0;
+    for (const auto& user : recs) {
+      for (const auto& r : user) {
+        crc = ExtendCrc32(crc, &r.item, sizeof(r.item));
+        crc = ExtendCrc32(crc, &r.score, sizeof(r.score));
+      }
+    }
+    out.push_back({threads, secs, 0.0, crc});
+  }
+  return out;
+}
+
+void EmitSection(std::FILE* f, const char* name,
+                 const std::vector<Measurement>& ms, bool last) {
+  const double base = ms.empty() ? 0.0 : ms.front().seconds;
+  bool identical = true;
+  for (const auto& m : ms) identical = identical && m.crc == ms.front().crc;
+  std::fprintf(f, "  \"%s\": {\n    \"bit_identical\": %s,\n    \"runs\": [\n",
+               name, identical ? "true" : "false");
+  for (size_t i = 0; i < ms.size(); ++i) {
+    const auto& m = ms[i];
+    std::fprintf(f,
+                 "      {\"threads\": %d, \"seconds\": %.6f, "
+                 "\"gflops\": %.3f, \"speedup_vs_1\": %.3f, "
+                 "\"crc32\": %u}%s\n",
+                 m.threads, m.seconds, m.gflops,
+                 m.seconds > 0.0 ? base / m.seconds : 0.0, m.crc,
+                 i + 1 < ms.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n  }%s\n", last ? "" : ",");
+}
+
+int Main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_kernels.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_kernels [--quick] [--out FILE]\n");
+      return 2;
+    }
+  }
+  double scale = quick ? 0.05 : 0.25;
+  if (const char* env = std::getenv("SLIME_BENCH_SCALE")) {
+    scale = std::atof(env);
+  }
+  const int hw = compute::HardwareThreads();
+  std::vector<int> thread_counts = {1, 2, 4};
+  const int64_t mm_n = quick ? 128 : 512;
+  const int reps = quick ? 2 : 3;
+
+  std::fprintf(stderr, "bench_kernels: hardware_threads=%d scale=%g\n", hw,
+               scale);
+  const auto matmul = BenchMatMul(mm_n, reps, thread_counts);
+  const auto cmul =
+      BenchComplexMul(quick ? 64 : 512, quick ? 1024 : 8192, reps,
+                      thread_counts);
+  const data::SplitDataset split = BenchSplit(scale);
+  const auto train = BenchTrainEpoch(split, thread_counts);
+  const auto serve = BenchServeBatch(split, quick ? 1 : 2, thread_counts);
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f,
+               "  \"host\": {\"hardware_threads\": %d, "
+               "\"note\": \"speedups are bounded by physical cores; on a "
+               "1-core host all thread counts serialise\"},\n",
+               hw);
+  char section[64];
+  std::snprintf(section, sizeof(section), "matmul_%ld",
+                static_cast<long>(mm_n));
+  EmitSection(f, section, matmul, false);
+  EmitSection(f, "complex_mul", cmul, false);
+  EmitSection(f, "train_epoch_beauty_sim", train, false);
+  EmitSection(f, "serve_batch_64", serve, true);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+
+  // Exit nonzero if any section broke bit-identity, so CI fails loudly.
+  for (const auto* ms : {&matmul, &cmul, &train, &serve}) {
+    for (const auto& m : *ms) {
+      if (m.crc != ms->front().crc) return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace slime
+
+int main(int argc, char** argv) { return slime::Main(argc, argv); }

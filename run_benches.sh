@@ -1,11 +1,33 @@
 #!/bin/bash
-# Runs every bench binary, logging to bench_logs/<name>.log, then
-# concatenates everything into bench_output.txt.
-cd /root/repo/build/bench
-for b in bench_table1_datasets bench_table2_overall bench_fig3_ablation \
-         bench_table4_slide_modes bench_fig6_noise bench_fig4_alpha \
-         bench_table3_sfs bench_table5_depth bench_fig5_seqlen_hidden \
-         bench_fig7_filters bench_complexity; do
+# Runs bench binaries, logging to bench_logs/<name>.log.
+#
+# Usage:
+#   ./run_benches.sh            # the main paper-table suite
+#   ./run_benches.sh wave2      # companion benches added after the main suite
+#   ./run_benches.sh all        # everything, kernels included
+#   ./run_benches.sh kernels    # just the compute-kernel scaling bench
+#   ./run_benches.sh NAME...    # any explicit list of bench binaries
+
+set -u
+cd /root/repo/build/bench || exit 1
+mkdir -p /root/repo/bench_logs
+
+MAIN="bench_table1_datasets bench_table2_overall bench_fig3_ablation \
+      bench_table4_slide_modes bench_fig6_noise bench_fig4_alpha \
+      bench_table3_sfs bench_table5_depth bench_fig5_seqlen_hidden \
+      bench_fig7_filters bench_complexity"
+WAVE2="bench_table4_slide_modes bench_ablation_mixing bench_sampled_metrics"
+KERNELS="bench_kernels"
+
+case "${1:-main}" in
+  main)    BENCHES="$MAIN" ;;
+  wave2)   BENCHES="$WAVE2" ;;
+  kernels) BENCHES="$KERNELS" ;;
+  all)     BENCHES="$MAIN $WAVE2 $KERNELS" ;;
+  *)       BENCHES="$*" ;;
+esac
+
+for b in $BENCHES; do
   echo "=== $b start $(date +%H:%M:%S) ==="
   ./$b > /root/repo/bench_logs/$b.log 2>&1
   echo "=== $b done  $(date +%H:%M:%S) rc=$? ==="

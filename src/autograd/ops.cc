@@ -3,11 +3,17 @@
 #include <algorithm>
 #include <cmath>
 
+#include "compute/kernels.h"
+#include "compute/thread_pool.h"
 #include "tensor/tensor_ops.h"
 
 namespace slime {
 namespace autograd {
 namespace {
+
+using compute::GrainForWork;
+using compute::kElementwiseGrain;
+using compute::ParallelFor;
 
 /// Reduces a broadcast gradient back to the operand shape and accumulates.
 void AccumulateBroadcast(const std::shared_ptr<Node>& node, const Tensor& g) {
@@ -31,8 +37,11 @@ Variable UnaryFromInput(const Variable& a, float (*fwd)(float),
         const float* px = an->value.data();
         const float* pg = g.data();
         float* pd = dx.data();
-        const int64_t n = g.numel();
-        for (int64_t i = 0; i < n; ++i) pd[i] = pg[i] * dfdx(px[i]);
+        ParallelFor(0, g.numel(), kElementwiseGrain,
+                    [&](int64_t lo, int64_t hi) {
+                      for (int64_t i = lo; i < hi; ++i)
+                        pd[i] = pg[i] * dfdx(px[i]);
+                    });
         AccumulateGrad(an, dx);
       });
 }
@@ -158,8 +167,11 @@ Variable Sigmoid(const Variable& a) {
     const float* py = y.data();
     const float* pg = g.data();
     float* pd = dx.data();
-    for (int64_t i = 0; i < g.numel(); ++i)
-      pd[i] = pg[i] * py[i] * (1.0f - py[i]);
+    ParallelFor(0, g.numel(), kElementwiseGrain,
+                [&](int64_t lo, int64_t hi) {
+                  for (int64_t i = lo; i < hi; ++i)
+                    pd[i] = pg[i] * py[i] * (1.0f - py[i]);
+                });
     AccumulateGrad(an, dx);
   });
 }
@@ -173,8 +185,11 @@ Variable Tanh(const Variable& a) {
     const float* py = y.data();
     const float* pg = g.data();
     float* pd = dx.data();
-    for (int64_t i = 0; i < g.numel(); ++i)
-      pd[i] = pg[i] * (1.0f - py[i] * py[i]);
+    ParallelFor(0, g.numel(), kElementwiseGrain,
+                [&](int64_t lo, int64_t hi) {
+                  for (int64_t i = lo; i < hi; ++i)
+                    pd[i] = pg[i] * (1.0f - py[i] * py[i]);
+                });
     AccumulateGrad(an, dx);
   });
 }
@@ -203,8 +218,11 @@ Variable Sqrt(const Variable& a) {
     const float* py = y.data();
     const float* pg = g.data();
     float* pd = dx.data();
-    for (int64_t i = 0; i < g.numel(); ++i)
-      pd[i] = pg[i] * 0.5f / py[i];
+    ParallelFor(0, g.numel(), kElementwiseGrain,
+                [&](int64_t lo, int64_t hi) {
+                  for (int64_t i = lo; i < hi; ++i)
+                    pd[i] = pg[i] * 0.5f / py[i];
+                });
     AccumulateGrad(an, dx);
   });
 }
@@ -244,11 +262,14 @@ Variable Slice(const Variable& a, int64_t axis, int64_t start, int64_t end) {
   Tensor out(out_shape);
   const float* px = x.data();
   float* po = out.data();
-  for (int64_t o = 0; o < outer; ++o) {
-    const float* src = px + (o * extent + start) * inner;
-    float* dst = po + o * width * inner;
-    std::copy(src, src + width * inner, dst);
-  }
+  ParallelFor(0, outer, GrainForWork(width * inner),
+              [&](int64_t lo, int64_t hi) {
+                for (int64_t o = lo; o < hi; ++o) {
+                  const float* src = px + (o * extent + start) * inner;
+                  float* dst = po + o * width * inner;
+                  std::copy(src, src + width * inner, dst);
+                }
+              });
   auto an = a.node();
   std::vector<int64_t> in_shape = x.shape();
   return MakeOpVariable(
@@ -257,11 +278,14 @@ Variable Slice(const Variable& a, int64_t axis, int64_t start, int64_t end) {
         Tensor dx(in_shape);
         const float* pg = g.data();
         float* pd = dx.data();
-        for (int64_t o = 0; o < outer; ++o) {
-          const float* src = pg + o * width * inner;
-          float* dst = pd + (o * extent + start) * inner;
-          std::copy(src, src + width * inner, dst);
-        }
+        ParallelFor(0, outer, GrainForWork(width * inner),
+                    [&](int64_t lo, int64_t hi) {
+                      for (int64_t o = lo; o < hi; ++o) {
+                        const float* src = pg + o * width * inner;
+                        float* dst = pd + (o * extent + start) * inner;
+                        std::copy(src, src + width * inner, dst);
+                      }
+                    });
         AccumulateGrad(an, dx);
       });
 }
@@ -382,39 +406,52 @@ Variable BroadcastMatMul(const Variable& w, const Variable& x) {
   SLIME_CHECK_EQ(xt.size(1), k);
   const int64_t n = xt.size(2);
   Tensor out({batch, m, n});
-  for (int64_t i = 0; i < batch; ++i) {
-    Tensor xi({k, n});
-    std::copy(xt.data() + i * k * n, xt.data() + (i + 1) * k * n, xi.data());
-    Tensor yi = ops::MatMul(wt, xi);
-    std::copy(yi.data(), yi.data() + m * n, out.data() + i * m * n);
+  {
+    const auto& kt = compute::Dispatch();
+    const float* pw = wt.data();
+    const float* px = xt.data();
+    float* po = out.data();
+    // Parallel across batch items; nested kernel dispatch runs inline.
+    ParallelFor(0, batch, GrainForWork(2 * m * k * n),
+                [&](int64_t lo, int64_t hi) {
+                  for (int64_t i = lo; i < hi; ++i) {
+                    kt.matmul(pw, px + i * k * n, po + i * m * n, m, k, n);
+                  }
+                });
   }
   auto wn = w.node();
   auto xn = x.node();
   return MakeOpVariable(
       std::move(out), {wn, xn},
       [wn, xn, batch, m, k, n](const Tensor& g) {
+        const auto& kt = compute::Dispatch();
         if (wn && wn->requires_grad) {
+          // dw accumulates across batch items in index order (serial outer
+          // loop keeps it deterministic); each item's matmul parallelises
+          // internally.
           Tensor dw({m, k});
+          Tensor tmp({m, k});
           for (int64_t i = 0; i < batch; ++i) {
-            Tensor gi({m, n});
-            Tensor xi({k, n});
-            std::copy(g.data() + i * m * n, g.data() + (i + 1) * m * n,
-                      gi.data());
-            std::copy(xn->value.data() + i * k * n,
-                      xn->value.data() + (i + 1) * k * n, xi.data());
-            ops::AddInPlace(&dw, ops::MatMulTransB(gi, xi));
+            tmp.Zero();
+            kt.matmul_trans_b(g.data() + i * m * n,
+                              xn->value.data() + i * k * n, tmp.data(), m, n,
+                              k);
+            ops::AddInPlace(&dw, tmp);
           }
           AccumulateGrad(wn, dw);
         }
         if (xn && xn->requires_grad) {
           Tensor dx({batch, k, n});
-          for (int64_t i = 0; i < batch; ++i) {
-            Tensor gi({m, n});
-            std::copy(g.data() + i * m * n, g.data() + (i + 1) * m * n,
-                      gi.data());
-            Tensor dxi = ops::MatMulTransA(wn->value, gi);
-            std::copy(dxi.data(), dxi.data() + k * n, dx.data() + i * k * n);
-          }
+          const float* pw = wn->value.data();
+          const float* pg = g.data();
+          float* pd = dx.data();
+          ParallelFor(0, batch, GrainForWork(2 * m * k * n),
+                      [&](int64_t lo, int64_t hi) {
+                        for (int64_t i = lo; i < hi; ++i) {
+                          kt.matmul_trans_a(pw, pg + i * m * n,
+                                            pd + i * k * n, m, k, n);
+                        }
+                      });
           AccumulateGrad(xn, dx);
         }
       });
@@ -476,19 +513,21 @@ Tensor SoftmaxRows(const Tensor& x) {
   const int64_t rows = x.numel() / d;
   const float* px = x.data();
   float* py = y.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* in = px + r * d;
-    float* out = py + r * d;
-    float mx = in[0];
-    for (int64_t i = 1; i < d; ++i) mx = std::max(mx, in[i]);
-    double z = 0.0;
-    for (int64_t i = 0; i < d; ++i) {
-      out[i] = std::exp(in[i] - mx);
-      z += out[i];
+  ParallelFor(0, rows, GrainForWork(4 * d), [&](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      const float* in = px + r * d;
+      float* out = py + r * d;
+      float mx = in[0];
+      for (int64_t i = 1; i < d; ++i) mx = std::max(mx, in[i]);
+      double z = 0.0;
+      for (int64_t i = 0; i < d; ++i) {
+        out[i] = std::exp(in[i] - mx);
+        z += out[i];
+      }
+      const float invz = static_cast<float>(1.0 / z);
+      for (int64_t i = 0; i < d; ++i) out[i] *= invz;
     }
-    const float invz = static_cast<float>(1.0 / z);
-    for (int64_t i = 0; i < d; ++i) out[i] *= invz;
-  }
+  });
   return y;
 }
 
@@ -506,15 +545,17 @@ Variable Softmax(const Variable& a) {
     const float* py = ycopy.data();
     const float* pg = g.data();
     float* pd = dx.data();
-    for (int64_t r = 0; r < rows; ++r) {
-      const float* yr = py + r * d;
-      const float* gr = pg + r * d;
-      float* dr = pd + r * d;
-      double dot = 0.0;
-      for (int64_t i = 0; i < d; ++i) dot += double(gr[i]) * yr[i];
-      for (int64_t i = 0; i < d; ++i)
-        dr[i] = yr[i] * (gr[i] - static_cast<float>(dot));
-    }
+    ParallelFor(0, rows, GrainForWork(4 * d), [&](int64_t lo, int64_t hi) {
+      for (int64_t r = lo; r < hi; ++r) {
+        const float* yr = py + r * d;
+        const float* gr = pg + r * d;
+        float* dr = pd + r * d;
+        double dot = 0.0;
+        for (int64_t i = 0; i < d; ++i) dot += double(gr[i]) * yr[i];
+        for (int64_t i = 0; i < d; ++i)
+          dr[i] = yr[i] * (gr[i] - static_cast<float>(dot));
+      }
+    });
     AccumulateGrad(an, dx);
   });
 }
@@ -526,16 +567,18 @@ Variable LogSoftmax(const Variable& a) {
   const int64_t rows = x.numel() / d;
   const float* px = x.data();
   float* py = y.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* in = px + r * d;
-    float* out = py + r * d;
-    float mx = in[0];
-    for (int64_t i = 1; i < d; ++i) mx = std::max(mx, in[i]);
-    double z = 0.0;
-    for (int64_t i = 0; i < d; ++i) z += std::exp(in[i] - mx);
-    const float lz = mx + static_cast<float>(std::log(z));
-    for (int64_t i = 0; i < d; ++i) out[i] = in[i] - lz;
-  }
+  ParallelFor(0, rows, GrainForWork(4 * d), [&](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      const float* in = px + r * d;
+      float* out = py + r * d;
+      float mx = in[0];
+      for (int64_t i = 1; i < d; ++i) mx = std::max(mx, in[i]);
+      double z = 0.0;
+      for (int64_t i = 0; i < d; ++i) z += std::exp(in[i] - mx);
+      const float lz = mx + static_cast<float>(std::log(z));
+      for (int64_t i = 0; i < d; ++i) out[i] = in[i] - lz;
+    }
+  });
   auto an = a.node();
   Tensor ycopy = y;
   return MakeOpVariable(std::move(y), {an}, [an, ycopy, d](const Tensor& g) {
@@ -545,15 +588,17 @@ Variable LogSoftmax(const Variable& a) {
     const float* py2 = ycopy.data();
     const float* pg = g.data();
     float* pd = dx.data();
-    for (int64_t r = 0; r < rows2; ++r) {
-      const float* yr = py2 + r * d;
-      const float* gr = pg + r * d;
-      float* dr = pd + r * d;
-      double s = 0.0;
-      for (int64_t i = 0; i < d; ++i) s += gr[i];
-      for (int64_t i = 0; i < d; ++i)
-        dr[i] = gr[i] - std::exp(yr[i]) * static_cast<float>(s);
-    }
+    ParallelFor(0, rows2, GrainForWork(4 * d), [&](int64_t lo, int64_t hi) {
+      for (int64_t r = lo; r < hi; ++r) {
+        const float* yr = py2 + r * d;
+        const float* gr = pg + r * d;
+        float* dr = pd + r * d;
+        double s = 0.0;
+        for (int64_t i = 0; i < d; ++i) s += gr[i];
+        for (int64_t i = 0; i < d; ++i)
+          dr[i] = gr[i] - std::exp(yr[i]) * static_cast<float>(s);
+      }
+    });
     AccumulateGrad(an, dx);
   });
 }
@@ -588,13 +633,16 @@ Variable CrossEntropy(const Variable& logits,
         const float scale = g[0] / static_cast<float>(count);
         const float* pp2 = probs.data();
         float* pd = dx.data();
-        for (int64_t r = 0; r < rows; ++r) {
-          const int64_t t = targets[r];
-          if (t == ignore_index) continue;
-          for (int64_t i = 0; i < v; ++i)
-            pd[r * v + i] = pp2[r * v + i] * scale;
-          pd[r * v + t] -= scale;
-        }
+        ParallelFor(0, rows, GrainForWork(2 * v),
+                    [&](int64_t lo, int64_t hi) {
+                      for (int64_t r = lo; r < hi; ++r) {
+                        const int64_t t = targets[r];
+                        if (t == ignore_index) continue;
+                        for (int64_t i = 0; i < v; ++i)
+                          pd[r * v + i] = pp2[r * v + i] * scale;
+                        pd[r * v + t] -= scale;
+                      }
+                    });
         AccumulateGrad(an, dx);
       });
 }
@@ -612,14 +660,21 @@ Variable EmbeddingLookup(const Variable& weight,
   Tensor out(full_shape);
   const float* pw = w.data();
   float* po = out.data();
-  for (size_t i = 0; i < ids.size(); ++i) {
-    const int64_t id = ids[i];
-    SLIME_CHECK_MSG(id >= 0 && id < vocab,
-                    "embedding id " << id << " out of range [0," << vocab
+  const int64_t nids = static_cast<int64_t>(ids.size());
+  for (int64_t i = 0; i < nids; ++i) {
+    SLIME_CHECK_MSG(ids[i] >= 0 && ids[i] < vocab,
+                    "embedding id " << ids[i] << " out of range [0," << vocab
                                     << ")");
-    std::copy(pw + id * d, pw + (id + 1) * d, po + i * d);
   }
+  ParallelFor(0, nids, GrainForWork(d), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const int64_t id = ids[static_cast<size_t>(i)];
+      std::copy(pw + id * d, pw + (id + 1) * d, po + i * d);
+    }
+  });
   auto wn = weight.node();
+  // Backward stays serial: duplicate ids scatter-add into the same row, so a
+  // row split would race and any atomic scheme would break determinism.
   return MakeOpVariable(std::move(out), {wn},
                         [wn, ids, vocab, d](const Tensor& g) {
                           Tensor dw({vocab, d});
@@ -650,26 +705,28 @@ Variable LayerNorm(const Variable& x, const Variable& gamma,
   float* py = y.data();
   float* ph = xhat.data();
   float* pis = inv_std.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* in = px + r * d;
-    double mean = 0.0;
-    for (int64_t i = 0; i < d; ++i) mean += in[i];
-    mean /= d;
-    double var = 0.0;
-    for (int64_t i = 0; i < d; ++i) {
-      const double c = in[i] - mean;
-      var += c * c;
+  ParallelFor(0, rows, GrainForWork(6 * d), [&](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      const float* in = px + r * d;
+      double mean = 0.0;
+      for (int64_t i = 0; i < d; ++i) mean += in[i];
+      mean /= d;
+      double var = 0.0;
+      for (int64_t i = 0; i < d; ++i) {
+        const double c = in[i] - mean;
+        var += c * c;
+      }
+      var /= d;
+      const float is = static_cast<float>(1.0 / std::sqrt(var + eps));
+      pis[r] = is;
+      float* hr = ph + r * d;
+      float* yr = py + r * d;
+      for (int64_t i = 0; i < d; ++i) {
+        hr[i] = (in[i] - static_cast<float>(mean)) * is;
+        yr[i] = hr[i] * pgm[i] + pbt[i];
+      }
     }
-    var /= d;
-    const float is = static_cast<float>(1.0 / std::sqrt(var + eps));
-    pis[r] = is;
-    float* hr = ph + r * d;
-    float* yr = py + r * d;
-    for (int64_t i = 0; i < d; ++i) {
-      hr[i] = (in[i] - static_cast<float>(mean)) * is;
-      yr[i] = hr[i] * pgm[i] + pbt[i];
-    }
-  }
+  });
   auto xn = x.node();
   auto gn = gamma.node();
   auto bn = beta.node();
@@ -681,48 +738,61 @@ Variable LayerNorm(const Variable& x, const Variable& gamma,
         const float* pis2 = inv_std.data();
         const float* pgm2 = gn->value.data();
         if (gn && gn->requires_grad) {
+          // Column-parallel: each i accumulates its rows in ascending order,
+          // matching the serial row-major walk bit for bit.
           Tensor dgamma({d});
           Tensor dbeta({d});
           float* pdg = dgamma.data();
           float* pdb = dbeta.data();
-          for (int64_t r = 0; r < rows; ++r)
-            for (int64_t i = 0; i < d; ++i) {
-              pdg[i] += pg[r * d + i] * ph2[r * d + i];
-              pdb[i] += pg[r * d + i];
-            }
+          ParallelFor(0, d, GrainForWork(4 * rows),
+                      [&](int64_t lo, int64_t hi) {
+                        for (int64_t i = lo; i < hi; ++i)
+                          for (int64_t r = 0; r < rows; ++r) {
+                            pdg[i] += pg[r * d + i] * ph2[r * d + i];
+                            pdb[i] += pg[r * d + i];
+                          }
+                      });
           AccumulateGrad(gn, dgamma);
           AccumulateGrad(bn, dbeta);
         } else if (bn && bn->requires_grad) {
           Tensor dbeta({d});
           float* pdb = dbeta.data();
-          for (int64_t r = 0; r < rows; ++r)
-            for (int64_t i = 0; i < d; ++i) pdb[i] += pg[r * d + i];
+          ParallelFor(0, d, GrainForWork(2 * rows),
+                      [&](int64_t lo, int64_t hi) {
+                        for (int64_t i = lo; i < hi; ++i)
+                          for (int64_t r = 0; r < rows; ++r)
+                            pdb[i] += pg[r * d + i];
+                      });
           AccumulateGrad(bn, dbeta);
         }
         if (xn && xn->requires_grad) {
           Tensor dx(xn->value.shape());
           float* pd = dx.data();
-          for (int64_t r = 0; r < rows; ++r) {
-            const float* gr = pg + r * d;
-            const float* hr = ph2 + r * d;
-            float* dr = pd + r * d;
-            // a_i = g_i * gamma_i; dx = inv_std * (a - mean(a) -
-            // xhat * mean(a * xhat)).
-            double ma = 0.0;
-            double mah = 0.0;
-            for (int64_t i = 0; i < d; ++i) {
-              const double a = double(gr[i]) * pgm2[i];
-              ma += a;
-              mah += a * hr[i];
-            }
-            ma /= d;
-            mah /= d;
-            for (int64_t i = 0; i < d; ++i) {
-              const double a = double(gr[i]) * pgm2[i];
-              dr[i] = pis2[r] *
-                      static_cast<float>(a - ma - double(hr[i]) * mah);
-            }
-          }
+          ParallelFor(0, rows, GrainForWork(8 * d),
+                      [&](int64_t lo, int64_t hi) {
+                        for (int64_t r = lo; r < hi; ++r) {
+                          const float* gr = pg + r * d;
+                          const float* hr = ph2 + r * d;
+                          float* dr = pd + r * d;
+                          // a_i = g_i * gamma_i; dx = inv_std * (a - mean(a)
+                          // - xhat * mean(a * xhat)).
+                          double ma = 0.0;
+                          double mah = 0.0;
+                          for (int64_t i = 0; i < d; ++i) {
+                            const double a = double(gr[i]) * pgm2[i];
+                            ma += a;
+                            mah += a * hr[i];
+                          }
+                          ma /= d;
+                          mah /= d;
+                          for (int64_t i = 0; i < d; ++i) {
+                            const double a = double(gr[i]) * pgm2[i];
+                            dr[i] =
+                                pis2[r] * static_cast<float>(
+                                              a - ma - double(hr[i]) * mah);
+                          }
+                        }
+                      });
           AccumulateGrad(xn, dx);
         }
       });
@@ -753,20 +823,22 @@ Variable MaxPoolAxis1(const Variable& x) {
   std::vector<int64_t> argmax(static_cast<size_t>(b * f));
   const float* px = xt.data();
   float* po = out.data();
-  for (int64_t i = 0; i < b; ++i)
-    for (int64_t j = 0; j < f; ++j) {
-      float best = px[i * t * f + j];
-      int64_t bi = 0;
-      for (int64_t k = 1; k < t; ++k) {
-        const float v = px[(i * t + k) * f + j];
-        if (v > best) {
-          best = v;
-          bi = k;
+  ParallelFor(0, b, GrainForWork(t * f), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i)
+      for (int64_t j = 0; j < f; ++j) {
+        float best = px[i * t * f + j];
+        int64_t bi = 0;
+        for (int64_t k = 1; k < t; ++k) {
+          const float v = px[(i * t + k) * f + j];
+          if (v > best) {
+            best = v;
+            bi = k;
+          }
         }
+        po[i * f + j] = best;
+        argmax[i * f + j] = bi;
       }
-      po[i * f + j] = best;
-      argmax[i * f + j] = bi;
-    }
+  });
   auto xn = x.node();
   return MakeOpVariable(std::move(out), {xn},
                         [xn, argmax, b, t, f](const Tensor& g) {
@@ -802,15 +874,19 @@ Variable HorizontalConv(const Variable& x, const Variable& w,
   const float* pw = wt.data();
   const float* pb = bias.value().data();
   float* po = out.data();
-  for (int64_t bi = 0; bi < b; ++bi)
-    for (int64_t ti = 0; ti < t; ++ti)
-      for (int64_t fi = 0; fi < f; ++fi) {
-        double acc = pb[fi];
-        const float* wrow = pw + fi * h * d;
-        const float* xrow = px + (bi * n + ti) * d;
-        for (int64_t e = 0; e < h * d; ++e) acc += double(wrow[e]) * xrow[e];
-        po[(bi * t + ti) * f + fi] = static_cast<float>(acc);
-      }
+  ParallelFor(0, b, GrainForWork(2 * t * f * h * d),
+              [&](int64_t lo, int64_t hi) {
+                for (int64_t bi = lo; bi < hi; ++bi)
+                  for (int64_t ti = 0; ti < t; ++ti)
+                    for (int64_t fi = 0; fi < f; ++fi) {
+                      double acc = pb[fi];
+                      const float* wrow = pw + fi * h * d;
+                      const float* xrow = px + (bi * n + ti) * d;
+                      for (int64_t e = 0; e < h * d; ++e)
+                        acc += double(wrow[e]) * xrow[e];
+                      po[(bi * t + ti) * f + fi] = static_cast<float>(acc);
+                    }
+              });
   auto xn = x.node();
   auto wn = w.node();
   auto bn = bias.node();
@@ -841,18 +917,24 @@ Variable HorizontalConv(const Variable& x, const Variable& w,
           AccumulateGrad(wn, dw);
         }
         if (xn && xn->requires_grad) {
+          // Per-batch-item writes are disjoint; dw above stays serial
+          // because every item accumulates into the shared filter grad.
           Tensor dx({b, n, d});
           float* pd = dx.data();
           const float* pw2 = wn->value.data();
-          for (int64_t bi = 0; bi < b; ++bi)
-            for (int64_t ti = 0; ti < t; ++ti)
-              for (int64_t fi = 0; fi < f; ++fi) {
-                const float gv = pg[(bi * t + ti) * f + fi];
-                if (gv == 0.0f) continue;
-                const float* wrow = pw2 + fi * h * d;
-                float* xrow = pd + (bi * n + ti) * d;
-                for (int64_t e = 0; e < h * d; ++e) xrow[e] += gv * wrow[e];
-              }
+          ParallelFor(0, b, GrainForWork(2 * t * f * h * d),
+                      [&](int64_t lo, int64_t hi) {
+                        for (int64_t bi = lo; bi < hi; ++bi)
+                          for (int64_t ti = 0; ti < t; ++ti)
+                            for (int64_t fi = 0; fi < f; ++fi) {
+                              const float gv = pg[(bi * t + ti) * f + fi];
+                              if (gv == 0.0f) continue;
+                              const float* wrow = pw2 + fi * h * d;
+                              float* xrow = pd + (bi * n + ti) * d;
+                              for (int64_t e = 0; e < h * d; ++e)
+                                xrow[e] += gv * wrow[e];
+                            }
+                      });
           AccumulateGrad(xn, dx);
         }
       });

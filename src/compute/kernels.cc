@@ -1,0 +1,214 @@
+#include "compute/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "compute/thread_pool.h"
+
+namespace slime {
+namespace compute {
+namespace {
+
+/// Rows [lo, hi) of C(m,n) += A(m,k) @ B(k,n), i-k-j order (unit-stride
+/// inner loop over both B's row and C's row, which GCC auto-vectorises).
+void MatMulRows(const float* a, const float* b, float* c, int64_t k,
+                int64_t n, int64_t lo, int64_t hi) {
+  for (int64_t i = lo; i < hi; ++i) {
+    float* crow = c + i * n;
+    const float* arow = a + i * k;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = b + kk * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+/// Rows [lo, hi) of C(m,n) = A(m,k) @ B(n,k)^T: dot products with the j-loop
+/// blocked by four so four accumulators stream through one pass over a row.
+void MatMulTransBRows(const float* a, const float* b, float* c, int64_t k,
+                      int64_t n, int64_t lo, int64_t hi) {
+  for (int64_t i = lo; i < hi; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    int64_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const float* b0 = b + j * k;
+      const float* b1 = b0 + k;
+      const float* b2 = b1 + k;
+      const float* b3 = b2 + k;
+      float a0 = 0.0f;
+      float a1 = 0.0f;
+      float a2 = 0.0f;
+      float a3 = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float av = arow[kk];
+        a0 += av * b0[kk];
+        a1 += av * b1[kk];
+        a2 += av * b2[kk];
+        a3 += av * b3[kk];
+      }
+      crow[j] = a0;
+      crow[j + 1] = a1;
+      crow[j + 2] = a2;
+      crow[j + 3] = a3;
+    }
+    for (; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] = acc;
+    }
+  }
+}
+
+/// Columns [jlo, jhi) of C(m,n) += A(k,m)^T @ B(k,n). The outer k loop is
+/// kept so each C element accumulates in ascending-k order (bit-identical to
+/// the serial kernel); the column split gives disjoint writes.
+void MatMulTransACols(const float* a, const float* b, float* c, int64_t k,
+                      int64_t m, int64_t n, int64_t jlo, int64_t jhi) {
+  for (int64_t kk = 0; kk < k; ++kk) {
+    const float* arow = a + kk * m;
+    const float* brow = b + kk * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c + i * n;
+      for (int64_t j = jlo; j < jhi; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+void MatMulKernel(const float* a, const float* b, float* c, int64_t m,
+                  int64_t k, int64_t n) {
+  ParallelFor(0, m, GrainForWork(2 * k * n), [=](int64_t lo, int64_t hi) {
+    MatMulRows(a, b, c, k, n, lo, hi);
+  });
+}
+
+void MatMulTransAKernel(const float* a, const float* b, float* c, int64_t k,
+                        int64_t m, int64_t n) {
+  ParallelFor(0, n, GrainForWork(2 * k * m), [=](int64_t lo, int64_t hi) {
+    MatMulTransACols(a, b, c, k, m, n, lo, hi);
+  });
+}
+
+void MatMulTransBKernel(const float* a, const float* b, float* c, int64_t m,
+                        int64_t k, int64_t n) {
+  ParallelFor(0, m, GrainForWork(2 * k * n), [=](int64_t lo, int64_t hi) {
+    MatMulTransBRows(a, b, c, k, n, lo, hi);
+  });
+}
+
+void BatchMatMulKernel(const float* a, const float* b, float* c,
+                       int64_t batch, int64_t m, int64_t k, int64_t n) {
+  // Chunk over the flattened batch x row space so one big item still
+  // splits; a chunk crossing an item boundary handles each span in turn.
+  ParallelFor(0, batch * m, GrainForWork(2 * k * n),
+              [=](int64_t lo, int64_t hi) {
+                while (lo < hi) {
+                  const int64_t bi = lo / m;
+                  const int64_t row0 = lo - bi * m;
+                  const int64_t rows = std::min(hi - lo, m - row0);
+                  MatMulRows(a + bi * m * k, b + bi * k * n, c + bi * m * n,
+                             k, n, row0, row0 + rows);
+                  lo += rows;
+                }
+              });
+}
+
+void BatchMatMulTransBKernel(const float* a, const float* b, float* c,
+                             int64_t batch, int64_t m, int64_t k,
+                             int64_t n) {
+  ParallelFor(0, batch * m, GrainForWork(2 * k * n),
+              [=](int64_t lo, int64_t hi) {
+                while (lo < hi) {
+                  const int64_t bi = lo / m;
+                  const int64_t row0 = lo - bi * m;
+                  const int64_t rows = std::min(hi - lo, m - row0);
+                  MatMulTransBRows(a + bi * m * k, b + bi * n * k,
+                                   c + bi * m * n, k, n, row0, row0 + rows);
+                  lo += rows;
+                }
+              });
+}
+
+void BatchMatMulTransAKernel(const float* a, const float* b, float* c,
+                             int64_t batch, int64_t k, int64_t m,
+                             int64_t n) {
+  // The column-parallel kernel writes all rows of one output item, so the
+  // deterministic split here is per batch item.
+  ParallelFor(0, batch, GrainForWork(2 * k * m * n),
+              [=](int64_t lo, int64_t hi) {
+                for (int64_t bi = lo; bi < hi; ++bi) {
+                  MatMulTransACols(a + bi * k * m, b + bi * k * n,
+                                   c + bi * m * n, k, m, n, 0, n);
+                }
+              });
+}
+
+void ComplexMulKernel(const float* ar, const float* ai, const float* br,
+                      const float* bi, float* out_re, float* out_im,
+                      int64_t repeats, int64_t block) {
+  ParallelFor(0, repeats * block, kElementwiseGrain,
+              [=](int64_t lo, int64_t hi) {
+                int64_t j = lo % block;
+                for (int64_t f = lo; f < hi; ++f) {
+                  const float xr = ar[f];
+                  const float xi = ai[f];
+                  const float wr = br[j];
+                  const float wi = bi[j];
+                  out_re[f] = xr * wr - xi * wi;
+                  out_im[f] = xr * wi + xi * wr;
+                  if (++j == block) j = 0;
+                }
+              });
+}
+
+double SumKernel(const float* p, int64_t n) {
+  return ParallelSum(0, n, kReductionGrain, [=](int64_t lo, int64_t hi) {
+    double acc = 0.0;
+    for (int64_t i = lo; i < hi; ++i) acc += p[i];
+    return acc;
+  });
+}
+
+double DotKernel(const float* a, const float* b, int64_t n) {
+  return ParallelSum(0, n, kReductionGrain, [=](int64_t lo, int64_t hi) {
+    double acc = 0.0;
+    for (int64_t i = lo; i < hi; ++i) acc += double(a[i]) * b[i];
+    return acc;
+  });
+}
+
+bool AllFiniteKernel(const float* p, int64_t n) {
+  return ParallelAll(0, n, kReductionGrain, [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      if (!std::isfinite(p[i])) return false;
+    }
+    return true;
+  });
+}
+
+namespace {
+
+KernelTable& ActiveTable() {
+  static KernelTable table;  // default-initialised to the kernels above
+  return table;
+}
+
+}  // namespace
+
+const KernelTable& Dispatch() { return ActiveTable(); }
+
+KernelTable SetDispatch(const KernelTable& table) {
+  KernelTable previous = ActiveTable();
+  ActiveTable() = table;
+  return previous;
+}
+
+}  // namespace compute
+}  // namespace slime

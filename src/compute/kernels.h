@@ -1,0 +1,90 @@
+#ifndef SLIME4REC_COMPUTE_KERNELS_H_
+#define SLIME4REC_COMPUTE_KERNELS_H_
+
+#include <cstdint>
+
+namespace slime {
+namespace compute {
+
+/// Raw compute kernels over contiguous row-major float buffers. These are
+/// the default implementations behind the Dispatch() registry: blocked over
+/// a fixed, thread-count-independent work split via ParallelFor, so every
+/// kernel is bit-identical at any thread count (see thread_pool.h).
+///
+/// Output buffers of the matmul family must be zero-initialised by the
+/// caller (Tensor construction zero-fills).
+
+/// C(m,n) += A(m,k) @ B(k,n). Parallel over row blocks.
+void MatMulKernel(const float* a, const float* b, float* c, int64_t m,
+                  int64_t k, int64_t n);
+
+/// C(m,n) += A(k,m)^T @ B(k,n). Parallel over column blocks so the
+/// k-ascending accumulation order per output element is preserved.
+void MatMulTransAKernel(const float* a, const float* b, float* c, int64_t k,
+                        int64_t m, int64_t n);
+
+/// C(m,n) = A(m,k) @ B(n,k)^T. Parallel over row blocks; 4-way blocked dot
+/// products inside.
+void MatMulTransBKernel(const float* a, const float* b, float* c, int64_t m,
+                        int64_t k, int64_t n);
+
+/// Batched variants over (batch, ...) operands; parallel across the
+/// batch x row product so small-batch/large-matrix shapes still split.
+void BatchMatMulKernel(const float* a, const float* b, float* c,
+                       int64_t batch, int64_t m, int64_t k, int64_t n);
+void BatchMatMulTransAKernel(const float* a, const float* b, float* c,
+                             int64_t batch, int64_t k, int64_t m, int64_t n);
+void BatchMatMulTransBKernel(const float* a, const float* b, float* c,
+                             int64_t batch, int64_t m, int64_t k, int64_t n);
+
+/// Elementwise complex multiply with suffix broadcast of b:
+///   out[r*block + i] = a[r*block + i] * b[i]   (complex),
+/// i.e. (ar + i*ai)(br + i*bi) laid out as separate re/im planes. `repeats`
+/// is a.numel / block; pass repeats == 1 for same-shape operands.
+void ComplexMulKernel(const float* ar, const float* ai, const float* br,
+                      const float* bi, float* out_re, float* out_im,
+                      int64_t repeats, int64_t block);
+
+/// Sum of n floats in a double accumulator; fixed-chunk partials combined in
+/// index order (kReductionGrain), deterministic for any thread count.
+double SumKernel(const float* p, int64_t n);
+
+/// Dot product of two length-n buffers, same reduction scheme as SumKernel.
+double DotKernel(const float* a, const float* b, int64_t n);
+
+/// True iff every element is finite. Order-independent conjunction.
+bool AllFiniteKernel(const float* p, int64_t n);
+
+/// The kernel registry: a table of entry points the tensor/autograd/fft
+/// layers route through. Alternative backends (different blocking, SIMD
+/// intrinsics, an accelerator offload) register a table; everything above
+/// the seam is oblivious. New ops must be added here rather than open-coded
+/// in a layer (see CONTRIBUTING.md).
+struct KernelTable {
+  decltype(&MatMulKernel) matmul = &MatMulKernel;
+  decltype(&MatMulTransAKernel) matmul_trans_a = &MatMulTransAKernel;
+  decltype(&MatMulTransBKernel) matmul_trans_b = &MatMulTransBKernel;
+  decltype(&BatchMatMulKernel) batch_matmul = &BatchMatMulKernel;
+  decltype(&BatchMatMulTransAKernel) batch_matmul_trans_a =
+      &BatchMatMulTransAKernel;
+  decltype(&BatchMatMulTransBKernel) batch_matmul_trans_b =
+      &BatchMatMulTransBKernel;
+  decltype(&ComplexMulKernel) complex_mul = &ComplexMulKernel;
+  decltype(&SumKernel) sum = &SumKernel;
+  decltype(&DotKernel) dot = &DotKernel;
+  decltype(&AllFiniteKernel) all_finite = &AllFiniteKernel;
+};
+
+/// Active kernel table. Defaults to the blocked ParallelFor implementations
+/// above.
+const KernelTable& Dispatch();
+
+/// Swaps the active table (e.g. to install an instrumented or experimental
+/// backend); returns the previous table so callers can restore it. Not
+/// thread-safe against running kernels.
+KernelTable SetDispatch(const KernelTable& table);
+
+}  // namespace compute
+}  // namespace slime
+
+#endif  // SLIME4REC_COMPUTE_KERNELS_H_

@@ -1,0 +1,219 @@
+#include "compute/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/macros.h"
+
+namespace slime {
+namespace compute {
+namespace {
+
+thread_local bool t_in_parallel_region = false;
+
+/// Sets the region flag for the duration of a chunk batch.
+class RegionGuard {
+ public:
+  RegionGuard() { t_in_parallel_region = true; }
+  ~RegionGuard() { t_in_parallel_region = false; }
+};
+
+}  // namespace
+
+bool InParallelRegion() { return t_in_parallel_region; }
+
+ThreadPool::ThreadPool(int threads) {
+  SLIME_CHECK_GE(threads, 1);
+  workers_.reserve(threads - 1);
+  for (int i = 0; i < threads - 1; ++i) {
+    workers_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerMain() {
+  uint64_t seen = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_work_.wait(lk,
+                    [&] { return shutdown_ || job_generation_ != seen; });
+      if (shutdown_) return;
+      seen = job_generation_;
+      job = job_;
+    }
+    if (!job) continue;
+    RegionGuard guard;
+    for (;;) {
+      const int64_t c = job->next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= job->total) break;
+      (*job->fn)(c);
+      if (job->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          job->total) {
+        std::lock_guard<std::mutex> lk(mu_);
+        cv_done_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::Run(int64_t num_chunks,
+                     const std::function<void(int64_t)>& chunk_fn) {
+  SLIME_CHECK(!InParallelRegion());
+  if (num_chunks <= 0) return;
+  auto job = std::make_shared<Job>();
+  job->fn = &chunk_fn;
+  job->total = num_chunks;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_ = job;
+    ++job_generation_;
+  }
+  cv_work_.notify_all();
+  // The caller participates; a caller-run chunk that is the last to finish
+  // satisfies the wait predicate directly, no self-notify needed.
+  for (;;) {
+    const int64_t c = job->next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job->total) break;
+    chunk_fn(c);
+    job->done.fetch_add(1, std::memory_order_acq_rel);
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_done_.wait(lk, [&] {
+    return job->done.load(std::memory_order_acquire) == job->total;
+  });
+  job_.reset();
+}
+
+namespace {
+
+/// Global pool configuration. The pool is created lazily so that embedders
+/// calling SetNumThreads before any kernel never pay for a default pool.
+struct PoolState {
+  std::mutex mu;
+  int threads = 0;  // 0 = not yet initialised
+  std::unique_ptr<ThreadPool> pool;
+};
+
+PoolState& GetPoolState() {
+  static PoolState state;
+  return state;
+}
+
+int EnvOrHardwareThreads() {
+  if (const char* env = std::getenv("SLIME_NUM_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<int>(v);
+  }
+  return HardwareThreads();
+}
+
+/// Returns the pool to run on, or nullptr for inline execution.
+ThreadPool* ActivePool() {
+  PoolState& s = GetPoolState();
+  std::lock_guard<std::mutex> lk(s.mu);
+  if (s.threads == 0) s.threads = EnvOrHardwareThreads();
+  if (s.threads == 1) return nullptr;
+  if (!s.pool || s.pool->threads() != s.threads) {
+    s.pool.reset();  // join old workers before spawning replacements
+    s.pool = std::make_unique<ThreadPool>(s.threads);
+  }
+  return s.pool.get();
+}
+
+}  // namespace
+
+int HardwareThreads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return std::max(1, static_cast<int>(hc));
+}
+
+int NumThreads() {
+  PoolState& s = GetPoolState();
+  std::lock_guard<std::mutex> lk(s.mu);
+  if (s.threads == 0) s.threads = EnvOrHardwareThreads();
+  return s.threads;
+}
+
+void SetNumThreads(int threads) {
+  PoolState& s = GetPoolState();
+  std::lock_guard<std::mutex> lk(s.mu);
+  s.threads = threads <= 0 ? HardwareThreads() : threads;
+  if (s.pool && s.pool->threads() != s.threads) s.pool.reset();
+}
+
+ComputeContext::ComputeContext(int threads) : saved_(NumThreads()) {
+  SetNumThreads(threads);
+}
+
+ComputeContext::~ComputeContext() { SetNumThreads(saved_); }
+
+int64_t GrainForWork(int64_t work_per_unit) {
+  constexpr int64_t kTargetFlopsPerChunk = 32 * 1024;
+  return std::max<int64_t>(
+      1, kTargetFlopsPerChunk / std::max<int64_t>(1, work_per_unit));
+}
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& body) {
+  const int64_t range = end - begin;
+  if (range <= 0) return;
+  grain = std::max<int64_t>(1, grain);
+  const int64_t num_chunks = (range + grain - 1) / grain;
+  auto chunk_fn = [&](int64_t c) {
+    const int64_t lo = begin + c * grain;
+    body(lo, std::min(end, lo + grain));
+  };
+  ThreadPool* pool =
+      (num_chunks == 1 || InParallelRegion()) ? nullptr : ActivePool();
+  if (pool == nullptr) {
+    for (int64_t c = 0; c < num_chunks; ++c) chunk_fn(c);
+    return;
+  }
+  pool->Run(num_chunks, chunk_fn);
+}
+
+double ParallelSum(
+    int64_t begin, int64_t end, int64_t grain,
+    const std::function<double(int64_t, int64_t)>& chunk_sum) {
+  const int64_t range = end - begin;
+  if (range <= 0) return 0.0;
+  grain = std::max<int64_t>(1, grain);
+  const int64_t num_chunks = (range + grain - 1) / grain;
+  std::vector<double> partials(num_chunks, 0.0);
+  ParallelFor(begin, end, grain, [&](int64_t lo, int64_t hi) {
+    partials[(lo - begin) / grain] = chunk_sum(lo, hi);
+  });
+  // Index-order combination keeps the result independent of thread count.
+  double total = 0.0;
+  for (double p : partials) total += p;
+  return total;
+}
+
+bool ParallelAll(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<bool(int64_t, int64_t)>& chunk_all) {
+  const int64_t range = end - begin;
+  if (range <= 0) return true;
+  grain = std::max<int64_t>(1, grain);
+  const int64_t num_chunks = (range + grain - 1) / grain;
+  std::vector<char> oks(num_chunks, 1);
+  ParallelFor(begin, end, grain, [&](int64_t lo, int64_t hi) {
+    oks[(lo - begin) / grain] = chunk_all(lo, hi) ? 1 : 0;
+  });
+  for (char ok : oks) {
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace compute
+}  // namespace slime

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "autograd/ops.h"
+#include "compute/thread_pool.h"
 #include "nn/init.h"
 
 namespace slime {
@@ -35,9 +36,11 @@ Tensor LearnableFilter::Amplitude() const {
   const float* pr = re.data();
   const float* pi = im.data();
   float* pa = amp.data();
-  for (int64_t i = 0; i < amp.numel(); ++i) {
-    pa[i] = std::sqrt(pr[i] * pr[i] + pi[i] * pi[i]);
-  }
+  compute::ParallelFor(0, amp.numel(), compute::kElementwiseGrain,
+                       [&](int64_t lo, int64_t hi) {
+                         for (int64_t i = lo; i < hi; ++i)
+                           pa[i] = std::sqrt(pr[i] * pr[i] + pi[i] * pi[i]);
+                       });
   return amp;
 }
 

@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "autograd/ops.h"
+#include "compute/kernels.h"
+#include "compute/thread_pool.h"
 #include "fft/fft.h"
 #include "tensor/tensor_ops.h"
 
@@ -14,6 +16,8 @@ namespace {
 using autograd::AccumulateGrad;
 using autograd::MakeOpVariable;
 using autograd::Variable;
+using compute::GrainForWork;
+using compute::ParallelFor;
 
 /// Per-thread (n, d) scratch pair for the vertical transforms.
 struct Scratch2D {
@@ -42,15 +46,19 @@ SpectralPair Rfft(const Variable& x) {
   const VerticalFftPlan& plan = GetVerticalPlan(n);
   Tensor re({b, m, d});
   Tensor im({b, m, d});
-  Scratch2D& s = GetScratch();
-  for (int64_t bi = 0; bi < b; ++bi) {
-    s.Reset(n, d);
-    std::copy(xt.data() + bi * n * d, xt.data() + (bi + 1) * n * d,
-              s.re.data());
-    plan.Transform(s.re.data(), s.im.data(), d, /*inverse=*/false);
-    std::copy(s.re.data(), s.re.data() + m * d, re.data() + bi * m * d);
-    std::copy(s.im.data(), s.im.data() + m * d, im.data() + bi * m * d);
-  }
+  // One chunk per batch item: every item is an independent transform into a
+  // disjoint output slice, and the thread_local scratch is per worker.
+  ParallelFor(0, b, 1, [&](int64_t lo, int64_t hi) {
+    Scratch2D& s = GetScratch();
+    for (int64_t bi = lo; bi < hi; ++bi) {
+      s.Reset(n, d);
+      std::copy(xt.data() + bi * n * d, xt.data() + (bi + 1) * n * d,
+                s.re.data());
+      plan.Transform(s.re.data(), s.im.data(), d, /*inverse=*/false);
+      std::copy(s.re.data(), s.re.data() + m * d, re.data() + bi * m * d);
+      std::copy(s.im.data(), s.im.data() + m * d, im.data() + bi * m * d);
+    }
+  });
   auto xn = x.node();
   // The two outputs are independent linear functions of x; each backward
   // applies the adjoint with the other component's cotangent set to zero:
@@ -59,15 +67,17 @@ SpectralPair Rfft(const Variable& x) {
     return [xn, b, n, d, m, imag_component](const Tensor& g) {
       const VerticalFftPlan& plan2 = GetVerticalPlan(n);
       Tensor dx({b, n, d});
-      Scratch2D& s2 = GetScratch();
-      for (int64_t bi = 0; bi < b; ++bi) {
-        s2.Reset(n, d);
-        float* dst = imag_component ? s2.im.data() : s2.re.data();
-        std::copy(g.data() + bi * m * d, g.data() + (bi + 1) * m * d, dst);
-        plan2.Transform(s2.re.data(), s2.im.data(), d, /*inverse=*/true);
-        std::copy(s2.re.data(), s2.re.data() + n * d,
-                  dx.data() + bi * n * d);
-      }
+      ParallelFor(0, b, 1, [&](int64_t lo, int64_t hi) {
+        Scratch2D& s2 = GetScratch();
+        for (int64_t bi = lo; bi < hi; ++bi) {
+          s2.Reset(n, d);
+          float* dst = imag_component ? s2.im.data() : s2.re.data();
+          std::copy(g.data() + bi * m * d, g.data() + (bi + 1) * m * d, dst);
+          plan2.Transform(s2.re.data(), s2.im.data(), d, /*inverse=*/true);
+          std::copy(s2.re.data(), s2.re.data() + n * d,
+                    dx.data() + bi * n * d);
+        }
+      });
       AccumulateGrad(xn, dx);
     };
   };
@@ -88,28 +98,30 @@ Variable Irfft(const SpectralPair& spectrum, int64_t n) {
   const VerticalFftPlan& plan = GetVerticalPlan(n);
   const float inv_n = 1.0f / static_cast<float>(n);
   Tensor x({b, n, d});
-  Scratch2D& s = GetScratch();
-  for (int64_t bi = 0; bi < b; ++bi) {
-    s.Reset(n, d);
-    std::copy(re.data() + bi * m * d, re.data() + (bi + 1) * m * d,
-              s.re.data());
-    std::copy(im.data() + bi * m * d, im.data() + (bi + 1) * m * d,
-              s.im.data());
-    // Conjugate-symmetric extension (bins 1..ceil(n/2)-1 mirror to n-k).
-    for (int64_t k = 1; k < (n + 1) / 2; ++k) {
-      const float* src_re = s.re.data() + k * d;
-      const float* src_im = s.im.data() + k * d;
-      float* dst_re = s.re.data() + (n - k) * d;
-      float* dst_im = s.im.data() + (n - k) * d;
-      for (int64_t f = 0; f < d; ++f) {
-        dst_re[f] = src_re[f];
-        dst_im[f] = -src_im[f];
+  ParallelFor(0, b, 1, [&](int64_t lo, int64_t hi) {
+    Scratch2D& s = GetScratch();
+    for (int64_t bi = lo; bi < hi; ++bi) {
+      s.Reset(n, d);
+      std::copy(re.data() + bi * m * d, re.data() + (bi + 1) * m * d,
+                s.re.data());
+      std::copy(im.data() + bi * m * d, im.data() + (bi + 1) * m * d,
+                s.im.data());
+      // Conjugate-symmetric extension (bins 1..ceil(n/2)-1 mirror to n-k).
+      for (int64_t k = 1; k < (n + 1) / 2; ++k) {
+        const float* src_re = s.re.data() + k * d;
+        const float* src_im = s.im.data() + k * d;
+        float* dst_re = s.re.data() + (n - k) * d;
+        float* dst_im = s.im.data() + (n - k) * d;
+        for (int64_t f = 0; f < d; ++f) {
+          dst_re[f] = src_re[f];
+          dst_im[f] = -src_im[f];
+        }
       }
+      plan.Transform(s.re.data(), s.im.data(), d, /*inverse=*/true);
+      float* out = x.data() + bi * n * d;
+      for (int64_t i = 0; i < n * d; ++i) out[i] = s.re[i] * inv_n;
     }
-    plan.Transform(s.re.data(), s.im.data(), d, /*inverse=*/true);
-    float* out = x.data() + bi * n * d;
-    for (int64_t i = 0; i < n * d; ++i) out[i] = s.re[i] * inv_n;
-  }
+  });
   auto rn = spectrum.re.node();
   auto in_ = spectrum.im.node();
   return MakeOpVariable(
@@ -120,40 +132,170 @@ Variable Irfft(const SpectralPair& spectrum, int64_t n) {
         const float inv_n2 = 1.0f / static_cast<float>(n);
         Tensor dre({b, m, d});
         Tensor dim({b, m, d});
-        Scratch2D& s2 = GetScratch();
-        for (int64_t bi = 0; bi < b; ++bi) {
-          s2.Reset(n, d);
-          std::copy(g.data() + bi * n * d, g.data() + (bi + 1) * n * d,
-                    s2.re.data());
-          plan2.Transform(s2.re.data(), s2.im.data(), d, /*inverse=*/false);
-          for (int64_t k = 0; k < m; ++k) {
-            const bool mirrored = (k >= 1 && k < (n + 1) / 2);
-            const float* gr = s2.re.data() + k * d;
-            const float* gi = s2.im.data() + k * d;
-            const float* mr =
-                mirrored ? s2.re.data() + (n - k) * d : nullptr;
-            const float* mi =
-                mirrored ? s2.im.data() + (n - k) * d : nullptr;
-            float* out_r = dre.data() + (bi * m + k) * d;
-            float* out_i = dim.data() + (bi * m + k) * d;
-            for (int64_t f = 0; f < d; ++f) {
-              float r = gr[f];
-              float i = gi[f];
-              if (mirrored) {
-                r += mr[f];
-                i -= mi[f];
+        ParallelFor(0, b, 1, [&](int64_t lo, int64_t hi) {
+          Scratch2D& s2 = GetScratch();
+          for (int64_t bi = lo; bi < hi; ++bi) {
+            s2.Reset(n, d);
+            std::copy(g.data() + bi * n * d, g.data() + (bi + 1) * n * d,
+                      s2.re.data());
+            plan2.Transform(s2.re.data(), s2.im.data(), d,
+                            /*inverse=*/false);
+            for (int64_t k = 0; k < m; ++k) {
+              const bool mirrored = (k >= 1 && k < (n + 1) / 2);
+              const float* gr = s2.re.data() + k * d;
+              const float* gi = s2.im.data() + k * d;
+              const float* mr =
+                  mirrored ? s2.re.data() + (n - k) * d : nullptr;
+              const float* mi =
+                  mirrored ? s2.im.data() + (n - k) * d : nullptr;
+              float* out_r = dre.data() + (bi * m + k) * d;
+              float* out_i = dim.data() + (bi * m + k) * d;
+              for (int64_t f = 0; f < d; ++f) {
+                float r = gr[f];
+                float i = gi[f];
+                if (mirrored) {
+                  r += mr[f];
+                  i -= mi[f];
+                }
+                out_r[f] = r * inv_n2;
+                out_i[f] = i * inv_n2;
               }
-              out_r[f] = r * inv_n2;
-              out_i[f] = i * inv_n2;
             }
           }
-        }
+        });
         AccumulateGrad(rn, dre);
         AccumulateGrad(in_, dim);
       });
 }
 
+namespace {
+
+/// True if `bsh` equals the trailing dims of `ash` (so b tiles a as a
+/// repeated suffix block).
+bool IsSuffixShape(const std::vector<int64_t>& ash,
+                   const std::vector<int64_t>& bsh) {
+  if (bsh.size() > ash.size()) return false;
+  const size_t off = ash.size() - bsh.size();
+  for (size_t i = 0; i < bsh.size(); ++i) {
+    if (bsh[i] != ash[off + i]) return false;
+  }
+  return true;
+}
+
+/// Backward of one output component of the fused complex product. For the
+/// real output (g = g_re): d_ar = g*br, d_ai = -g*bi, d_br = sum_r g*ar,
+/// d_bi = -sum_r g*ai. For the imaginary output (g = g_im): d_ar = g*bi,
+/// d_ai = g*br, d_bi = sum_r g*ar, d_br = sum_r g*ai. Both reduce to the
+/// same kernel with swapped/negated b-plane roles, so `sign` (-1 for the
+/// real component's imaginary-plane terms) and a swap flag cover both.
+struct ComplexMulGrads {
+  std::shared_ptr<autograd::Node> arn, ain, brn, bin;
+  Tensor ar, ai, br, bi;  // forward operand values (shared storage)
+  int64_t repeats = 0;
+  int64_t block = 0;
+
+  void Apply(const Tensor& g, bool imag_component) const {
+    const float* pg = g.data();
+    const float* par = ar.data();
+    const float* pai = ai.data();
+    const float* pbr = br.data();
+    const float* pbi = bi.data();
+    const int64_t n = repeats * block;
+    // a-side gradients: elementwise with b broadcast over the suffix block.
+    const bool need_ar = arn && arn->requires_grad;
+    const bool need_ai = ain && ain->requires_grad;
+    if (need_ar || need_ai) {
+      Tensor dar(need_ar ? ar.shape() : std::vector<int64_t>{0});
+      Tensor dai(need_ai ? ai.shape() : std::vector<int64_t>{0});
+      float* pdar = need_ar ? dar.data() : nullptr;
+      float* pdai = need_ai ? dai.data() : nullptr;
+      ParallelFor(0, n, compute::kElementwiseGrain,
+                  [&](int64_t lo, int64_t hi) {
+                    int64_t j = lo % block;
+                    for (int64_t f = lo; f < hi; ++f) {
+                      const float gv = pg[f];
+                      if (imag_component) {
+                        if (pdar) pdar[f] = gv * pbi[j];
+                        if (pdai) pdai[f] = gv * pbr[j];
+                      } else {
+                        if (pdar) pdar[f] = gv * pbr[j];
+                        if (pdai) pdai[f] = -(gv * pbi[j]);
+                      }
+                      if (++j == block) j = 0;
+                    }
+                  });
+      if (need_ar) AccumulateGrad(arn, dar);
+      if (need_ai) AccumulateGrad(ain, dai);
+    }
+    // b-side gradients: reduce over the repeats, column-parallel with the
+    // repeat index ascending per column (bit-identical to the serial
+    // row-major reduction of the unfused ops::ReduceTo path).
+    const bool need_br = brn && brn->requires_grad;
+    const bool need_bi = bin && bin->requires_grad;
+    if (need_br || need_bi) {
+      Tensor dbr(need_br ? br.shape() : std::vector<int64_t>{0});
+      Tensor dbi(need_bi ? bi.shape() : std::vector<int64_t>{0});
+      float* pdbr = need_br ? dbr.data() : nullptr;
+      float* pdbi = need_bi ? dbi.data() : nullptr;
+      ParallelFor(0, block, GrainForWork(4 * repeats),
+                  [&](int64_t lo, int64_t hi) {
+                    for (int64_t j = lo; j < hi; ++j) {
+                      float acc_r = 0.0f;
+                      float acc_i = 0.0f;
+                      for (int64_t r = 0; r < repeats; ++r) {
+                        const float gv = pg[r * block + j];
+                        acc_r += gv * par[r * block + j];
+                        acc_i += gv * pai[r * block + j];
+                      }
+                      if (imag_component) {
+                        if (pdbi) pdbi[j] = acc_r;
+                        if (pdbr) pdbr[j] = acc_i;
+                      } else {
+                        if (pdbr) pdbr[j] = acc_r;
+                        if (pdbi) pdbi[j] = -acc_i;
+                      }
+                    }
+                  });
+      if (need_br) AccumulateGrad(brn, dbr);
+      if (need_bi) AccumulateGrad(bin, dbi);
+    }
+  }
+};
+
+}  // namespace
+
 SpectralPair ComplexMul(const SpectralPair& a, const SpectralPair& b) {
+  const Tensor& art = a.re.value();
+  const Tensor& ait = a.im.value();
+  const Tensor& brt = b.re.value();
+  const Tensor& bit = b.im.value();
+  SLIME_CHECK(art.shape() == ait.shape());
+  SLIME_CHECK(brt.shape() == bit.shape());
+  // Fused kernel path: same shape or b a repeated suffix block of a (the
+  // learnable-filter case (B,M,d) * (M,d)). Anything else falls back to the
+  // unfused composition below.
+  if (IsSuffixShape(art.shape(), brt.shape()) && brt.numel() > 0) {
+    const int64_t block = brt.numel();
+    const int64_t repeats = art.numel() / block;
+    Tensor re(art.shape());
+    Tensor im(art.shape());
+    compute::Dispatch().complex_mul(art.data(), ait.data(), brt.data(),
+                                    bit.data(), re.data(), im.data(),
+                                    repeats, block);
+    ComplexMulGrads grads{a.re.node(), a.im.node(), b.re.node(),
+                          b.im.node(), art,         ait,
+                          brt,         bit,         repeats,
+                          block};
+    std::vector<std::shared_ptr<autograd::Node>> parents{
+        grads.arn, grads.ain, grads.brn, grads.bin};
+    Variable vre = MakeOpVariable(
+        std::move(re), parents,
+        [grads](const Tensor& g) { grads.Apply(g, /*imag_component=*/false); });
+    Variable vim = MakeOpVariable(
+        std::move(im), parents,
+        [grads](const Tensor& g) { grads.Apply(g, /*imag_component=*/true); });
+    return {vre, vim};
+  }
   using autograd::Add;
   using autograd::Mul;
   using autograd::Sub;

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "autograd/ops.h"
+#include "compute/thread_pool.h"
 
 namespace slime {
 namespace nn {
@@ -57,13 +58,17 @@ autograd::Variable MultiHeadSelfAttention::Forward(
   {
     float* pm = add_mask.data();
     const Tensor causal_mask = causal ? CausalMask(n) : Tensor();
-    for (int64_t bi = 0; bi < b; ++bi)
-      for (int64_t i = 0; i < n; ++i)
-        for (int64_t j = 0; j < n; ++j) {
-          float mval = causal ? causal_mask.data()[i * n + j] : 0.0f;
-          if (key_padding.defined()) mval += key_padding.data()[bi * n + j];
-          pm[(bi * n + i) * n + j] = mval;
-        }
+    compute::ParallelFor(
+        0, b, compute::GrainForWork(2 * n * n), [&](int64_t lo, int64_t hi) {
+          for (int64_t bi = lo; bi < hi; ++bi)
+            for (int64_t i = 0; i < n; ++i)
+              for (int64_t j = 0; j < n; ++j) {
+                float mval = causal ? causal_mask.data()[i * n + j] : 0.0f;
+                if (key_padding.defined())
+                  mval += key_padding.data()[bi * n + j];
+                pm[(bi * n + i) * n + j] = mval;
+              }
+        });
   }
 
   const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "compute/thread_pool.h"
 #include "tensor/tensor_ops.h"
 
 namespace slime {
@@ -82,17 +83,22 @@ void Adam::Step() {
     float* pv = v_[i].data();
     float* pw = value.data();
     const float* pg = g.data();
-    const int64_t n = value.numel();
-    for (int64_t j = 0; j < n; ++j) {
-      pm[j] = b1 * pm[j] + (1.0f - b1) * pg[j];
-      pv[j] = b2 * pv[j] + (1.0f - b2) * pg[j] * pg[j];
-      const float mhat = pm[j] / bc1;
-      const float vhat = pv[j] / bc2;
-      float update = mhat / (std::sqrt(vhat) + options_.eps);
-      if (options_.weight_decay > 0.0f)
-        update += options_.weight_decay * pw[j];
-      pw[j] -= lr * update;
-    }
+    // Fully elementwise, so the fixed split is trivially bit-identical at
+    // any thread count.
+    compute::ParallelFor(
+        0, value.numel(), compute::kElementwiseGrain,
+        [&](int64_t lo, int64_t hi) {
+          for (int64_t j = lo; j < hi; ++j) {
+            pm[j] = b1 * pm[j] + (1.0f - b1) * pg[j];
+            pv[j] = b2 * pv[j] + (1.0f - b2) * pg[j] * pg[j];
+            const float mhat = pm[j] / bc1;
+            const float vhat = pv[j] / bc2;
+            float update = mhat / (std::sqrt(vhat) + options_.eps);
+            if (options_.weight_decay > 0.0f)
+              update += options_.weight_decay * pw[j];
+            pw[j] -= lr * update;
+          }
+        });
   }
   ZeroGrad();
 }

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/macros.h"
+#include "compute/thread_pool.h"
 #include "data/batcher.h"
 
 namespace slime {
@@ -100,19 +101,25 @@ RecommendationService::RecommendBatch(
   SLIME_CHECK_EQ(scores.size(0), batch.size);
   SLIME_CHECK_EQ(scores.size(1), num_items + 1);
 
-  results.reserve(histories.size());
-  for (size_t i = 0; i < histories.size(); ++i) {
-    std::vector<bool> excluded(num_items + 1, false);
-    if (options.exclude_seen) {
-      for (int64_t item : histories[i]) excluded[item] = true;
-    }
-    for (int64_t item : options.exclude_items) {
-      if (item >= 1 && item <= num_items) excluded[item] = true;
-    }
-    results.push_back(TopKFromScores(
-        scores.data() + static_cast<int64_t>(i) * (num_items + 1),
-        num_items, options.top_k, excluded));
-  }
+  // Fan the per-user top-k extraction across the pool: each user writes one
+  // preallocated slot, so the result order (and every ranking) is identical
+  // at any thread count.
+  results.resize(histories.size());
+  compute::ParallelFor(
+      0, static_cast<int64_t>(histories.size()),
+      compute::GrainForWork(4 * num_items), [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          std::vector<bool> excluded(num_items + 1, false);
+          if (options.exclude_seen) {
+            for (int64_t item : histories[i]) excluded[item] = true;
+          }
+          for (int64_t item : options.exclude_items) {
+            if (item >= 1 && item <= num_items) excluded[item] = true;
+          }
+          results[i] = TopKFromScores(scores.data() + i * (num_items + 1),
+                                      num_items, options.top_k, excluded);
+        }
+      });
   return results;
 }
 

@@ -3,9 +3,18 @@
 #include <algorithm>
 #include <cmath>
 
+#include "compute/kernels.h"
+#include "compute/thread_pool.h"
+
 namespace slime {
 namespace ops {
 namespace {
+
+using compute::Dispatch;
+using compute::GrainForWork;
+using compute::kElementwiseGrain;
+using compute::kReductionGrain;
+using compute::ParallelFor;
 
 /// Strides for a contiguous row-major tensor of `shape`, padded on the left
 /// to `rank` entries; broadcast (size-1) dimensions get stride 0 so a single
@@ -20,6 +29,33 @@ std::vector<int64_t> BroadcastStrides(const std::vector<int64_t>& shape,
     s *= shape[i];
   }
   return strides;
+}
+
+/// Shape guards for the matmul family. SLIME_CHECK is active in every build
+/// type (see common/macros.h), so inner-dimension mismatches and rank errors
+/// fail loudly with both shapes in release binaries too.
+void CheckRank2(const Tensor& a, const Tensor& b, const char* op) {
+  SLIME_CHECK_MSG(a.dim() == 2 && b.dim() == 2,
+                  op << " expects rank-2 operands, got "
+                     << ShapeToString(a.shape()) << " and "
+                     << ShapeToString(b.shape()));
+}
+
+void CheckRank3(const Tensor& a, const Tensor& b, const char* op) {
+  SLIME_CHECK_MSG(a.dim() == 3 && b.dim() == 3,
+                  op << " expects rank-3 operands, got "
+                     << ShapeToString(a.shape()) << " and "
+                     << ShapeToString(b.shape()));
+  SLIME_CHECK_MSG(a.size(0) == b.size(0),
+                  op << " batch mismatch: " << ShapeToString(a.shape())
+                     << " vs " << ShapeToString(b.shape()));
+}
+
+void CheckInnerDim(int64_t ka, int64_t kb, const Tensor& a, const Tensor& b,
+                   const char* op) {
+  SLIME_CHECK_MSG(ka == kb, op << " inner dimension mismatch: "
+                               << ShapeToString(a.shape()) << " vs "
+                               << ShapeToString(b.shape()));
 }
 
 }  // namespace
@@ -45,7 +81,9 @@ namespace {
 
 /// Generic broadcast binary kernel, templated so the functor inlines into
 /// the per-element loop (a function pointer here shows up as ~20% of
-/// training time under gprof).
+/// training time under gprof). Each fast path is parallelised with a fixed
+/// work split; every output element is produced by exactly one chunk with
+/// unchanged arithmetic, so results are thread-count independent.
 template <typename F>
 Tensor BinaryOpT(const Tensor& a, const Tensor& b, F f) {
   if (a.shape() == b.shape()) {
@@ -53,8 +91,10 @@ Tensor BinaryOpT(const Tensor& a, const Tensor& b, F f) {
     const float* pa = a.data();
     const float* pb = b.data();
     float* po = out.data();
-    const int64_t n = a.numel();
-    for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+    ParallelFor(0, a.numel(), kElementwiseGrain,
+                [&](int64_t lo, int64_t hi) {
+                  for (int64_t i = lo; i < hi; ++i) po[i] = f(pa[i], pb[i]);
+                });
     return out;
   }
   const std::vector<int64_t> out_shape = BroadcastShape(a.shape(), b.shape());
@@ -79,11 +119,15 @@ Tensor BinaryOpT(const Tensor& a, const Tensor& b, F f) {
       const float* pa = a.data();
       const float* pb = b.data();
       float* po = out.data();
-      for (int64_t r = 0; r < repeats; ++r) {
-        const float* ar = pa + r * block;
-        float* orow = po + r * block;
-        for (int64_t i = 0; i < block; ++i) orow[i] = f(ar[i], pb[i]);
-      }
+      ParallelFor(0, repeats, GrainForWork(block),
+                  [&](int64_t lo, int64_t hi) {
+                    for (int64_t r = lo; r < hi; ++r) {
+                      const float* ar = pa + r * block;
+                      float* orow = po + r * block;
+                      for (int64_t i = 0; i < block; ++i)
+                        orow[i] = f(ar[i], pb[i]);
+                    }
+                  });
       return out;
     }
   }
@@ -102,15 +146,18 @@ Tensor BinaryOpT(const Tensor& a, const Tensor& b, F f) {
       const float* pa = a.data();
       const float* pb = b.data();
       float* po = out.data();
-      for (int64_t r = 0; r < rows; ++r) {
-        const float bv = pb[r];
-        const float* ar = pa + r * cols;
-        float* orow = po + r * cols;
-        for (int64_t i = 0; i < cols; ++i) orow[i] = f(ar[i], bv);
-      }
+      ParallelFor(0, rows, GrainForWork(cols), [&](int64_t lo, int64_t hi) {
+        for (int64_t r = lo; r < hi; ++r) {
+          const float bv = pb[r];
+          const float* ar = pa + r * cols;
+          float* orow = po + r * cols;
+          for (int64_t i = 0; i < cols; ++i) orow[i] = f(ar[i], bv);
+        }
+      });
       return out;
     }
   }
+  // General odometer walk: rare (mid-tensor broadcasts); stays serial.
   Tensor out(out_shape);
   const size_t rank = out_shape.size();
   const std::vector<int64_t> sa = BroadcastStrides(a.shape(), rank);
@@ -161,30 +208,37 @@ void AddInPlace(Tensor* out, const Tensor& a) {
   SLIME_CHECK(out->SameShape(a));
   float* po = out->data();
   const float* pa = a.data();
-  const int64_t n = out->numel();
-  for (int64_t i = 0; i < n; ++i) po[i] += pa[i];
+  ParallelFor(0, out->numel(), kElementwiseGrain,
+              [&](int64_t lo, int64_t hi) {
+                for (int64_t i = lo; i < hi; ++i) po[i] += pa[i];
+              });
 }
 
 void AxpyInPlace(Tensor* out, const Tensor& a, float scale) {
   SLIME_CHECK(out->SameShape(a));
   float* po = out->data();
   const float* pa = a.data();
-  const int64_t n = out->numel();
-  for (int64_t i = 0; i < n; ++i) po[i] += pa[i] * scale;
+  ParallelFor(0, out->numel(), kElementwiseGrain,
+              [&](int64_t lo, int64_t hi) {
+                for (int64_t i = lo; i < hi; ++i) po[i] += pa[i] * scale;
+              });
 }
 
 void ScaleInPlace(Tensor* out, float scale) {
   float* po = out->data();
-  const int64_t n = out->numel();
-  for (int64_t i = 0; i < n; ++i) po[i] *= scale;
+  ParallelFor(0, out->numel(), kElementwiseGrain,
+              [&](int64_t lo, int64_t hi) {
+                for (int64_t i = lo; i < hi; ++i) po[i] *= scale;
+              });
 }
 
 Tensor Map(const Tensor& a, const std::function<float(float)>& f) {
   Tensor out(a.shape());
   const float* pa = a.data();
   float* po = out.data();
-  const int64_t n = a.numel();
-  for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i]);
+  ParallelFor(0, a.numel(), kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) po[i] = f(pa[i]);
+  });
   return out;
 }
 
@@ -192,16 +246,18 @@ Tensor AddScalar(const Tensor& a, float s) {
   Tensor out(a.shape());
   const float* pa = a.data();
   float* po = out.data();
-  const int64_t n = a.numel();
-  for (int64_t i = 0; i < n; ++i) po[i] = pa[i] + s;
+  ParallelFor(0, a.numel(), kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] + s;
+  });
   return out;
 }
 Tensor MulScalar(const Tensor& a, float s) {
   Tensor out(a.shape());
   const float* pa = a.data();
   float* po = out.data();
-  const int64_t n = a.numel();
-  for (int64_t i = 0; i < n; ++i) po[i] = pa[i] * s;
+  ParallelFor(0, a.numel(), kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] * s;
+  });
   return out;
 }
 
@@ -210,7 +266,9 @@ Tensor ReduceTo(const Tensor& t, const std::vector<int64_t>& target_shape) {
   // Verify compatibility (target broadcasts to t's shape).
   SLIME_CHECK(BroadcastShape(t.shape(), target_shape) == t.shape());
   // Fast path: target is a trailing block of t (bias/filter/positional
-  // gradients) -> sum over the leading repeats.
+  // gradients) -> sum over the leading repeats. Each output element
+  // accumulates its repeats in ascending order whether traversed row-major
+  // (serial) or column-chunked (parallel), so both walks are bit-identical.
   {
     const size_t rank = t.shape().size();
     const size_t trank = target_shape.size();
@@ -229,9 +287,21 @@ Tensor ReduceTo(const Tensor& t, const std::vector<int64_t>& target_shape) {
       const int64_t repeats = t.numel() / block;
       const float* pt = t.data();
       float* po = out.data();
-      for (int64_t r = 0; r < repeats; ++r) {
-        const float* row = pt + r * block;
-        for (int64_t i = 0; i < block; ++i) po[i] += row[i];
+      if (compute::NumThreads() == 1 || block < 256) {
+        for (int64_t r = 0; r < repeats; ++r) {
+          const float* row = pt + r * block;
+          for (int64_t i = 0; i < block; ++i) po[i] += row[i];
+        }
+      } else {
+        ParallelFor(0, block, GrainForWork(repeats),
+                    [&](int64_t lo, int64_t hi) {
+                      for (int64_t i = lo; i < hi; ++i) {
+                        float acc = po[i];
+                        for (int64_t r = 0; r < repeats; ++r)
+                          acc += pt[r * block + i];
+                        po[i] = acc;
+                      }
+                    });
       }
       return out;
     }
@@ -249,15 +319,19 @@ Tensor ReduceTo(const Tensor& t, const std::vector<int64_t>& target_shape) {
       const int64_t rows = t.numel() / cols;
       const float* pt = t.data();
       float* po = out.data();
-      for (int64_t r = 0; r < rows; ++r) {
-        float acc = 0.0f;
-        const float* row = pt + r * cols;
-        for (int64_t i = 0; i < cols; ++i) acc += row[i];
-        po[r] = acc;
-      }
+      ParallelFor(0, rows, GrainForWork(cols), [&](int64_t lo, int64_t hi) {
+        for (int64_t r = lo; r < hi; ++r) {
+          float acc = 0.0f;
+          const float* row = pt + r * cols;
+          for (int64_t i = 0; i < cols; ++i) acc += row[i];
+          po[r] = acc;
+        }
+      });
       return out;
     }
   }
+  // General scatter-accumulate walk: output offsets repeat, so this stays
+  // serial (rare shape combinations only).
   Tensor out(target_shape);
   const size_t rank = t.shape().size();
   const std::vector<int64_t> st = BroadcastStrides(target_shape, rank);
@@ -281,203 +355,79 @@ Tensor ReduceTo(const Tensor& t, const std::vector<int64_t>& target_shape) {
 }
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
-  SLIME_CHECK_EQ(a.dim(), 2);
-  SLIME_CHECK_EQ(b.dim(), 2);
+  CheckRank2(a, b, "MatMul");
   const int64_t m = a.size(0);
   const int64_t k = a.size(1);
-  SLIME_CHECK_EQ(b.size(0), k);
+  CheckInnerDim(k, b.size(0), a, b, "MatMul");
   const int64_t n = b.size(1);
   Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  // i-k-j order: unit-stride inner loop over both B's row and C's row,
-  // which GCC auto-vectorises.
-  for (int64_t i = 0; i < m; ++i) {
-    float* crow = pc + i * n;
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float av = pa[i * k + kk];
-      if (av == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  Dispatch().matmul(a.data(), b.data(), c.data(), m, k, n);
   return c;
 }
 
 Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
-  SLIME_CHECK_EQ(a.dim(), 2);
-  SLIME_CHECK_EQ(b.dim(), 2);
+  CheckRank2(a, b, "MatMulTransB");
   const int64_t m = a.size(0);
   const int64_t k = a.size(1);
-  SLIME_CHECK_EQ(b.size(1), k);
+  CheckInnerDim(k, b.size(1), a, b, "MatMulTransB");
   const int64_t n = b.size(0);
   Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  // Both operands are traversed along contiguous rows: dot products, with
-  // the j-loop blocked by four so four accumulators stream through one pass
-  // over a's row.
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    float* crow = pc + i * n;
-    int64_t j = 0;
-    for (; j + 4 <= n; j += 4) {
-      const float* b0 = pb + j * k;
-      const float* b1 = b0 + k;
-      const float* b2 = b1 + k;
-      const float* b3 = b2 + k;
-      float a0 = 0.0f;
-      float a1 = 0.0f;
-      float a2 = 0.0f;
-      float a3 = 0.0f;
-      for (int64_t kk = 0; kk < k; ++kk) {
-        const float av = arow[kk];
-        a0 += av * b0[kk];
-        a1 += av * b1[kk];
-        a2 += av * b2[kk];
-        a3 += av * b3[kk];
-      }
-      crow[j] = a0;
-      crow[j + 1] = a1;
-      crow[j + 2] = a2;
-      crow[j + 3] = a3;
-    }
-    for (; j < n; ++j) {
-      const float* brow = pb + j * k;
-      float acc = 0.0f;
-      for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      crow[j] = acc;
-    }
-  }
+  Dispatch().matmul_trans_b(a.data(), b.data(), c.data(), m, k, n);
   return c;
 }
 
 Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
-  SLIME_CHECK_EQ(a.dim(), 2);
-  SLIME_CHECK_EQ(b.dim(), 2);
+  CheckRank2(a, b, "MatMulTransA");
   const int64_t k = a.size(0);
   const int64_t m = a.size(1);
-  SLIME_CHECK_EQ(b.size(0), k);
+  CheckInnerDim(k, b.size(0), a, b, "MatMulTransA");
   const int64_t n = b.size(1);
   Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  for (int64_t kk = 0; kk < k; ++kk) {
-    const float* arow = pa + kk * m;
-    const float* brow = pb + kk * n;
-    for (int64_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = pc + i * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  Dispatch().matmul_trans_a(a.data(), b.data(), c.data(), k, m, n);
   return c;
 }
 
-namespace {
-
-/// Raw kernels over pre-zeroed output rows; used by the batched products to
-/// avoid materialising per-batch slices.
-void MatMulRaw(const float* a, const float* b, float* c, int64_t m,
-               int64_t k, int64_t n) {
-  for (int64_t i = 0; i < m; ++i) {
-    float* crow = c + i * n;
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float av = a[i * k + kk];
-      if (av == 0.0f) continue;
-      const float* brow = b + kk * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
-}
-
-void MatMulTransBRaw(const float* a, const float* b, float* c, int64_t m,
-                     int64_t k, int64_t n) {
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    float* crow = c + i * n;
-    for (int64_t j = 0; j < n; ++j) {
-      const float* brow = b + j * k;
-      float acc = 0.0f;
-      for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      crow[j] = acc;
-    }
-  }
-}
-
-void MatMulTransARaw(const float* a, const float* b, float* c, int64_t k,
-                     int64_t m, int64_t n) {
-  for (int64_t kk = 0; kk < k; ++kk) {
-    const float* arow = a + kk * m;
-    const float* brow = b + kk * n;
-    for (int64_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = c + i * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
-}
-
-}  // namespace
-
 Tensor BatchMatMul(const Tensor& a, const Tensor& b) {
-  SLIME_CHECK_EQ(a.dim(), 3);
-  SLIME_CHECK_EQ(b.dim(), 3);
-  SLIME_CHECK_EQ(a.size(0), b.size(0));
+  CheckRank3(a, b, "BatchMatMul");
   const int64_t batch = a.size(0);
   const int64_t m = a.size(1);
   const int64_t k = a.size(2);
-  SLIME_CHECK_EQ(b.size(1), k);
+  CheckInnerDim(k, b.size(1), a, b, "BatchMatMul");
   const int64_t n = b.size(2);
   Tensor c({batch, m, n});
-  for (int64_t i = 0; i < batch; ++i) {
-    MatMulRaw(a.data() + i * m * k, b.data() + i * k * n,
-              c.data() + i * m * n, m, k, n);
-  }
+  Dispatch().batch_matmul(a.data(), b.data(), c.data(), batch, m, k, n);
   return c;
 }
 
 Tensor BatchMatMulTransB(const Tensor& a, const Tensor& b) {
-  SLIME_CHECK_EQ(a.dim(), 3);
-  SLIME_CHECK_EQ(b.dim(), 3);
-  SLIME_CHECK_EQ(a.size(0), b.size(0));
+  CheckRank3(a, b, "BatchMatMulTransB");
   const int64_t batch = a.size(0);
   const int64_t m = a.size(1);
   const int64_t k = a.size(2);
-  SLIME_CHECK_EQ(b.size(2), k);
+  CheckInnerDim(k, b.size(2), a, b, "BatchMatMulTransB");
   const int64_t n = b.size(1);
   Tensor c({batch, m, n});
-  for (int64_t i = 0; i < batch; ++i) {
-    MatMulTransBRaw(a.data() + i * m * k, b.data() + i * n * k,
-                    c.data() + i * m * n, m, k, n);
-  }
+  Dispatch().batch_matmul_trans_b(a.data(), b.data(), c.data(), batch, m, k,
+                                  n);
   return c;
 }
 
 Tensor BatchMatMulTransA(const Tensor& a, const Tensor& b) {
-  SLIME_CHECK_EQ(a.dim(), 3);
-  SLIME_CHECK_EQ(b.dim(), 3);
-  SLIME_CHECK_EQ(a.size(0), b.size(0));
+  CheckRank3(a, b, "BatchMatMulTransA");
   const int64_t batch = a.size(0);
   const int64_t k = a.size(1);
   const int64_t m = a.size(2);
-  SLIME_CHECK_EQ(b.size(1), k);
+  CheckInnerDim(k, b.size(1), a, b, "BatchMatMulTransA");
   const int64_t n = b.size(2);
   Tensor c({batch, m, n});
-  for (int64_t i = 0; i < batch; ++i) {
-    MatMulTransARaw(a.data() + i * k * m, b.data() + i * k * n,
-                    c.data() + i * m * n, k, m, n);
-  }
+  Dispatch().batch_matmul_trans_a(a.data(), b.data(), c.data(), batch, k, m,
+                                  n);
   return c;
 }
 
 Tensor TransposeLastTwo(const Tensor& a) {
-  SLIME_CHECK_GE(a.dim(), 2);
+  SLIME_CHECK_MSG(a.dim() >= 2, "TransposeLastTwo needs rank >= 2, got "
+                                    << ShapeToString(a.shape()));
   std::vector<int64_t> shape = a.shape();
   std::swap(shape[shape.size() - 1], shape[shape.size() - 2]);
   Tensor out(shape);
@@ -487,26 +437,28 @@ Tensor TransposeLastTwo(const Tensor& a) {
   const int64_t batch = a.numel() / mat;
   const float* pa = a.data();
   float* po = out.data();
-  for (int64_t bidx = 0; bidx < batch; ++bidx) {
-    const float* src = pa + bidx * mat;
-    float* dst = po + bidx * mat;
-    for (int64_t r = 0; r < rows; ++r)
-      for (int64_t c = 0; c < cols; ++c) dst[c * rows + r] = src[r * cols + c];
-  }
+  ParallelFor(0, batch, GrainForWork(mat), [&](int64_t lo, int64_t hi) {
+    for (int64_t bidx = lo; bidx < hi; ++bidx) {
+      const float* src = pa + bidx * mat;
+      float* dst = po + bidx * mat;
+      for (int64_t r = 0; r < rows; ++r)
+        for (int64_t c = 0; c < cols; ++c)
+          dst[c * rows + r] = src[r * cols + c];
+    }
+  });
   return out;
 }
 
 float SumAll(const Tensor& a) {
-  const float* p = a.data();
-  double acc = 0.0;
-  for (int64_t i = 0; i < a.numel(); ++i) acc += p[i];
-  return static_cast<float>(acc);
+  return static_cast<float>(Dispatch().sum(a.data(), a.numel()));
 }
 
 Tensor SumAxis(const Tensor& a, int64_t axis, bool keepdim) {
   const int64_t rank = a.dim();
   if (axis < 0) axis += rank;
-  SLIME_CHECK(axis >= 0 && axis < rank);
+  SLIME_CHECK_MSG(axis >= 0 && axis < rank,
+                  "SumAxis axis out of range for "
+                      << ShapeToString(a.shape()));
   int64_t outer = 1;
   int64_t inner = 1;
   for (int64_t i = 0; i < axis; ++i) outer *= a.size(i);
@@ -523,33 +475,47 @@ Tensor SumAxis(const Tensor& a, int64_t axis, bool keepdim) {
   Tensor out(out_shape);
   const float* pa = a.data();
   float* po = out.data();
-  for (int64_t o = 0; o < outer; ++o)
-    for (int64_t e = 0; e < extent; ++e) {
-      const float* src = pa + (o * extent + e) * inner;
-      float* dst = po + o * inner;
-      for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
-    }
+  ParallelFor(0, outer, GrainForWork(extent * inner),
+              [&](int64_t lo, int64_t hi) {
+                for (int64_t o = lo; o < hi; ++o)
+                  for (int64_t e = 0; e < extent; ++e) {
+                    const float* src = pa + (o * extent + e) * inner;
+                    float* dst = po + o * inner;
+                    for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
+                  }
+              });
   return out;
 }
 
 float MaxAll(const Tensor& a) {
   SLIME_CHECK_GT(a.numel(), 0);
   const float* p = a.data();
-  float m = p[0];
-  for (int64_t i = 1; i < a.numel(); ++i) m = std::max(m, p[i]);
+  const int64_t n = a.numel();
+  // Max is associative and commutative, so chunked partials combined in
+  // index order equal the serial scan exactly.
+  const int64_t grain = kReductionGrain;
+  const int64_t chunks = (n + grain - 1) / grain;
+  std::vector<float> partials(chunks, p[0]);
+  ParallelFor(0, n, grain, [&](int64_t lo, int64_t hi) {
+    float m = p[lo];
+    for (int64_t i = lo + 1; i < hi; ++i) m = std::max(m, p[i]);
+    partials[lo / grain] = m;
+  });
+  float m = partials[0];
+  for (float v : partials) m = std::max(m, v);
   return m;
 }
 
 double Dot(const Tensor& a, const Tensor& b) {
   SLIME_CHECK_EQ(a.numel(), b.numel());
-  const float* pa = a.data();
-  const float* pb = b.data();
-  double acc = 0.0;
-  for (int64_t i = 0; i < a.numel(); ++i) acc += double(pa[i]) * pb[i];
-  return acc;
+  return Dispatch().dot(a.data(), b.data(), a.numel());
 }
 
 double Norm(const Tensor& a) { return std::sqrt(Dot(a, a)); }
+
+bool AllFinite(const Tensor& a) {
+  return Dispatch().all_finite(a.data(), a.numel());
+}
 
 }  // namespace ops
 }  // namespace slime

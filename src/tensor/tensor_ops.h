@@ -84,6 +84,9 @@ double Dot(const Tensor& a, const Tensor& b);
 /// L2 norm of all elements.
 double Norm(const Tensor& a);
 
+/// True iff every element is finite (no NaN/Inf).
+bool AllFinite(const Tensor& a);
+
 }  // namespace ops
 }  // namespace slime
 

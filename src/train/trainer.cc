@@ -9,24 +9,16 @@
 #include "io/checkpoint.h"
 #include "io/env.h"
 #include "optim/adam.h"
+#include "tensor/tensor_ops.h"
 #include "train/train_state.h"
 
 namespace slime {
 namespace train {
 namespace {
 
-bool AllFinite(const Tensor& t) {
-  const float* p = t.data();
-  const int64_t n = t.numel();
-  for (int64_t i = 0; i < n; ++i) {
-    if (!std::isfinite(p[i])) return false;
-  }
-  return true;
-}
-
 bool GradsFinite(const std::vector<autograd::Variable>& params) {
   for (const auto& p : params) {
-    if (p.has_grad() && !AllFinite(p.grad())) return false;
+    if (p.has_grad() && !ops::AllFinite(p.grad())) return false;
   }
   return true;
 }

@@ -1,0 +1,286 @@
+#include "compute/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/random.h"
+#include "compute/thread_pool.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+
+namespace slime {
+namespace compute {
+namespace {
+
+std::vector<float> RandomVec(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = rng.UniformFloat() * 2.0f - 1.0f;
+  return v;
+}
+
+TEST(ThreadPoolTest, RunsEveryChunkExactlyOnce) {
+  for (int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.threads(), threads);
+    const int64_t num_chunks = 103;
+    std::vector<std::atomic<int>> hits(num_chunks);
+    for (auto& h : hits) h = 0;
+    pool.Run(num_chunks, [&](int64_t c) { hits[c].fetch_add(1); });
+    for (int64_t c = 0; c < num_chunks; ++c) EXPECT_EQ(hits[c].load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, ReusableAcrossJobs) {
+  ThreadPool pool(4);
+  for (int job = 0; job < 50; ++job) {
+    std::atomic<int64_t> sum{0};
+    pool.Run(17, [&](int64_t c) { sum.fetch_add(c); });
+    EXPECT_EQ(sum.load(), 17 * 16 / 2);
+  }
+}
+
+TEST(ParallelForTest, CoversRangeOnceForAnyGrain) {
+  for (int threads : {1, 3, 8}) {
+    ComputeContext ctx(threads);
+    for (int64_t grain : {1, 7, 64, 1000}) {
+      const int64_t n = 257;
+      std::vector<int> hits(n, 0);
+      ParallelFor(0, n, grain, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) ++hits[i];
+      });
+      for (int64_t i = 0; i < n; ++i) EXPECT_EQ(hits[i], 1);
+    }
+  }
+}
+
+TEST(ParallelForTest, EmptyAndNegativeRangesAreNoOps) {
+  int calls = 0;
+  ParallelFor(5, 5, 16, [&](int64_t, int64_t) { ++calls; });
+  ParallelFor(5, 3, 16, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForTest, NestedCallsRunInline) {
+  ComputeContext ctx(4);
+  std::vector<int> hits(64, 0);
+  ParallelFor(0, 4, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t outer = lo; outer < hi; ++outer) {
+      // Nested region must not deadlock and must still cover its range.
+      ParallelFor(0, 16, 4, [&](int64_t ilo, int64_t ihi) {
+        for (int64_t i = ilo; i < ihi; ++i) ++hits[outer * 16 + i];
+      });
+    }
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelSumTest, BitIdenticalAcrossThreadCounts) {
+  const auto v = RandomVec(100000, 7);
+  double ref = 0.0;
+  {
+    ComputeContext ctx(1);
+    ref = SumKernel(v.data(), static_cast<int64_t>(v.size()));
+  }
+  for (int threads : {2, 4, 8}) {
+    ComputeContext ctx(threads);
+    const double got = SumKernel(v.data(), static_cast<int64_t>(v.size()));
+    EXPECT_EQ(ref, got) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelSumTest, DotBitIdenticalAcrossThreadCounts) {
+  const auto a = RandomVec(70001, 11);
+  const auto b = RandomVec(70001, 13);
+  double ref = 0.0;
+  {
+    ComputeContext ctx(1);
+    ref = DotKernel(a.data(), b.data(), 70001);
+  }
+  for (int threads : {2, 8}) {
+    ComputeContext ctx(threads);
+    EXPECT_EQ(ref, DotKernel(a.data(), b.data(), 70001));
+  }
+}
+
+TEST(KernelsTest, AllFiniteDetectsNanAndInf) {
+  auto v = RandomVec(50000, 3);
+  ComputeContext ctx(4);
+  EXPECT_TRUE(AllFiniteKernel(v.data(), 50000));
+  v[49999] = std::nanf("");
+  EXPECT_FALSE(AllFiniteKernel(v.data(), 50000));
+  v[49999] = 0.0f;
+  v[123] = INFINITY;
+  EXPECT_FALSE(AllFiniteKernel(v.data(), 50000));
+}
+
+/// Naive triple-loop reference matmul in double precision.
+std::vector<float> NaiveMatMul(const std::vector<float>& a,
+                               const std::vector<float>& b, int64_t m,
+                               int64_t k, int64_t n, bool trans_a,
+                               bool trans_b) {
+  std::vector<float> c(m * n, 0.0f);
+  for (int64_t i = 0; i < m; ++i)
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float av = trans_a ? a[kk * m + i] : a[i * k + kk];
+        const float bv = trans_b ? b[j * k + kk] : b[kk * n + j];
+        acc += double(av) * bv;
+      }
+      c[i * n + j] = static_cast<float>(acc);
+    }
+  return c;
+}
+
+TEST(KernelsTest, MatMulFamilyMatchesNaiveReference) {
+  const int64_t m = 17, k = 23, n = 31;
+  const auto a = RandomVec(m * k, 21);
+  const auto b = RandomVec(k * n, 22);
+  const auto bt = RandomVec(n * k, 23);
+  const auto at = RandomVec(k * m, 24);
+  ComputeContext ctx(4);
+
+  std::vector<float> c(m * n, 0.0f);
+  MatMulKernel(a.data(), b.data(), c.data(), m, k, n);
+  auto ref = NaiveMatMul(a, b, m, k, n, false, false);
+  for (int64_t i = 0; i < m * n; ++i) EXPECT_NEAR(c[i], ref[i], 1e-4f);
+
+  std::fill(c.begin(), c.end(), 0.0f);
+  MatMulTransBKernel(a.data(), bt.data(), c.data(), m, k, n);
+  ref = NaiveMatMul(a, bt, m, k, n, false, true);
+  for (int64_t i = 0; i < m * n; ++i) EXPECT_NEAR(c[i], ref[i], 1e-4f);
+
+  std::fill(c.begin(), c.end(), 0.0f);
+  MatMulTransAKernel(at.data(), b.data(), c.data(), k, m, n);
+  ref = NaiveMatMul(at, b, m, k, n, true, false);
+  for (int64_t i = 0; i < m * n; ++i) EXPECT_NEAR(c[i], ref[i], 1e-4f);
+}
+
+TEST(KernelsTest, MatMulBitIdenticalAcrossThreadCounts) {
+  const int64_t m = 64, k = 64, n = 64;
+  const auto a = RandomVec(m * k, 31);
+  const auto b = RandomVec(k * n, 32);
+  std::vector<float> ref(m * n, 0.0f);
+  {
+    ComputeContext ctx(1);
+    MatMulKernel(a.data(), b.data(), ref.data(), m, k, n);
+  }
+  for (int threads : {2, 5, 8}) {
+    ComputeContext ctx(threads);
+    std::vector<float> c(m * n, 0.0f);
+    MatMulKernel(a.data(), b.data(), c.data(), m, k, n);
+    EXPECT_EQ(std::memcmp(ref.data(), c.data(), ref.size() * sizeof(float)),
+              0)
+        << "threads=" << threads;
+  }
+}
+
+TEST(KernelsTest, BatchMatMulSplitsAcrossItemBoundaries) {
+  const int64_t batch = 3, m = 5, k = 7, n = 9;
+  const auto a = RandomVec(batch * m * k, 41);
+  const auto b = RandomVec(batch * k * n, 42);
+  ComputeContext ctx(8);
+  std::vector<float> c(batch * m * n, 0.0f);
+  BatchMatMulKernel(a.data(), b.data(), c.data(), batch, m, k, n);
+  for (int64_t bi = 0; bi < batch; ++bi) {
+    const auto ref = NaiveMatMul(
+        std::vector<float>(a.begin() + bi * m * k,
+                           a.begin() + (bi + 1) * m * k),
+        std::vector<float>(b.begin() + bi * k * n,
+                           b.begin() + (bi + 1) * k * n),
+        m, k, n, false, false);
+    for (int64_t i = 0; i < m * n; ++i)
+      EXPECT_NEAR(c[bi * m * n + i], ref[i], 1e-4f);
+  }
+}
+
+TEST(KernelsTest, ComplexMulMatchesUnfusedComposition) {
+  const int64_t repeats = 6, block = 37;
+  const int64_t total = repeats * block;
+  const auto ar = RandomVec(total, 51);
+  const auto ai = RandomVec(total, 52);
+  const auto br = RandomVec(block, 53);
+  const auto bi = RandomVec(block, 54);
+  ComputeContext ctx(4);
+  std::vector<float> out_re(total), out_im(total);
+  ComplexMulKernel(ar.data(), ai.data(), br.data(), bi.data(), out_re.data(),
+                   out_im.data(), repeats, block);
+  for (int64_t f = 0; f < total; ++f) {
+    const int64_t j = f % block;
+    // Exact float equality: the fused expression performs the same three
+    // rounded operations as the unfused Sub(Mul, Mul) composition.
+    EXPECT_EQ(out_re[f], ar[f] * br[j] - ai[f] * bi[j]);
+    EXPECT_EQ(out_im[f], ar[f] * bi[j] + ai[f] * br[j]);
+  }
+}
+
+TEST(ComputeContextTest, RestoresThreadCount) {
+  const int before = NumThreads();
+  {
+    ComputeContext ctx(3);
+    EXPECT_EQ(NumThreads(), 3);
+    {
+      ComputeContext inner(1);
+      EXPECT_EQ(NumThreads(), 1);
+    }
+    EXPECT_EQ(NumThreads(), 3);
+  }
+  EXPECT_EQ(NumThreads(), before);
+}
+
+TEST(DispatchTest, SwapAndRestore) {
+  static int calls = 0;
+  calls = 0;
+  KernelTable table;
+  table.sum = [](const float*, int64_t) {
+    ++calls;
+    return 42.0;
+  };
+  const KernelTable previous = SetDispatch(table);
+  Tensor t = Tensor::Ones({10});
+  EXPECT_EQ(ops::SumAll(t), 42.0f);
+  EXPECT_EQ(calls, 1);
+  SetDispatch(previous);
+  EXPECT_FLOAT_EQ(ops::SumAll(t), 10.0f);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ShapeErrorDeathTest, MatMulRankErrorAbortsInAllBuilds) {
+  Tensor a({2, 3, 4});
+  Tensor b({4, 5});
+  EXPECT_DEATH(ops::MatMul(a, b), "rank-2");
+}
+
+TEST(ShapeErrorDeathTest, MatMulInnerDimMismatchAborts) {
+  Tensor a({2, 3});
+  Tensor b({4, 5});
+  EXPECT_DEATH(ops::MatMul(a, b), "inner dimension mismatch");
+  EXPECT_DEATH(ops::MatMulTransB(a, b), "inner dimension mismatch");
+  Tensor at({4, 2});
+  EXPECT_DEATH(ops::MatMulTransA(at, Tensor({3, 5})),
+               "inner dimension mismatch");
+}
+
+TEST(ShapeErrorDeathTest, BatchMatMulMismatchesAbort) {
+  Tensor a({2, 3, 4});
+  Tensor b({3, 4, 5});
+  EXPECT_DEATH(ops::BatchMatMul(a, b), "batch mismatch");
+  Tensor c({2, 7, 5});
+  EXPECT_DEATH(ops::BatchMatMul(a, c), "inner dimension mismatch");
+  EXPECT_DEATH(ops::BatchMatMul(Tensor({2, 3}), c), "rank-3");
+}
+
+TEST(ShapeErrorDeathTest, BroadcastMismatchNamesBothShapes) {
+  Tensor a({2, 3});
+  Tensor b({4, 3});
+  EXPECT_DEATH(ops::Add(a, b), "incompatible broadcast");
+}
+
+}  // namespace
+}  // namespace compute
+}  // namespace slime

@@ -1,0 +1,165 @@
+// End-to-end determinism of the parallel compute layer: training losses,
+// learned parameters, recommendations, and gradcheck must be bit-identical
+// at every thread count (the work split is fixed; see compute/thread_pool.h).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "autograd/gradcheck.h"
+#include "autograd/ops.h"
+#include "compute/thread_pool.h"
+#include "data/synthetic.h"
+#include "fft/spectral_ops.h"
+#include "models/model_factory.h"
+#include "serving/recommendation_service.h"
+#include "train/trainer.h"
+
+namespace slime {
+namespace {
+
+data::SplitDataset TinySplit() {
+  data::SyntheticConfig config;
+  config.name = "determinism-tiny";
+  config.num_users = 80;
+  config.num_items = 30;
+  config.num_categories = 3;
+  config.num_clusters = 3;
+  config.min_len = 6;
+  config.max_len = 12;
+  config.noise_prob = 0.05;
+  config.seed = 99;
+  return data::SplitDataset(data::GenerateSynthetic(config), 3);
+}
+
+models::ModelConfig TinyModelConfig(const data::SplitDataset& split) {
+  models::ModelConfig c;
+  c.num_items = split.num_items();
+  c.num_users = split.num_users();
+  c.max_len = 8;
+  c.hidden_dim = 16;
+  c.num_layers = 2;
+  c.dropout = 0.1f;
+  c.emb_dropout = 0.1f;
+  c.seed = 7;
+  return c;
+}
+
+/// Everything observable from a short training + serving run.
+struct RunOutputs {
+  double final_loss = 0.0;
+  std::vector<std::vector<float>> params;
+  std::vector<std::vector<int64_t>> rec_items;
+  std::vector<std::vector<float>> rec_scores;
+};
+
+RunOutputs TrainAndServe(int threads) {
+  compute::ComputeContext ctx(threads);
+  const data::SplitDataset split = TinySplit();
+  auto model = models::CreateModel("SLIME4Rec", TinyModelConfig(split));
+  train::TrainConfig t;
+  t.max_epochs = 2;
+  t.batch_size = 32;
+  t.lr = 5e-3f;
+  t.patience = 100;
+  t.seed = 13;
+  train::Trainer trainer(t);
+  const train::TrainResult result = trainer.Fit(model.get(), split).value();
+
+  RunOutputs out;
+  out.final_loss = result.final_train_loss;
+  for (const auto& p : model->Parameters()) {
+    out.params.push_back(p.value().ToVector());
+  }
+  serving::RecommendationService service(model.get());
+  serving::RecommendOptions options;
+  options.top_k = 10;
+  const std::vector<std::vector<int64_t>> histories = {
+      {1, 2, 3}, {4, 5, 6, 7, 8}, {9, 10}, {11, 12, 13, 14}};
+  const auto recs = service.RecommendBatch(histories, options).value();
+  for (const auto& user : recs) {
+    std::vector<int64_t> items;
+    std::vector<float> scores;
+    for (const auto& r : user) {
+      items.push_back(r.item);
+      scores.push_back(r.score);
+    }
+    out.rec_items.push_back(std::move(items));
+    out.rec_scores.push_back(std::move(scores));
+  }
+  return out;
+}
+
+TEST(DeterminismTest, TrainAndServeBitIdenticalAcrossThreadCounts) {
+  const RunOutputs ref = TrainAndServe(1);
+  ASSERT_FALSE(ref.params.empty());
+  for (int threads : {2, 8}) {
+    const RunOutputs got = TrainAndServe(threads);
+    // Scalar loss: exact double equality, not a tolerance.
+    EXPECT_EQ(ref.final_loss, got.final_loss) << "threads=" << threads;
+    ASSERT_EQ(ref.params.size(), got.params.size());
+    for (size_t i = 0; i < ref.params.size(); ++i) {
+      ASSERT_EQ(ref.params[i].size(), got.params[i].size());
+      EXPECT_EQ(std::memcmp(ref.params[i].data(), got.params[i].data(),
+                            ref.params[i].size() * sizeof(float)),
+                0)
+          << "param " << i << " differs at threads=" << threads;
+    }
+    EXPECT_EQ(ref.rec_items, got.rec_items) << "threads=" << threads;
+    ASSERT_EQ(ref.rec_scores.size(), got.rec_scores.size());
+    for (size_t u = 0; u < ref.rec_scores.size(); ++u) {
+      EXPECT_EQ(std::memcmp(ref.rec_scores[u].data(),
+                            got.rec_scores[u].data(),
+                            ref.rec_scores[u].size() * sizeof(float)),
+                0)
+          << "scores for user " << u << " differ at threads=" << threads;
+    }
+  }
+}
+
+TEST(DeterminismTest, GradcheckPassesWithPoolActive) {
+  compute::ComputeContext ctx(4);
+  using autograd::Param;
+  using autograd::Sum;
+  using autograd::Variable;
+  Rng rng(17);
+  // The fused complex-multiply op on its broadcast path (B,M,d) * (M,d).
+  Variable ar = Param(Tensor::Randn({2, 4, 3}, &rng, 0.5f));
+  Variable ai = Param(Tensor::Randn({2, 4, 3}, &rng, 0.5f));
+  Variable br = Param(Tensor::Randn({4, 3}, &rng, 0.5f));
+  Variable bi = Param(Tensor::Randn({4, 3}, &rng, 0.5f));
+  const auto result = autograd::CheckGradients(
+      [](const std::vector<Variable>& in) {
+        const fft::SpectralPair y =
+            fft::ComplexMul({in[0], in[1]}, {in[2], in[3]});
+        Rng wrng(5);
+        Tensor w1 = Tensor::Randn({2, 4, 3}, &wrng);
+        Tensor w2 = Tensor::Randn({2, 4, 3}, &wrng);
+        return autograd::Add(Sum(autograd::MulConst(y.re, w1)),
+                             Sum(autograd::MulConst(y.im, w2)));
+      },
+      {ar, ai, br, bi});
+  EXPECT_TRUE(result.ok) << result.message;
+}
+
+TEST(DeterminismTest, GradcheckLayerNormWithPoolActive) {
+  compute::ComputeContext ctx(4);
+  using autograd::Param;
+  using autograd::Sum;
+  using autograd::Variable;
+  Rng rng(23);
+  Variable x = Param(Tensor::Randn({3, 5}, &rng));
+  Variable gamma = Param(Tensor::Ones({5}));
+  Variable beta = Param(Tensor::Zeros({5}));
+  const auto result = autograd::CheckGradients(
+      [](const std::vector<Variable>& in) {
+        Variable y = autograd::LayerNorm(in[0], in[1], in[2], 1e-5f);
+        return Sum(autograd::Mul(y, y));
+      },
+      {x, gamma, beta});
+  EXPECT_TRUE(result.ok) << result.message;
+}
+
+}  // namespace
+}  // namespace slime

@@ -24,6 +24,7 @@
 
 #include "bench_util/table_printer.h"
 #include "common/string_util.h"
+#include "compute/thread_pool.h"
 #include "data/loader.h"
 #include "data/synthetic.h"
 #include "io/checkpoint.h"
@@ -269,6 +270,8 @@ int Usage() {
       stderr,
       "usage: slime4rec_cli <stats|generate|train|evaluate|recommend> "
       "[--flag value ...]\n"
+      "  global    [--threads N]  compute threads (default: "
+      "SLIME_NUM_THREADS or hardware)\n"
       "  stats     --data FILE\n"
       "  generate  --preset beauty-sim --scale 0.5 --out FILE\n"
       "  train     --data FILE [--model SLIME4Rec] [--epochs 20] "
@@ -284,6 +287,10 @@ int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string cmd = argv[1];
   const Flags flags(argc, argv, 2);
+  // --threads overrides SLIME_NUM_THREADS (which overrides the hardware
+  // default). Pin --threads 1 for paper-exact single-thread runs.
+  const int threads = static_cast<int>(flags.GetInt("threads", 0));
+  if (threads > 0) compute::SetNumThreads(threads);
   if (cmd == "stats") return CmdStats(flags);
   if (cmd == "generate") return CmdGenerate(flags);
   if (cmd == "train") return CmdTrain(flags);
