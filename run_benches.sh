@@ -18,12 +18,14 @@ MAIN="bench_table1_datasets bench_table2_overall bench_fig3_ablation \
       bench_fig7_filters bench_complexity"
 WAVE2="bench_table4_slide_modes bench_ablation_mixing bench_sampled_metrics"
 KERNELS="bench_kernels"
+SERVING="bench_serving"
 
 case "${1:-main}" in
   main)    BENCHES="$MAIN" ;;
   wave2)   BENCHES="$WAVE2" ;;
   kernels) BENCHES="$KERNELS" ;;
-  all)     BENCHES="$MAIN $WAVE2 $KERNELS" ;;
+  serving) BENCHES="$SERVING" ;;
+  all)     BENCHES="$MAIN $WAVE2 $KERNELS $SERVING" ;;
   *)       BENCHES="$*" ;;
 esac
 

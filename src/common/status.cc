@@ -22,6 +22,15 @@ std::string Status::ToString() const {
     case Code::kAborted:
       name = "Aborted";
       break;
+    case Code::kDeadlineExceeded:
+      name = "DeadlineExceeded";
+      break;
+    case Code::kResourceExhausted:
+      name = "ResourceExhausted";
+      break;
+    case Code::kUnavailable:
+      name = "Unavailable";
+      break;
   }
   return std::string(name) + ": " + message_;
 }

@@ -21,6 +21,9 @@ class Status {
     kIOError,
     kCorruption,
     kAborted,
+    kDeadlineExceeded,
+    kResourceExhausted,
+    kUnavailable,
   };
 
   Status() : code_(Code::kOk) {}
@@ -39,9 +42,28 @@ class Status {
     return Status(Code::kCorruption, std::move(msg));
   }
   /// An operation that started but was deliberately given up on (e.g.
-  /// training abandoned after repeated divergence rollbacks).
+  /// training abandoned after repeated divergence rollbacks, or a model
+  /// reload rolled back after failing canary validation).
   static Status Aborted(std::string msg) {
     return Status(Code::kAborted, std::move(msg));
+  }
+  /// A request ran out of its time budget before completing. The serving
+  /// layer may still have produced partial or degraded results; see
+  /// serving::ModelServer.
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
+  /// Load shedding: the server refused the request to protect itself
+  /// (in-flight budget or rate limit). Retry later; the message carries a
+  /// retry-after hint when one is known.
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
+  /// The service cannot take requests right now (still starting, or
+  /// draining for shutdown). Unlike ResourceExhausted this is a state, not
+  /// a momentary overload.
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }

@@ -1,6 +1,9 @@
 #include "compute/thread_pool.h"
 
 #include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 
 #include "common/macros.h"
@@ -111,8 +114,12 @@ PoolState& GetPoolState() {
 
 int EnvOrHardwareThreads() {
   if (const char* env = std::getenv("SLIME_NUM_THREADS")) {
-    const long v = std::strtol(env, nullptr, 10);
-    if (v >= 1) return static_cast<int>(v);
+    const Result<int> parsed = ParseThreadCount(env);
+    if (parsed.ok()) return parsed.value();
+    std::fprintf(stderr,
+                 "warning: ignoring SLIME_NUM_THREADS=\"%s\" (%s); using %d "
+                 "hardware thread(s)\n",
+                 env, parsed.status().message().c_str(), HardwareThreads());
   }
   return HardwareThreads();
 }
@@ -145,10 +152,42 @@ int NumThreads() {
 }
 
 void SetNumThreads(int threads) {
+  SLIME_CHECK_LE(threads, kMaxThreadCount);
   PoolState& s = GetPoolState();
   std::lock_guard<std::mutex> lk(s.mu);
   s.threads = threads <= 0 ? HardwareThreads() : threads;
   if (s.pool && s.pool->threads() != s.threads) s.pool.reset();
+}
+
+Result<int> ParseThreadCount(const std::string& text) {
+  if (text.empty()) {
+    return Status::InvalidArgument("thread count is empty");
+  }
+  // strtol silently skips leading whitespace; configuration values should
+  // be exact, so reject it up front.
+  if (std::isspace(static_cast<unsigned char>(text[0]))) {
+    return Status::InvalidArgument("thread count \"" + text +
+                                   "\" is not an integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    return Status::InvalidArgument("thread count \"" + text +
+                                   "\" is not an integer");
+  }
+  // On ERANGE strtol clamps to LONG_MIN/LONG_MAX, which the two range
+  // checks below classify correctly, so errno needs no separate branch.
+  if (v < 1) {
+    return Status::InvalidArgument("thread count must be >= 1, got \"" +
+                                   text + "\"");
+  }
+  if (v > kMaxThreadCount) {
+    return Status::InvalidArgument(
+        "thread count \"" + text + "\" exceeds the maximum of " +
+        std::to_string(kMaxThreadCount));
+  }
+  return static_cast<int>(v);
 }
 
 ComputeContext::ComputeContext(int threads) : saved_(NumThreads()) {

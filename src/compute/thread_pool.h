@@ -7,8 +7,11 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "common/status.h"
 
 namespace slime {
 namespace compute {
@@ -66,14 +69,28 @@ bool InParallelRegion();
 /// max(1, std::thread::hardware_concurrency()).
 int HardwareThreads();
 
-/// The currently configured thread count. Initialised on first use from the
-/// SLIME_NUM_THREADS environment variable when set (clamped to >= 1), else
-/// from HardwareThreads().
+/// Largest accepted configured thread count. Far above any sensible CPU
+/// fan-out; the cap exists so a typo ("10000000") fails with a clear error
+/// instead of exhausting the machine spawning threads.
+inline constexpr int kMaxThreadCount = 512;
+
+/// Strictly parses a thread-count string from untrusted configuration (the
+/// --threads flag, the SLIME_NUM_THREADS environment variable): an integer
+/// in [1, kMaxThreadCount], no trailing junk. Empty, non-numeric, zero,
+/// negative and absurdly large inputs all return InvalidArgument with the
+/// offending text in the message.
+Result<int> ParseThreadCount(const std::string& text);
+
+/// The currently configured thread count. Initialised on first use from
+/// the SLIME_NUM_THREADS environment variable when it parses cleanly (see
+/// ParseThreadCount; an invalid value is reported on stderr and ignored),
+/// else from HardwareThreads().
 int NumThreads();
 
-/// Reconfigures the global pool. `threads <= 0` selects HardwareThreads().
-/// Not thread-safe against concurrently running kernels; call between
-/// parallel regions (startup, test setup, CLI flag handling).
+/// Reconfigures the global pool. `threads <= 0` selects HardwareThreads();
+/// positive values must be <= kMaxThreadCount (checked). Not thread-safe
+/// against concurrently running kernels; call between parallel regions
+/// (startup, test setup, CLI flag handling).
 void SetNumThreads(int threads);
 
 /// RAII thread-count override for embedders: saves the current setting,

@@ -1,7 +1,24 @@
 #include "models/recommender.h"
 
-// The interface is header-only; this translation unit anchors the vtable.
+#include "common/macros.h"
 
 namespace slime {
-namespace models {}  // namespace models
+namespace models {
+
+ModelUseGuard::ModelUseGuard(SequentialRecommender* model, const char* what)
+    : model_(model) {
+  SLIME_CHECK(model != nullptr);
+  const char* expected = nullptr;
+  const bool acquired =
+      model_->active_use().compare_exchange_strong(expected, what);
+  SLIME_CHECK_MSG(acquired, "concurrent model use: cannot start "
+                                << what << " while " << expected
+                                << " is in progress on the same model");
+}
+
+ModelUseGuard::~ModelUseGuard() {
+  model_->active_use().store(nullptr, std::memory_order_release);
+}
+
+}  // namespace models
 }  // namespace slime

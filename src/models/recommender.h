@@ -1,6 +1,7 @@
 #ifndef SLIME4REC_MODELS_RECOMMENDER_H_
 #define SLIME4REC_MODELS_RECOMMENDER_H_
 
+#include <atomic>
 #include <string>
 
 #include "autograd/variable.h"
@@ -65,9 +66,38 @@ class SequentialRecommender : public nn::Module {
   const ModelConfig& config() const { return config_; }
   Rng* rng() { return &rng_; }
 
+  /// Concurrent-use detector (see ModelUseGuard). Models are stateful
+  /// during both training (autograd graphs, RNG draws) and inference
+  /// (SetTraining toggles, RNG for augmentation-based models), so no two
+  /// guarded activities may overlap on one instance — in particular a
+  /// RecommendationService call racing a Trainer::Fit on the same model.
+  /// Best-effort: two activities starting in the same instant may both
+  /// pass, but any sustained overlap (the realistic bug) is caught. Two
+  /// cheap atomic ops per guarded call, so it stays on in release builds,
+  /// matching the SLIME_CHECK philosophy.
+  std::atomic<const char*>& active_use() { return active_use_; }
+
  protected:
   ModelConfig config_;
   Rng rng_;
+
+ private:
+  std::atomic<const char*> active_use_{nullptr};
+};
+
+/// RAII scope marking a model as exclusively in use for `what` ("training",
+/// "serving"); aborts via SLIME_CHECK if the model is already inside
+/// another guarded scope. Taken by Trainer::Fit around the whole run and by
+/// RecommendationService around each model interaction.
+class ModelUseGuard {
+ public:
+  ModelUseGuard(SequentialRecommender* model, const char* what);
+  ~ModelUseGuard();
+  ModelUseGuard(const ModelUseGuard&) = delete;
+  ModelUseGuard& operator=(const ModelUseGuard&) = delete;
+
+ private:
+  SequentialRecommender* model_;
 };
 
 }  // namespace models

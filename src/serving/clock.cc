@@ -1,0 +1,26 @@
+#include "serving/clock.h"
+
+#include <chrono>
+
+namespace slime {
+namespace serving {
+namespace {
+
+class SteadyClock : public Clock {
+ public:
+  int64_t NowNanos() override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+}  // namespace
+
+Clock* Clock::Default() {
+  static SteadyClock clock;
+  return &clock;
+}
+
+}  // namespace serving
+}  // namespace slime

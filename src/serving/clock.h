@@ -1,0 +1,54 @@
+#ifndef SLIME4REC_SERVING_CLOCK_H_
+#define SLIME4REC_SERVING_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace slime {
+namespace serving {
+
+/// Time seam for the serving layer, mirroring io::Env for the filesystem:
+/// production code uses Clock::Default() (the steady clock), tests
+/// substitute a FakeClock so deadline pressure, token-bucket refill and
+/// retry-after arithmetic are driven deterministically instead of by wall
+/// time. All times are nanoseconds on an arbitrary monotonic epoch; only
+/// differences are meaningful.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Monotonic now, in nanoseconds.
+  virtual int64_t NowNanos() = 0;
+
+  /// The process-wide default clock (std::chrono::steady_clock).
+  static Clock* Default();
+};
+
+/// A manually-advanced clock. NowNanos only moves when a test calls
+/// Advance/Set, so any code path gated on time is exactly reproducible.
+/// Thread-safe: chaos tests advance it from a model seam while requests
+/// read it from pool threads.
+class FakeClock : public Clock {
+ public:
+  explicit FakeClock(int64_t start_nanos = 0) : now_(start_nanos) {}
+
+  int64_t NowNanos() override { return now_.load(std::memory_order_acquire); }
+
+  void Advance(int64_t nanos) {
+    now_.fetch_add(nanos, std::memory_order_acq_rel);
+  }
+  void Set(int64_t nanos) { now_.store(nanos, std::memory_order_release); }
+
+ private:
+  std::atomic<int64_t> now_;
+};
+
+/// Readable literals for deadline/rate configuration.
+inline constexpr int64_t kNanosPerMicro = 1000;
+inline constexpr int64_t kNanosPerMilli = 1000 * 1000;
+inline constexpr int64_t kNanosPerSecond = 1000 * 1000 * 1000;
+
+}  // namespace serving
+}  // namespace slime
+
+#endif  // SLIME4REC_SERVING_CLOCK_H_

@@ -1,0 +1,439 @@
+#include "serving/model_server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/macros.h"
+#include "io/checkpoint.h"
+
+namespace slime {
+namespace serving {
+namespace {
+
+/// Releases one admission slot on scope exit.
+class AdmissionRelease {
+ public:
+  explicit AdmissionRelease(AdmissionController* admission)
+      : admission_(admission) {}
+  ~AdmissionRelease() { admission_->Release(); }
+  AdmissionRelease(const AdmissionRelease&) = delete;
+  AdmissionRelease& operator=(const AdmissionRelease&) = delete;
+
+ private:
+  AdmissionController* admission_;
+};
+
+std::string NanosAsMillis(int64_t nanos) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f ms",
+                static_cast<double>(nanos) / kNanosPerMilli);
+  return buf;
+}
+
+/// Integer EWMA (3/4 old + 1/4 new; first observation adopted whole) —
+/// platform-independent arithmetic so ladder decisions replay identically.
+void UpdateCostEstimate(std::atomic<int64_t>* estimate, int64_t observed) {
+  observed = std::max<int64_t>(0, observed);
+  const int64_t old = estimate->load(std::memory_order_relaxed);
+  estimate->store(old == 0 ? observed : (old * 3 + observed) / 4,
+                  std::memory_order_relaxed);
+}
+
+}  // namespace
+
+const char* ToString(HealthState state) {
+  switch (state) {
+    case HealthState::kStarting:
+      return "starting";
+    case HealthState::kServing:
+      return "serving";
+    case HealthState::kDegraded:
+      return "degraded";
+    case HealthState::kDraining:
+      return "draining";
+  }
+  return "unknown";
+}
+
+const char* ToString(ServeTier tier) {
+  switch (tier) {
+    case ServeTier::kFullModel:
+      return "full-model";
+    case ServeTier::kTruncatedHistory:
+      return "truncated-history";
+    case ServeTier::kPopularityFallback:
+      return "popularity-fallback";
+  }
+  return "unknown";
+}
+
+ModelServer::ModelServer(const ModelServerOptions& options,
+                         ModelFactory factory, Clock* clock, io::Env* env)
+    : options_(options),
+      factory_(std::move(factory)),
+      clock_(clock != nullptr ? clock : Clock::Default()),
+      env_(env != nullptr ? env : io::Env::Default()),
+      admission_(options.admission, clock_) {
+  SLIME_CHECK_GT(options_.default_deadline_nanos, 0);
+  SLIME_CHECK_GE(options_.fast_path_history_len, 1);
+  SLIME_CHECK_GE(options_.min_model_budget_nanos, 0);
+  SLIME_CHECK_GE(options_.recovery_full_responses, 1);
+  SLIME_CHECK_GE(options_.canary_top_k, 1);
+}
+
+void ModelServer::set_canary_requests(
+    std::vector<std::vector<int64_t>> canaries) {
+  canaries_ = std::move(canaries);
+}
+
+void ModelServer::set_fallback(PopularityFallback fallback) {
+  fallback_ = std::move(fallback);
+}
+
+std::shared_ptr<models::SequentialRecommender> ModelServer::ModelSnapshot(
+    int64_t* generation) const {
+  std::lock_guard<std::mutex> lk(model_mu_);
+  if (generation != nullptr) *generation = generation_;
+  return model_;
+}
+
+Status ModelServer::ValidateCanaries(
+    models::SequentialRecommender* candidate) {
+  RecommendationService service(candidate);
+  RecommendOptions options;
+  options.top_k = options_.canary_top_k;
+  // Canary forward passes share the compute pool (and, in chaos tests, the
+  // clock seam) with live traffic; take the inference lock like any other
+  // forward pass so the two never interleave on the model-stateful path.
+  std::lock_guard<std::mutex> lk(infer_mu_);
+  for (size_t i = 0; i < canaries_.size(); ++i) {
+    const std::string tag = "canary " + std::to_string(i);
+    const Result<std::vector<Recommendation>> ranked =
+        service.Recommend(canaries_[i], options);
+    if (!ranked.ok()) {
+      return Status::Aborted(tag + " failed: " + ranked.status().ToString());
+    }
+    if (ranked.value().empty()) {
+      return Status::Aborted(tag + " returned an empty top-K");
+    }
+    for (const Recommendation& rec : ranked.value()) {
+      if (!std::isfinite(rec.score)) {
+        return Status::Aborted(tag + " produced a non-finite score for item " +
+                               std::to_string(rec.item));
+      }
+      if (rec.item < 1 || rec.item > candidate->config().num_items) {
+        return Status::Aborted(tag + " ranked out-of-catalogue item " +
+                               std::to_string(rec.item));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void ModelServer::Install(
+    std::unique_ptr<models::SequentialRecommender> model) {
+  std::lock_guard<std::mutex> lk(model_mu_);
+  model_ = std::move(model);
+  ++generation_;
+}
+
+Status ModelServer::Start(
+    std::unique_ptr<models::SequentialRecommender> model) {
+  SLIME_CHECK(model != nullptr);
+  std::lock_guard<std::mutex> reload_lk(reload_mu_);
+  const Status canary = ValidateCanaries(model.get());
+  if (!canary.ok()) {
+    rollbacks_.fetch_add(1, std::memory_order_relaxed);
+    return canary;
+  }
+  Install(std::move(model));
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    if (state_ == HealthState::kStarting) state_ = HealthState::kServing;
+  }
+  return Status::OK();
+}
+
+Status ModelServer::StartFromCheckpoint(const std::string& path) {
+  if (!factory_) {
+    return Status::InvalidArgument(
+        "StartFromCheckpoint needs a model factory to build the target "
+        "architecture");
+  }
+  std::unique_ptr<models::SequentialRecommender> fresh = factory_();
+  SLIME_RETURN_IF_ERROR(io::LoadCheckpoint(fresh.get(), path, env_));
+  return Start(std::move(fresh));
+}
+
+Status ModelServer::Reload(const std::string& checkpoint_path) {
+  std::lock_guard<std::mutex> reload_lk(reload_mu_);
+  if (!factory_) {
+    return Status::InvalidArgument(
+        "Reload needs a model factory to build the shadow model");
+  }
+  if (ModelSnapshot(nullptr) == nullptr) {
+    return Status::InvalidArgument(
+        "Reload before Start; use StartFromCheckpoint for the first model");
+  }
+  // Shadow load: the live model keeps serving while the candidate is
+  // loaded and validated off to the side. Any failure below leaves the
+  // server exactly as it was (rollback = do nothing).
+  std::unique_ptr<models::SequentialRecommender> shadow = factory_();
+  const Status loaded = io::LoadCheckpoint(shadow.get(), checkpoint_path, env_);
+  if (!loaded.ok()) {
+    rollbacks_.fetch_add(1, std::memory_order_relaxed);
+    return loaded;
+  }
+  const Status canary = ValidateCanaries(shadow.get());
+  if (!canary.ok()) {
+    rollbacks_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Aborted("reload of " + checkpoint_path +
+                           " rolled back (previous model still serving): " +
+                           canary.message());
+  }
+  Install(std::move(shadow));
+  reloads_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void ModelServer::BeginDrain() {
+  std::lock_guard<std::mutex> lk(state_mu_);
+  state_ = HealthState::kDraining;
+}
+
+HealthState ModelServer::health() const {
+  std::lock_guard<std::mutex> lk(state_mu_);
+  return state_;
+}
+
+ServerStats ModelServer::stats() const {
+  ServerStats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.served = served_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  s.full_model_served = full_model_served_.load(std::memory_order_relaxed);
+  s.fast_path_served = fast_path_served_.load(std::memory_order_relaxed);
+  s.fallback_served = fallback_served_.load(std::memory_order_relaxed);
+  s.reloads = reloads_.load(std::memory_order_relaxed);
+  s.rollbacks = rollbacks_.load(std::memory_order_relaxed);
+  s.full_cost_estimate_nanos =
+      full_cost_estimate_.load(std::memory_order_relaxed);
+  s.fast_cost_estimate_nanos =
+      fast_cost_estimate_.load(std::memory_order_relaxed);
+  return s;
+}
+
+int64_t ModelServer::generation() const {
+  std::lock_guard<std::mutex> lk(model_mu_);
+  return generation_;
+}
+
+void ModelServer::UpdateHealthAfterServe(bool all_full_tier) {
+  std::lock_guard<std::mutex> lk(state_mu_);
+  if (state_ == HealthState::kDraining || state_ == HealthState::kStarting) {
+    return;
+  }
+  if (all_full_tier) {
+    if (state_ == HealthState::kDegraded &&
+        ++consecutive_full_ >= options_.recovery_full_responses) {
+      state_ = HealthState::kServing;
+      consecutive_full_ = 0;
+    }
+  } else {
+    consecutive_full_ = 0;
+    state_ = HealthState::kDegraded;
+  }
+}
+
+void ModelServer::NoteShed() {
+  shed_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lk(state_mu_);
+  if (state_ == HealthState::kServing) state_ = HealthState::kDegraded;
+  consecutive_full_ = 0;
+}
+
+Result<ServeResponse> ModelServer::Serve(const ServeRequest& request) {
+  BatchServeRequest batch;
+  batch.histories = {request.history};
+  batch.options = request.options;
+  batch.deadline_nanos = request.deadline_nanos;
+  Result<BatchServeResponse> result = ServeBatch(batch);
+  if (!result.ok()) return result.status();
+  ServeResponse response = std::move(result.value().responses[0]);
+  if (!response.complete) {
+    return Status::DeadlineExceeded(
+        "deadline exceeded before any tier could serve the request");
+  }
+  return response;
+}
+
+Result<BatchServeResponse> ModelServer::ServeBatch(
+    const BatchServeRequest& request) {
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    if (state_ == HealthState::kStarting) {
+      return Status::Unavailable("server is starting: no model installed");
+    }
+    if (state_ == HealthState::kDraining) {
+      return Status::Unavailable("server is draining");
+    }
+  }
+  const AdmissionDecision admit = admission_.TryAdmit();
+  if (!admit.admitted) {
+    NoteShed();
+    return Status::ResourceExhausted(
+        std::string("shed by ") + admit.limit + " limit; retry after " +
+        NanosAsMillis(admit.retry_after_nanos));
+  }
+  AdmissionRelease release(&admission_);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  const int64_t budget = request.deadline_nanos > 0
+                             ? request.deadline_nanos
+                             : options_.default_deadline_nanos;
+  const int64_t deadline = clock_->NowNanos() + budget;
+  const CancelFn past_deadline = [this, deadline] {
+    return clock_->NowNanos() >= deadline;
+  };
+  const CancelFn skip_tier = [] { return true; };
+  const auto remaining = [this, deadline] {
+    return deadline - clock_->NowNanos();
+  };
+
+  BatchServeResponse out;
+  std::shared_ptr<models::SequentialRecommender> model =
+      ModelSnapshot(&out.generation);
+  SLIME_CHECK(model != nullptr);
+  RecommendationService service(model.get());
+
+  const size_t num_users = request.histories.size();
+  out.responses.resize(num_users);
+  for (ServeResponse& r : out.responses) r.generation = out.generation;
+
+  // A tier is worth attempting only while the remaining budget covers its
+  // observed cost (EWMA; the configured floor before any observation).
+  const auto tier_budget = [this](int64_t estimate) {
+    return std::max(options_.min_model_budget_nanos, estimate);
+  };
+
+  // --- Tier 1: full history through the live model. Even when skipped for
+  // budget the call still runs (with an always-true cancel) so input
+  // validation always happens and bad requests fail as bad requests, not
+  // as fallbacks.
+  std::vector<size_t> pending;
+  {
+    const bool attempt =
+        remaining() >=
+        tier_budget(full_cost_estimate_.load(std::memory_order_relaxed));
+    std::unique_lock<std::mutex> infer_lk(infer_mu_, std::defer_lock);
+    if (attempt) infer_lk.lock();
+    const int64_t t0 = clock_->NowNanos();
+    Result<PartialBatch> tier1 = service.RecommendBatchCancellable(
+        request.histories, request.options, attempt ? past_deadline
+                                                    : skip_tier);
+    if (!tier1.ok()) return tier1.status();
+    if (attempt) UpdateCostEstimate(&full_cost_estimate_,
+                                    clock_->NowNanos() - t0);
+    const PartialBatch& pb = tier1.value();
+    out.deadline_hit = pb.cancelled;
+    for (size_t i = 0; i < num_users; ++i) {
+      if (pb.completed[i]) {
+        out.responses[i].items = std::move(tier1.value().lists[i]);
+        out.responses[i].tier = ServeTier::kFullModel;
+      } else {
+        pending.push_back(i);
+      }
+    }
+  }
+
+  // --- Tier 2: truncated-history retry for users tier 1 didn't finish.
+  if (!pending.empty() &&
+      remaining() >=
+          tier_budget(fast_cost_estimate_.load(std::memory_order_relaxed))) {
+    std::vector<std::vector<int64_t>> truncated;
+    truncated.reserve(pending.size());
+    for (size_t i : pending) {
+      const std::vector<int64_t>& h = request.histories[i];
+      const size_t n = std::min<size_t>(
+          h.size(), static_cast<size_t>(options_.fast_path_history_len));
+      truncated.emplace_back(h.end() - n, h.end());
+    }
+    std::lock_guard<std::mutex> infer_lk(infer_mu_);
+    const int64_t t0 = clock_->NowNanos();
+    Result<PartialBatch> tier2 = service.RecommendBatchCancellable(
+        truncated, request.options, past_deadline);
+    if (!tier2.ok()) return tier2.status();
+    UpdateCostEstimate(&fast_cost_estimate_, clock_->NowNanos() - t0);
+    const PartialBatch& pb = tier2.value();
+    out.deadline_hit = out.deadline_hit || pb.cancelled;
+    std::vector<size_t> still_pending;
+    for (size_t j = 0; j < pending.size(); ++j) {
+      const size_t i = pending[j];
+      if (pb.completed[j]) {
+        out.responses[i].items = std::move(tier2.value().lists[j]);
+        out.responses[i].tier = ServeTier::kTruncatedHistory;
+      } else {
+        still_pending.push_back(i);
+      }
+    }
+    pending.swap(still_pending);
+  } else if (!pending.empty()) {
+    out.deadline_hit = true;  // budget gone before the retry tier
+  }
+
+  // --- Tier 3: popularity fallback never needs the model or the budget.
+  if (!pending.empty() && fallback_.Available()) {
+    for (size_t i : pending) {
+      out.responses[i].items =
+          fallback_.Recommend(request.histories[i], request.options);
+      out.responses[i].tier = ServeTier::kPopularityFallback;
+    }
+    pending.clear();
+  }
+  for (size_t i : pending) {
+    out.responses[i].complete = false;
+    out.responses[i].items.clear();
+  }
+
+  // Bookkeeping: tier counters, deadline counter, health hysteresis.
+  bool all_full = pending.empty();
+  for (const ServeResponse& r : out.responses) {
+    if (!r.complete) continue;
+    served_.fetch_add(1, std::memory_order_relaxed);
+    switch (r.tier) {
+      case ServeTier::kFullModel:
+        full_model_served_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ServeTier::kTruncatedHistory:
+        fast_path_served_.fetch_add(1, std::memory_order_relaxed);
+        all_full = false;
+        break;
+      case ServeTier::kPopularityFallback:
+        fallback_served_.fetch_add(1, std::memory_order_relaxed);
+        all_full = false;
+        break;
+    }
+  }
+  out.deadline_hit = out.deadline_hit || !pending.empty();
+  if (out.deadline_hit) {
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+  }
+  UpdateHealthAfterServe(all_full && !out.deadline_hit);
+
+  if (!pending.empty()) {
+    if (!options_.allow_partial_on_deadline ||
+        pending.size() == num_users) {
+      return Status::DeadlineExceeded(
+          "deadline of " + NanosAsMillis(budget) + " exceeded with " +
+          std::to_string(pending.size()) + " of " +
+          std::to_string(num_users) +
+          " users unserved and no fallback available");
+    }
+  }
+  return out;
+}
+
+}  // namespace serving
+}  // namespace slime

@@ -1,0 +1,252 @@
+#ifndef SLIME4REC_SERVING_MODEL_SERVER_H_
+#define SLIME4REC_SERVING_MODEL_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "io/env.h"
+#include "models/recommender.h"
+#include "serving/admission.h"
+#include "serving/clock.h"
+#include "serving/fallback.h"
+#include "serving/recommendation_service.h"
+
+namespace slime {
+namespace serving {
+
+/// Operational state of a ModelServer.
+enum class HealthState {
+  kStarting,   // constructed, no validated model installed yet
+  kServing,    // healthy: requests served by the full model
+  kDegraded,   // recent requests shed or served below the full-model tier
+  kDraining,   // shutting down: no new requests admitted
+};
+const char* ToString(HealthState state);
+
+/// Which rung of the degradation ladder produced a response.
+enum class ServeTier {
+  kFullModel,           // full history through the live model
+  kTruncatedHistory,    // last-n-items retry through the live model
+  kPopularityFallback,  // model-free popularity ranking
+};
+const char* ToString(ServeTier tier);
+
+/// Tuning knobs; every time value is in nanoseconds on the server's Clock.
+struct ModelServerOptions {
+  /// Per-request time budget when the request doesn't carry its own.
+  int64_t default_deadline_nanos = 50 * kNanosPerMilli;
+  /// Load-shedding policy (in-flight cap + token bucket).
+  AdmissionOptions admission;
+  /// `n` for the truncated-history retry tier: the request is re-attempted
+  /// with only the last n history items. (With this library's fixed-length
+  /// padding the model FLOPs are unchanged; the tier bounds per-user
+  /// preprocessing for very long histories and, more importantly, is the
+  /// bounded second attempt between "full fidelity" and "give up to the
+  /// popularity ranker".)
+  int64_t fast_path_history_len = 8;
+  /// A model tier is only attempted while the remaining budget is at
+  /// least max(this floor, the tier's observed-cost EWMA); below that the
+  /// request drops down the ladder instead of starting a forward pass that
+  /// the latency history says is doomed. This is what makes the middle
+  /// tier reachable: a tight-but-alive budget skips the full pass and
+  /// goes straight to the cheaper retry.
+  int64_t min_model_budget_nanos = kNanosPerMilli;
+  /// When the deadline fires with no fallback available: `true` returns
+  /// whatever completed (uncompleted users flagged via
+  /// ServeResponse::complete), `false` fails the whole batch with
+  /// DeadlineExceeded.
+  bool allow_partial_on_deadline = true;
+  /// Consecutive fully-served (all users at the full-model tier) requests
+  /// needed to leave kDegraded.
+  int64_t recovery_full_responses = 8;
+  /// Top-K used for canary validation during Start/Reload.
+  int64_t canary_top_k = 5;
+};
+
+/// One serving request: a user history plus ranking options and an
+/// optional per-request deadline budget.
+struct ServeRequest {
+  std::vector<int64_t> history;
+  RecommendOptions options;
+  /// Time budget for this request; 0 uses the server default.
+  int64_t deadline_nanos = 0;
+};
+
+/// One served ranking, tagged with the tier that produced it and the model
+/// generation that was live (generation 0 = no model involved, i.e. pure
+/// fallback before any reload bookkeeping — in practice the generation the
+/// request snapshotted).
+struct ServeResponse {
+  std::vector<Recommendation> items;
+  ServeTier tier = ServeTier::kFullModel;
+  /// False when the deadline fired before any tier could produce items for
+  /// this user (only possible with no fallback configured).
+  bool complete = true;
+  int64_t generation = 0;
+};
+
+struct BatchServeRequest {
+  std::vector<std::vector<int64_t>> histories;
+  RecommendOptions options;
+  int64_t deadline_nanos = 0;
+};
+
+struct BatchServeResponse {
+  std::vector<ServeResponse> responses;  // one per requested history
+  /// True if the deadline cancelled model work at any point (even when the
+  /// fallback rescued every user).
+  bool deadline_hit = false;
+  int64_t generation = 0;
+};
+
+/// Cumulative counters since construction (monotone; sampled atomically
+/// field-by-field, so cross-field sums may be momentarily inconsistent
+/// under concurrent traffic).
+struct ServerStats {
+  int64_t requests = 0;           // admitted Serve/ServeBatch calls
+  int64_t served = 0;             // user rankings returned, any tier
+  int64_t shed = 0;               // calls rejected by admission control
+  int64_t deadline_exceeded = 0;  // calls whose deadline cancelled work
+  int64_t full_model_served = 0;      // per-user tier counts
+  int64_t fast_path_served = 0;
+  int64_t fallback_served = 0;
+  int64_t reloads = 0;    // validated hot reloads installed
+  int64_t rollbacks = 0;  // reload attempts rolled back (load or canary)
+  /// EWMA of observed per-tier pass cost (0 until first measured), the
+  /// values gating ladder decisions.
+  int64_t full_cost_estimate_nanos = 0;
+  int64_t fast_cost_estimate_nanos = 0;
+};
+
+/// Production-shaped serving shell around RecommendationService:
+///
+///  - **Deadlines.** Every request runs under a time budget on the
+///    injected Clock; a cooperative cancel predicate is threaded through
+///    the batch fan-out, and overruns degrade instead of hanging.
+///  - **Admission control.** A bounded in-flight budget plus a token
+///    bucket shed excess load with Status::ResourceExhausted and a
+///    retry-after hint, before the model burns cycles on a request that
+///    would miss its deadline anyway.
+///  - **Degradation ladder.** full model → truncated-history retry →
+///    PopularityFallback; every response is tagged with the tier that
+///    served it.
+///  - **Validated hot reload.** Reload() loads a checkpoint through the
+///    io::Env/CRC-32 machinery into a *shadow* model, replays the canary
+///    request set against sanity bounds (finite scores, non-empty top-K),
+///    and only then atomically swaps the live shared_ptr — any failure
+///    rolls back with the previous model still answering. In-flight
+///    requests hold their own snapshot, so a reload can never expose a
+///    partially loaded model.
+///  - **Health + counters** for observability: kStarting/kServing/
+///    kDegraded/kDraining and the ServerStats counters.
+///
+/// Concurrency: Serve/ServeBatch may be called from any number of threads.
+/// Model inference is serialised by an internal mutex (the model object is
+/// stateful during a forward pass); parallelism *within* a request comes
+/// from the compute pool, which is where CPU time goes anyway, and the
+/// admission in-flight cap bounds the queue behind the mutex. With a
+/// FakeClock every outcome — tiers, shed decisions, counters, rankings —
+/// is bit-identical at any compute thread count.
+class ModelServer {
+ public:
+  /// Builds a fresh, identically-structured model for checkpoint loading
+  /// (checkpoints only load into a model of the same architecture).
+  using ModelFactory =
+      std::function<std::unique_ptr<models::SequentialRecommender>()>;
+
+  /// `clock`/`env` default to the real clock and filesystem; tests inject
+  /// FakeClock / FaultInjectionEnv. `factory` may be null if Start() is
+  /// used and no checkpoint reloads are needed.
+  explicit ModelServer(const ModelServerOptions& options,
+                       ModelFactory factory = nullptr,
+                       Clock* clock = nullptr, io::Env* env = nullptr);
+
+  /// Canary request set replayed against every candidate model before it
+  /// goes live (see train::ExportCanarySet). Without canaries, validation
+  /// degrades to the checkpoint CRC check alone. Must be called before
+  /// Start/Reload, not concurrently with them.
+  void set_canary_requests(std::vector<std::vector<int64_t>> canaries);
+
+  /// Installs the ladder's model-free last tier. Without it, deadline
+  /// blowouts can leave requests unserved (ServeResponse::complete =
+  /// false, or DeadlineExceeded).
+  void set_fallback(PopularityFallback fallback);
+
+  /// Validates `model` against the canary set and goes kServing. On
+  /// canary failure the server stays kStarting and keeps no model.
+  Status Start(std::unique_ptr<models::SequentialRecommender> model);
+
+  /// factory() + LoadCheckpoint + Start, the usual boot path.
+  Status StartFromCheckpoint(const std::string& path);
+
+  Result<ServeResponse> Serve(const ServeRequest& request);
+  Result<BatchServeResponse> ServeBatch(const BatchServeRequest& request);
+
+  /// Validated hot reload; see class comment. Serialised against other
+  /// reloads; concurrent requests keep serving the previous model until
+  /// the swap. Returns the load/validation error on rollback.
+  Status Reload(const std::string& checkpoint_path);
+
+  /// Stops admitting requests (Unavailable); in-flight requests finish.
+  void BeginDrain();
+
+  HealthState health() const;
+  ServerStats stats() const;
+  /// Monotone counter bumped by every installed model (Start or Reload).
+  int64_t generation() const;
+
+ private:
+  struct TierOutcome;  // per-tier bookkeeping helper (see .cc)
+
+  std::shared_ptr<models::SequentialRecommender> ModelSnapshot(
+      int64_t* generation) const;
+  Status ValidateCanaries(models::SequentialRecommender* candidate);
+  void Install(std::unique_ptr<models::SequentialRecommender> model);
+  void UpdateHealthAfterServe(bool all_full_tier);
+  void NoteShed();
+
+  const ModelServerOptions options_;
+  ModelFactory factory_;
+  Clock* clock_;
+  io::Env* env_;
+  AdmissionController admission_;
+  PopularityFallback fallback_;
+  std::vector<std::vector<int64_t>> canaries_;
+
+  mutable std::mutex model_mu_;  // guards model_ + generation_ (swap point)
+  std::shared_ptr<models::SequentialRecommender> model_;
+  int64_t generation_ = 0;
+
+  std::mutex infer_mu_;   // serialises forward passes (live + canary)
+  std::mutex reload_mu_;  // one Start/Reload at a time
+
+  mutable std::mutex state_mu_;  // health state + recovery hysteresis
+  HealthState state_ = HealthState::kStarting;
+  int64_t consecutive_full_ = 0;
+
+  std::atomic<int64_t> requests_{0};
+  std::atomic<int64_t> served_{0};
+  std::atomic<int64_t> shed_{0};
+  std::atomic<int64_t> deadline_exceeded_{0};
+  std::atomic<int64_t> full_model_served_{0};
+  std::atomic<int64_t> fast_path_served_{0};
+  std::atomic<int64_t> fallback_served_{0};
+  std::atomic<int64_t> reloads_{0};
+  std::atomic<int64_t> rollbacks_{0};
+  /// Per-tier observed cost EWMAs, measured on clock_ around each pass
+  /// (updates are deterministic under a FakeClock). Plain integer EWMA
+  /// (3/4 old + 1/4 new) so every platform computes the same estimate.
+  std::atomic<int64_t> full_cost_estimate_{0};
+  std::atomic<int64_t> fast_cost_estimate_{0};
+};
+
+}  // namespace serving
+}  // namespace slime
+
+#endif  // SLIME4REC_SERVING_MODEL_SERVER_H_

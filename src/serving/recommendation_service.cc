@@ -1,6 +1,7 @@
 #include "serving/recommendation_service.h"
 
 #include <algorithm>
+#include <atomic>
 #include <string>
 
 #include "common/macros.h"
@@ -76,9 +77,21 @@ Result<std::vector<std::vector<Recommendation>>>
 RecommendationService::RecommendBatch(
     const std::vector<std::vector<int64_t>>& histories,
     const RecommendOptions& options) const {
+  Result<PartialBatch> partial =
+      RecommendBatchCancellable(histories, options, nullptr);
+  if (!partial.ok()) return partial.status();
+  return std::move(partial.value().lists);
+}
+
+Result<PartialBatch> RecommendationService::RecommendBatchCancellable(
+    const std::vector<std::vector<int64_t>>& histories,
+    const RecommendOptions& options, const CancelFn& cancelled) const {
   SLIME_RETURN_IF_ERROR(Validate(histories, options));
-  std::vector<std::vector<Recommendation>> results;
-  if (histories.empty()) return results;  // an empty batch is a no-op
+  PartialBatch out;
+  if (histories.empty()) return out;  // an empty batch is a no-op
+  out.lists.resize(histories.size());
+  out.completed.assign(histories.size(), 0);
+
   const int64_t n = model_->config().max_len;
   const int64_t num_items = model_->config().num_items;
 
@@ -94,6 +107,19 @@ RecommendationService::RecommendBatch(
                            padded.end());
   }
 
+  // The forward pass is the expensive step; skip it entirely when the
+  // budget is already gone. (Cancellation cannot fire *inside* ScoreAll —
+  // the model has no cancellation seam — so a single slow forward pass
+  // overruns by up to one model latency. The ModelServer accounts for that
+  // by checking the budget before attempting each ladder tier.)
+  if (cancelled && cancelled()) {
+    out.cancelled = true;
+    return out;
+  }
+
+  // Exclusive-use scope: catches a concurrent Trainer::Fit (or a second
+  // un-serialised service call) on the same model while we run inference.
+  models::ModelUseGuard use(model_, "serving");
   const bool was_training = model_->training();
   model_->SetTraining(false);
   const Tensor scores = model_->ScoreAll(batch);
@@ -103,12 +129,21 @@ RecommendationService::RecommendBatch(
 
   // Fan the per-user top-k extraction across the pool: each user writes one
   // preallocated slot, so the result order (and every ranking) is identical
-  // at any thread count.
-  results.resize(histories.size());
+  // at any thread count. The cancel predicate is re-checked per user; with
+  // a FakeClock it only changes between phases, so either every user or no
+  // user is skipped and the outcome stays thread-count-independent. Under a
+  // real clock, skipping is best-effort (per-user, not per-chunk, so the
+  // completed set is a prefix-free union of chunks — callers treat any
+  // uncompleted slot as "degrade this user").
+  std::atomic<bool> saw_cancel{false};
   compute::ParallelFor(
       0, static_cast<int64_t>(histories.size()),
       compute::GrainForWork(4 * num_items), [&](int64_t lo, int64_t hi) {
         for (int64_t i = lo; i < hi; ++i) {
+          if (cancelled && cancelled()) {
+            saw_cancel.store(true, std::memory_order_relaxed);
+            continue;
+          }
           std::vector<bool> excluded(num_items + 1, false);
           if (options.exclude_seen) {
             for (int64_t item : histories[i]) excluded[item] = true;
@@ -116,11 +151,13 @@ RecommendationService::RecommendBatch(
           for (int64_t item : options.exclude_items) {
             if (item >= 1 && item <= num_items) excluded[item] = true;
           }
-          results[i] = TopKFromScores(scores.data() + i * (num_items + 1),
-                                      num_items, options.top_k, excluded);
+          out.lists[i] = TopKFromScores(scores.data() + i * (num_items + 1),
+                                        num_items, options.top_k, excluded);
+          out.completed[i] = 1;
         }
       });
-  return results;
+  out.cancelled = saw_cancel.load(std::memory_order_relaxed);
+  return out;
 }
 
 }  // namespace serving

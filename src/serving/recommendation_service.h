@@ -2,6 +2,7 @@
 #define SLIME4REC_SERVING_RECOMMENDATION_SERVICE_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/status.h"
@@ -27,10 +28,27 @@ struct RecommendOptions {
   std::vector<int64_t> exclude_items;
 };
 
-/// Thin serving wrapper over any trained SequentialRecommender: takes raw
-/// user histories, handles padding/truncation and batching, and returns
-/// ranked top-K lists. The service switches the model to eval mode for
-/// the duration of each call and restores the previous mode afterwards.
+/// Cooperative cancellation predicate: returns true once the caller wants
+/// the batch abandoned (typically "deadline passed"). Evaluated from
+/// multiple compute-pool threads concurrently, so it must be thread-safe
+/// and cheap; a read of an atomic/FakeClock qualifies.
+using CancelFn = std::function<bool()>;
+
+/// Result of a cancellable batch call: per-user ranked lists plus which
+/// users actually completed before cancellation fired.
+struct PartialBatch {
+  /// One entry per requested history; `lists[i]` is meaningful only where
+  /// `completed[i]` is 1 (skipped users hold an empty vector).
+  std::vector<std::vector<Recommendation>> lists;
+  std::vector<char> completed;
+  /// True if the cancel predicate was observed true at any checkpoint.
+  bool cancelled = false;
+};
+
+/// Serving wrapper over any trained SequentialRecommender: takes raw user
+/// histories, handles padding/truncation and batching, and returns ranked
+/// top-K lists. The service switches the model to eval mode for the
+/// duration of each call and restores the previous mode afterwards.
 ///
 /// Requests are untrusted input: malformed histories (item ids outside
 /// [1, num_items], empty histories) and non-positive top_k are rejected
@@ -38,8 +56,21 @@ struct RecommendOptions {
 /// an out-of-range id would index out of bounds. An empty batch is valid
 /// and yields an empty result.
 ///
-/// The model pointer is non-owning; the caller keeps it alive and must
-/// not train it concurrently (single-threaded, like the library).
+/// Thread-safety contract (the fan-out inside RecommendBatch uses the
+/// compute pool, but that changes nothing for callers):
+///  - A call parallelises *internally* across the compute pool
+///    (ScoreAll's kernels plus the per-user top-K extraction), with the
+///    deterministic work split of compute::ParallelFor, so results are
+///    bit-identical at any thread count.
+///  - Calls on the same underlying model must be *externally* serialised:
+///    the model object is stateful during inference (training-mode toggle,
+///    RNG), so two concurrent calls — or a call racing Trainer::Fit — are
+///    data races. A models::ModelUseGuard taken around each call turns a
+///    sustained violation into an immediate SLIME_CHECK failure instead of
+///    silent corruption. ModelServer provides the serialisation (and
+///    admission control) for concurrent callers.
+///
+/// The model pointer is non-owning; the caller keeps it alive across calls.
 class RecommendationService {
  public:
   explicit RecommendationService(models::SequentialRecommender* model);
@@ -54,6 +85,18 @@ class RecommendationService {
       const std::vector<std::vector<int64_t>>& histories,
       const RecommendOptions& options = {}) const;
 
+  /// Batched variant with a cooperative deadline: `cancelled` is checked
+  /// before the model forward pass and again before each user's top-K
+  /// extraction. Once it returns true, remaining users are skipped (their
+  /// `completed` slot stays 0) and the result is returned with
+  /// `cancelled = true` — the caller decides whether partial results are
+  /// acceptable or the request degrades to a cheaper tier. Validation
+  /// failures still surface as a non-OK Result; cancellation does not.
+  /// A null `cancelled` behaves exactly like RecommendBatch.
+  Result<PartialBatch> RecommendBatchCancellable(
+      const std::vector<std::vector<int64_t>>& histories,
+      const RecommendOptions& options, const CancelFn& cancelled) const;
+
   int64_t num_items() const { return model_->config().num_items; }
 
  private:
@@ -66,6 +109,9 @@ class RecommendationService {
 
 /// Standalone helper: top-k (item, score) pairs from one score row
 /// (column 0 = padding is always excluded), honouring an exclusion mask.
+/// Equal scores rank the lower item id first — unconditionally, so a
+/// ranking never depends on iteration order, thread count, or the
+/// std::partial_sort implementation.
 std::vector<Recommendation> TopKFromScores(const float* row,
                                            int64_t num_items, int64_t k,
                                            const std::vector<bool>& excluded);

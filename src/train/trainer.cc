@@ -47,8 +47,30 @@ metrics::RankingMetrics Evaluate(models::SequentialRecommender* model,
   return metrics::RankingMetrics::From(acc);
 }
 
+std::vector<std::vector<int64_t>> ExportCanarySet(
+    const data::SplitDataset& split, int64_t k) {
+  std::vector<int64_t> users(split.num_users());
+  for (int64_t u = 0; u < split.num_users(); ++u) users[u] = u;
+  std::sort(users.begin(), users.end(), [&](int64_t a, int64_t b) {
+    const size_t la = split.train_region()[a].size();
+    const size_t lb = split.train_region()[b].size();
+    return la > lb || (la == lb && a < b);
+  });
+  const int64_t take = std::min<int64_t>(k, split.num_users());
+  std::vector<std::vector<int64_t>> canaries;
+  canaries.reserve(take);
+  for (int64_t i = 0; i < take; ++i) {
+    canaries.push_back(split.train_region()[users[i]]);
+  }
+  return canaries;
+}
+
 Result<TrainResult> Trainer::Fit(models::SequentialRecommender* model,
                                  const data::SplitDataset& split) {
+  // Exclusive-use scope for the whole run: a serving call racing this
+  // training loop on the same model is a data race, caught here instead of
+  // corrupting parameters mid-epoch.
+  models::ModelUseGuard use(model, "training");
   io::Env* env = config_.env != nullptr ? config_.env : io::Env::Default();
   model->Prepare(split);
   Rng batch_rng(config_.seed);

@@ -32,6 +32,16 @@ metrics::RankingMetrics Evaluate(models::SequentialRecommender* model,
                                  const data::SplitDataset& split, bool test,
                                  int64_t batch_size = 256);
 
+/// Fixed canary request set for serving validation (ModelServer hot
+/// reload): the training-region histories of the `k` users with the
+/// longest training regions, ties broken by lower user id. Deterministic
+/// for a given split — the same canaries gate every reload, so a
+/// validation pass/fail is reproducible. Long histories are chosen
+/// deliberately: they exercise the truncation path and every position of
+/// the model's input window.
+std::vector<std::vector<int64_t>> ExportCanarySet(
+    const data::SplitDataset& split, int64_t k);
+
 /// Orchestrates training: shuffled mini-batches, Adam, gradient clipping,
 /// per-epoch validation, early stopping with best-parameter restore, and a
 /// final test evaluation. The same trainer drives all eleven models.

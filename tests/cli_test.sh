@@ -37,6 +37,22 @@ if "$CLI" train --data "$TMP/data.txt" --epochs 2 \
     --resume "$TMP/empty_ckpts" 2>/dev/null >/dev/null; then
   echo "expected resume from missing snapshot to fail"; exit 1
 fi
+# Serving: the model server answers traffic from the trained checkpoint.
+"$CLI" serve --data "$TMP/data.txt" --load "$TMP/m.ckpt" --requests 8 \
+    > "$TMP/serve.log"
+grep -q "health: serving" "$TMP/serve.log"
+grep -q "requests ok 8" "$TMP/serve.log"
+# Hot reload halfway through traffic must install and keep serving.
+"$CLI" serve --data "$TMP/data.txt" --load "$TMP/m.ckpt" --requests 8 \
+    --reload "$TMP/m.ckpt" > "$TMP/serve_reload.log"
+grep -q "installed" "$TMP/serve_reload.log"
+grep -q "requests ok 8" "$TMP/serve_reload.log"
+# Invalid --threads values must be rejected up front, not crash or hang.
+for bad in 0 -3 abc 99999; do
+  if "$CLI" stats --data "$TMP/data.txt" --threads "$bad" 2>/dev/null; then
+    echo "expected --threads $bad to fail"; exit 1
+  fi
+done
 # Error paths: bad preset and missing file must fail cleanly.
 if "$CLI" generate --preset not-a-preset --out "$TMP/x.txt" 2>/dev/null; then
   echo "expected bad preset to fail"; exit 1

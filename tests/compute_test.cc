@@ -233,6 +233,36 @@ TEST(ComputeContextTest, RestoresThreadCount) {
   EXPECT_EQ(NumThreads(), before);
 }
 
+TEST(ThreadConfigTest, ParseThreadCountAcceptsValidValues) {
+  EXPECT_EQ(ParseThreadCount("1").value(), 1);
+  EXPECT_EQ(ParseThreadCount("8").value(), 8);
+  EXPECT_EQ(ParseThreadCount(std::to_string(kMaxThreadCount)).value(),
+            kMaxThreadCount);
+}
+
+TEST(ThreadConfigTest, ParseThreadCountRejectsMalformedInput) {
+  for (const char* bad : {"", "abc", "4x", "x4", " 8", "3.5"}) {
+    const auto r = ParseThreadCount(bad);
+    ASSERT_FALSE(r.ok()) << "\"" << bad << "\"";
+    EXPECT_EQ(r.status().code(), Status::Code::kInvalidArgument);
+  }
+}
+
+TEST(ThreadConfigTest, ParseThreadCountRejectsOutOfRangeValues) {
+  for (const char* bad : {"0", "-3", "-99999999999999999999"}) {
+    const auto r = ParseThreadCount(bad);
+    ASSERT_FALSE(r.ok()) << "\"" << bad << "\"";
+    EXPECT_EQ(r.status().code(), Status::Code::kInvalidArgument);
+  }
+  // Above the cap, including values that overflow long.
+  const auto over = ParseThreadCount(std::to_string(kMaxThreadCount + 1));
+  ASSERT_FALSE(over.ok());
+  EXPECT_NE(over.status().message().find("maximum"), std::string::npos);
+  const auto huge = ParseThreadCount("99999999999999999999");
+  ASSERT_FALSE(huge.ok());
+  EXPECT_NE(huge.status().message().find("maximum"), std::string::npos);
+}
+
 TEST(DispatchTest, SwapAndRestore) {
   static int calls = 0;
   calls = 0;

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <set>
 
+#include "compute/thread_pool.h"
 #include "core/slime4rec.h"
 #include "models/model_factory.h"
 
@@ -151,6 +152,55 @@ TEST(ServingTest, TopKFromScoresTieBreaksByItemId) {
   ASSERT_EQ(recs.size(), 2u);
   EXPECT_EQ(recs[0].item, 1);
   EXPECT_EQ(recs[1].item, 2);
+}
+
+TEST(ServingTest, TopKAllEqualScoresYieldAscendingItemIds) {
+  // A fully tied score row must come back as ascending item ids, not in
+  // whatever order partial_sort visited them.
+  std::vector<float> row(26, 7.5f);
+  std::vector<bool> excluded(26, false);
+  const auto recs = TopKFromScores(row.data(), 25, 6, excluded);
+  ASSERT_EQ(recs.size(), 6u);
+  for (int64_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(recs[i].item, i + 1);
+  }
+}
+
+TEST(ServingTest, TopKTieBreakRespectsExclusions) {
+  std::vector<float> row = {0.0f, 1.0f, 2.0f, 2.0f, 2.0f, 1.0f};
+  std::vector<bool> excluded = {false, false, false, true, false, false};
+  const auto recs = TopKFromScores(row.data(), 5, 5, excluded);
+  ASSERT_EQ(recs.size(), 4u);  // item 3 excluded
+  EXPECT_EQ(recs[0].item, 2);  // score-2 tie: lowest surviving id first
+  EXPECT_EQ(recs[1].item, 4);
+  EXPECT_EQ(recs[2].item, 1);  // score-1 tie: id 1 before id 5
+  EXPECT_EQ(recs[3].item, 5);
+}
+
+TEST(ServingTest, RankingsBitIdenticalAcrossThreadCounts) {
+  core::Slime4Rec model(SmallConfig());
+  RecommendationService service(&model);
+  const std::vector<std::vector<int64_t>> histories = {
+      {1, 2, 3}, {4, 5}, {6, 7, 8, 9, 10}, {11}};
+  RecommendOptions options;
+  options.top_k = 10;
+  auto run = [&](int threads) {
+    compute::ComputeContext ctx(threads);
+    return service.RecommendBatch(histories, options).value();
+  };
+  const auto base = run(1);
+  for (const int threads : {2, 8}) {
+    const auto other = run(threads);
+    ASSERT_EQ(other.size(), base.size());
+    for (size_t i = 0; i < base.size(); ++i) {
+      ASSERT_EQ(other[i].size(), base[i].size()) << threads;
+      for (size_t j = 0; j < base[i].size(); ++j) {
+        EXPECT_EQ(other[i][j].item, base[i][j].item) << threads;
+        // Exact float equality on purpose: the contract is bit-identity.
+        EXPECT_EQ(other[i][j].score, base[i][j].score) << threads;
+      }
+    }
+  }
 }
 
 // --- Untrusted-input hardening -------------------------------------------

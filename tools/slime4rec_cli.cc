@@ -9,6 +9,9 @@
 //              [--resume DIR_OR_SNAPSHOT]
 //   evaluate   --data FILE --load CKPT [--model NAME] [...model flags]
 //   recommend  --data FILE --load CKPT --user U [--topk K] [...model flags]
+//   serve      --data FILE --load CKPT [--requests N] [--deadline-ms D]
+//              [--max-inflight M] [--rate QPS] [--burst B]
+//              [--fast-path-len n] [--canaries C] [--reload CKPT2]
 //
 // Dataset files use the plain-text format of data/loader.h (one user per
 // line, chronological 1-based item ids).
@@ -29,6 +32,7 @@
 #include "data/synthetic.h"
 #include "io/checkpoint.h"
 #include "models/model_factory.h"
+#include "serving/model_server.h"
 #include "train/trainer.h"
 
 namespace slime {
@@ -265,10 +269,80 @@ int CmdRecommend(const Flags& flags) {
   return 0;
 }
 
+int CmdServe(const Flags& flags) {
+  const data::InteractionDataset dataset =
+      LoadOrDie(flags.Require("data")).FilterMinInteractions(5);
+  const data::SplitDataset split(dataset, 4);
+
+  serving::ModelServerOptions opts;
+  opts.default_deadline_nanos = static_cast<int64_t>(
+      flags.GetDouble("deadline-ms", 50.0) * serving::kNanosPerMilli);
+  opts.admission.max_in_flight = flags.GetInt("max-inflight", 64);
+  opts.admission.tokens_per_second = flags.GetDouble("rate", 0.0);
+  opts.admission.burst = flags.GetDouble("burst", 32.0);
+  opts.fast_path_history_len = flags.GetInt("fast-path-len", 8);
+
+  serving::ModelServer server(
+      opts, [&flags, &split] { return BuildModel(flags, split); });
+  server.set_canary_requests(
+      train::ExportCanarySet(split, flags.GetInt("canaries", 8)));
+  server.set_fallback(serving::PopularityFallback::FromSplit(split));
+  const Status start = server.StartFromCheckpoint(flags.Require("load"));
+  if (!start.ok()) return Fail(start);
+
+  serving::RecommendOptions ropts;
+  ropts.top_k = flags.GetInt("topk", 10);
+  const int64_t requests = flags.GetInt("requests", 32);
+  const std::string reload = flags.Get("reload");
+  int64_t ok_count = 0, shed_count = 0, deadline_count = 0, other_err = 0;
+  for (int64_t i = 0; i < requests; ++i) {
+    // Demonstrate validated hot reload halfway through the traffic; a
+    // rollback (bad checkpoint) is reported but traffic keeps flowing on
+    // the previous model.
+    if (!reload.empty() && i == requests / 2) {
+      const Status rs = server.Reload(reload);
+      std::printf("reload %s: %s\n", reload.c_str(),
+                  rs.ok() ? "installed" : rs.ToString().c_str());
+    }
+    serving::ServeRequest req;
+    req.history = split.TestInput(i % split.num_users());
+    req.options = ropts;
+    const Result<serving::ServeResponse> r = server.Serve(req);
+    if (r.ok()) {
+      ++ok_count;
+    } else if (r.status().code() == Status::Code::kResourceExhausted) {
+      ++shed_count;
+    } else if (r.status().code() == Status::Code::kDeadlineExceeded) {
+      ++deadline_count;
+    } else {
+      ++other_err;
+    }
+  }
+
+  const serving::ServerStats stats = server.stats();
+  std::printf("health: %s\n", serving::ToString(server.health()));
+  bench::TablePrinter table({"served", "shed", "deadline", "full", "fast",
+                             "fallback", "reloads", "rollbacks"});
+  table.AddRow({std::to_string(stats.served), std::to_string(stats.shed),
+                std::to_string(stats.deadline_exceeded),
+                std::to_string(stats.full_model_served),
+                std::to_string(stats.fast_path_served),
+                std::to_string(stats.fallback_served),
+                std::to_string(stats.reloads),
+                std::to_string(stats.rollbacks)});
+  table.Print();
+  std::printf("requests ok %lld, shed %lld, deadline %lld, errors %lld\n",
+              static_cast<long long>(ok_count),
+              static_cast<long long>(shed_count),
+              static_cast<long long>(deadline_count),
+              static_cast<long long>(other_err));
+  return other_err == 0 ? 0 : 1;
+}
+
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: slime4rec_cli <stats|generate|train|evaluate|recommend> "
+      "usage: slime4rec_cli <stats|generate|train|evaluate|recommend|serve> "
       "[--flag value ...]\n"
       "  global    [--threads N]  compute threads (default: "
       "SLIME_NUM_THREADS or hardware)\n"
@@ -279,7 +353,12 @@ int Usage() {
       "            [--checkpoint-dir DIR] [--checkpoint-every 1] "
       "[--resume DIR]\n"
       "  evaluate  --data FILE --load CKPT [--model ...]\n"
-      "  recommend --data FILE --load CKPT --user 0 [--topk 10]\n");
+      "  recommend --data FILE --load CKPT --user 0 [--topk 10]\n"
+      "  serve     --data FILE --load CKPT [--requests 32] "
+      "[--deadline-ms 50]\n"
+      "            [--max-inflight 64] [--rate QPS] [--burst 32] "
+      "[--fast-path-len 8]\n"
+      "            [--canaries 8] [--reload CKPT2]\n");
   return 2;
 }
 
@@ -288,14 +367,25 @@ int Main(int argc, char** argv) {
   const std::string cmd = argv[1];
   const Flags flags(argc, argv, 2);
   // --threads overrides SLIME_NUM_THREADS (which overrides the hardware
-  // default). Pin --threads 1 for paper-exact single-thread runs.
-  const int threads = static_cast<int>(flags.GetInt("threads", 0));
-  if (threads > 0) compute::SetNumThreads(threads);
+  // default). Pin --threads 1 for paper-exact single-thread runs. The
+  // value is untrusted input: reject garbage up front instead of spawning
+  // a million workers or silently running single-threaded.
+  const std::string threads_flag = flags.Get("threads");
+  if (!threads_flag.empty()) {
+    const Result<int> threads = compute::ParseThreadCount(threads_flag);
+    if (!threads.ok()) {
+      std::fprintf(stderr, "invalid --threads: %s\n",
+                   threads.status().message().c_str());
+      return 2;
+    }
+    compute::SetNumThreads(threads.value());
+  }
   if (cmd == "stats") return CmdStats(flags);
   if (cmd == "generate") return CmdGenerate(flags);
   if (cmd == "train") return CmdTrain(flags);
   if (cmd == "evaluate") return CmdEvaluate(flags);
   if (cmd == "recommend") return CmdRecommend(flags);
+  if (cmd == "serve") return CmdServe(flags);
   return Usage();
 }
 
