@@ -10,11 +10,18 @@
 //                 control sheds the excess
 //   concurrent    multiple client threads against a small in-flight cap
 //
-// Emits BENCH_serving.json.
+// Two extra arms measure the observability layer itself: the same
+// baseline traffic with an enabled MetricsRegistry attached and with the
+// NoopRegistry (all handles detached). A gate asserts the noop path stays
+// within noise of the un-instrumented baseline — the "provably near-free
+// when disabled" contract of src/observability/metrics.h.
 //
-// Usage: bench_serving [--quick] [--out FILE]
-//   --quick   shrink request counts and dataset (CI smoke run)
-//   --out     output path (default BENCH_serving.json)
+// Emits BENCH_serving.json, plus the enabled registry's snapshot as JSONL.
+//
+// Usage: bench_serving [--quick] [--out FILE] [--metrics-out FILE]
+//   --quick        shrink request counts and dataset (CI smoke run)
+//   --out          output path (default BENCH_serving.json)
+//   --metrics-out  metrics snapshot path (default BENCH_serving_metrics.jsonl)
 // SLIME_BENCH_SCALE scales the synthetic dataset (default 0.25).
 
 #include <algorithm>
@@ -29,7 +36,10 @@
 #include "common/random.h"
 #include "compute/thread_pool.h"
 #include "data/synthetic.h"
+#include "io/env.h"
 #include "models/model_factory.h"
+#include "observability/export.h"
+#include "observability/metrics.h"
 #include "serving/fallback.h"
 #include "serving/model_server.h"
 #include "train/trainer.h"
@@ -86,6 +96,9 @@ struct ScenarioResult {
   Percentiles latency;  // over successful responses, milliseconds
   serving::ServerStats stats;
   const char* health = "";
+  /// False for the NoopRegistry arm: its stats all read zero by design,
+  /// so stats-based gates must skip it.
+  bool stats_valid = true;
 };
 
 /// A fresh server per scenario so counters and cost estimates start clean.
@@ -206,14 +219,19 @@ void EmitScenario(std::FILE* f, const ScenarioResult& r, bool last) {
 int Main(int argc, char** argv) {
   bool quick = false;
   std::string out_path = "BENCH_serving.json";
+  std::string metrics_out_path = "BENCH_serving_metrics.jsonl";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
       quick = true;
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_out_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: bench_serving [--quick] [--out FILE]\n");
+      std::fprintf(stderr,
+                   "usage: bench_serving [--quick] [--out FILE] "
+                   "[--metrics-out FILE]\n");
       return 2;
     }
   }
@@ -284,6 +302,30 @@ int Main(int argc, char** argv) {
                                       histories, 4, requests / 4));
   }
 
+  // Observability arms: baseline traffic with an enabled registry (whose
+  // snapshot is exported below) and with the NoopRegistry — detached
+  // handles, the provably-near-free disabled path.
+  obs::MetricsRegistry registry;
+  {
+    serving::ModelServerOptions options;
+    options.metrics = &registry;
+    auto server = MakeServer(split, options);
+    results.push_back(DriveSequential("metrics_enabled", server.get(),
+                                      histories, serving::kNanosPerSecond,
+                                      requests));
+  }
+  {
+    obs::NoopRegistry noop;  // outlives the server's handles below
+    serving::ModelServerOptions options;
+    options.metrics = &noop;
+    auto server = MakeServer(split, options);
+    ScenarioResult noop_result =
+        DriveSequential("metrics_noop", server.get(), histories,
+                        serving::kNanosPerSecond, requests);
+    noop_result.stats_valid = false;
+    results.push_back(std::move(noop_result));
+  }
+
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
@@ -300,6 +342,17 @@ int Main(int argc, char** argv) {
   std::fclose(f);
   std::fprintf(stderr, "wrote %s\n", out_path.c_str());
 
+  // Export the enabled arm's registry snapshot (counters, gauges, latency
+  // histograms with integer percentiles) for the CI artifact.
+  const Status ms = io::Env::Default()->WriteFile(
+      metrics_out_path, obs::SnapshotToJsonl(registry.Snapshot()));
+  if (!ms.ok()) {
+    std::fprintf(stderr, "cannot write %s: %s\n", metrics_out_path.c_str(),
+                 ms.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %s\n", metrics_out_path.c_str());
+
   // Sanity gates so CI fails loudly on a serving regression: the baseline
   // must shed nothing and serve everyone at the full tier, and with the
   // fallback configured every admitted request must be served somehow.
@@ -312,6 +365,7 @@ int Main(int argc, char** argv) {
     return 1;
   }
   for (const ScenarioResult& r : results) {
+    if (!r.stats_valid) continue;  // NoopRegistry arm: stats read zero
     if (r.stats.served + r.stats.shed <
         static_cast<int64_t>(r.offered * 0.99)) {
       std::fprintf(stderr, "%s lost requests: served %lld + shed %lld < %lld\n",
@@ -320,6 +374,21 @@ int Main(int argc, char** argv) {
                    static_cast<long long>(r.offered));
       return 1;
     }
+  }
+  // Disabled-path gate: the NoopRegistry arm drives the same traffic as
+  // the baseline, so its p50 must stay within noise of it. The bound is
+  // deliberately generous (2x + 0.25 ms) — it catches accidental locks or
+  // allocations on the disabled path, not microseconds.
+  const ScenarioResult* noop_arm = nullptr;
+  for (const ScenarioResult& r : results) {
+    if (r.name == "metrics_noop") noop_arm = &r;
+  }
+  if (noop_arm != nullptr &&
+      noop_arm->latency.p50 > baseline.latency.p50 * 2.0 + 0.25) {
+    std::fprintf(stderr,
+                 "noop-registry overhead: p50 %.3f ms vs baseline %.3f ms\n",
+                 noop_arm->latency.p50, baseline.latency.p50);
+    return 1;
   }
   return 0;
 }

@@ -3,16 +3,38 @@
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
 #include "common/macros.h"
+#include "observability/metrics.h"
 
 namespace slime {
 namespace compute {
 namespace {
 
 thread_local bool t_in_parallel_region = false;
+
+/// Cached handles into the registry installed by SetMetricsRegistry; all
+/// detached (single-branch no-ops) until one is installed.
+struct ComputeMetrics {
+  obs::Counter regions;
+  obs::Counter inline_regions;
+  obs::Counter chunks;
+  obs::Histogram region_nanos;
+};
+
+ComputeMetrics& GetComputeMetrics() {
+  static ComputeMetrics metrics;
+  return metrics;
+}
+
+int64_t SteadyNowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 /// Sets the region flag for the duration of a chunk batch.
 class RegionGuard {
@@ -214,11 +236,32 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
   };
   ThreadPool* pool =
       (num_chunks == 1 || InParallelRegion()) ? nullptr : ActivePool();
+  // One counter bump per region (never per chunk — this is the hottest
+  // loop in the library) and a clock read only when a histogram is live.
+  ComputeMetrics& cm = GetComputeMetrics();
+  const bool timed = cm.region_nanos.attached();
+  const int64_t t0 = timed ? SteadyNowNanos() : 0;
+  cm.regions.Increment();
+  cm.chunks.Increment(num_chunks);
   if (pool == nullptr) {
+    cm.inline_regions.Increment();
     for (int64_t c = 0; c < num_chunks; ++c) chunk_fn(c);
+  } else {
+    pool->Run(num_chunks, chunk_fn);
+  }
+  if (timed) cm.region_nanos.Observe(SteadyNowNanos() - t0);
+}
+
+void SetMetricsRegistry(obs::MetricsRegistry* registry) {
+  ComputeMetrics& cm = GetComputeMetrics();
+  if (registry == nullptr) {
+    cm = ComputeMetrics();  // all handles detached again
     return;
   }
-  pool->Run(num_chunks, chunk_fn);
+  cm.regions = registry->counter("compute.regions");
+  cm.inline_regions = registry->counter("compute.inline_regions");
+  cm.chunks = registry->counter("compute.chunks");
+  cm.region_nanos = registry->histogram("compute.region_nanos");
 }
 
 double ParallelSum(

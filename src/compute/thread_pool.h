@@ -14,6 +14,11 @@
 #include "common/status.h"
 
 namespace slime {
+
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
 namespace compute {
 
 /// A fixed-size pool of worker threads executing chunked loops. The caller
@@ -139,6 +144,17 @@ inline constexpr int64_t kReductionGrain = 1 << 15;
 /// `work_per_unit` scalar flops: targets ~32K flops per chunk. Depends only
 /// on the workload shape, keeping the decomposition deterministic.
 int64_t GrainForWork(int64_t work_per_unit);
+
+/// Points the compute layer's instrumentation at `registry` (counters
+/// "compute.regions" / "compute.inline_regions" / "compute.chunks" and the
+/// "compute.region_nanos" histogram of per-region wall time). nullptr (the
+/// default) detaches all handles — the hot path then pays one predictable
+/// branch per region. Region wall times come from the steady clock, so
+/// they are NOT deterministic; never fold them into determinism
+/// signatures (the counters are fine — chunk decomposition is fixed).
+/// Like SetNumThreads, not thread-safe against running kernels; call
+/// between parallel regions.
+void SetMetricsRegistry(obs::MetricsRegistry* registry);
 
 }  // namespace compute
 }  // namespace slime

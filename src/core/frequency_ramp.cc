@@ -77,6 +77,21 @@ FilterWindow FrequencyRamp::StaticWindow(int64_t layer) const {
       std::llround(m - static_cast<double>(l + 1) * share));
   w.begin = std::clamp<int64_t>(w.begin, 0, num_bins_);
   w.end = std::clamp<int64_t>(w.end, 0, num_bins_);
+  // A filter always keeps at least one bin (the DynamicWindow guarantee).
+  // Without this, L > M (more layers than bins) collapsed some shares to
+  // begin == end and those layers' spectra were masked to all-zero. For
+  // L <= M the llround boundaries already advance by >= 1 per layer, so
+  // the clamp never fires and the exact disjoint partition is preserved;
+  // for L > M disjoint nonempty windows are impossible and layers overlap
+  // on 1-bin windows instead of going silent.
+  if (w.begin >= w.end) {
+    if (w.end < num_bins_) {
+      w.begin = w.end;
+      w.end = w.end + 1;
+    } else {
+      w.begin = w.end - 1;
+    }
+  }
   return w;
 }
 

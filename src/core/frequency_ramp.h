@@ -46,7 +46,10 @@ class FrequencyRamp {
   FilterWindow DynamicWindow(int64_t layer) const;
 
   /// SFS window of `layer` (Eqs. 23-24): an exact L-way partition of the
-  /// spectrum (beta = 1/L, Eq. 22).
+  /// spectrum (beta = 1/L, Eq. 22) when L <= M. Every layer keeps at least
+  /// one bin; with more layers than bins (L > M) a disjoint partition is
+  /// impossible, so windows overlap on single bins instead of collapsing
+  /// to empty (all-zero spectrum masks).
   FilterWindow StaticWindow(int64_t layer) const;
 
   /// 0/1 mask tensor of shape (num_bins, 1), broadcastable over (B, M, d)

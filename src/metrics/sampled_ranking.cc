@@ -1,5 +1,7 @@
 #include "metrics/sampled_ranking.h"
 
+#include <utility>
+
 #include "common/macros.h"
 
 namespace slime {
@@ -13,24 +15,57 @@ void SampledRankingAccumulator::Add(const Tensor& scores,
   SLIME_CHECK_EQ(b, static_cast<int64_t>(targets.size()));
   SLIME_CHECK_GE(cols - 2, num_negatives_);  // enough non-target items
   const float* p = scores.data();
-  for (int64_t i = 0; i < b; ++i) {
-    const int64_t t = targets[i];
-    SLIME_CHECK(t >= 1 && t < cols);
-    const float target_score = p[i * cols + t];
-    int64_t above = 0;
-    // Sample negatives without replacement via rejection; the negative
-    // count is far below the catalogue size in practice.
-    std::vector<bool> used(cols, false);
-    used[t] = true;
-    int64_t drawn = 0;
-    while (drawn < num_negatives_) {
-      const int64_t neg = rng_->UniformInt(1, cols - 1);
-      if (used[neg]) continue;
-      used[neg] = true;
-      ++drawn;
-      if (p[i * cols + neg] > target_score) ++above;
+  // Two sampling strategies by density. Sparse (the practical case:
+  // negatives far below catalogue size) keeps the original rejection
+  // sampler — and its exact RNG draw sequence, so sampled metrics for a
+  // given seed are unchanged. Dense sampling made rejection degenerate
+  // into coupon-collecting (as num_negatives -> cols-2 almost every draw
+  // was already used), so it switches to a partial Fisher–Yates shuffle:
+  // exactly num_negatives draws, no rejections. The FY draw order differs
+  // from what rejection would have produced, but dense configurations
+  // previously took unbounded time, so there are no pinned values to keep.
+  const bool dense = num_negatives_ > (cols - 2) / 2;
+  if (!dense) {
+    // Stamp buffer hoisted out of the row loop: `used_in_row[neg] == i`
+    // marks `neg` taken for row i, so rows reset in O(1) instead of
+    // reallocating a vector<bool> per row.
+    std::vector<int64_t> used_in_row(cols, -1);
+    for (int64_t i = 0; i < b; ++i) {
+      const int64_t t = targets[i];
+      SLIME_CHECK(t >= 1 && t < cols);
+      const float target_score = p[i * cols + t];
+      used_in_row[t] = i;
+      int64_t above = 0;
+      int64_t drawn = 0;
+      while (drawn < num_negatives_) {
+        const int64_t neg = rng_->UniformInt(1, cols - 1);
+        if (used_in_row[neg] == i) continue;
+        used_in_row[neg] = i;
+        ++drawn;
+        if (p[i * cols + neg] > target_score) ++above;
+      }
+      acc_.AddRank(above + 1);
     }
-    acc_.AddRank(above + 1);
+  } else {
+    std::vector<int64_t> candidates;
+    candidates.reserve(static_cast<size_t>(cols - 2));
+    for (int64_t i = 0; i < b; ++i) {
+      const int64_t t = targets[i];
+      SLIME_CHECK(t >= 1 && t < cols);
+      const float target_score = p[i * cols + t];
+      candidates.clear();
+      for (int64_t c = 1; c < cols; ++c) {
+        if (c != t) candidates.push_back(c);
+      }
+      const int64_t n = static_cast<int64_t>(candidates.size());
+      int64_t above = 0;
+      for (int64_t k = 0; k < num_negatives_; ++k) {
+        const int64_t j = rng_->UniformInt(k, n - 1);
+        std::swap(candidates[k], candidates[j]);
+        if (p[i * cols + candidates[k]] > target_score) ++above;
+      }
+      acc_.AddRank(above + 1);
+    }
   }
 }
 

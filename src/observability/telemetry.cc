@@ -1,0 +1,173 @@
+#include "observability/telemetry.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "io/env.h"
+#include "observability/export.h"
+
+namespace slime {
+namespace obs {
+namespace {
+
+void AppendKV(std::string* out, const char* key, int64_t v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%" PRId64, key, v);
+  *out += buf;
+}
+
+void AppendKV(std::string* out, const char* key, double v) {
+  char buf[64];
+  // %.17g round-trips doubles, so the JSONL is lossless for the metrics.
+  std::snprintf(buf, sizeof(buf), "\"%s\":%.17g", key, v);
+  *out += buf;
+}
+
+void AppendKV(std::string* out, const char* key, const std::string& v) {
+  *out += '"';
+  *out += key;
+  *out += "\":\"";
+  *out += JsonEscape(v);
+  *out += '"';
+}
+
+void AppendMetrics(std::string* out, const char* key,
+                   const metrics::RankingMetrics& m) {
+  *out += '"';
+  *out += key;
+  *out += "\":{";
+  AppendKV(out, "hr5", m.hr5);
+  *out += ',';
+  AppendKV(out, "hr10", m.hr10);
+  *out += ',';
+  AppendKV(out, "ndcg5", m.ndcg5);
+  *out += ',';
+  AppendKV(out, "ndcg10", m.ndcg10);
+  *out += ',';
+  AppendKV(out, "mrr", m.mrr);
+  *out += '}';
+}
+
+}  // namespace
+
+TrainingTelemetry::TrainingTelemetry(bool echo, std::string jsonl_path,
+                                     io::Env* env)
+    : echo_(echo),
+      jsonl_path_(std::move(jsonl_path)),
+      env_(env != nullptr ? env : io::Env::Default()) {}
+
+void TrainingTelemetry::OnResume(const ResumeRecord& r) {
+  if (echo_) {
+    std::printf("[%s] resumed from %s (epoch %lld, best NDCG@10 %.4f)\n",
+                r.model.c_str(), r.path.c_str(),
+                static_cast<long long>(r.epoch), r.best_valid);
+  }
+  std::string line = "{\"type\":\"resume\",";
+  AppendKV(&line, "model", r.model);
+  line += ',';
+  AppendKV(&line, "path", r.path);
+  line += ',';
+  AppendKV(&line, "epoch", r.epoch);
+  line += ',';
+  AppendKV(&line, "best_valid_ndcg10", r.best_valid);
+  line += "}\n";
+  Append(line);
+}
+
+void TrainingTelemetry::OnEpoch(const EpochRecord& r) {
+  if (echo_) {
+    std::printf("[%s] epoch %2lld loss %.4f valid NDCG@10 %.4f\n",
+                r.model.c_str(), static_cast<long long>(r.epoch), r.loss,
+                r.valid.ndcg10);
+  }
+  epochs_.push_back(r);
+  std::string line = "{\"type\":\"epoch\",";
+  AppendKV(&line, "model", r.model);
+  line += ',';
+  AppendKV(&line, "epoch", r.epoch);
+  line += ',';
+  AppendKV(&line, "loss", r.loss);
+  line += ',';
+  AppendKV(&line, "lr", r.lr);
+  line += ',';
+  AppendKV(&line, "grad_norm", r.grad_norm);
+  line += ',';
+  AppendKV(&line, "batches", r.batches);
+  line += ',';
+  AppendMetrics(&line, "valid", r.valid);
+  line += ',';
+  line += "\"improved\":";
+  line += r.improved ? "true" : "false";
+  line += ',';
+  AppendKV(&line, "wall_nanos", r.wall_nanos);
+  line += "}\n";
+  Append(line);
+}
+
+void TrainingTelemetry::OnRollback(const RollbackRecord& r) {
+  if (echo_) {
+    std::printf(
+        "[%s] epoch %2lld diverged; rolling back to epoch %lld, "
+        "lr %.2e -> %.2e (rollback %lld/%lld)\n",
+        r.model.c_str(), static_cast<long long>(r.diverged_epoch),
+        static_cast<long long>(r.rollback_to_epoch), r.old_base_lr,
+        r.new_base_lr, static_cast<long long>(r.rollback_index),
+        static_cast<long long>(r.max_rollbacks));
+  }
+  rollbacks_.push_back(r);
+  std::string line = "{\"type\":\"rollback\",";
+  AppendKV(&line, "model", r.model);
+  line += ',';
+  AppendKV(&line, "diverged_epoch", r.diverged_epoch);
+  line += ',';
+  AppendKV(&line, "rollback_to_epoch", r.rollback_to_epoch);
+  line += ',';
+  AppendKV(&line, "old_base_lr", r.old_base_lr);
+  line += ',';
+  AppendKV(&line, "new_base_lr", r.new_base_lr);
+  line += ',';
+  AppendKV(&line, "rollback_index", r.rollback_index);
+  line += ',';
+  AppendKV(&line, "max_rollbacks", r.max_rollbacks);
+  line += "}\n";
+  Append(line);
+}
+
+void TrainingTelemetry::OnFitSummary(const FitSummaryRecord& r) {
+  std::string line = "{\"type\":\"fit_summary\",";
+  AppendKV(&line, "model", r.model);
+  line += ',';
+  AppendKV(&line, "epochs_run", r.epochs_run);
+  line += ',';
+  AppendKV(&line, "best_epoch", r.best_epoch);
+  line += ',';
+  AppendKV(&line, "rollbacks", r.rollbacks);
+  line += ',';
+  AppendKV(&line, "final_train_loss", r.final_train_loss);
+  line += ',';
+  AppendMetrics(&line, "test", r.test);
+  line += "}\n";
+  Append(line);
+}
+
+void TrainingTelemetry::Append(const std::string& line) {
+  jsonl_ += line;
+  if (!jsonl_path_.empty()) {
+    const Status s = Flush();
+    (void)s;  // sticky in status_; telemetry I/O never fails training
+  }
+}
+
+Status TrainingTelemetry::Flush() {
+  if (jsonl_path_.empty()) return Status::OK();
+  // Checkpoint-style crash safety: stage the whole log, then atomically
+  // swap it in, so the file on disk is always a complete JSONL document.
+  const std::string tmp = jsonl_path_ + ".tmp";
+  Status s = env_->WriteFile(tmp, jsonl_);
+  if (s.ok()) s = env_->RenameFile(tmp, jsonl_path_);
+  if (!s.ok() && status_.ok()) status_ = s;
+  return s;
+}
+
+}  // namespace obs
+}  // namespace slime

@@ -1,0 +1,93 @@
+#include "observability/trace.h"
+
+#include <utility>
+
+namespace slime {
+namespace obs {
+
+TraceBuilder::TraceBuilder(Tracer* tracer, int64_t id, serving::Clock* clock)
+    : tracer_(tracer), clock_(clock) {
+  trace_.id = id;
+}
+
+int32_t TraceBuilder::BeginSpan(const std::string& name) {
+  if (tracer_ == nullptr) return -1;
+  SpanRecord span;
+  span.name = name;
+  span.start_nanos = clock_->NowNanos();
+  span.parent = open_.empty() ? -1 : open_.back();
+  span.depth = span.parent < 0
+                   ? 0
+                   : trace_.spans[static_cast<size_t>(span.parent)].depth + 1;
+  const int32_t index = static_cast<int32_t>(trace_.spans.size());
+  trace_.spans.push_back(std::move(span));
+  open_.push_back(index);
+  return index;
+}
+
+void TraceBuilder::EndSpan(int32_t span) {
+  if (tracer_ == nullptr || span < 0 ||
+      span >= static_cast<int32_t>(trace_.spans.size())) {
+    return;
+  }
+  SpanRecord& rec = trace_.spans[static_cast<size_t>(span)];
+  if (rec.end_nanos == 0) rec.end_nanos = clock_->NowNanos();
+  // Pop the open stack through this span (closing a parent closes any
+  // still-open children — defensive; well-formed callers nest properly).
+  while (!open_.empty()) {
+    const int32_t top = open_.back();
+    open_.pop_back();
+    SpanRecord& t = trace_.spans[static_cast<size_t>(top)];
+    if (t.end_nanos == 0) t.end_nanos = rec.end_nanos;
+    if (top == span) break;
+  }
+}
+
+void TraceBuilder::Annotate(int32_t span, const std::string& key,
+                            const std::string& value) {
+  if (tracer_ == nullptr || span < 0 ||
+      span >= static_cast<int32_t>(trace_.spans.size())) {
+    return;
+  }
+  trace_.spans[static_cast<size_t>(span)].annotations.emplace_back(key,
+                                                                   value);
+}
+
+void TraceBuilder::Finish() {
+  if (tracer_ == nullptr) return;
+  const int64_t now = clock_->NowNanos();
+  for (SpanRecord& span : trace_.spans) {
+    if (span.end_nanos == 0) span.end_nanos = now;
+  }
+  open_.clear();
+  tracer_->Record(std::move(trace_));
+  tracer_ = nullptr;  // builder is spent
+}
+
+Tracer::Tracer(serving::Clock* clock, size_t capacity)
+    : clock_(clock), capacity_(capacity == 0 ? 1 : capacity) {}
+
+TraceBuilder Tracer::StartTrace(const std::string& name) {
+  int64_t id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = next_id_++;
+  }
+  TraceBuilder builder(this, id, clock_);
+  builder.BeginSpan(name);
+  return builder;
+}
+
+void Tracer::Record(Trace trace) {
+  std::lock_guard<std::mutex> lock(mu_);
+  finished_.push_back(std::move(trace));
+  while (finished_.size() > capacity_) finished_.pop_front();
+}
+
+std::vector<Trace> Tracer::Traces() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<Trace>(finished_.begin(), finished_.end());
+}
+
+}  // namespace obs
+}  // namespace slime

@@ -1,0 +1,142 @@
+#ifndef SLIME4REC_OBSERVABILITY_TRACE_H_
+#define SLIME4REC_OBSERVABILITY_TRACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "serving/clock.h"
+
+namespace slime {
+namespace obs {
+
+/// Request tracing: a Trace is a flat pre-order list of timed spans forming
+/// a tree (parent/depth indices instead of pointers, so traces are plain
+/// copyable data). The serving layer opens one trace per request and spans
+/// for each stage (admit → snapshot → forward → top-k); tier downgrades and
+/// shed decisions land as annotations on the enclosing span.
+///
+/// Timing comes from a serving::Clock, so under a FakeClock whole traces are
+/// bit-for-bit reproducible. The Tracer keeps a bounded ring of finished
+/// traces (oldest evicted first) — it is a flight recorder, not a log.
+
+/// One timed node in a trace tree.
+struct SpanRecord {
+  std::string name;
+  int64_t start_nanos = 0;
+  int64_t end_nanos = 0;
+  int32_t parent = -1;  // index into Trace::spans, -1 for the root
+  int32_t depth = 0;
+  /// Key/value notes ("tier" → "fallback", "shed" → "rate").
+  std::vector<std::pair<std::string, std::string>> annotations;
+
+  int64_t duration_nanos() const { return end_nanos - start_nanos; }
+};
+
+/// A finished request trace: spans in creation (pre-order) order.
+struct Trace {
+  int64_t id = 0;
+  std::vector<SpanRecord> spans;
+};
+
+class Tracer;
+
+/// An in-flight trace being built by one request. Not thread-safe — a trace
+/// belongs to the request's thread; concurrency happens across builders,
+/// which is safe because each builder owns its Trace until Finish().
+///
+/// Disabled path: a TraceBuilder from a null/disabled Tracer has
+/// enabled() == false and every operation is a cheap early-out.
+class TraceBuilder {
+ public:
+  TraceBuilder() = default;  // disabled
+  TraceBuilder(TraceBuilder&& other) noexcept { *this = std::move(other); }
+  TraceBuilder& operator=(TraceBuilder&& other) noexcept {
+    tracer_ = other.tracer_;
+    other.tracer_ = nullptr;  // moved-from builder is spent
+    clock_ = other.clock_;
+    trace_ = std::move(other.trace_);
+    open_ = std::move(other.open_);
+    return *this;
+  }
+  TraceBuilder(const TraceBuilder&) = delete;
+  TraceBuilder& operator=(const TraceBuilder&) = delete;
+
+  bool enabled() const { return tracer_ != nullptr; }
+
+  /// Opens a span nested under the most recent unfinished span. Returns its
+  /// index (pass to EndSpan / Annotate); -1 when disabled.
+  int32_t BeginSpan(const std::string& name);
+  void EndSpan(int32_t span);
+  void Annotate(int32_t span, const std::string& key,
+                const std::string& value);
+
+  /// Closes any open spans and hands the trace to the tracer's ring.
+  void Finish();
+
+ private:
+  friend class Tracer;
+  TraceBuilder(Tracer* tracer, int64_t id, serving::Clock* clock);
+
+  Tracer* tracer_ = nullptr;  // null = disabled
+  serving::Clock* clock_ = nullptr;
+  Trace trace_;
+  std::vector<int32_t> open_;  // stack of unfinished span indices
+};
+
+/// RAII span: begins on construction, ends on destruction. The natural way
+/// to time a scope:
+///
+///   obs::TraceSpan span(builder, "forward");
+///   ... run the model ...
+///   span.Annotate("tier", "full");
+class TraceSpan {
+ public:
+  TraceSpan(TraceBuilder& builder, const std::string& name)
+      : builder_(builder), span_(builder.BeginSpan(name)) {}
+  ~TraceSpan() { builder_.EndSpan(span_); }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  void Annotate(const std::string& key, const std::string& value) {
+    builder_.Annotate(span_, key, value);
+  }
+
+ private:
+  TraceBuilder& builder_;
+  int32_t span_;
+};
+
+/// Owns the finished-trace ring buffer and mints builders. Thread-safe.
+class Tracer {
+ public:
+  /// `capacity` = number of finished traces retained (oldest evicted).
+  explicit Tracer(serving::Clock* clock = serving::Clock::Default(),
+                  size_t capacity = 256);
+
+  /// Starts a new trace whose root span is `name`. Trace ids are assigned
+  /// from a per-tracer sequence — deterministic given the request order.
+  TraceBuilder StartTrace(const std::string& name);
+
+  /// Snapshot of retained traces, oldest first.
+  std::vector<Trace> Traces() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  friend class TraceBuilder;
+  void Record(Trace trace);
+
+  serving::Clock* clock_;
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  int64_t next_id_ = 1;          // guarded by mu_
+  std::deque<Trace> finished_;   // guarded by mu_
+};
+
+}  // namespace obs
+}  // namespace slime
+
+#endif  // SLIME4REC_OBSERVABILITY_TRACE_H_

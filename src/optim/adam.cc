@@ -8,14 +8,17 @@
 namespace slime {
 namespace optim {
 
-void Optimizer::ClipGradNorm(double max_norm) {
+double Optimizer::GradNorm() const {
   double total = 0.0;
-  for (auto& p : params_) {
+  for (const auto& p : params_) {
     if (!p.has_grad()) continue;
     const double n = ops::Norm(p.grad());
     total += n * n;
   }
-  total = std::sqrt(total);
+  return std::sqrt(total);
+}
+
+void Optimizer::ClipGradNorm(double max_norm, double total) {
   if (total <= max_norm || total == 0.0) return;
   const float scale = static_cast<float>(max_norm / total);
   for (auto& p : params_) {

@@ -26,9 +26,17 @@ class Optimizer {
     for (auto& p : params_) p.ZeroGrad();
   }
 
+  /// The global L2 norm over all parameter gradients (sqrt of the sum of
+  /// squared per-parameter norms). Telemetry reads this pre-clip.
+  double GradNorm() const;
+
   /// Global-norm gradient clipping; a no-op if the norm is under
   /// `max_norm`. Call before Step().
-  void ClipGradNorm(double max_norm);
+  void ClipGradNorm(double max_norm) { ClipGradNorm(max_norm, GradNorm()); }
+
+  /// Same, with the norm precomputed by GradNorm() — callers that already
+  /// read the norm (the trainer, for telemetry) avoid a second pass.
+  void ClipGradNorm(double max_norm, double total_norm);
 
   const std::vector<autograd::Variable>& params() const { return params_; }
 

@@ -1,0 +1,51 @@
+#ifndef SLIME4REC_SERVING_COST_EWMA_H_
+#define SLIME4REC_SERVING_COST_EWMA_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+
+namespace slime {
+namespace serving {
+
+/// Lock-free integer EWMA of observed tier cost (3/4 old + 1/4 new, first
+/// observation adopted whole) — platform-independent arithmetic so ladder
+/// decisions replay identically everywhere.
+///
+/// The predecessor of this class was a plain load/store pair, which is a
+/// non-atomic read-modify-write: two requests observing concurrently could
+/// interleave (both load the same `old`, the slower store wins and the
+/// faster observation is lost entirely). In the server that race was latent
+/// — callers held the inference lock — but the estimate is a public,
+/// self-contained value and deserves to be correct on its own, so Observe
+/// uses a compare_exchange_weak loop: a lost race retries against the
+/// updated value instead of overwriting it.
+class CostEwma {
+ public:
+  CostEwma() = default;
+  CostEwma(const CostEwma&) = delete;
+  CostEwma& operator=(const CostEwma&) = delete;
+
+  /// Folds one observed cost (negative observations clamp to 0) into the
+  /// estimate. Safe against concurrent Observe calls from any thread.
+  void Observe(int64_t observed) {
+    observed = std::max<int64_t>(0, observed);
+    int64_t old = estimate_.load(std::memory_order_relaxed);
+    int64_t next;
+    do {
+      next = old == 0 ? observed : (old * 3 + observed) / 4;
+    } while (!estimate_.compare_exchange_weak(old, next,
+                                              std::memory_order_relaxed));
+  }
+
+  /// Current estimate; 0 until the first observation.
+  int64_t value() const { return estimate_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> estimate_{0};
+};
+
+}  // namespace serving
+}  // namespace slime
+
+#endif  // SLIME4REC_SERVING_COST_EWMA_H_

@@ -31,15 +31,6 @@ std::string NanosAsMillis(int64_t nanos) {
   return buf;
 }
 
-/// Integer EWMA (3/4 old + 1/4 new; first observation adopted whole) —
-/// platform-independent arithmetic so ladder decisions replay identically.
-void UpdateCostEstimate(std::atomic<int64_t>* estimate, int64_t observed) {
-  observed = std::max<int64_t>(0, observed);
-  const int64_t old = estimate->load(std::memory_order_relaxed);
-  estimate->store(old == 0 ? observed : (old * 3 + observed) / 4,
-                  std::memory_order_relaxed);
-}
-
 }  // namespace
 
 const char* ToString(HealthState state) {
@@ -80,6 +71,32 @@ ModelServer::ModelServer(const ModelServerOptions& options,
   SLIME_CHECK_GE(options_.min_model_budget_nanos, 0);
   SLIME_CHECK_GE(options_.recovery_full_responses, 1);
   SLIME_CHECK_GE(options_.canary_top_k, 1);
+  // Metrics: publish into the caller's registry when provided (which may
+  // be a NoopRegistry to disable instrumentation), else into a private
+  // enabled registry so stats() is always live.
+  if (options_.metrics != nullptr) {
+    metrics_ = options_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  tracer_ = options_.tracer;
+  requests_ = metrics_->counter("serving.requests");
+  served_ = metrics_->counter("serving.served");
+  shed_ = metrics_->counter("serving.shed");
+  deadline_exceeded_ = metrics_->counter("serving.deadline_exceeded");
+  full_model_served_ = metrics_->counter("serving.tier.full_served");
+  fast_path_served_ = metrics_->counter("serving.tier.fast_served");
+  fallback_served_ = metrics_->counter("serving.tier.fallback_served");
+  reloads_ = metrics_->counter("serving.reloads");
+  rollbacks_ = metrics_->counter("serving.rollbacks");
+  full_cost_gauge_ = metrics_->gauge("serving.cost.full_nanos");
+  fast_cost_gauge_ = metrics_->gauge("serving.cost.fast_nanos");
+  health_gauge_ = metrics_->gauge("serving.health");
+  request_nanos_ = metrics_->histogram("serving.request_nanos");
+  full_pass_nanos_ = metrics_->histogram("serving.tier.full_pass_nanos");
+  fast_pass_nanos_ = metrics_->histogram("serving.tier.fast_pass_nanos");
+  health_gauge_.Set(static_cast<int64_t>(state_));
 }
 
 void ModelServer::set_canary_requests(
@@ -144,13 +161,14 @@ Status ModelServer::Start(
   std::lock_guard<std::mutex> reload_lk(reload_mu_);
   const Status canary = ValidateCanaries(model.get());
   if (!canary.ok()) {
-    rollbacks_.fetch_add(1, std::memory_order_relaxed);
+    rollbacks_.Increment();
     return canary;
   }
   Install(std::move(model));
   {
     std::lock_guard<std::mutex> lk(state_mu_);
     if (state_ == HealthState::kStarting) state_ = HealthState::kServing;
+    health_gauge_.Set(static_cast<int64_t>(state_));
   }
   return Status::OK();
 }
@@ -182,24 +200,25 @@ Status ModelServer::Reload(const std::string& checkpoint_path) {
   std::unique_ptr<models::SequentialRecommender> shadow = factory_();
   const Status loaded = io::LoadCheckpoint(shadow.get(), checkpoint_path, env_);
   if (!loaded.ok()) {
-    rollbacks_.fetch_add(1, std::memory_order_relaxed);
+    rollbacks_.Increment();
     return loaded;
   }
   const Status canary = ValidateCanaries(shadow.get());
   if (!canary.ok()) {
-    rollbacks_.fetch_add(1, std::memory_order_relaxed);
+    rollbacks_.Increment();
     return Status::Aborted("reload of " + checkpoint_path +
                            " rolled back (previous model still serving): " +
                            canary.message());
   }
   Install(std::move(shadow));
-  reloads_.fetch_add(1, std::memory_order_relaxed);
+  reloads_.Increment();
   return Status::OK();
 }
 
 void ModelServer::BeginDrain() {
   std::lock_guard<std::mutex> lk(state_mu_);
   state_ = HealthState::kDraining;
+  health_gauge_.Set(static_cast<int64_t>(state_));
 }
 
 HealthState ModelServer::health() const {
@@ -209,19 +228,17 @@ HealthState ModelServer::health() const {
 
 ServerStats ModelServer::stats() const {
   ServerStats s;
-  s.requests = requests_.load(std::memory_order_relaxed);
-  s.served = served_.load(std::memory_order_relaxed);
-  s.shed = shed_.load(std::memory_order_relaxed);
-  s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
-  s.full_model_served = full_model_served_.load(std::memory_order_relaxed);
-  s.fast_path_served = fast_path_served_.load(std::memory_order_relaxed);
-  s.fallback_served = fallback_served_.load(std::memory_order_relaxed);
-  s.reloads = reloads_.load(std::memory_order_relaxed);
-  s.rollbacks = rollbacks_.load(std::memory_order_relaxed);
-  s.full_cost_estimate_nanos =
-      full_cost_estimate_.load(std::memory_order_relaxed);
-  s.fast_cost_estimate_nanos =
-      fast_cost_estimate_.load(std::memory_order_relaxed);
+  s.requests = requests_.value();
+  s.served = served_.value();
+  s.shed = shed_.value();
+  s.deadline_exceeded = deadline_exceeded_.value();
+  s.full_model_served = full_model_served_.value();
+  s.fast_path_served = fast_path_served_.value();
+  s.fallback_served = fallback_served_.value();
+  s.reloads = reloads_.value();
+  s.rollbacks = rollbacks_.value();
+  s.full_cost_estimate_nanos = full_cost_estimate_.value();
+  s.fast_cost_estimate_nanos = fast_cost_estimate_.value();
   return s;
 }
 
@@ -245,13 +262,15 @@ void ModelServer::UpdateHealthAfterServe(bool all_full_tier) {
     consecutive_full_ = 0;
     state_ = HealthState::kDegraded;
   }
+  health_gauge_.Set(static_cast<int64_t>(state_));
 }
 
 void ModelServer::NoteShed() {
-  shed_.fetch_add(1, std::memory_order_relaxed);
+  shed_.Increment();
   std::lock_guard<std::mutex> lk(state_mu_);
   if (state_ == HealthState::kServing) state_ = HealthState::kDegraded;
   consecutive_full_ = 0;
+  health_gauge_.Set(static_cast<int64_t>(state_));
 }
 
 Result<ServeResponse> ModelServer::Serve(const ServeRequest& request) {
@@ -280,15 +299,26 @@ Result<BatchServeResponse> ModelServer::ServeBatch(
       return Status::Unavailable("server is draining");
     }
   }
+  // One trace per request (when a tracer is configured): admit →
+  // snapshot → tier passes, with shed/downgrade decisions as annotations.
+  obs::TraceBuilder trace = tracer_ != nullptr
+                                ? tracer_->StartTrace("request")
+                                : obs::TraceBuilder();
+
+  const int32_t admit_span = trace.BeginSpan("admit");
   const AdmissionDecision admit = admission_.TryAdmit();
   if (!admit.admitted) {
+    trace.Annotate(admit_span, "shed", admit.limit);
+    trace.Finish();
     NoteShed();
     return Status::ResourceExhausted(
         std::string("shed by ") + admit.limit + " limit; retry after " +
         NanosAsMillis(admit.retry_after_nanos));
   }
+  trace.EndSpan(admit_span);
   AdmissionRelease release(&admission_);
-  requests_.fetch_add(1, std::memory_order_relaxed);
+  requests_.Increment();
+  const int64_t request_start_nanos = clock_->NowNanos();
 
   const int64_t budget = request.deadline_nanos > 0
                              ? request.deadline_nanos
@@ -303,8 +333,10 @@ Result<BatchServeResponse> ModelServer::ServeBatch(
   };
 
   BatchServeResponse out;
+  const int32_t snapshot_span = trace.BeginSpan("snapshot");
   std::shared_ptr<models::SequentialRecommender> model =
       ModelSnapshot(&out.generation);
+  trace.EndSpan(snapshot_span);
   SLIME_CHECK(model != nullptr);
   RecommendationService service(model.get());
 
@@ -325,8 +357,9 @@ Result<BatchServeResponse> ModelServer::ServeBatch(
   std::vector<size_t> pending;
   {
     const bool attempt =
-        remaining() >=
-        tier_budget(full_cost_estimate_.load(std::memory_order_relaxed));
+        remaining() >= tier_budget(full_cost_estimate_.value());
+    obs::TraceSpan tier1_span(trace, "forward.full");
+    if (!attempt) tier1_span.Annotate("skipped", "budget");
     std::unique_lock<std::mutex> infer_lk(infer_mu_, std::defer_lock);
     if (attempt) infer_lk.lock();
     const int64_t t0 = clock_->NowNanos();
@@ -334,9 +367,14 @@ Result<BatchServeResponse> ModelServer::ServeBatch(
         request.histories, request.options, attempt ? past_deadline
                                                     : skip_tier);
     if (!tier1.ok()) return tier1.status();
-    if (attempt) UpdateCostEstimate(&full_cost_estimate_,
-                                    clock_->NowNanos() - t0);
+    if (attempt) {
+      const int64_t elapsed = clock_->NowNanos() - t0;
+      full_cost_estimate_.Observe(elapsed);
+      full_cost_gauge_.Set(full_cost_estimate_.value());
+      full_pass_nanos_.Observe(elapsed);
+    }
     const PartialBatch& pb = tier1.value();
+    if (pb.cancelled) tier1_span.Annotate("cancelled", "deadline");
     out.deadline_hit = pb.cancelled;
     for (size_t i = 0; i < num_users; ++i) {
       if (pb.completed[i]) {
@@ -350,8 +388,10 @@ Result<BatchServeResponse> ModelServer::ServeBatch(
 
   // --- Tier 2: truncated-history retry for users tier 1 didn't finish.
   if (!pending.empty() &&
-      remaining() >=
-          tier_budget(fast_cost_estimate_.load(std::memory_order_relaxed))) {
+      remaining() >= tier_budget(fast_cost_estimate_.value())) {
+    obs::TraceSpan tier2_span(trace, "forward.truncated");
+    tier2_span.Annotate("downgraded", std::to_string(pending.size()) +
+                                          " users");
     std::vector<std::vector<int64_t>> truncated;
     truncated.reserve(pending.size());
     for (size_t i : pending) {
@@ -365,7 +405,12 @@ Result<BatchServeResponse> ModelServer::ServeBatch(
     Result<PartialBatch> tier2 = service.RecommendBatchCancellable(
         truncated, request.options, past_deadline);
     if (!tier2.ok()) return tier2.status();
-    UpdateCostEstimate(&fast_cost_estimate_, clock_->NowNanos() - t0);
+    {
+      const int64_t elapsed = clock_->NowNanos() - t0;
+      fast_cost_estimate_.Observe(elapsed);
+      fast_cost_gauge_.Set(fast_cost_estimate_.value());
+      fast_pass_nanos_.Observe(elapsed);
+    }
     const PartialBatch& pb = tier2.value();
     out.deadline_hit = out.deadline_hit || pb.cancelled;
     std::vector<size_t> still_pending;
@@ -385,6 +430,9 @@ Result<BatchServeResponse> ModelServer::ServeBatch(
 
   // --- Tier 3: popularity fallback never needs the model or the budget.
   if (!pending.empty() && fallback_.Available()) {
+    obs::TraceSpan fb_span(trace, "fallback");
+    fb_span.Annotate("downgraded", std::to_string(pending.size()) +
+                                       " users");
     for (size_t i : pending) {
       out.responses[i].items =
           fallback_.Recommend(request.histories[i], request.options);
@@ -401,26 +449,28 @@ Result<BatchServeResponse> ModelServer::ServeBatch(
   bool all_full = pending.empty();
   for (const ServeResponse& r : out.responses) {
     if (!r.complete) continue;
-    served_.fetch_add(1, std::memory_order_relaxed);
+    served_.Increment();
     switch (r.tier) {
       case ServeTier::kFullModel:
-        full_model_served_.fetch_add(1, std::memory_order_relaxed);
+        full_model_served_.Increment();
         break;
       case ServeTier::kTruncatedHistory:
-        fast_path_served_.fetch_add(1, std::memory_order_relaxed);
+        fast_path_served_.Increment();
         all_full = false;
         break;
       case ServeTier::kPopularityFallback:
-        fallback_served_.fetch_add(1, std::memory_order_relaxed);
+        fallback_served_.Increment();
         all_full = false;
         break;
     }
   }
   out.deadline_hit = out.deadline_hit || !pending.empty();
   if (out.deadline_hit) {
-    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    deadline_exceeded_.Increment();
   }
   UpdateHealthAfterServe(all_full && !out.deadline_hit);
+  request_nanos_.Observe(clock_->NowNanos() - request_start_nanos);
+  trace.Finish();
 
   if (!pending.empty()) {
     if (!options_.allow_partial_on_deadline ||

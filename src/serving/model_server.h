@@ -12,8 +12,11 @@
 #include "common/status.h"
 #include "io/env.h"
 #include "models/recommender.h"
+#include "observability/metrics.h"
+#include "observability/trace.h"
 #include "serving/admission.h"
 #include "serving/clock.h"
+#include "serving/cost_ewma.h"
 #include "serving/fallback.h"
 #include "serving/recommendation_service.h"
 
@@ -67,6 +70,16 @@ struct ModelServerOptions {
   int64_t recovery_full_responses = 8;
   /// Top-K used for canary validation during Start/Reload.
   int64_t canary_top_k = 5;
+  /// Metrics registry the server publishes its counters/gauges/histograms
+  /// into (names under "serving."). nullptr: the server owns a private
+  /// enabled registry, so stats() always works. Pass an obs::NoopRegistry
+  /// to disable instrumentation entirely (stats() then reads zeros — the
+  /// bench overhead gate runs this configuration).
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Optional per-request tracer (admit → snapshot → tier passes, with
+  /// tier-downgrade/shed annotations). nullptr disables tracing — the
+  /// default, since traces cost allocations per request.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// One serving request: a user history plus ranking options and an
@@ -107,7 +120,9 @@ struct BatchServeResponse {
 
 /// Cumulative counters since construction (monotone; sampled atomically
 /// field-by-field, so cross-field sums may be momentarily inconsistent
-/// under concurrent traffic).
+/// under concurrent traffic). Since the observability layer landed this is
+/// a thin view over the server's registry-backed "serving.*" metrics; with
+/// an obs::NoopRegistry injected every field reads 0.
 struct ServerStats {
   int64_t requests = 0;           // admitted Serve/ServeBatch calls
   int64_t served = 0;             // user rankings returned, any tier
@@ -200,6 +215,9 @@ class ModelServer {
   ServerStats stats() const;
   /// Monotone counter bumped by every installed model (Start or Reload).
   int64_t generation() const;
+  /// The registry the server's "serving.*" metrics live in: the injected
+  /// one, or the private registry when options.metrics was null.
+  const obs::MetricsRegistry& metrics() const { return *metrics_; }
 
  private:
   struct TierOutcome;  // per-tier bookkeeping helper (see .cc)
@@ -230,20 +248,37 @@ class ModelServer {
   HealthState state_ = HealthState::kStarting;
   int64_t consecutive_full_ = 0;
 
-  std::atomic<int64_t> requests_{0};
-  std::atomic<int64_t> served_{0};
-  std::atomic<int64_t> shed_{0};
-  std::atomic<int64_t> deadline_exceeded_{0};
-  std::atomic<int64_t> full_model_served_{0};
-  std::atomic<int64_t> fast_path_served_{0};
-  std::atomic<int64_t> fallback_served_{0};
-  std::atomic<int64_t> reloads_{0};
-  std::atomic<int64_t> rollbacks_{0};
+  /// Registry the counters/gauges/histograms below are handles into: the
+  /// injected options.metrics, or the private owned_metrics_ fallback.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_;
+  obs::Tracer* tracer_;  // may be null (tracing off)
+
+  obs::Counter requests_;
+  obs::Counter served_;
+  obs::Counter shed_;
+  obs::Counter deadline_exceeded_;
+  obs::Counter full_model_served_;
+  obs::Counter fast_path_served_;
+  obs::Counter fallback_served_;
+  obs::Counter reloads_;
+  obs::Counter rollbacks_;
+  /// Mirrors of the cost EWMAs and health state for snapshot export.
+  obs::Gauge full_cost_gauge_;
+  obs::Gauge fast_cost_gauge_;
+  obs::Gauge health_gauge_;
+  /// Request and per-tier pass latencies on clock_ (deterministic under a
+  /// FakeClock).
+  obs::Histogram request_nanos_;
+  obs::Histogram full_pass_nanos_;
+  obs::Histogram fast_pass_nanos_;
+
   /// Per-tier observed cost EWMAs, measured on clock_ around each pass
-  /// (updates are deterministic under a FakeClock). Plain integer EWMA
-  /// (3/4 old + 1/4 new) so every platform computes the same estimate.
-  std::atomic<int64_t> full_cost_estimate_{0};
-  std::atomic<int64_t> fast_cost_estimate_{0};
+  /// (updates are deterministic under a FakeClock). Integer EWMA with a
+  /// CAS loop (see CostEwma) so concurrent observations never lose
+  /// updates.
+  CostEwma full_cost_estimate_;
+  CostEwma fast_cost_estimate_;
 };
 
 }  // namespace serving

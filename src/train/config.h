@@ -10,6 +10,14 @@ namespace io {
 class Env;
 }  // namespace io
 
+namespace obs {
+class TrainingTelemetry;
+}  // namespace obs
+
+namespace serving {
+class Clock;
+}  // namespace serving
+
 namespace train {
 
 /// Training-loop hyper-parameters (paper Sec. IV-D: Adam, lr 1e-3, early
@@ -55,6 +63,19 @@ struct TrainConfig {
   /// Filesystem seam for snapshot I/O; nullptr = io::Env::Default().
   /// Tests inject faults through this.
   io::Env* env = nullptr;
+
+  // --- Observability -----------------------------------------------------
+
+  /// Structured training telemetry sink (resume/epoch/rollback records,
+  /// optional JSONL persistence). nullptr: the trainer uses a private
+  /// in-memory sink that echoes the classic console lines when `verbose`.
+  /// When set, the sink's echo setting controls console output and
+  /// `verbose` is ignored — the CLI passes an echoing sink.
+  obs::TrainingTelemetry* telemetry = nullptr;
+  /// Clock for epoch wall-time measurement; nullptr =
+  /// serving::Clock::Default(). Tests pass a FakeClock for exact wall
+  /// times in telemetry records.
+  serving::Clock* clock = nullptr;
 
   /// Reads SLIME_BENCH_SCALE (default 1.0) used by the bench harness to
   /// shrink or grow experiments.

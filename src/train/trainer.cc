@@ -8,7 +8,9 @@
 
 #include "io/checkpoint.h"
 #include "io/env.h"
+#include "observability/telemetry.h"
 #include "optim/adam.h"
+#include "serving/clock.h"
 #include "tensor/tensor_ops.h"
 #include "train/train_state.h"
 
@@ -72,6 +74,15 @@ Result<TrainResult> Trainer::Fit(models::SequentialRecommender* model,
   // corrupting parameters mid-epoch.
   models::ModelUseGuard use(model, "training");
   io::Env* env = config_.env != nullptr ? config_.env : io::Env::Default();
+  serving::Clock* clock =
+      config_.clock != nullptr ? config_.clock : serving::Clock::Default();
+  // Structured telemetry replaces the old bare printf lines: every record
+  // goes to the sink (which echoes the identical console text when asked)
+  // so training progress is machine-readable without changing stdout.
+  obs::TrainingTelemetry local_telemetry(config_.verbose);
+  obs::TrainingTelemetry* telemetry = config_.telemetry != nullptr
+                                          ? config_.telemetry
+                                          : &local_telemetry;
   model->Prepare(split);
   Rng batch_rng(config_.seed);
   data::TrainBatcher batcher(&split, config_.batch_size,
@@ -178,17 +189,14 @@ Result<TrainResult> Trainer::Fit(models::SequentialRecommender* model,
     last_good = std::move(loaded).value();
     SLIME_RETURN_IF_ERROR(apply(last_good));
     start_epoch = last_good.epoch + 1;
-    if (config_.verbose) {
-      std::printf("[%s] resumed from %s (epoch %lld, best NDCG@10 %.4f)\n",
-                  model->name().c_str(), path.c_str(),
-                  static_cast<long long>(last_good.epoch),
-                  last_good.best_valid);
-    }
+    telemetry->OnResume({model->name(), path, last_good.epoch,
+                         last_good.best_valid});
   } else {
     last_good = capture(0);
   }
 
   for (int64_t epoch = start_epoch; epoch <= config_.max_epochs; ++epoch) {
+    const int64_t epoch_start_nanos = clock->NowNanos();
     // Per-epoch learning-rate schedule: linear warmup then exponential
     // decay, on top of the (rollback-halvable) base rate.
     float lr = base_lr;
@@ -206,6 +214,7 @@ Result<TrainResult> Trainer::Fit(models::SequentialRecommender* model,
     model->SetTraining(true);
     double loss_sum = 0.0;
     int64_t loss_count = 0;
+    double max_grad_norm = 0.0;
     bool diverged = false;
     for (const data::Batch& batch : batcher.Epoch()) {
       autograd::Variable loss = model->Loss(batch);
@@ -222,7 +231,11 @@ Result<TrainResult> Trainer::Fit(models::SequentialRecommender* model,
         break;
       }
       if (config_.grad_clip_norm > 0.0) {
-        optimizer.ClipGradNorm(config_.grad_clip_norm);
+        // Pre-clip norm feeds both the clip and the epoch telemetry (the
+        // max over batches is the divergence-adjacent signal to watch).
+        const double grad_norm = optimizer.GradNorm();
+        max_grad_norm = std::max(max_grad_norm, grad_norm);
+        optimizer.ClipGradNorm(config_.grad_clip_norm, grad_norm);
       }
       optimizer.Step();
     }
@@ -236,15 +249,9 @@ Result<TrainResult> Trainer::Fit(models::SequentialRecommender* model,
       }
       const int64_t next_rollbacks = rollbacks + 1;
       const float next_base_lr = base_lr * 0.5f;
-      if (config_.verbose) {
-        std::printf(
-            "[%s] epoch %2lld diverged; rolling back to epoch %lld, "
-            "lr %.2e -> %.2e (rollback %lld/%lld)\n",
-            model->name().c_str(), static_cast<long long>(epoch),
-            static_cast<long long>(last_good.epoch), base_lr, next_base_lr,
-            static_cast<long long>(next_rollbacks),
-            static_cast<long long>(config_.max_rollbacks));
-      }
+      telemetry->OnRollback({model->name(), epoch, last_good.epoch, base_lr,
+                             next_base_lr, next_rollbacks,
+                             config_.max_rollbacks});
       SLIME_RETURN_IF_ERROR(apply(last_good));
       // The rollback itself consumes budget and halves the rate; those two
       // survive the restore.
@@ -262,12 +269,20 @@ Result<TrainResult> Trainer::Fit(models::SequentialRecommender* model,
     result.rollbacks = rollbacks;
 
     const metrics::RankingMetrics valid = Evaluate(model, split, false);
-    if (config_.verbose) {
-      std::printf("[%s] epoch %2lld loss %.4f valid NDCG@10 %.4f\n",
-                  model->name().c_str(), static_cast<long long>(epoch),
-                  result.final_train_loss, valid.ndcg10);
-    }
     const bool improved = valid.ndcg10 > best_valid;
+    {
+      obs::EpochRecord record;
+      record.model = model->name();
+      record.epoch = epoch;
+      record.loss = result.final_train_loss;
+      record.lr = lr;
+      record.grad_norm = max_grad_norm;
+      record.batches = loss_count;
+      record.valid = valid;
+      record.improved = improved;
+      record.wall_nanos = clock->NowNanos() - epoch_start_nanos;
+      telemetry->OnEpoch(record);
+    }
     if (improved) {
       best_valid = valid.ndcg10;
       result.valid = valid;
@@ -305,6 +320,9 @@ Result<TrainResult> Trainer::Fit(models::SequentialRecommender* model,
     }
   }
   result.test = Evaluate(model, split, true);
+  telemetry->OnFitSummary({model->name(), result.epochs_run,
+                           result.best_epoch, result.rollbacks,
+                           result.final_train_loss, result.test});
   return result;
 }
 

@@ -47,6 +47,30 @@ grep -q "requests ok 8" "$TMP/serve.log"
     --reload "$TMP/m.ckpt" > "$TMP/serve_reload.log"
 grep -q "installed" "$TMP/serve_reload.log"
 grep -q "requests ok 8" "$TMP/serve_reload.log"
+# Observability: --metrics-out writes JSONL with self-describing lines.
+"$CLI" train --data "$TMP/data.txt" --epochs 2 \
+    --metrics-out "$TMP/train_metrics.jsonl" > /dev/null
+[ -s "$TMP/train_metrics.jsonl" ] || { echo "no train metrics"; exit 1; }
+grep -q '^{"type":"epoch"' "$TMP/train_metrics.jsonl"
+grep -q '"type":"fit_summary"' "$TMP/train_metrics.jsonl"
+grep -q '"type":"counter","name":"compute.regions"' "$TMP/train_metrics.jsonl"
+# Every line is a JSON object with a leading type field.
+if grep -vq '^{"type":"' "$TMP/train_metrics.jsonl"; then
+  echo "malformed train metrics line"; exit 1
+fi
+"$CLI" serve --data "$TMP/data.txt" --load "$TMP/m.ckpt" --requests 8 \
+    --metrics-out "$TMP/serve_metrics.jsonl" > "$TMP/serve_obs.log"
+grep -q "requests ok 8" "$TMP/serve_obs.log"
+grep -q '"type":"counter","name":"serving.requests","value":8' \
+    "$TMP/serve_metrics.jsonl"
+grep -q '"type":"histogram","name":"serving.request_nanos"' \
+    "$TMP/serve_metrics.jsonl"
+grep -q '"type":"trace"' "$TMP/serve_metrics.jsonl"
+grep -q '"type":"gauge","name":"serving.health","value":1' \
+    "$TMP/serve_metrics.jsonl"
+if grep -vq '^{"type":"' "$TMP/serve_metrics.jsonl"; then
+  echo "malformed serve metrics line"; exit 1
+fi
 # Invalid --threads values must be rejected up front, not crash or hang.
 for bad in 0 -3 abc 99999; do
   if "$CLI" stats --data "$TMP/data.txt" --threads "$bad" 2>/dev/null; then

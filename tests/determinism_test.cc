@@ -13,6 +13,8 @@
 #include "data/synthetic.h"
 #include "fft/spectral_ops.h"
 #include "models/model_factory.h"
+#include "observability/metrics.h"
+#include "observability/telemetry.h"
 #include "serving/recommendation_service.h"
 #include "train/trainer.h"
 
@@ -52,10 +54,16 @@ struct RunOutputs {
   std::vector<std::vector<float>> params;
   std::vector<std::vector<int64_t>> rec_items;
   std::vector<std::vector<float>> rec_scores;
+  std::vector<double> epoch_losses;  // only with metrics enabled
 };
 
-RunOutputs TrainAndServe(int threads) {
+RunOutputs TrainAndServe(int threads, bool with_metrics = false) {
   compute::ComputeContext ctx(threads);
+  // Metrics instrumentation must be invisible to the numerics: the compute
+  // counters and telemetry sink observe the run without perturbing it.
+  obs::MetricsRegistry registry;
+  obs::TrainingTelemetry telemetry(/*echo=*/false);
+  if (with_metrics) compute::SetMetricsRegistry(&registry);
   const data::SplitDataset split = TinySplit();
   auto model = models::CreateModel("SLIME4Rec", TinyModelConfig(split));
   train::TrainConfig t;
@@ -64,11 +72,13 @@ RunOutputs TrainAndServe(int threads) {
   t.lr = 5e-3f;
   t.patience = 100;
   t.seed = 13;
+  if (with_metrics) t.telemetry = &telemetry;
   train::Trainer trainer(t);
   const train::TrainResult result = trainer.Fit(model.get(), split).value();
 
   RunOutputs out;
   out.final_loss = result.final_train_loss;
+  for (const auto& e : telemetry.epochs()) out.epoch_losses.push_back(e.loss);
   for (const auto& p : model->Parameters()) {
     out.params.push_back(p.value().ToVector());
   }
@@ -88,32 +98,60 @@ RunOutputs TrainAndServe(int threads) {
     out.rec_items.push_back(std::move(items));
     out.rec_scores.push_back(std::move(scores));
   }
+  // Detach before the local registry dies.
+  if (with_metrics) compute::SetMetricsRegistry(nullptr);
   return out;
+}
+
+void ExpectBitIdentical(const RunOutputs& ref, const RunOutputs& got,
+                        const std::string& label) {
+  EXPECT_EQ(ref.final_loss, got.final_loss) << label;
+  ASSERT_EQ(ref.params.size(), got.params.size());
+  for (size_t i = 0; i < ref.params.size(); ++i) {
+    ASSERT_EQ(ref.params[i].size(), got.params[i].size());
+    EXPECT_EQ(std::memcmp(ref.params[i].data(), got.params[i].data(),
+                          ref.params[i].size() * sizeof(float)),
+              0)
+        << "param " << i << " differs: " << label;
+  }
+  EXPECT_EQ(ref.rec_items, got.rec_items) << label;
+  ASSERT_EQ(ref.rec_scores.size(), got.rec_scores.size());
+  for (size_t u = 0; u < ref.rec_scores.size(); ++u) {
+    EXPECT_EQ(std::memcmp(ref.rec_scores[u].data(), got.rec_scores[u].data(),
+                          ref.rec_scores[u].size() * sizeof(float)),
+              0)
+        << "scores for user " << u << " differ: " << label;
+  }
 }
 
 TEST(DeterminismTest, TrainAndServeBitIdenticalAcrossThreadCounts) {
   const RunOutputs ref = TrainAndServe(1);
   ASSERT_FALSE(ref.params.empty());
   for (int threads : {2, 8}) {
-    const RunOutputs got = TrainAndServe(threads);
-    // Scalar loss: exact double equality, not a tolerance.
-    EXPECT_EQ(ref.final_loss, got.final_loss) << "threads=" << threads;
-    ASSERT_EQ(ref.params.size(), got.params.size());
-    for (size_t i = 0; i < ref.params.size(); ++i) {
-      ASSERT_EQ(ref.params[i].size(), got.params[i].size());
-      EXPECT_EQ(std::memcmp(ref.params[i].data(), got.params[i].data(),
-                            ref.params[i].size() * sizeof(float)),
-                0)
-          << "param " << i << " differs at threads=" << threads;
-    }
-    EXPECT_EQ(ref.rec_items, got.rec_items) << "threads=" << threads;
-    ASSERT_EQ(ref.rec_scores.size(), got.rec_scores.size());
-    for (size_t u = 0; u < ref.rec_scores.size(); ++u) {
-      EXPECT_EQ(std::memcmp(ref.rec_scores[u].data(),
-                            got.rec_scores[u].data(),
-                            ref.rec_scores[u].size() * sizeof(float)),
-                0)
-          << "scores for user " << u << " differ at threads=" << threads;
+    // Scalar loss: exact double equality, not a tolerance (inside the
+    // helper).
+    ExpectBitIdentical(ref, TrainAndServe(threads),
+                       "threads=" + std::to_string(threads));
+  }
+}
+
+TEST(DeterminismTest, MetricsInstrumentationIsBitInvisible) {
+  // The observability layer must not perturb the numerics: runs with the
+  // compute registry + telemetry sink attached are bit-identical to the
+  // un-instrumented baseline at every thread count, and the telemetry's
+  // own per-epoch losses agree exactly across thread counts.
+  const RunOutputs ref = TrainAndServe(1, /*with_metrics=*/false);
+  RunOutputs first_instrumented;
+  for (int threads : {1, 2, 8}) {
+    RunOutputs got = TrainAndServe(threads, /*with_metrics=*/true);
+    ExpectBitIdentical(
+        ref, got, "metrics on, threads=" + std::to_string(threads));
+    ASSERT_EQ(got.epoch_losses.size(), 2u);
+    if (threads == 1) {
+      first_instrumented = got;
+    } else {
+      EXPECT_EQ(first_instrumented.epoch_losses, got.epoch_losses)
+          << "telemetry loss stream differs at threads=" << threads;
     }
   }
 }

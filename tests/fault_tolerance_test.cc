@@ -16,6 +16,7 @@
 #include "io/checkpoint.h"
 #include "io/env.h"
 #include "models/model_factory.h"
+#include "observability/telemetry.h"
 #include "train/train_state.h"
 #include "train/trainer.h"
 
@@ -401,6 +402,61 @@ TEST(DivergenceTest, TransientNaNRollsBackAndRecovers) {
   EXPECT_EQ(r.value().rollbacks, 1);
   EXPECT_EQ(r.value().epochs_run, 3);
   EXPECT_GT(r.value().test.hr10, 0.0);
+}
+
+TEST(DivergenceTest, RollbackRestartsLrScheduleFromHalvedBase) {
+  // Rollback x lr-schedule interaction: after a divergence rollback the
+  // warmup/decay schedule must be re-evaluated on the *halved* base rate
+  // for every subsequent epoch — not resume mid-schedule on the old base.
+  // One batch per epoch (batch_size >> dataset) makes the PoisonModel's
+  // Loss-call counter count epochs, so exactly epoch 3's first attempt
+  // diverges.
+  const data::SplitDataset split = TinySplit();
+  models::ModelConfig c = TinyModelConfig(split);
+  c.dropout = 0.0f;
+  c.emb_dropout = 0.0f;
+  PoisonModel model(models::CreateModel("SASRec", c), /*poison_from=*/3,
+                    /*poison_count=*/1);
+  train::TrainConfig tc = FtTrainConfig(5);
+  tc.batch_size = 100000;  // single batch per epoch
+  tc.max_rollbacks = 2;
+  tc.warmup_epochs = 2;
+  tc.lr_decay = 0.9f;
+  obs::TrainingTelemetry telemetry(/*echo=*/false);
+  tc.telemetry = &telemetry;
+  const Result<train::TrainResult> r =
+      train::Trainer(tc).Fit(&model, split);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().rollbacks, 1);
+
+  // The rollback halves the base rate exactly once.
+  ASSERT_EQ(telemetry.rollbacks().size(), 1u);
+  const obs::RollbackRecord& rb = telemetry.rollbacks()[0];
+  EXPECT_EQ(rb.diverged_epoch, 3);
+  EXPECT_EQ(rb.rollback_to_epoch, 2);
+  const float base0 = tc.lr;
+  EXPECT_EQ(rb.old_base_lr, static_cast<double>(base0));
+  EXPECT_EQ(rb.new_base_lr, static_cast<double>(base0 * 0.5f));
+
+  // Expected per-epoch rates, replicating the trainer's float arithmetic:
+  // warmup over epochs 1-2 on the original base; epoch 3 retries on the
+  // halved base with decay_epochs = 0; epochs 4-5 decay from there.
+  const float half = base0 * 0.5f;
+  const float expected[] = {
+      base0 * (1.0f / 2.0f),
+      base0 * (2.0f / 2.0f),
+      half,
+      half * std::pow(0.9f, 1.0f),
+      half * std::pow(0.9f, 2.0f),
+  };
+  ASSERT_EQ(telemetry.epochs().size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    const obs::EpochRecord& e = telemetry.epochs()[i];
+    EXPECT_EQ(e.epoch, i + 1);
+    EXPECT_EQ(e.lr, static_cast<double>(expected[i]))
+        << "epoch " << i + 1 << " lr off-schedule after rollback";
+    EXPECT_EQ(e.batches, 1);
+  }
 }
 
 TEST(DivergenceTest, PersistentNaNAbortsAfterMaxRollbacks) {

@@ -71,22 +71,63 @@ class RampPropertyTest
 };
 
 TEST_P(RampPropertyTest, StaticWindowsPartitionTheSpectrum) {
-  // Eq. 22-24 with beta = 1/L: the L static windows are disjoint and cover
-  // [0, M) exactly — the "recapture all frequencies" guarantee the paper
-  // claims for the SFS module.
+  // Eq. 22-24 with beta = 1/L: the L static windows cover [0, M) exactly —
+  // the "recapture all frequencies" guarantee the paper claims for the SFS
+  // module — and are disjoint whenever a disjoint nonempty partition is
+  // possible (L <= M; with more layers than bins the >=1-bin guarantee
+  // forces overlaps instead of empty windows).
   const auto [m, layers, alpha] = GetParam();
   const FrequencyRamp ramp(m, layers, alpha, SlideDirection::kHighToLow,
                            SlideDirection::kHighToLow);
   std::set<int64_t> covered;
   for (int64_t l = 0; l < layers; ++l) {
     const FilterWindow w = ramp.StaticWindow(l);
+    EXPECT_GT(w.size(), 0) << "empty window at layer " << l << " (m=" << m
+                           << ", L=" << layers << ")";
     for (int64_t bin = w.begin; bin < w.end; ++bin) {
-      EXPECT_TRUE(covered.insert(bin).second)
-          << "bin " << bin << " covered twice (m=" << m << ", L=" << layers
-          << ")";
+      const bool fresh = covered.insert(bin).second;
+      if (layers <= m) {
+        EXPECT_TRUE(fresh) << "bin " << bin << " covered twice (m=" << m
+                           << ", L=" << layers << ")";
+      }
     }
   }
   EXPECT_EQ(static_cast<int64_t>(covered.size()), m);
+}
+
+// Regression for the StaticWindow empty-window bug: sweep both directions
+// over (num_bins, num_layers) in {1..16} x {1..8}, including every L > M
+// combination the old rounding collapsed to begin == end. Every layer must
+// keep at least one in-range bin, the union must cover the spectrum, and
+// for L <= M the partition must stay exactly disjoint.
+TEST(FrequencyRampTest, StaticWindowNeverEmptyAcrossFullSweep) {
+  for (const SlideDirection dir :
+       {SlideDirection::kHighToLow, SlideDirection::kLowToHigh}) {
+    for (int64_t m = 1; m <= 16; ++m) {
+      for (int64_t layers = 1; layers <= 8; ++layers) {
+        const FrequencyRamp ramp(m, layers, 0.5, dir, dir);
+        std::set<int64_t> covered;
+        int64_t total_bins = 0;
+        for (int64_t l = 0; l < layers; ++l) {
+          const FilterWindow w = ramp.StaticWindow(l);
+          EXPECT_GE(w.begin, 0);
+          EXPECT_LE(w.end, m);
+          EXPECT_GT(w.size(), 0)
+              << "empty window: m=" << m << " L=" << layers << " l=" << l
+              << " dir=" << ToString(dir);
+          total_bins += w.size();
+          for (int64_t bin = w.begin; bin < w.end; ++bin) covered.insert(bin);
+        }
+        EXPECT_EQ(static_cast<int64_t>(covered.size()), m)
+            << "coverage gap: m=" << m << " L=" << layers;
+        if (layers <= m) {
+          // Disjoint: total size == distinct bins == m.
+          EXPECT_EQ(total_bins, m)
+              << "overlap despite L <= M: m=" << m << " L=" << layers;
+        }
+      }
+    }
+  }
 }
 
 TEST_P(RampPropertyTest, DynamicWindowsAreValidAndSized) {

@@ -19,6 +19,9 @@
 #include "io/checkpoint.h"
 #include "io/env.h"
 #include "models/recommender.h"
+#include "observability/export.h"
+#include "observability/metrics.h"
+#include "observability/trace.h"
 #include "tensor/tensor.h"
 #include "train/trainer.h"
 
@@ -527,9 +530,16 @@ TEST(ModelUseGuardDeathTest, CatchesServingDuringTraining) {
 std::string RunScenario(int threads, const std::string& reload_path) {
   compute::ComputeContext ctx(threads);
   FakeClock clock;
+  // External registry + tracer: all serving metrics (including the
+  // request-latency histograms) and all span times are FakeClock-driven,
+  // so their JSONL exports belong in the determinism signature.
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer(&clock);
   ModelServerOptions options;
   options.default_deadline_nanos = 50 * kNanosPerMilli;
   options.recovery_full_responses = 2;
+  options.metrics = &registry;
+  options.tracer = &tracer;
   ModelServer server(options, TinyFactory(), &clock);
   // No canaries here: a canary forward pass at Start/Reload would consume
   // scripted latency entries and shift the scenario.
@@ -572,6 +582,8 @@ std::string RunScenario(int threads, const std::string& reload_path) {
       << " full_est " << stats.full_cost_estimate_nanos << " fast_est "
       << stats.fast_cost_estimate_nanos << " health "
       << ToString(server.health()) << "\n";
+  sig << obs::SnapshotToJsonl(registry.Snapshot());
+  sig << obs::TracesToJsonl(tracer.Traces());
   return sig.str();
 }
 
@@ -586,8 +598,133 @@ TEST(ModelServerDeterminismTest, ScenarioIsBitIdenticalAcrossThreadCounts) {
   EXPECT_NE(base.find("popularity-fallback"), std::string::npos) << base;
   EXPECT_NE(base.find("truncated-history"), std::string::npos) << base;
   EXPECT_NE(base.find("full-model"), std::string::npos) << base;
+  // The signature now folds in the registry snapshot and trace JSONL, so
+  // this also proves metrics and span times (all FakeClock-driven) are
+  // bit-identical across thread counts and across repeated runs.
+  EXPECT_NE(base.find("\"type\":\"histogram\""), std::string::npos) << base;
+  EXPECT_NE(base.find("\"type\":\"trace\""), std::string::npos) << base;
+  EXPECT_EQ(base, RunScenario(1, path));
   EXPECT_EQ(base, RunScenario(2, path));
   EXPECT_EQ(base, RunScenario(8, path));
+}
+
+// --- Observability wiring -------------------------------------------------
+
+TEST(ModelServerObservabilityTest, StatsAreThinViewsOverRegistry) {
+  FakeClock clock;
+  obs::MetricsRegistry registry;
+  ModelServerOptions options;
+  options.metrics = &registry;
+  ModelServer server(options, nullptr, &clock);
+  ASSERT_TRUE(
+      server.Start(std::make_unique<ScriptedModel>(TinyConfig(), 0.0f))
+          .ok());
+  ServeRequest request;
+  request.history = {1, 2, 3};
+  request.options = Top3Unfiltered();
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(server.Serve(request).ok());
+
+  // The ServerStats accessor and the registry must agree: same storage.
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.requests, 3);
+  EXPECT_EQ(stats.served, 3);
+  EXPECT_EQ(stats.full_model_served, 3);
+  int64_t reg_requests = -1, reg_full = -1, reg_health = -1;
+  const obs::MetricsSnapshot snap = registry.Snapshot();
+  for (const obs::MetricValue& c : snap.counters) {
+    if (c.name == "serving.requests") reg_requests = c.value;
+    if (c.name == "serving.tier.full_served") reg_full = c.value;
+  }
+  for (const obs::MetricValue& g : snap.gauges) {
+    if (g.name == "serving.health") reg_health = g.value;
+  }
+  EXPECT_EQ(reg_requests, 3);
+  EXPECT_EQ(reg_full, 3);
+  EXPECT_EQ(reg_health, static_cast<int64_t>(HealthState::kServing));
+  // The request-latency histogram saw every request.
+  bool found_hist = false;
+  for (const obs::HistogramValue& h : snap.histograms) {
+    if (h.name == "serving.request_nanos") {
+      found_hist = true;
+      EXPECT_EQ(h.count, 3);
+    }
+  }
+  EXPECT_TRUE(found_hist);
+}
+
+TEST(ModelServerObservabilityTest, NoopRegistryServesNormallyReadsZeros) {
+  // Injecting the NoopRegistry turns instrumentation off: serving must be
+  // fully functional while every stats field reads zero (the documented
+  // trade of the disabled path).
+  FakeClock clock;
+  obs::NoopRegistry noop;
+  ModelServerOptions options;
+  options.metrics = &noop;
+  ModelServer server(options, nullptr, &clock);
+  ASSERT_TRUE(
+      server.Start(std::make_unique<ScriptedModel>(TinyConfig(), 0.0f))
+          .ok());
+  ServeRequest request;
+  request.history = {1, 2, 3};
+  request.options = Top3Unfiltered();
+  const auto response = server.Serve(request).value();
+  EXPECT_EQ(response.tier, ServeTier::kFullModel);
+  EXPECT_EQ(Items(response.items).size(), 3u);
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.requests, 0);
+  EXPECT_EQ(stats.served, 0);
+  EXPECT_TRUE(noop.Snapshot().counters.empty());
+}
+
+TEST(ModelServerObservabilityTest, LadderTraceAnnotatesDowngrades) {
+  // The deadline-blown ladder request must leave a complete trace: the
+  // full-model span marked cancelled and the fallback span recording the
+  // downgrade, all timed by the FakeClock.
+  FakeClock clock;
+  obs::Tracer tracer(&clock);
+  ModelServerOptions options;
+  options.default_deadline_nanos = 50 * kNanosPerMilli;
+  options.tracer = &tracer;
+  ModelServer server(options, nullptr, &clock);
+  server.set_fallback(PopularityFallback::FromCounts(
+      {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}));
+  ASSERT_TRUE(server
+                  .Start(std::make_unique<ScriptedModel>(
+                      TinyConfig(), 0.0f, &clock,
+                      std::vector<int64_t>{100 * kNanosPerMilli, 0}))
+                  .ok());
+  ServeRequest request;
+  request.history = {1, 2, 3};
+  request.options = Top3Unfiltered();
+  const auto response = server.Serve(request).value();
+  ASSERT_EQ(response.tier, ServeTier::kPopularityFallback);
+
+  const std::vector<obs::Trace> traces = tracer.Traces();
+  ASSERT_EQ(traces.size(), 1u);
+  const obs::Trace& t = traces[0];
+  ASSERT_FALSE(t.spans.empty());
+  EXPECT_EQ(t.spans[0].name, "request");
+  EXPECT_EQ(t.spans[0].parent, -1);
+  // The 100 ms scripted pass is inside the trace.
+  EXPECT_EQ(t.spans[0].duration_nanos(), 100 * kNanosPerMilli);
+  bool saw_cancelled = false, saw_fallback_downgrade = false;
+  bool saw_admit = false, saw_snapshot = false;
+  for (const obs::SpanRecord& s : t.spans) {
+    if (s.name == "admit") saw_admit = true;
+    if (s.name == "snapshot") saw_snapshot = true;
+    for (const auto& [key, value] : s.annotations) {
+      if (s.name == "forward.full" && key == "cancelled") {
+        saw_cancelled = value == "deadline";
+      }
+      if (s.name == "fallback" && key == "downgraded") {
+        saw_fallback_downgrade = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_admit);
+  EXPECT_TRUE(saw_snapshot);
+  EXPECT_TRUE(saw_cancelled);
+  EXPECT_TRUE(saw_fallback_downgrade);
 }
 
 // --- Reload racing live traffic (the TSan chaos test) --------------------

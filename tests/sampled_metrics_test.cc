@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 namespace slime {
 namespace metrics {
 namespace {
@@ -64,6 +66,105 @@ TEST(SampledRankingTest, ExpectedRankMatchesHypergeometricMean) {
   // most 9 of the 50 draws land among the 49 better items; this is small.
   EXPECT_LT(sampled.HrAt(10), 0.45);
   EXPECT_GT(sampled.HrAt(10), 0.02);
+}
+
+/// The rejection sampler exactly as it was before the stamp-buffer rewrite
+/// (per-row vector<bool>, draw-until-fresh). The sparse path must consume
+/// the identical RNG draw sequence, so for any seed the sampled metrics
+/// are byte-for-byte what the old code produced.
+double LegacyRejectionNdcg10(const Tensor& scores,
+                             const std::vector<int64_t>& targets,
+                             int64_t num_negatives, uint64_t seed) {
+  Rng rng(seed);
+  RankingAccumulator acc;
+  const int64_t cols = scores.size(1);
+  const float* p = scores.data();
+  for (int64_t i = 0; i < scores.size(0); ++i) {
+    const int64_t t = targets[i];
+    const float target_score = p[i * cols + t];
+    std::vector<bool> used(cols, false);
+    used[t] = true;
+    int64_t above = 0;
+    int64_t drawn = 0;
+    while (drawn < num_negatives) {
+      const int64_t neg = rng.UniformInt(1, cols - 1);
+      if (used[neg]) continue;
+      used[neg] = true;
+      ++drawn;
+      if (p[i * cols + neg] > target_score) ++above;
+    }
+    acc.AddRank(above + 1);
+  }
+  return acc.NdcgAt(10);
+}
+
+TEST(SampledRankingTest, SparsePathPinnedToLegacySampler) {
+  // Regression for the sampler rewrite: the sparse path (num_negatives
+  // <= (cols-2)/2) must reproduce the legacy rejection sampler's RNG draw
+  // sequence exactly — identical metrics, not just statistically similar.
+  const int64_t items = 60;
+  Tensor scores({3, items + 1});
+  Rng srng(19);
+  for (int64_t i = 0; i < scores.numel(); ++i) {
+    scores.data()[i] = srng.Gaussian();
+  }
+  const std::vector<int64_t> targets = {4, 17, 60};
+  for (const uint64_t seed : {1u, 5u, 23u, 99u}) {
+    for (const int64_t negs : {1, 10, 29}) {  // 29 == (61-2)/2, still sparse
+      Rng rng(seed);
+      SampledRankingAccumulator acc(negs, &rng);
+      acc.Add(scores, targets);
+      EXPECT_DOUBLE_EQ(acc.NdcgAt(10),
+                       LegacyRejectionNdcg10(scores, targets, negs, seed))
+          << "seed=" << seed << " negs=" << negs;
+    }
+  }
+}
+
+TEST(SampledRankingTest, DensePathAllNegativesMatchesFullRanking) {
+  // num_negatives == cols - 2 samples every non-target item, so the
+  // Fisher–Yates path must reproduce the full-ranking metrics exactly.
+  // Under the old rejection sampler this configuration was the worst-case
+  // coupon collector; now it is exactly cols - 2 draws.
+  const int64_t items = 40;
+  Tensor scores({4, items + 1});
+  Rng srng(31);
+  for (int64_t i = 0; i < scores.numel(); ++i) {
+    scores.data()[i] = srng.Gaussian();
+  }
+  const std::vector<int64_t> targets = {1, 13, 27, 40};
+  RankingAccumulator full;
+  full.Add(scores, targets);
+  Rng rng(2);
+  SampledRankingAccumulator dense(items - 1, &rng);  // cols-2 = items-1
+  dense.Add(scores, targets);
+  EXPECT_DOUBLE_EQ(dense.NdcgAt(10), full.NdcgAt(10));
+  EXPECT_DOUBLE_EQ(dense.HrAt(5), full.HrAt(5));
+  EXPECT_DOUBLE_EQ(dense.HrAt(10), full.HrAt(10));
+}
+
+TEST(SampledRankingTest, DensePathIsUnbiasedAcrossTrials) {
+  // Statistical check either side of the sparse/dense threshold: both
+  // samplers draw uniform negative subsets, so their hit rates over many
+  // trials must agree within noise.
+  const int64_t items = 30;  // cols = 31, threshold (cols-2)/2 = 14
+  Tensor scores({1, items + 1});
+  for (int64_t j = 1; j <= items; ++j) {
+    scores.data()[j] = static_cast<float>(items - j);
+  }
+  const int64_t target = 10;  // 9 better items
+  Rng rng_sparse(3), rng_dense(3);
+  SampledRankingAccumulator sparse(14, &rng_sparse);
+  SampledRankingAccumulator dense(15, &rng_dense);
+  for (int trial = 0; trial < 600; ++trial) {
+    sparse.Add(scores, {target});
+    dense.Add(scores, {target});
+  }
+  // E[#above] = negs * 9/29; HR@5 is P(at most 4 better drawn). The two
+  // samplers differ by one negative, so the rates are close.
+  EXPECT_NEAR(sparse.HrAt(5), dense.HrAt(5), 0.15);
+  EXPECT_GT(sparse.HrAt(5), 0.05);
+  EXPECT_LT(dense.HrAt(5), 0.95);
 }
 
 TEST(SampledRankingTest, DeterministicGivenSeed) {

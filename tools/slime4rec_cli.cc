@@ -6,12 +6,18 @@
 //   train      --data FILE [--model NAME] [--epochs N] [--alpha A]
 //              [--layers L] [--hidden D] [--max-len N] [--save CKPT]
 //              [--checkpoint-dir DIR] [--checkpoint-every N]
-//              [--resume DIR_OR_SNAPSHOT]
+//              [--resume DIR_OR_SNAPSHOT] [--metrics-out FILE]
 //   evaluate   --data FILE --load CKPT [--model NAME] [...model flags]
 //   recommend  --data FILE --load CKPT --user U [--topk K] [...model flags]
 //   serve      --data FILE --load CKPT [--requests N] [--deadline-ms D]
 //              [--max-inflight M] [--rate QPS] [--burst B]
 //              [--fast-path-len n] [--canaries C] [--reload CKPT2]
+//              [--metrics-out FILE]
+//
+// --metrics-out writes a JSONL observability log (see
+// docs/OBSERVABILITY.md): training telemetry plus compute-layer metrics
+// for `train`, the serving metrics snapshot plus request traces for
+// `serve`.
 //
 // Dataset files use the plain-text format of data/loader.h (one user per
 // line, chronological 1-based item ids).
@@ -31,7 +37,12 @@
 #include "data/loader.h"
 #include "data/synthetic.h"
 #include "io/checkpoint.h"
+#include "io/env.h"
 #include "models/model_factory.h"
+#include "observability/export.h"
+#include "observability/metrics.h"
+#include "observability/telemetry.h"
+#include "observability/trace.h"
 #include "serving/model_server.h"
 #include "train/trainer.h"
 
@@ -200,8 +211,17 @@ int CmdTrain(const Flags& flags) {
     // Best effort; an unwritable directory surfaces as a snapshot IOError.
     ::mkdir(tc.checkpoint_dir.c_str(), 0755);
   }
+  // Telemetry sink: echoes the classic per-epoch console lines and, with
+  // --metrics-out, persists the JSONL log crash-safely after every epoch.
+  const std::string metrics_out = flags.Get("metrics-out");
+  obs::TrainingTelemetry telemetry(/*echo=*/true, metrics_out,
+                                   io::Env::Default());
+  tc.telemetry = &telemetry;
+  obs::MetricsRegistry registry;
+  if (!metrics_out.empty()) compute::SetMetricsRegistry(&registry);
   train::Trainer trainer(tc);
   Result<train::TrainResult> fit = trainer.Fit(model.get(), split);
+  if (!metrics_out.empty()) compute::SetMetricsRegistry(nullptr);
   if (!fit.ok()) return Fail(fit.status());
   const train::TrainResult result = std::move(fit).value();
   PrintMetrics("valid(best)", result.valid);
@@ -211,6 +231,15 @@ int CmdTrain(const Flags& flags) {
     const Status st = io::SaveCheckpoint(*model, ckpt);
     if (!st.ok()) return Fail(st);
     std::printf("saved checkpoint to %s\n", ckpt.c_str());
+  }
+  if (!metrics_out.empty()) {
+    if (!telemetry.status().ok()) return Fail(telemetry.status());
+    // Final write: the telemetry records plus the compute-layer snapshot.
+    const Status ws = io::Env::Default()->WriteFile(
+        metrics_out,
+        telemetry.jsonl() + obs::SnapshotToJsonl(registry.Snapshot()));
+    if (!ws.ok()) return Fail(ws);
+    std::printf("wrote metrics to %s\n", metrics_out.c_str());
   }
   return 0;
 }
@@ -282,6 +311,16 @@ int CmdServe(const Flags& flags) {
   opts.admission.burst = flags.GetDouble("burst", 32.0);
   opts.fast_path_history_len = flags.GetInt("fast-path-len", 8);
 
+  // Declared before the server so its handles never outlive the registry.
+  const std::string metrics_out = flags.Get("metrics-out");
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer;
+  if (!metrics_out.empty()) {
+    opts.metrics = &registry;
+    opts.tracer = &tracer;
+    compute::SetMetricsRegistry(&registry);
+  }
+
   serving::ModelServer server(
       opts, [&flags, &split] { return BuildModel(flags, split); });
   server.set_canary_requests(
@@ -336,6 +375,14 @@ int CmdServe(const Flags& flags) {
               static_cast<long long>(shed_count),
               static_cast<long long>(deadline_count),
               static_cast<long long>(other_err));
+  if (!metrics_out.empty()) {
+    compute::SetMetricsRegistry(nullptr);
+    const Status ws = io::Env::Default()->WriteFile(
+        metrics_out, obs::SnapshotToJsonl(registry.Snapshot()) +
+                         obs::TracesToJsonl(tracer.Traces()));
+    if (!ws.ok()) return Fail(ws);
+    std::printf("wrote metrics to %s\n", metrics_out.c_str());
+  }
   return other_err == 0 ? 0 : 1;
 }
 
@@ -351,14 +398,14 @@ int Usage() {
       "  train     --data FILE [--model SLIME4Rec] [--epochs 20] "
       "[--alpha 0.4] [--save CKPT]\n"
       "            [--checkpoint-dir DIR] [--checkpoint-every 1] "
-      "[--resume DIR]\n"
+      "[--resume DIR] [--metrics-out FILE]\n"
       "  evaluate  --data FILE --load CKPT [--model ...]\n"
       "  recommend --data FILE --load CKPT --user 0 [--topk 10]\n"
       "  serve     --data FILE --load CKPT [--requests 32] "
       "[--deadline-ms 50]\n"
       "            [--max-inflight 64] [--rate QPS] [--burst 32] "
       "[--fast-path-len 8]\n"
-      "            [--canaries 8] [--reload CKPT2]\n");
+      "            [--canaries 8] [--reload CKPT2] [--metrics-out FILE]\n");
   return 2;
 }
 
