@@ -1,0 +1,651 @@
+#include "chaos/harness.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "autograd/ops.h"
+#include "common/random.h"
+#include "data/loader.h"
+#include "data/synthetic.h"
+#include "io/checkpoint.h"
+#include "io/env.h"
+#include "models/model_factory.h"
+#include "observability/telemetry.h"
+#include "serving/clock.h"
+#include "serving/fallback.h"
+#include "serving/model_server.h"
+#include "train/train_state.h"
+#include "train/trainer.h"
+
+namespace slime {
+namespace chaos {
+
+namespace {
+
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "ok";
+    case Status::Code::kInvalidArgument:
+      return "invalid_argument";
+    case Status::Code::kNotFound:
+      return "not_found";
+    case Status::Code::kIOError:
+      return "io_error";
+    case Status::Code::kCorruption:
+      return "corruption";
+    case Status::Code::kAborted:
+      return "aborted";
+    case Status::Code::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case Status::Code::kResourceExhausted:
+      return "resource_exhausted";
+    case Status::Code::kUnavailable:
+      return "unavailable";
+  }
+  return "unknown";
+}
+
+/// Wraps a real model and injects one window of NaN losses — the
+/// divergence fault. Downstream must roll back or abort, never train on.
+class NanWindowModel : public models::SequentialRecommender {
+ public:
+  NanWindowModel(std::shared_ptr<models::SequentialRecommender> inner,
+                 int64_t poison_from, int64_t poison_count)
+      : SequentialRecommender(inner->config()),
+        poison_from_(poison_from),
+        poison_count_(poison_count) {
+    inner_ = RegisterModule("inner", std::move(inner));
+  }
+
+  autograd::Variable Loss(const data::Batch& batch) override {
+    ++calls_;
+    if (calls_ >= poison_from_ && calls_ < poison_from_ + poison_count_) {
+      return autograd::Constant(
+          Tensor::Full({1}, std::numeric_limits<float>::quiet_NaN()));
+    }
+    return inner_->Loss(batch);
+  }
+
+  Tensor ScoreAll(const data::Batch& batch) override {
+    return inner_->ScoreAll(batch);
+  }
+
+  void Prepare(const data::SplitDataset& split) override {
+    inner_->Prepare(split);
+  }
+
+  std::string name() const override { return "NanWindow"; }
+
+ private:
+  std::shared_ptr<models::SequentialRecommender> inner_;
+  int64_t poison_from_;
+  int64_t poison_count_;
+  int64_t calls_ = 0;
+};
+
+/// Wraps a real model and advances a FakeClock by a scripted amount per
+/// forward pass (the last entry repeats) — deadline pressure without
+/// wall-clock sleeps, so the serve stage is exactly reproducible.
+class LatencyModel : public models::SequentialRecommender {
+ public:
+  LatencyModel(std::shared_ptr<models::SequentialRecommender> inner,
+               serving::FakeClock* clock, std::vector<int64_t> latencies)
+      : SequentialRecommender(inner->config()),
+        clock_(clock),
+        latencies_(std::move(latencies)) {
+    inner_ = RegisterModule("inner", std::move(inner));
+  }
+
+  autograd::Variable Loss(const data::Batch& batch) override {
+    return inner_->Loss(batch);
+  }
+
+  Tensor ScoreAll(const data::Batch& batch) override {
+    // Forward passes are serialised by the server's inference mutex, so a
+    // plain counter is race-free.
+    const size_t call = static_cast<size_t>(calls_++);
+    if (!latencies_.empty()) {
+      clock_->Advance(latencies_[std::min(latencies_.size() - 1, call)]);
+    }
+    return inner_->ScoreAll(batch);
+  }
+
+  /// Replaces the latency script and restarts the call counter — used
+  /// after Start() so canary-validation passes don't shift the
+  /// per-request alignment.
+  void set_latencies(std::vector<int64_t> latencies) {
+    latencies_ = std::move(latencies);
+    calls_ = 0;
+  }
+
+  std::string name() const override { return "Latency"; }
+
+ private:
+  std::shared_ptr<models::SequentialRecommender> inner_;
+  serving::FakeClock* clock_;
+  std::vector<int64_t> latencies_;
+  int64_t calls_ = 0;
+};
+
+models::ModelConfig ChaosModelConfig(const data::SplitDataset& split) {
+  models::ModelConfig c;
+  c.num_items = split.num_items();
+  c.num_users = split.num_users();
+  c.max_len = 8;
+  c.hidden_dim = 16;
+  c.num_layers = 1;
+  c.dropout = 0.1f;  // exercises the model RNG stream across resume
+  c.emb_dropout = 0.1f;
+  c.seed = 5;
+  return c;
+}
+
+/// The harness's running state: events, fault accounting, first failure.
+struct Run {
+  const ChaosOptions& options;
+  ChaosResult result;
+
+  explicit Run(const ChaosOptions& opts) : options(opts) {}
+
+  void Event(const std::string& stage, const std::string& kind,
+             const std::string& detail) {
+    result.events.push_back({stage, kind, detail});
+    if (options.echo) {
+      std::printf("[chaos] %s|%s|%s\n", stage.c_str(), kind.c_str(),
+                  detail.c_str());
+    }
+  }
+
+  void Fault(const std::string& stage, const std::string& detail) {
+    ++result.faults_injected;
+    Event(stage, "fault", detail);
+  }
+
+  void Typed(const std::string& stage, const std::string& detail) {
+    ++result.typed_failures;
+    Event(stage, "typed_failure", detail);
+  }
+
+  void Violation(const std::string& stage, const std::string& detail) {
+    if (result.failure.empty()) result.failure = stage + ": " + detail;
+    Event(stage, "violation", detail);
+  }
+};
+
+data::ValidationOptions ChaosLoadOptions(data::ValidationPolicy policy,
+                                         io::Env* env) {
+  data::ValidationOptions o;
+  o.policy = policy;
+  o.limits.max_item_id = 1000;  // low cap so a planted huge id trips it
+  o.renumber_sparse_vocab = false;
+  o.env = env;
+  return o;
+}
+
+/// Builds the corrupted dataset text: the clean sequences re-serialised
+/// with one corruption of each class planted on seed-chosen distinct
+/// lines, plus one garbage-only line. Returns the planted per-class
+/// deltas through `planted`.
+std::string CorruptDatasetText(
+    const data::InteractionDataset& clean, Rng* rng,
+    std::array<int64_t, data::kNumErrorClasses>* planted) {
+  planted->fill(0);
+  const auto& seqs = clean.sequences();
+  std::vector<std::string> lines(seqs.size());
+  for (size_t u = 0; u < seqs.size(); ++u) {
+    std::string& line = lines[u];
+    for (size_t i = 0; i < seqs[u].size(); ++i) {
+      if (i > 0) line += ' ';
+      line += std::to_string(seqs[u][i]);
+    }
+  }
+
+  // Five distinct victim lines, one per planted corruption.
+  std::vector<size_t> victims;
+  while (victims.size() < 5) {
+    const size_t v = static_cast<size_t>(rng->Uniform(lines.size()));
+    if (std::find(victims.begin(), victims.end(), v) == victims.end()) {
+      victims.push_back(v);
+    }
+  }
+  const auto plant = [&lines, rng](size_t victim, const std::string& token) {
+    // Insert as a new token after a random existing token: dropping the
+    // planted token in repair mode restores the original adjacency, so the
+    // clean file's natural consecutive-repeat count is unchanged.
+    std::string& line = lines[victim];
+    const size_t space = std::count(line.begin(), line.end(), ' ');
+    size_t pos = 0;
+    const size_t skip = rng->Uniform(space + 1);
+    for (size_t s = 0; s < skip; ++s) pos = line.find(' ', pos) + 1;
+    const size_t end = line.find(' ', pos);
+    const size_t at = end == std::string::npos ? line.size() : end;
+    line.insert(at, " " + token);
+  };
+
+  using data::ErrorClass;
+  plant(victims[0], "gl!tch");
+  ++(*planted)[static_cast<size_t>(ErrorClass::kNonNumericToken)];
+  plant(victims[1], "99999999999999999999");  // > int64: out of range
+  ++(*planted)[static_cast<size_t>(ErrorClass::kItemIdOutOfRange)];
+  plant(victims[2], "0");
+  ++(*planted)[static_cast<size_t>(ErrorClass::kNonPositiveItemId)];
+  plant(victims[3], "500000");  // fits in int64, above the 1000 cap
+  ++(*planted)[static_cast<size_t>(ErrorClass::kItemIdAboveCap)];
+  {
+    // Duplicate the first token of the fifth victim in place.
+    std::string& line = lines[victims[4]];
+    const size_t end = line.find(' ');
+    const std::string first =
+        end == std::string::npos ? line : line.substr(0, end);
+    line.insert(0, first + " ");
+    ++(*planted)[static_cast<size_t>(ErrorClass::kConsecutiveRepeat)];
+  }
+
+  std::string text;
+  for (const std::string& line : lines) {
+    text += line;
+    text += '\n';
+  }
+  // A line with no salvageable token at all.
+  text += "?? !!\n";
+  (*planted)[static_cast<size_t>(ErrorClass::kNonNumericToken)] += 2;
+  ++(*planted)[static_cast<size_t>(ErrorClass::kEmptyAfterRepair)];
+  return text;
+}
+
+}  // namespace
+
+std::string ChaosResult::EventLog() const {
+  std::string log;
+  for (const ChaosEvent& e : events) {
+    log += e.stage;
+    log += '|';
+    log += e.kind;
+    log += '|';
+    log += e.detail;
+    log += '\n';
+  }
+  return log;
+}
+
+Result<ChaosResult> RunChaosPipeline(const ChaosOptions& options) {
+  if (options.work_dir.empty()) {
+    return Status::InvalidArgument("chaos work_dir is required");
+  }
+  if (options.epochs < 3) {
+    return Status::InvalidArgument("chaos epochs must be >= 3");
+  }
+  Run run(options);
+  Rng rng(options.seed);
+  io::FaultInjectionEnv env;
+
+  // ---- Stage 1: data — corrupt, validate, repair, read faults ----------
+  data::SyntheticConfig synth;
+  synth.name = "chaos";
+  synth.num_users = 60;
+  synth.num_items = 30;
+  synth.num_categories = 4;
+  synth.num_clusters = 4;
+  synth.min_len = 6;
+  synth.max_len = 12;
+  synth.noise_prob = 0.05;
+  synth.seed = options.seed * 2654435761ull + 7;
+  const data::InteractionDataset clean_data = data::GenerateSynthetic(synth);
+
+  const std::string clean_path = options.work_dir + "/chaos_clean.txt";
+  const std::string corrupt_path = options.work_dir + "/chaos_corrupt.txt";
+  SLIME_RETURN_IF_ERROR(data::SaveSequenceFile(clean_data, clean_path, &env));
+
+  // Baseline: the clean file under repair gives the natural per-class
+  // counts (synthetic data can contain genuine consecutive repeats).
+  data::QuarantineReport baseline_report;
+  Result<data::InteractionDataset> clean_loaded =
+      data::LoadSequenceFileValidated(
+          clean_path, "chaos-clean",
+          ChaosLoadOptions(data::ValidationPolicy::kRepair, &env),
+          &baseline_report);
+  if (!clean_loaded.ok()) return clean_loaded.status();
+  run.Event("data", "ok",
+            "clean baseline repeats=" +
+                std::to_string(baseline_report.count(
+                    data::ErrorClass::kConsecutiveRepeat)));
+
+  std::array<int64_t, data::kNumErrorClasses> planted;
+  const std::string corrupt_text =
+      CorruptDatasetText(clean_data, &rng, &planted);
+  SLIME_RETURN_IF_ERROR(env.WriteFile(corrupt_path, corrupt_text));
+  run.Fault("data", "planted " +
+                        std::to_string(planted[0] + planted[1] + planted[2] +
+                                       planted[3] + planted[4] + planted[7]) +
+                        " corruptions");
+
+  // Strict: the first planted corruption (in line order, seed-dependent)
+  // must fail the load with a typed Status.
+  {
+    const Result<data::InteractionDataset> strict =
+        data::LoadSequenceFileValidated(
+            corrupt_path, "chaos-corrupt",
+            ChaosLoadOptions(data::ValidationPolicy::kStrict, &env));
+    if (strict.ok()) {
+      run.Violation("data", "strict load of corrupted dataset succeeded");
+    } else {
+      run.Typed("data", std::string("strict rejected: ") +
+                            CodeName(strict.status().code()));
+    }
+  }
+
+  // Repair: salvages, and the quarantine must account for every planted
+  // corruption exactly (on top of the clean file's natural counts).
+  data::InteractionDataset repaired;
+  {
+    Result<data::InteractionDataset> r = data::LoadSequenceFileValidated(
+        corrupt_path, "chaos-repaired",
+        ChaosLoadOptions(data::ValidationPolicy::kRepair, &env),
+        &run.result.quarantine);
+    if (!r.ok()) {
+      run.Violation("data", std::string("repair load failed: ") +
+                                CodeName(r.status().code()));
+      return std::move(run.result);  // nothing downstream can run
+    }
+    repaired = std::move(r).value();
+    bool exact = true;
+    for (int i = 0; i < data::kNumErrorClasses; ++i) {
+      const int64_t expect = baseline_report.counts[static_cast<size_t>(i)] +
+                             planted[static_cast<size_t>(i)];
+      if (run.result.quarantine.counts[static_cast<size_t>(i)] != expect) {
+        exact = false;
+        run.Violation(
+            "data",
+            std::string("quarantine count mismatch for ") +
+                data::ToString(static_cast<data::ErrorClass>(i)) + ": got " +
+                std::to_string(
+                    run.result.quarantine.counts[static_cast<size_t>(i)]) +
+                " want " + std::to_string(expect));
+      }
+    }
+    if (exact) {
+      run.Event("data", "ok",
+                "repair quarantined " +
+                    std::to_string(run.result.quarantine.total_errors()) +
+                    " offences, all planted corruptions accounted");
+    }
+  }
+
+  // Media faults on the read path, through the same io::Env seam the
+  // checkpoint layer uses.
+  env.ArmFault(io::FaultInjectionEnv::Fault::kFailRead);
+  {
+    const Result<data::InteractionDataset> r =
+        data::LoadSequenceFileValidated(
+            clean_path, "chaos-eio",
+            ChaosLoadOptions(data::ValidationPolicy::kStrict, &env));
+    run.Fault("data", "injected EIO on dataset read");
+    if (!r.ok()) {
+      run.Typed("data",
+                std::string("read failure: ") + CodeName(r.status().code()));
+    } else {
+      run.Violation("data", "injected read failure went unnoticed");
+    }
+  }
+  env.ArmFault(io::FaultInjectionEnv::Fault::kCorruptRead);
+  {
+    const Result<data::InteractionDataset> r =
+        data::LoadSequenceFileValidated(
+            clean_path, "chaos-bitrot",
+            ChaosLoadOptions(data::ValidationPolicy::kStrict, &env));
+    run.Fault("data", "injected bit rot on dataset read");
+    // ^0x40 never maps a digit to a digit, so strict must reject.
+    if (!r.ok()) {
+      run.Typed("data",
+                std::string("bit rot: ") + CodeName(r.status().code()));
+    } else {
+      run.Violation("data", "bit-rotten dataset loaded as valid");
+    }
+  }
+  env.Disarm();
+
+  // ---- Stage 2: train -> checkpoint -> kill -> resume ------------------
+  const data::SplitDataset split(repaired, 3);
+  const models::ModelConfig model_config = ChaosModelConfig(split);
+  serving::FakeClock train_clock;
+  train::TrainConfig tc;
+  tc.max_epochs = options.epochs;
+  tc.batch_size = 64;
+  tc.lr = 5e-3f;
+  tc.patience = 100;
+  tc.seed = 31 + (options.seed & 0xff);
+  tc.checkpoint_every = 1;
+  tc.clock = &train_clock;
+
+  // Uninterrupted baseline for the bit-identical-resume invariant.
+  train::TrainResult baseline;
+  {
+    auto model = models::CreateModel("FMLP-Rec", model_config);
+    Result<train::TrainResult> r = train::Trainer(tc).Fit(model.get(), split);
+    if (!r.ok()) return r.status();
+    baseline = r.value();
+    run.Event("train", "ok",
+              "baseline best_epoch=" + std::to_string(baseline.best_epoch));
+  }
+
+  const std::string snapshot = train::SnapshotPath(options.work_dir);
+  (void)env.RemoveFile(snapshot);
+  (void)env.RemoveFile(train::BestModelPath(options.work_dir));
+  obs::TrainingTelemetry telemetry(/*echo=*/false);
+  {
+    auto model = models::CreateModel("FMLP-Rec", model_config);
+    train::TrainConfig killed = tc;
+    killed.checkpoint_dir = options.work_dir;
+    killed.env = &env;
+    killed.telemetry = &telemetry;
+    // Epoch 1 writes the snapshot and (having improved) the best-model
+    // checkpoint, so killing write 3 or 4 always leaves a completed
+    // snapshot behind and always lands mid-run.
+    const int64_t kill_at = 3 + static_cast<int64_t>(rng.Uniform(2));
+    env.ArmFault(io::FaultInjectionEnv::Fault::kCrashDuringWrite, kill_at);
+    run.Fault("train",
+              "kill during checkpoint write " + std::to_string(kill_at));
+    bool crashed = false;
+    try {
+      (void)train::Trainer(killed).Fit(model.get(), split);
+    } catch (const io::InjectedCrash&) {
+      crashed = true;
+    }
+    if (crashed) {
+      run.Typed("train", "process killed mid-checkpoint (InjectedCrash)");
+    } else {
+      run.Violation("train", "armed kill never fired");
+    }
+    env.Disarm();
+    if (!env.FileExists(snapshot)) {
+      run.Violation("train", "no completed snapshot survived the kill");
+    }
+  }
+
+  if (env.FileExists(snapshot)) {
+    auto model = models::CreateModel("FMLP-Rec", model_config);
+    train::TrainConfig resumed_config = tc;
+    resumed_config.checkpoint_dir = options.work_dir;
+    resumed_config.env = &env;
+    resumed_config.telemetry = &telemetry;
+    resumed_config.resume_from = options.work_dir;
+    Result<train::TrainResult> r =
+        train::Trainer(resumed_config).Fit(model.get(), split);
+    if (!r.ok()) {
+      run.Violation("train", std::string("resume failed: ") +
+                                 CodeName(r.status().code()));
+    } else {
+      const train::TrainResult& resumed = r.value();
+      const bool identical =
+          resumed.best_epoch == baseline.best_epoch &&
+          resumed.epochs_run == baseline.epochs_run &&
+          resumed.final_train_loss == baseline.final_train_loss &&
+          resumed.valid.ndcg10 == baseline.valid.ndcg10 &&
+          resumed.valid.hr10 == baseline.valid.hr10 &&
+          resumed.test.ndcg10 == baseline.test.ndcg10 &&
+          resumed.test.hr10 == baseline.test.hr10 &&
+          resumed.test.mrr == baseline.test.mrr;
+      if (identical) {
+        run.Event("train", "ok", "resumed run bit-identical to baseline");
+      } else {
+        run.Violation("train", "resumed run diverged from baseline");
+      }
+    }
+  }
+  run.result.telemetry_jsonl = telemetry.jsonl();
+
+  // ---- Stage 3: divergence (NaN window) --------------------------------
+  {
+    models::ModelConfig nan_config = model_config;
+    nan_config.dropout = 0.0f;  // keep the wrapped model RNG-decoupled
+    nan_config.emb_dropout = 0.0f;
+    NanWindowModel model(models::CreateModel("SASRec", nan_config),
+                         /*poison_from=*/2, /*poison_count=*/1);
+    train::TrainConfig dc;
+    dc.max_epochs = 3;
+    dc.batch_size = 100000;  // one batch per epoch: calls count epochs
+    dc.lr = 5e-3f;
+    dc.patience = 100;
+    dc.seed = tc.seed;
+    dc.max_rollbacks = 2;
+    dc.clock = &train_clock;
+    run.Fault("diverge", "NaN loss window at epoch 2");
+    const Result<train::TrainResult> r =
+        train::Trainer(dc).Fit(&model, split);
+    if (r.ok() && r.value().rollbacks > 0) {
+      run.Typed("diverge", "rolled back " +
+                               std::to_string(r.value().rollbacks) +
+                               " time(s) and recovered");
+    } else if (!r.ok() && r.status().code() == Status::Code::kAborted) {
+      run.Typed("diverge", "aborted after rollback budget");
+    } else {
+      run.Violation("diverge", "divergence neither rolled back nor aborted");
+    }
+  }
+
+  // ---- Stage 4: serve under deadline pressure + corrupt reload ---------
+  {
+    serving::FakeClock clock;
+    serving::ModelServerOptions server_options;
+    const auto factory = [&model_config]() {
+      return models::CreateModel("FMLP-Rec", model_config);
+    };
+    serving::ModelServer server(server_options, factory, &clock, &env);
+    server.set_canary_requests(train::ExportCanarySet(split, 2));
+    std::vector<int64_t> counts(
+        static_cast<size_t>(repaired.num_items()) + 1, 0);
+    for (const auto& seq : repaired.sequences()) {
+      for (const int64_t item : seq) ++counts[static_cast<size_t>(item)];
+    }
+    server.set_fallback(serving::PopularityFallback::FromCounts(counts));
+
+    // Seed-chosen requests stall past the 50ms default deadline; the
+    // script is installed after Start() so canary-validation passes run
+    // fast and don't shift the per-request alignment.
+    const int64_t kFast = serving::kNanosPerMilli;
+    const int64_t kSlow = 200 * serving::kNanosPerMilli;
+    constexpr int kRequests = 6;
+    std::vector<bool> slow(kRequests, false);
+    int slow_count = 0;
+    while (slow_count < 2) {
+      const size_t at = static_cast<size_t>(rng.Uniform(kRequests));
+      if (!slow[at]) {
+        slow[at] = true;
+        ++slow_count;
+      }
+    }
+    auto model = std::make_unique<LatencyModel>(
+        models::CreateModel("FMLP-Rec", model_config), &clock,
+        std::vector<int64_t>{kFast});
+    LatencyModel* latency_model = model.get();
+    const Status started = server.Start(std::move(model));
+    if (!started.ok()) {
+      run.Violation("serve", std::string("server failed to start: ") +
+                                 CodeName(started.code()));
+    } else {
+      std::vector<int64_t> latencies;
+      for (int i = 0; i < kRequests; ++i) {
+        latencies.push_back(slow[static_cast<size_t>(i)] ? kSlow : kFast);
+      }
+      latencies.push_back(kFast);  // repeats for any extra tier retries
+      latency_model->set_latencies(std::move(latencies));
+      run.Fault("serve", "deadline pressure on 2 of " +
+                             std::to_string(kRequests) + " requests");
+      int degraded = 0;
+      for (int i = 0; i < kRequests; ++i) {
+        serving::ServeRequest request;
+        request.history =
+            split.train_region()[static_cast<size_t>(i) %
+                                 static_cast<size_t>(split.num_users())];
+        request.options.top_k = 5;
+        request.options.exclude_seen = false;
+        const Result<serving::ServeResponse> response =
+            server.Serve(request);
+        if (!response.ok()) {
+          run.Event("serve", "ok",
+                    "request " + std::to_string(i) + " -> " +
+                        CodeName(response.status().code()));
+          ++degraded;
+        } else {
+          run.Event("serve", "ok",
+                    "request " + std::to_string(i) + " -> " +
+                        serving::ToString(response.value().tier));
+          if (response.value().tier != serving::ServeTier::kFullModel) {
+            ++degraded;
+          }
+        }
+      }
+      if (degraded > 0) {
+        run.Typed("serve", std::to_string(degraded) +
+                               " request(s) degraded or typed-failed "
+                               "under deadline pressure");
+      } else {
+        run.Violation("serve", "deadline pressure never surfaced");
+      }
+
+      // A corrupted checkpoint reload must roll back, not poison serving.
+      const std::string ckpt = options.work_dir + "/chaos_model.ckpt";
+      {
+        auto fresh = factory();
+        SLIME_RETURN_IF_ERROR(io::SaveCheckpoint(*fresh, ckpt, &env));
+      }
+      Result<std::string> bytes = env.ReadFile(ckpt);
+      if (!bytes.ok()) return bytes.status();
+      std::string flipped = std::move(bytes).value();
+      flipped[flipped.size() / 2] ^= 0x01;
+      SLIME_RETURN_IF_ERROR(env.WriteFile(ckpt, flipped));
+      run.Fault("serve", "flipped one checkpoint byte before reload");
+      const int64_t generation = server.generation();
+      const Status reload = server.Reload(ckpt);
+      if (!reload.ok() && server.generation() == generation) {
+        run.Typed("serve", std::string("reload rolled back: ") +
+                               CodeName(reload.code()));
+      } else {
+        run.Violation("serve", "corrupt checkpoint was installed");
+      }
+    }
+  }
+
+  // ---- Invariants -------------------------------------------------------
+  if (run.result.typed_failures != run.result.faults_injected) {
+    run.Violation(
+        "chaos", "typed_failures " +
+                     std::to_string(run.result.typed_failures) +
+                     " != faults_injected " +
+                     std::to_string(run.result.faults_injected));
+  }
+  run.result.invariants_ok = run.result.failure.empty();
+  run.Event("chaos", run.result.invariants_ok ? "ok" : "violation",
+            "faults=" + std::to_string(run.result.faults_injected) +
+                " typed=" + std::to_string(run.result.typed_failures) +
+                " invariants=" +
+                (run.result.invariants_ok ? "ok" : run.result.failure));
+  return std::move(run.result);
+}
+
+}  // namespace chaos
+}  // namespace slime

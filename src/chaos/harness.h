@@ -1,0 +1,77 @@
+#ifndef SLIME4REC_CHAOS_HARNESS_H_
+#define SLIME4REC_CHAOS_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/validation.h"
+
+namespace slime {
+namespace chaos {
+
+/// Configuration for one chaos-pipeline run. Everything downstream — which
+/// corruptions are planted, where the kill lands, which serve requests run
+/// slow — derives from `seed`, so a run is a pure function of (seed,
+/// binary) and two same-seed runs must produce bit-identical event logs.
+struct ChaosOptions {
+  uint64_t seed = 1;
+  /// Existing scratch directory. Every file the pipeline touches lives
+  /// here and is rewritten from scratch, so a directory can be reused
+  /// across runs (the bit-reproducibility check in tools/chaos_runner
+  /// does exactly that).
+  std::string work_dir;
+  /// Epochs for the train/kill/resume stage (>= 3 so at least one
+  /// snapshot completes before the injected kill).
+  int64_t epochs = 4;
+  /// Echo events to stdout as they happen.
+  bool echo = false;
+};
+
+/// One deterministic pipeline event. `detail` never contains wall-clock
+/// times, absolute paths or addresses — only data derived from the seed —
+/// so the serialized log is stable across runs and across work_dirs.
+struct ChaosEvent {
+  std::string stage;   // "data", "train", "diverge", "serve"
+  std::string kind;    // "fault", "typed_failure", "ok", "violation"
+  std::string detail;
+};
+
+/// Outcome of a pipeline run. The run itself returning (rather than
+/// crashing or hanging) is invariant #1; `typed_failures == faults_injected`
+/// is invariant #2 (every injected fault surfaced as a typed Status, an
+/// InjectedCrash, or a recorded rollback — never silent corruption);
+/// the recovery checks folded into `failure` (exact quarantine accounting,
+/// bit-identical resume) are invariant #3.
+struct ChaosResult {
+  std::vector<ChaosEvent> events;
+  /// Quarantine report from the repair-mode load of the corrupted dataset.
+  data::QuarantineReport quarantine;
+  /// Training telemetry JSONL from the kill + resume runs (deterministic:
+  /// the trainer runs on a FakeClock, so wall times are zero).
+  std::string telemetry_jsonl;
+  int64_t faults_injected = 0;
+  int64_t typed_failures = 0;
+  bool invariants_ok = false;
+  /// First invariant violation, empty when invariants_ok.
+  std::string failure;
+
+  /// One line per event: "stage|kind|detail". Bit-identical across
+  /// same-seed runs.
+  std::string EventLog() const;
+};
+
+/// Runs the full load -> train -> checkpoint -> kill -> resume -> serve
+/// pipeline with seed-scheduled faults at every layer: planted dataset
+/// corruption, injected io::Env read/write faults, a mid-write process
+/// kill, a NaN divergence window, a corrupted checkpoint reload, and
+/// FakeClock deadline pressure on the serving path. Returns a Status only
+/// for harness-setup failures (e.g. unusable work_dir); every *injected*
+/// fault is expected, recorded in the result, and never escapes.
+Result<ChaosResult> RunChaosPipeline(const ChaosOptions& options);
+
+}  // namespace chaos
+}  // namespace slime
+
+#endif  // SLIME4REC_CHAOS_HARNESS_H_

@@ -1,64 +1,41 @@
 #include "data/loader.h"
 
-#include <fstream>
-#include <sstream>
+#include "data/validation.h"
+#include "io/env.h"
 
 namespace slime {
 namespace data {
 
 Result<InteractionDataset> LoadSequenceFile(const std::string& path,
                                             const std::string& name) {
-  std::ifstream in(path);
-  if (!in) {
-    return Status::IOError("cannot open " + path);
-  }
-  std::vector<std::vector<int64_t>> sequences;
-  int64_t max_item = 0;
-  std::string line;
-  int64_t line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (line.empty()) continue;
-    std::istringstream ls(line);
-    std::vector<int64_t> seq;
-    int64_t id = 0;
-    while (ls >> id) {
-      if (id < 1) {
-        return Status::Corruption("non-positive item id at line " +
-                                  std::to_string(line_no) + " of " + path);
-      }
-      seq.push_back(id);
-      max_item = std::max(max_item, id);
-    }
-    if (!ls.eof()) {
-      return Status::Corruption("non-numeric token at line " +
-                                std::to_string(line_no) + " of " + path);
-    }
-    if (!seq.empty()) sequences.push_back(std::move(seq));
-  }
-  if (sequences.empty()) {
-    return Status::InvalidArgument("no sequences in " + path);
-  }
-  return InteractionDataset(name, std::move(sequences), max_item);
+  ValidationOptions options;  // kStrict, default caps, Env::Default()
+  return LoadSequenceFileValidated(path, name, options);
 }
 
 Status SaveSequenceFile(const InteractionDataset& dataset,
-                        const std::string& path) {
-  std::ofstream out(path);
-  if (!out) {
-    return Status::IOError("cannot open " + path + " for writing");
-  }
+                        const std::string& path, io::Env* env) {
+  if (env == nullptr) env = io::Env::Default();
+  std::string payload;
   for (const auto& seq : dataset.sequences()) {
     for (size_t i = 0; i < seq.size(); ++i) {
-      if (i > 0) out << ' ';
-      out << seq[i];
+      if (i > 0) payload += ' ';
+      payload += std::to_string(seq[i]);
     }
-    out << '\n';
+    payload += '\n';
   }
-  if (!out) {
-    return Status::IOError("write failed for " + path);
+  // Checkpoint protocol: stage, read back to catch short writes and
+  // post-write bit rot, then atomically rename. A crash at any point
+  // leaves either the previous dataset or a stray .tmp — never a
+  // truncated dataset at `path`.
+  const std::string tmp = path + ".tmp";
+  SLIME_RETURN_IF_ERROR(env->WriteFile(tmp, payload));
+  Result<std::string> back = env->ReadFile(tmp);
+  if (!back.ok()) return back.status();
+  if (back.value() != payload) {
+    (void)env->RemoveFile(tmp);
+    return Status::IOError("short write detected staging " + path);
   }
-  return Status::OK();
+  return env->RenameFile(tmp, path);
 }
 
 }  // namespace data

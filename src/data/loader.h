@@ -7,6 +7,11 @@
 #include "data/dataset.h"
 
 namespace slime {
+
+namespace io {
+class Env;
+}  // namespace io
+
 namespace data {
 
 /// Plain-text dataset format (one user per line, items chronologically
@@ -20,13 +25,25 @@ namespace data {
 
 /// Loads a dataset; `name` is attached for reporting. The item vocabulary
 /// size is the maximum id seen.
+///
+/// This is the strict-policy convenience wrapper over
+/// LoadSequenceFileValidated (data/validation.h): the file is read through
+/// io::Env, parsed overflow-safely with std::from_chars, and bounded by the
+/// default ValidationLimits resource caps. The first malformed token fails
+/// the load with a typed Status naming the line; pass
+/// ValidationPolicy::kRepair to the validated entry point to salvage
+/// partially corrupt files instead.
 Result<InteractionDataset> LoadSequenceFile(const std::string& path,
                                             const std::string& name);
 
 /// Writes a dataset in the same format (used by examples to round-trip
-/// synthetic data and by tests).
+/// synthetic data and by tests). Crash-safe via the checkpoint protocol:
+/// the bytes are staged at `path + ".tmp"`, read back and verified, then
+/// atomically renamed over `path` — a mid-write crash or short write never
+/// leaves a truncated dataset where a good one stood. `env` defaults to
+/// Env::Default(); tests pass a FaultInjectionEnv.
 Status SaveSequenceFile(const InteractionDataset& dataset,
-                        const std::string& path);
+                        const std::string& path, io::Env* env = nullptr);
 
 }  // namespace data
 }  // namespace slime

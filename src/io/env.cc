@@ -75,23 +75,74 @@ void FaultInjectionEnv::ArmFault(Fault fault, int64_t nth) {
   fire_at_ = nth;
 }
 
-bool FaultInjectionEnv::ShouldFire(bool is_rename) {
-  const bool matches = is_rename ? (fault_ == Fault::kFailRename)
-                                 : (fault_ != Fault::kNone &&
-                                    fault_ != Fault::kFailRename);
+namespace {
+
+FaultInjectionEnv::Fault const kReadFaults[] = {
+    FaultInjectionEnv::Fault::kFailRead, FaultInjectionEnv::Fault::kShortRead,
+    FaultInjectionEnv::Fault::kCorruptRead};
+
+bool IsReadFault(FaultInjectionEnv::Fault f) {
+  for (const auto r : kReadFaults) {
+    if (f == r) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool FaultInjectionEnv::ShouldFire(OpKind op) {
+  bool matches = false;
+  switch (op) {
+    case OpKind::kRead:
+      matches = IsReadFault(fault_);
+      break;
+    case OpKind::kRename:
+      matches = fault_ == Fault::kFailRename;
+      break;
+    case OpKind::kWrite:
+      matches = fault_ != Fault::kNone && fault_ != Fault::kFailRename &&
+                !IsReadFault(fault_);
+      break;
+  }
   if (!matches) return false;
   if (--fire_at_ > 0) return false;
   return true;
 }
 
 Result<std::string> FaultInjectionEnv::ReadFile(const std::string& path) {
-  return base_->ReadFile(path);
+  ++reads_seen_;
+  if (!ShouldFire(OpKind::kRead)) {
+    return base_->ReadFile(path);
+  }
+  const Fault fault = fault_;
+  Disarm();
+  switch (fault) {
+    case Fault::kFailRead:
+      return Status::IOError("injected read failure for " + path);
+    case Fault::kShortRead: {
+      Result<std::string> full = base_->ReadFile(path);
+      if (!full.ok()) return full;
+      // Half the bytes arrive; the env itself reports success.
+      std::string& bytes = full.value();
+      bytes.resize(bytes.size() / 2);
+      return full;
+    }
+    case Fault::kCorruptRead: {
+      Result<std::string> full = base_->ReadFile(path);
+      if (!full.ok()) return full;
+      std::string& bytes = full.value();
+      if (!bytes.empty()) bytes[bytes.size() / 2] ^= 0x40;
+      return full;
+    }
+    default:
+      return base_->ReadFile(path);
+  }
 }
 
 Status FaultInjectionEnv::WriteFile(const std::string& path,
                                     std::string_view contents) {
   ++writes_seen_;
-  if (!ShouldFire(/*is_rename=*/false)) {
+  if (!ShouldFire(OpKind::kWrite)) {
     return base_->WriteFile(path, contents);
   }
   const Fault fault = fault_;
@@ -120,7 +171,7 @@ Status FaultInjectionEnv::WriteFile(const std::string& path,
 Status FaultInjectionEnv::RenameFile(const std::string& from,
                                      const std::string& to) {
   ++renames_seen_;
-  if (!ShouldFire(/*is_rename=*/true)) {
+  if (!ShouldFire(OpKind::kRename)) {
     return base_->RenameFile(from, to);
   }
   Disarm();

@@ -51,11 +51,12 @@ struct InjectedCrash {
   std::string path;
 };
 
-/// Wraps a base Env and injects one fault at the Nth mutating operation of
+/// Wraps a base Env and injects one fault at the Nth matching operation of
 /// the fault's kind (write faults count WriteFile calls, rename faults count
-/// RenameFile calls). Faults are one-shot: after firing, the env behaves
-/// normally until re-armed. Counting restarts at every ArmFault call, so
-/// `ArmFault(f, 1)` means "the very next matching operation".
+/// RenameFile calls, read faults count ReadFile calls). Faults are one-shot:
+/// after firing, the env behaves normally until re-armed. Counting restarts
+/// at every ArmFault call, so `ArmFault(f, 1)` means "the very next matching
+/// operation".
 class FaultInjectionEnv : public Env {
  public:
   enum class Fault {
@@ -72,6 +73,15 @@ class FaultInjectionEnv : public Env {
     kCrashDuringWrite,
     /// RenameFile fails; source and destination are left untouched.
     kFailRename,
+    /// ReadFile fails up front (EIO-style media error).
+    kFailRead,
+    /// ReadFile silently returns only the first half of the file and
+    /// reports success — truncation the reader must detect itself.
+    kShortRead,
+    /// ReadFile succeeds but one payload byte in the returned buffer is
+    /// flipped — at-rest bit rot surfacing on the read path; only a
+    /// checksum or a validating parser can catch it.
+    kCorruptRead,
   };
 
   explicit FaultInjectionEnv(Env* base = Env::Default()) : base_(base) {}
@@ -83,6 +93,8 @@ class FaultInjectionEnv : public Env {
 
   /// Mutating operations (writes + renames) observed since construction.
   int64_t mutating_ops() const { return writes_seen_ + renames_seen_; }
+  /// ReadFile calls observed since construction.
+  int64_t reads_seen() const { return reads_seen_; }
 
   Result<std::string> ReadFile(const std::string& path) override;
   Status WriteFile(const std::string& path,
@@ -92,11 +104,14 @@ class FaultInjectionEnv : public Env {
   bool FileExists(const std::string& path) override;
 
  private:
-  bool ShouldFire(bool is_rename);
+  enum class OpKind { kRead, kWrite, kRename };
+
+  bool ShouldFire(OpKind op);
 
   Env* base_;
   Fault fault_ = Fault::kNone;
   int64_t fire_at_ = 0;  // remaining matching ops before firing
+  int64_t reads_seen_ = 0;
   int64_t writes_seen_ = 0;
   int64_t renames_seen_ = 0;
 };

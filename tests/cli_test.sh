@@ -77,6 +77,29 @@ for bad in 0 -3 abc 99999; do
     echo "expected --threads $bad to fail"; exit 1
   fi
 done
+# Validated ingestion: a corrupt dataset fails under the default strict
+# policy naming the offending line, loads under --data-policy repair, and
+# --quarantine-out captures the damage as JSONL.
+cp "$TMP/data.txt" "$TMP/corrupt.txt"
+printf '3 oops 5\n' >> "$TMP/corrupt.txt"
+if "$CLI" stats --data "$TMP/corrupt.txt" 2>"$TMP/strict.err"; then
+  echo "expected strict load of corrupt data to fail"; exit 1
+fi
+grep -q "non-numeric token at line" "$TMP/strict.err"
+"$CLI" stats --data "$TMP/corrupt.txt" --data-policy repair \
+    --quarantine-out "$TMP/quarantine.jsonl" > "$TMP/repair.log"
+grep -q users "$TMP/repair.log"
+grep -q "quarantined" "$TMP/repair.log"
+grep -q '"type":"quarantine_summary"' "$TMP/quarantine.jsonl"
+grep -q '"non_numeric_token":1' "$TMP/quarantine.jsonl"
+grep -q '"token":"oops"' "$TMP/quarantine.jsonl"
+if grep -vq '^{"type":"' "$TMP/quarantine.jsonl"; then
+  echo "malformed quarantine line"; exit 1
+fi
+# An unknown policy is rejected up front.
+if "$CLI" stats --data "$TMP/data.txt" --data-policy lenient 2>/dev/null; then
+  echo "expected unknown data policy to fail"; exit 1
+fi
 # Error paths: bad preset and missing file must fail cleanly.
 if "$CLI" generate --preset not-a-preset --out "$TMP/x.txt" 2>/dev/null; then
   echo "expected bad preset to fail"; exit 1

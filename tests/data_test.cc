@@ -70,6 +70,47 @@ TEST(DatasetTest, NoiseInjectionZeroEpsilonIsIdentity) {
   EXPECT_EQ(noisy.sequences(), TinyDataset().sequences());
 }
 
+TEST(DatasetTest, NoiseInjectionFullEpsilonReplacesEveryTrainingItem) {
+  // With a large vocabulary the replacement draw virtually never equals
+  // the original id, so epsilon=1 must change every training-region item.
+  const int64_t vocab = 100000;
+  const InteractionDataset original(
+      "full-noise", {{1, 2, 3, 4, 5, 6, 7, 8}, {9, 10, 11, 12}}, vocab);
+  Rng rng(7);
+  const InteractionDataset noisy = original.InjectNoise(1.0, &rng);
+  for (size_t u = 0; u < original.sequences().size(); ++u) {
+    const auto& before = original.sequences()[u];
+    const auto& after = noisy.sequences()[u];
+    for (size_t i = 0; i + 2 < before.size(); ++i) {
+      EXPECT_NE(after[i], before[i]) << "user " << u << " pos " << i;
+      EXPECT_GE(after[i], 1);
+      EXPECT_LE(after[i], vocab);
+    }
+    EXPECT_EQ(after[before.size() - 2], before[before.size() - 2]);
+    EXPECT_EQ(after[before.size() - 1], before[before.size() - 1]);
+  }
+}
+
+TEST(DatasetTest, NoiseInjectionLengthThreeTouchesOnlyFirstItem) {
+  const int64_t vocab = 100000;
+  const InteractionDataset original("len3", {{41, 42, 43}}, vocab);
+  Rng rng(11);
+  const InteractionDataset noisy = original.InjectNoise(1.0, &rng);
+  const auto& seq = noisy.sequences()[0];
+  EXPECT_NE(seq[0], 41);  // only training-region position
+  EXPECT_EQ(seq[1], 42);  // validation target
+  EXPECT_EQ(seq[2], 43);  // test target
+}
+
+TEST(DatasetTest, NoiseInjectionSkipsSequencesShorterThanThree) {
+  // With <3 items there is no training region at all: the whole sequence
+  // is the validation + test targets and must come back bit-identical.
+  const InteractionDataset original("short", {{5}, {6, 7}}, 100000);
+  Rng rng(13);
+  const InteractionDataset noisy = original.InjectNoise(1.0, &rng);
+  EXPECT_EQ(noisy.sequences(), original.sequences());
+}
+
 TEST(SplitTest, LeaveOneOutTargets) {
   const SplitDataset split(TinyDataset(), 0);
   // Users with >= 3 interactions: the first three.

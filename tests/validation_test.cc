@@ -1,0 +1,508 @@
+#include "data/validation.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "data/loader.h"
+#include "io/env.h"
+#include "observability/metrics.h"
+
+namespace slime {
+namespace data {
+namespace {
+
+using io::FaultInjectionEnv;
+using io::InjectedCrash;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteRaw(const std::string& path, const std::string& contents) {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(contents.data(), 1, contents.size(), f),
+            contents.size());
+  std::fclose(f);
+}
+
+ValidationOptions Strict() {
+  ValidationOptions o;
+  o.policy = ValidationPolicy::kStrict;
+  return o;
+}
+
+ValidationOptions Repair() {
+  ValidationOptions o;
+  o.policy = ValidationPolicy::kRepair;
+  return o;
+}
+
+// --- Policy parsing -------------------------------------------------------
+
+TEST(ValidationPolicyTest, ParsesStrictAndRepair) {
+  EXPECT_EQ(ParseValidationPolicy("strict").value(),
+            ValidationPolicy::kStrict);
+  EXPECT_EQ(ParseValidationPolicy("repair").value(),
+            ValidationPolicy::kRepair);
+  EXPECT_EQ(ParseValidationPolicy("lenient").status().code(),
+            Status::Code::kInvalidArgument);
+}
+
+// --- Strict mode: typed first-error reporting -----------------------------
+
+TEST(StrictValidationTest, OverflowIsReportedAsOutOfRangeNotNonNumeric) {
+  // Regression: the istream-based loader set failbit on an out-of-range
+  // integer and misreported it as a non-numeric token. from_chars tells
+  // the two apart.
+  const std::string path = TempPath("val_overflow.txt");
+  WriteRaw(path, "1 2 3\n4 99999999999999999999 5\n");
+  const Result<InteractionDataset> r =
+      LoadSequenceFileValidated(path, "x", Strict());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kCorruption);
+  EXPECT_NE(r.status().message().find("item id out of range at line 2"),
+            std::string::npos)
+      << r.status().message();
+  EXPECT_NE(r.status().message().find("99999999999999999999"),
+            std::string::npos)
+      << r.status().message();
+  std::remove(path.c_str());
+}
+
+TEST(StrictValidationTest, NamesTheFirstBadLine) {
+  const std::string path = TempPath("val_first_line.txt");
+  WriteRaw(path, "1 2\n3 4\n5 banana 6\n7 oops\n");
+  QuarantineReport report;
+  const Result<InteractionDataset> r =
+      LoadSequenceFileValidated(path, "x", Strict(), &report);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kCorruption);
+  EXPECT_NE(r.status().message().find("non-numeric token at line 3"),
+            std::string::npos)
+      << r.status().message();
+  // The report carries the first offender too.
+  ASSERT_EQ(report.samples.size(), 1u);
+  EXPECT_EQ(report.samples[0].line, 3);
+  EXPECT_EQ(report.samples[0].token, "banana");
+  std::remove(path.c_str());
+}
+
+TEST(StrictValidationTest, NonPositiveIdIsCorruption) {
+  const std::string path = TempPath("val_nonpos.txt");
+  WriteRaw(path, "1 0 2\n");
+  const Result<InteractionDataset> r =
+      LoadSequenceFileValidated(path, "x", Strict());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kCorruption);
+  EXPECT_NE(r.status().message().find("non-positive item id at line 1"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(StrictValidationTest, HugeItemIdHitsVocabCapNotOOM) {
+  // "99999999999" fits in int64 but would allocate a ~100-billion-row
+  // embedding table downstream; the cap turns it into a typed error.
+  const std::string path = TempPath("val_vocab_cap.txt");
+  WriteRaw(path, "1 2 99999999999\n");
+  const Result<InteractionDataset> r =
+      LoadSequenceFileValidated(path, "x", Strict());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kResourceExhausted);
+  EXPECT_NE(r.status().message().find("max_item_id"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(StrictValidationTest, OverlongLineIsResourceExhausted) {
+  const std::string path = TempPath("val_long_line.txt");
+  std::string line;
+  for (int i = 0; i < 2000; ++i) line += "7 ";
+  WriteRaw(path, "1 2\n" + line + "\n");
+  ValidationOptions o = Strict();
+  o.limits.max_line_bytes = 256;
+  const Result<InteractionDataset> r =
+      LoadSequenceFileValidated(path, "x", o);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kResourceExhausted);
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(StrictValidationTest, SequenceLengthCapIsResourceExhausted) {
+  const std::string path = TempPath("val_seq_cap.txt");
+  WriteRaw(path, "1 2 3 4 5 6 7 8\n");
+  ValidationOptions o = Strict();
+  o.limits.max_sequence_length = 4;
+  const Result<InteractionDataset> r =
+      LoadSequenceFileValidated(path, "x", o);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kResourceExhausted);
+  EXPECT_NE(r.status().message().find("max_sequence_length"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(StrictValidationTest, UserCapIsResourceExhaustedUnderBothPolicies) {
+  const std::string path = TempPath("val_user_cap.txt");
+  WriteRaw(path, "1\n2\n3\n4\n");
+  for (ValidationOptions o : {Strict(), Repair()}) {
+    o.limits.max_users = 2;
+    const Result<InteractionDataset> r =
+        LoadSequenceFileValidated(path, "x", o);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), Status::Code::kResourceExhausted);
+    EXPECT_NE(r.status().message().find("max_users"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(StrictValidationTest, FileSizeCapIsResourceExhausted) {
+  const std::string path = TempPath("val_file_cap.txt");
+  WriteRaw(path, "1 2 3 4 5 6 7 8 9 10\n");
+  ValidationOptions o = Strict();
+  o.limits.max_file_bytes = 8;
+  const Result<InteractionDataset> r =
+      LoadSequenceFileValidated(path, "x", o);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kResourceExhausted);
+  EXPECT_NE(r.status().message().find("max_file_bytes"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(StrictValidationTest, CrLfAndBlankLinesAreAccepted) {
+  const std::string path = TempPath("val_crlf.txt");
+  WriteRaw(path, "1 2 3\r\n\r\n4 5\r\n");
+  const Result<InteractionDataset> r =
+      LoadSequenceFileValidated(path, "x", Strict());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().num_users(), 2);
+  EXPECT_EQ(r.value().sequences()[0], (std::vector<int64_t>{1, 2, 3}));
+  std::remove(path.c_str());
+}
+
+// --- Repair mode: salvage + exact quarantine accounting -------------------
+
+TEST(RepairValidationTest, CountsMatchPlantedCorruptionsExactly) {
+  // One corruption per class, planted deliberately:
+  //   line 1: clean
+  //   line 2: "banana" (non_numeric), "-3" (non_positive)
+  //   line 3: overflow token (item_id_out_of_range), above-cap id
+  //   line 4: consecutive repeat 5 5
+  //   line 5: entirely garbage -> empty_after_repair
+  //   line 6: clean
+  const std::string path = TempPath("val_repair_counts.txt");
+  WriteRaw(path,
+           "1 2 3\n"
+           "4 banana 5 -3\n"
+           "6 99999999999999999999 7 900000\n"
+           "5 5 8\n"
+           "zzz ???\n"
+           "9 10\n");
+  ValidationOptions o = Repair();
+  o.limits.max_item_id = 100000;
+  o.renumber_sparse_vocab = false;
+  QuarantineReport report;
+  const Result<InteractionDataset> r =
+      LoadSequenceFileValidated(path, "repair-test", o, &report);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+  EXPECT_EQ(report.count(ErrorClass::kNonNumericToken), 3);  // banana zzz ???
+  EXPECT_EQ(report.count(ErrorClass::kItemIdOutOfRange), 1);
+  EXPECT_EQ(report.count(ErrorClass::kNonPositiveItemId), 1);
+  EXPECT_EQ(report.count(ErrorClass::kItemIdAboveCap), 1);
+  EXPECT_EQ(report.count(ErrorClass::kConsecutiveRepeat), 1);
+  EXPECT_EQ(report.count(ErrorClass::kOverlongLine), 0);
+  EXPECT_EQ(report.count(ErrorClass::kOverlongSequence), 0);
+  EXPECT_EQ(report.count(ErrorClass::kEmptyAfterRepair), 1);
+  EXPECT_EQ(report.total_errors(), 8);
+
+  EXPECT_EQ(report.lines_total, 6);
+  EXPECT_EQ(report.lines_kept, 5);
+  EXPECT_EQ(report.lines_dropped, 1);
+  EXPECT_EQ(report.tokens_total, 18);
+  EXPECT_EQ(report.tokens_kept, 11);
+  EXPECT_EQ(report.tokens_dropped, 7);
+
+  const auto& seqs = r.value().sequences();
+  ASSERT_EQ(seqs.size(), 5u);
+  EXPECT_EQ(seqs[0], (std::vector<int64_t>{1, 2, 3}));
+  EXPECT_EQ(seqs[1], (std::vector<int64_t>{4, 5}));
+  EXPECT_EQ(seqs[2], (std::vector<int64_t>{6, 7}));
+  EXPECT_EQ(seqs[3], (std::vector<int64_t>{5, 8}));
+  EXPECT_EQ(seqs[4], (std::vector<int64_t>{9, 10}));
+  std::remove(path.c_str());
+}
+
+TEST(RepairValidationTest, SameFileFailsStrictWithFirstBadLine) {
+  // The acceptance-criteria pairing: one file, two policies.
+  const std::string path = TempPath("val_pairing.txt");
+  WriteRaw(path, "1 2\n3 oops 4\n5\n");
+  const Result<InteractionDataset> strict =
+      LoadSequenceFileValidated(path, "x", Strict());
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), Status::Code::kCorruption);
+  EXPECT_NE(strict.status().message().find("line 2"), std::string::npos);
+
+  QuarantineReport report;
+  const Result<InteractionDataset> repaired =
+      LoadSequenceFileValidated(path, "x", Repair(), &report);
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_EQ(repaired.value().num_users(), 3);
+  EXPECT_EQ(report.count(ErrorClass::kNonNumericToken), 1);
+  std::remove(path.c_str());
+}
+
+TEST(RepairValidationTest, OverlongLineIsDroppedWithoutTokenising) {
+  const std::string path = TempPath("val_repair_long.txt");
+  std::string line;
+  for (int i = 0; i < 5000; ++i) line += "7 ";
+  WriteRaw(path, "1 2\n" + line + "\n3 4\n");
+  ValidationOptions o = Repair();
+  o.limits.max_line_bytes = 64;
+  QuarantineReport report;
+  const Result<InteractionDataset> r =
+      LoadSequenceFileValidated(path, "x", o, &report);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().num_users(), 2);
+  EXPECT_EQ(report.count(ErrorClass::kOverlongLine), 1);
+  // The dropped line's tokens were never scanned.
+  EXPECT_EQ(report.tokens_total, 4);
+  std::remove(path.c_str());
+}
+
+TEST(RepairValidationTest, SequenceTruncatedAtCap) {
+  const std::string path = TempPath("val_repair_trunc.txt");
+  WriteRaw(path, "1 2 3 4 5 6\n");
+  ValidationOptions o = Repair();
+  o.limits.max_sequence_length = 3;
+  o.renumber_sparse_vocab = false;
+  QuarantineReport report;
+  const Result<InteractionDataset> r =
+      LoadSequenceFileValidated(path, "x", o, &report);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().sequences()[0], (std::vector<int64_t>{1, 2, 3}));
+  EXPECT_EQ(report.count(ErrorClass::kOverlongSequence), 3);
+  std::remove(path.c_str());
+}
+
+TEST(RepairValidationTest, SparseVocabularyIsRenumberedOrderPreserving) {
+  const std::string path = TempPath("val_renumber.txt");
+  WriteRaw(path, "5 500 7\n500 9000000 5\n");
+  ValidationOptions o = Repair();  // renumber_sparse_vocab defaults on
+  QuarantineReport report;
+  const Result<InteractionDataset> r =
+      LoadSequenceFileValidated(path, "x", o, &report);
+  ASSERT_TRUE(r.ok());
+  // Kept ids {5, 7, 500, 9000000} -> {1, 2, 3, 4}.
+  EXPECT_EQ(r.value().num_items(), 4);
+  EXPECT_EQ(r.value().sequences()[0], (std::vector<int64_t>{1, 3, 2}));
+  EXPECT_EQ(r.value().sequences()[1], (std::vector<int64_t>{3, 4, 1}));
+  EXPECT_TRUE(report.vocab_renumbered);
+  EXPECT_EQ(report.max_item_id_seen, 9000000);
+  EXPECT_EQ(report.num_items, 4);
+  std::remove(path.c_str());
+}
+
+TEST(RepairValidationTest, DenseVocabularyIsNotRenumbered) {
+  const std::string path = TempPath("val_dense.txt");
+  WriteRaw(path, "1 2 3\n3 2 1\n");
+  QuarantineReport report;
+  const Result<InteractionDataset> r =
+      LoadSequenceFileValidated(path, "x", Repair(), &report);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(report.vocab_renumbered);
+  EXPECT_EQ(r.value().num_items(), 3);
+  std::remove(path.c_str());
+}
+
+TEST(RepairValidationTest, AllLinesGarbageIsInvalidArgument) {
+  const std::string path = TempPath("val_all_bad.txt");
+  WriteRaw(path, "x y\nz\n");
+  const Result<InteractionDataset> r =
+      LoadSequenceFileValidated(path, "x", Repair());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+// --- Metrics + JSONL ------------------------------------------------------
+
+TEST(QuarantineReportTest, MetricsCountersMatchReport) {
+  const std::string path = TempPath("val_metrics.txt");
+  WriteRaw(path, "1 2 bad\n3 3 4\n");
+  obs::MetricsRegistry registry;
+  ValidationOptions o = Repair();
+  o.metrics = &registry;
+  QuarantineReport report;
+  ASSERT_TRUE(LoadSequenceFileValidated(path, "x", o, &report).ok());
+  EXPECT_EQ(registry.counter("data.loads_ok").value(), 1);
+  EXPECT_EQ(registry.counter("data.lines_kept").value(), 2);
+  EXPECT_EQ(registry.counter("data.tokens_dropped").value(), 2);
+  EXPECT_EQ(
+      registry.counter("data.quarantined.non_numeric_token").value(), 1);
+  EXPECT_EQ(
+      registry.counter("data.quarantined.consecutive_repeat").value(), 1);
+
+  // A failed strict load shows up as data.loads_failed.
+  ValidationOptions s = Strict();
+  s.metrics = &registry;
+  ASSERT_FALSE(LoadSequenceFileValidated(path, "x", s).ok());
+  EXPECT_EQ(registry.counter("data.loads_failed").value(), 1);
+  std::remove(path.c_str());
+}
+
+TEST(QuarantineReportTest, JsonlHasSummaryAndSamples) {
+  const std::string path = TempPath("val_jsonl.txt");
+  WriteRaw(path, "1 2 bad\n3 4\n");
+  QuarantineReport report;
+  ASSERT_TRUE(LoadSequenceFileValidated(path, "x", Repair(), &report).ok());
+  const std::string jsonl = report.ToJsonl();
+  EXPECT_NE(jsonl.find("\"type\":\"quarantine_summary\""),
+            std::string::npos);
+  EXPECT_NE(jsonl.find("\"non_numeric_token\":1"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"type\":\"quarantine_sample\""),
+            std::string::npos);
+  EXPECT_NE(jsonl.find("\"token\":\"bad\""), std::string::npos);
+  // Every line is a JSON object with a leading type field.
+  size_t start = 0;
+  while (start < jsonl.size()) {
+    EXPECT_EQ(jsonl.compare(start, 9, "{\"type\":\""), 0);
+    start = jsonl.find('\n', start) + 1;
+  }
+
+  const std::string out = TempPath("val_jsonl_out.jsonl");
+  ASSERT_TRUE(WriteQuarantineJsonl(report, out).ok());
+  FILE* f = std::fopen(out.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  std::remove(out.c_str());
+  std::remove(path.c_str());
+}
+
+TEST(QuarantineReportTest, JsonlWriteFaultLeavesNoDestination) {
+  QuarantineReport report;
+  report.path = "x";
+  const std::string out = TempPath("val_jsonl_fault.jsonl");
+  FaultInjectionEnv env;
+  env.ArmFault(FaultInjectionEnv::Fault::kShortWrite);
+  const Status st = WriteQuarantineJsonl(report, out, &env);
+  ASSERT_FALSE(st.ok());
+  EXPECT_FALSE(env.FileExists(out));
+  std::remove((out + ".tmp").c_str());
+}
+
+// --- io::Env routing: read faults apply to datasets -----------------------
+
+TEST(ReadFaultTest, InjectedReadFailureIsIOError) {
+  const std::string path = TempPath("val_read_fail.txt");
+  WriteRaw(path, "1 2 3\n");
+  FaultInjectionEnv env;
+  ValidationOptions o = Strict();
+  o.env = &env;
+  env.ArmFault(FaultInjectionEnv::Fault::kFailRead);
+  const Result<InteractionDataset> r =
+      LoadSequenceFileValidated(path, "x", o);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kIOError);
+  EXPECT_NE(r.status().message().find("injected"), std::string::npos);
+  // Disarmed: the same load succeeds.
+  EXPECT_TRUE(LoadSequenceFileValidated(path, "x", o).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ReadFaultTest, BitRotOnReadSurfacesAsTypedStatusUnderStrict) {
+  // ^0x40 never maps a digit to a digit, so flipping any byte of a
+  // digits-and-separators file must produce a Corruption, never a crash
+  // or a silently different dataset.
+  const std::string path = TempPath("val_read_rot.txt");
+  WriteRaw(path, "11 12 13 14\n21 22 23 24\n31 32 33 34\n");
+  FaultInjectionEnv env;
+  ValidationOptions o = Strict();
+  o.env = &env;
+  env.ArmFault(FaultInjectionEnv::Fault::kCorruptRead);
+  const Result<InteractionDataset> r =
+      LoadSequenceFileValidated(path, "x", o);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(ReadFaultTest, ShortReadNeverCrashesAndNeverOverReports) {
+  const std::string path = TempPath("val_read_short.txt");
+  WriteRaw(path, "1 2 3\n4 5 6\n7 8 9\n");
+  FaultInjectionEnv env;
+  ValidationOptions o = Repair();
+  o.env = &env;
+  env.ArmFault(FaultInjectionEnv::Fault::kShortRead);
+  const Result<InteractionDataset> r =
+      LoadSequenceFileValidated(path, "x", o);
+  // Half the file is still parseable text; whichever way it goes, the
+  // result is a typed Status or a dataset no larger than the original.
+  if (r.ok()) {
+    EXPECT_LE(r.value().num_users(), 3);
+  } else {
+    EXPECT_FALSE(r.status().message().empty());
+  }
+  std::remove(path.c_str());
+}
+
+// --- Crash-safe SaveSequenceFile ------------------------------------------
+
+InteractionDataset TwoUserDataset() {
+  return InteractionDataset("save-test", {{1, 2, 3}, {2, 3}}, 3);
+}
+
+TEST(SaveSequenceFileTest, MidWriteCrashPreservesPreviousDataset) {
+  const std::string path = TempPath("val_save_crash.txt");
+  FaultInjectionEnv env;
+  const InteractionDataset first = TwoUserDataset();
+  ASSERT_TRUE(SaveSequenceFile(first, path, &env).ok());
+
+  const InteractionDataset second("save-test", {{3, 1}, {1, 2, 3, 1}}, 3);
+  env.ArmFault(FaultInjectionEnv::Fault::kCrashDuringWrite);
+  EXPECT_THROW(SaveSequenceFile(second, path, &env), InjectedCrash);
+
+  // The "process" died mid-write: the destination still holds the first
+  // dataset in full.
+  const Result<InteractionDataset> back = LoadSequenceFile(path, "back");
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value().sequences(), first.sequences());
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+TEST(SaveSequenceFileTest, ShortWriteIsDetectedAndRolledBack) {
+  const std::string path = TempPath("val_save_short.txt");
+  FaultInjectionEnv env;
+  const InteractionDataset first = TwoUserDataset();
+  ASSERT_TRUE(SaveSequenceFile(first, path, &env).ok());
+
+  env.ArmFault(FaultInjectionEnv::Fault::kShortWrite);
+  const Status st = SaveSequenceFile(first, path, &env);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("short write"), std::string::npos);
+
+  const Result<InteractionDataset> back = LoadSequenceFile(path, "back");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().sequences(), first.sequences());
+  std::remove(path.c_str());
+}
+
+TEST(SaveSequenceFileTest, RenameFaultLeavesDestinationUntouched) {
+  const std::string path = TempPath("val_save_rename.txt");
+  FaultInjectionEnv env;
+  const InteractionDataset first = TwoUserDataset();
+  ASSERT_TRUE(SaveSequenceFile(first, path, &env).ok());
+  env.ArmFault(FaultInjectionEnv::Fault::kFailRename);
+  ASSERT_FALSE(SaveSequenceFile(first, path, &env).ok());
+  ASSERT_TRUE(LoadSequenceFile(path, "back").ok());
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace slime

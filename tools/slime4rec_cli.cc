@@ -20,7 +20,9 @@
 // `serve`.
 //
 // Dataset files use the plain-text format of data/loader.h (one user per
-// line, chronological 1-based item ids).
+// line, chronological 1-based item ids). Every command taking --data also
+// accepts --data-policy strict|repair (validated ingestion, see
+// docs/DATA.md) and --quarantine-out FILE (JSONL quarantine report).
 
 #include <sys/stat.h>
 
@@ -36,6 +38,7 @@
 #include "compute/thread_pool.h"
 #include "data/loader.h"
 #include "data/synthetic.h"
+#include "data/validation.h"
 #include "io/checkpoint.h"
 #include "io/env.h"
 #include "models/model_factory.h"
@@ -103,11 +106,43 @@ int Fail(const Status& st) {
   return 1;
 }
 
-data::InteractionDataset LoadOrDie(const std::string& path) {
-  Result<data::InteractionDataset> r = data::LoadSequenceFile(path, path);
+/// Loads --data under the policy selected by --data-policy (strict by
+/// default; repair salvages corrupt files and quarantines the damage).
+/// With --quarantine-out the per-load quarantine report is written as
+/// JSONL regardless of policy.
+data::InteractionDataset LoadOrDie(const Flags& flags) {
+  const std::string path = flags.Require("data");
+  const Result<data::ValidationPolicy> policy =
+      data::ParseValidationPolicy(flags.Get("data-policy", "strict"));
+  if (!policy.ok()) {
+    std::fprintf(stderr, "invalid --data-policy: %s\n",
+                 policy.status().message().c_str());
+    std::exit(2);
+  }
+  data::ValidationOptions options;
+  options.policy = policy.value();
+  data::QuarantineReport report;
+  Result<data::InteractionDataset> r =
+      data::LoadSequenceFileValidated(path, path, options, &report);
+  const std::string quarantine_out = flags.Get("quarantine-out");
+  if (!quarantine_out.empty()) {
+    const Status qs = data::WriteQuarantineJsonl(report, quarantine_out);
+    if (!qs.ok()) {
+      std::fprintf(stderr, "error writing quarantine report: %s\n",
+                   qs.ToString().c_str());
+      std::exit(1);
+    }
+    std::printf("wrote quarantine report to %s\n", quarantine_out.c_str());
+  }
   if (!r.ok()) {
     std::fprintf(stderr, "error: %s\n", r.status().ToString().c_str());
     std::exit(1);
+  }
+  if (report.total_errors() > 0) {
+    std::printf("repair: quarantined %lld offence(s), dropped %lld line(s)%s\n",
+                static_cast<long long>(report.total_errors()),
+                static_cast<long long>(report.lines_dropped),
+                report.vocab_renumbered ? ", vocabulary renumbered" : "");
   }
   return std::move(r).value();
 }
@@ -146,7 +181,7 @@ void PrintMetrics(const char* label, const metrics::RankingMetrics& m) {
 
 int CmdStats(const Flags& flags) {
   const data::InteractionDataset dataset =
-      LoadOrDie(flags.Require("data"));
+      LoadOrDie(flags);
   const data::DatasetStats s = dataset.Stats();
   bench::TablePrinter table({"users", "items", "actions", "avg len",
                              "sparsity"});
@@ -187,7 +222,7 @@ int CmdGenerate(const Flags& flags) {
 
 int CmdTrain(const Flags& flags) {
   const data::InteractionDataset dataset =
-      LoadOrDie(flags.Require("data")).FilterMinInteractions(5);
+      LoadOrDie(flags).FilterMinInteractions(5);
   const data::SplitDataset split(dataset,
                                  flags.GetInt("max-prefixes", 4));
   auto model = BuildModel(flags, split);
@@ -246,7 +281,7 @@ int CmdTrain(const Flags& flags) {
 
 int CmdEvaluate(const Flags& flags) {
   const data::InteractionDataset dataset =
-      LoadOrDie(flags.Require("data")).FilterMinInteractions(5);
+      LoadOrDie(flags).FilterMinInteractions(5);
   const data::SplitDataset split(dataset, flags.GetInt("max-prefixes", 4));
   auto model = BuildModel(flags, split);
   const Status st = io::LoadCheckpoint(model.get(), flags.Require("load"));
@@ -258,7 +293,7 @@ int CmdEvaluate(const Flags& flags) {
 
 int CmdRecommend(const Flags& flags) {
   const data::InteractionDataset dataset =
-      LoadOrDie(flags.Require("data")).FilterMinInteractions(5);
+      LoadOrDie(flags).FilterMinInteractions(5);
   const data::SplitDataset split(dataset, 4);
   auto model = BuildModel(flags, split);
   const Status st = io::LoadCheckpoint(model.get(), flags.Require("load"));
@@ -300,7 +335,7 @@ int CmdRecommend(const Flags& flags) {
 
 int CmdServe(const Flags& flags) {
   const data::InteractionDataset dataset =
-      LoadOrDie(flags.Require("data")).FilterMinInteractions(5);
+      LoadOrDie(flags).FilterMinInteractions(5);
   const data::SplitDataset split(dataset, 4);
 
   serving::ModelServerOptions opts;
@@ -393,6 +428,8 @@ int Usage() {
       "[--flag value ...]\n"
       "  global    [--threads N]  compute threads (default: "
       "SLIME_NUM_THREADS or hardware)\n"
+      "  any --data command also takes [--data-policy strict|repair] "
+      "[--quarantine-out FILE]\n"
       "  stats     --data FILE\n"
       "  generate  --preset beauty-sim --scale 0.5 --out FILE\n"
       "  train     --data FILE [--model SLIME4Rec] [--epochs 20] "
