@@ -19,13 +19,15 @@ MAIN="bench_table1_datasets bench_table2_overall bench_fig3_ablation \
 WAVE2="bench_table4_slide_modes bench_ablation_mixing bench_sampled_metrics"
 KERNELS="bench_kernels"
 SERVING="bench_serving"
+CLUSTER="bench_cluster"
 
 case "${1:-main}" in
   main)    BENCHES="$MAIN" ;;
   wave2)   BENCHES="$WAVE2" ;;
   kernels) BENCHES="$KERNELS" ;;
   serving) BENCHES="$SERVING" ;;
-  all)     BENCHES="$MAIN $WAVE2 $KERNELS $SERVING" ;;
+  cluster) BENCHES="$CLUSTER" ;;
+  all)     BENCHES="$MAIN $WAVE2 $KERNELS $SERVING $CLUSTER" ;;
   *)       BENCHES="$*" ;;
 esac
 

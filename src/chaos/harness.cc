@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "autograd/ops.h"
+#include "cluster/cluster.h"
 #include "common/random.h"
 #include "data/loader.h"
 #include "data/synthetic.h"
@@ -626,6 +627,190 @@ Result<ChaosResult> RunChaosPipeline(const ChaosOptions& options) {
                                CodeName(reload.code()));
       } else {
         run.Violation("serve", "corrupt checkpoint was installed");
+      }
+    }
+  }
+
+  // ---- Stage 5: cluster — shard kill, failover, dark segment, reload ---
+  {
+    serving::FakeClock clock;
+    cluster::ClusterOptions copts;
+    copts.num_shards = 4;
+    copts.replication = 2;
+    copts.seed = options.seed * 0x9E3779B97F4A7C15ull + 0xC105ull;
+    const auto factory = [&model_config]() {
+      return models::CreateModel("FMLP-Rec", model_config);
+    };
+    cluster::ClusterServer fleet(copts, factory, &clock, &env);
+    fleet.set_canary_requests(train::ExportCanarySet(split, 2));
+    std::vector<int64_t> counts(
+        static_cast<size_t>(repaired.num_items()) + 1, 0);
+    for (const auto& seq : repaired.sequences()) {
+      for (const int64_t item : seq) ++counts[static_cast<size_t>(item)];
+    }
+    fleet.set_fallback(serving::PopularityFallback::FromCounts(counts));
+
+    const Status started = fleet.Start();
+    if (!started.ok()) {
+      run.Violation("cluster", std::string("fleet failed to start: ") +
+                                   CodeName(started.code()));
+    } else {
+      const auto serve = [&fleet, &split](uint64_t key) {
+        serving::ServeRequest request;
+        request.history = split.train_region()[static_cast<size_t>(
+            key % static_cast<uint64_t>(split.num_users()))];
+        request.options.top_k = 5;
+        request.options.exclude_seen = false;
+        return fleet.Serve(key, request);
+      };
+      // First key (scanning up from `salt`) whose routing primary is
+      // `shard`. Bounded scan: with 4 shards ~1 in 4 keys qualifies.
+      const auto key_with_primary = [&fleet](int64_t shard,
+                                             uint64_t salt) -> uint64_t {
+        for (uint64_t key = salt; key < salt + (1u << 16); ++key) {
+          if (fleet.ring().Route(key)[0] == shard) return key;
+        }
+        return salt;  // unreachable in practice
+      };
+
+      // Phase A: healthy traffic.
+      int healthy_ok = 0;
+      for (int i = 0; i < 6; ++i) {
+        if (serve(rng.Uniform(1u << 20)).ok()) ++healthy_ok;
+      }
+      if (healthy_ok == 6) {
+        run.Event("cluster", "ok",
+                  "4 shards R=2 started; 6/6 healthy requests served");
+      } else {
+        run.Violation("cluster",
+                      std::to_string(6 - healthy_ok) +
+                          " request(s) failed on a healthy cluster");
+      }
+
+      // Phase B: kill one seed-chosen shard mid-traffic. Every admitted
+      // request must still succeed via failover to the surviving replica.
+      const int64_t victim = static_cast<int64_t>(rng.Uniform(4));
+      const cluster::ClusterStats before_kill = fleet.stats();
+      run.Fault("cluster", "killed shard " + std::to_string(victim) +
+                               " mid-traffic (replication=2)");
+      fleet.KillShard(victim);
+      int killed_ok = 0;
+      // Three victim-primary keys drive the ejection threshold
+      // deterministically; the rest is background traffic.
+      for (int i = 0; i < 3; ++i) {
+        const uint64_t key = key_with_primary(
+            victim, static_cast<uint64_t>(rng.Uniform(1u << 20)));
+        if (serve(key).ok()) ++killed_ok;
+      }
+      for (int i = 0; i < 5; ++i) {
+        if (serve(rng.Uniform(1u << 20)).ok()) ++killed_ok;
+      }
+      const cluster::ClusterStats after_kill = fleet.stats();
+      const int64_t failovers = after_kill.failovers - before_kill.failovers;
+      if (killed_ok == 8 && failovers >= 3) {
+        run.Typed("cluster", "kill absorbed: " + std::to_string(failovers) +
+                                 " failover(s), zero admitted requests lost");
+      } else {
+        run.Violation("cluster",
+                      std::to_string(8 - killed_ok) +
+                          " admitted request(s) lost after single-shard "
+                          "kill (failovers=" +
+                          std::to_string(failovers) + ")");
+      }
+
+      // Phase C: kill the victim's co-replica too — that segment is now
+      // completely dark and must fail with typed kUnavailable, and the
+      // quorum rule must report the whole cluster kUnavailable.
+      const uint64_t dark_key = key_with_primary(
+          victim, static_cast<uint64_t>(rng.Uniform(1u << 20)));
+      const int64_t partner = fleet.ring().Route(dark_key)[1];
+      run.Fault("cluster", "killed shard " + std::to_string(partner) +
+                               ": segment of shards {" +
+                               std::to_string(victim) + "," +
+                               std::to_string(partner) + "} fully dark");
+      fleet.KillShard(partner);
+      const Result<serving::ServeResponse> dark = serve(dark_key);
+      if (!dark.ok() &&
+          dark.status().code() == Status::Code::kUnavailable &&
+          fleet.health() == cluster::ClusterHealth::kUnavailable) {
+        run.Typed("cluster",
+                  "dark segment -> unavailable; cluster health unavailable");
+      } else {
+        run.Violation("cluster",
+                      dark.ok() ? "dark segment request succeeded"
+                                : std::string("dark segment gave ") +
+                                      CodeName(dark.status().code()) +
+                                      ", cluster " +
+                                      cluster::ToString(fleet.health()));
+      }
+
+      // Phase D: restore both shards. Restoration lifts the kill switch but
+      // not the ejection — the victim must earn its way back through the
+      // window-expiry -> probation -> reinstatement path.
+      fleet.RestoreShard(victim);
+      fleet.RestoreShard(partner);
+      clock.Advance(2 * serving::kNanosPerSecond);  // every window expires
+      int restored_ok = 0;
+      for (int i = 0; i < 3; ++i) {
+        const uint64_t key = key_with_primary(
+            victim, static_cast<uint64_t>(rng.Uniform(1u << 20)));
+        if (serve(key).ok()) ++restored_ok;
+      }
+      if (restored_ok == 3 &&
+          fleet.health() == cluster::ClusterHealth::kServing) {
+        run.Event("cluster", "ok",
+                  "shards restored and reinstated; cluster health serving");
+      } else {
+        run.Violation("cluster",
+                      std::string("cluster stuck ") +
+                          cluster::ToString(fleet.health()) +
+                          " after restore (ok=" +
+                          std::to_string(restored_ok) + "/3)");
+      }
+
+      // Phase E: rolling reload under traffic. Waves must never contain
+      // two replicas of the same segment, and mid-rollout requests must
+      // keep succeeding.
+      const std::string ckpt = options.work_dir + "/chaos_cluster.ckpt";
+      {
+        auto fresh = factory();
+        SLIME_RETURN_IF_ERROR(io::SaveCheckpoint(*fresh, ckpt, &env));
+      }
+      const std::vector<std::vector<int64_t>> waves = fleet.ReloadWaves();
+      bool waves_safe = true;
+      for (const std::vector<int64_t>& wave : waves) {
+        for (size_t a = 0; a < wave.size(); ++a) {
+          for (size_t b = a + 1; b < wave.size(); ++b) {
+            if (fleet.ring().SharesSegment(wave[a], wave[b])) {
+              waves_safe = false;
+            }
+          }
+        }
+      }
+      int rollout_ok = 0;
+      int rollout_total = 0;
+      const Status reload = fleet.RollingReload(
+          ckpt, [&serve, &rng, &rollout_ok, &rollout_total](int64_t) {
+            for (int i = 0; i < 2; ++i) {
+              ++rollout_total;
+              if (serve(rng.Uniform(1u << 20)).ok()) ++rollout_ok;
+            }
+          });
+      if (reload.ok() && waves_safe && rollout_ok == rollout_total) {
+        run.Event("cluster", "ok",
+                  "rolling reload: " + std::to_string(waves.size()) +
+                      " waves, co-replication invariant held, " +
+                      std::to_string(rollout_ok) + "/" +
+                      std::to_string(rollout_total) +
+                      " mid-rollout requests served");
+      } else {
+        run.Violation(
+            "cluster",
+            std::string("rolling reload ") +
+                (reload.ok() ? "completed" : CodeName(reload.code())) +
+                (waves_safe ? "" : "; wave held two replicas of a segment") +
+                "; mid-rollout ok=" + std::to_string(rollout_ok) + "/" +
+                std::to_string(rollout_total));
       }
     }
   }

@@ -33,7 +33,7 @@ struct ChaosOptions {
 /// times, absolute paths or addresses — only data derived from the seed —
 /// so the serialized log is stable across runs and across work_dirs.
 struct ChaosEvent {
-  std::string stage;   // "data", "train", "diverge", "serve"
+  std::string stage;   // "data", "train", "diverge", "serve", "cluster"
   std::string kind;    // "fault", "typed_failure", "ok", "violation"
   std::string detail;
 };
@@ -62,11 +62,14 @@ struct ChaosResult {
   std::string EventLog() const;
 };
 
-/// Runs the full load -> train -> checkpoint -> kill -> resume -> serve
-/// pipeline with seed-scheduled faults at every layer: planted dataset
-/// corruption, injected io::Env read/write faults, a mid-write process
-/// kill, a NaN divergence window, a corrupted checkpoint reload, and
-/// FakeClock deadline pressure on the serving path. Returns a Status only
+/// Runs the full load -> train -> checkpoint -> kill -> resume -> serve ->
+/// cluster pipeline with seed-scheduled faults at every layer: planted
+/// dataset corruption, injected io::Env read/write faults, a mid-write
+/// process kill, a NaN divergence window, a corrupted checkpoint reload,
+/// FakeClock deadline pressure on the serving path, and shard kills against
+/// a replicated ClusterServer (single-shard kill at R=2 must lose zero
+/// admitted requests; a fully-dark segment must fail with typed
+/// kUnavailable and recover through reinstatement). Returns a Status only
 /// for harness-setup failures (e.g. unusable work_dir); every *injected*
 /// fault is expected, recorded in the result, and never escapes.
 Result<ChaosResult> RunChaosPipeline(const ChaosOptions& options);

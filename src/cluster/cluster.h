@@ -1,0 +1,284 @@
+#ifndef SLIME4REC_CLUSTER_CLUSTER_H_
+#define SLIME4REC_CLUSTER_CLUSTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/retry.h"
+#include "cluster/ring.h"
+#include "common/status.h"
+#include "io/env.h"
+#include "observability/metrics.h"
+#include "observability/trace.h"
+#include "serving/clock.h"
+#include "serving/fallback.h"
+#include "serving/model_server.h"
+
+namespace slime {
+namespace cluster {
+
+/// Aggregate health of the cluster, derived from per-segment replica
+/// liveness (the quorum rule):
+///  - kServing: every shard routable.
+///  - kDegraded: some shard down/ejected/reloading, but every ring segment
+///    still has >= 1 routable replica — requests succeed via failover.
+///  - kUnavailable: at least one segment has no routable replica; keys in
+///    that segment fail with typed kUnavailable.
+enum class ClusterHealth { kServing, kDegraded, kUnavailable };
+const char* ToString(ClusterHealth health);
+
+/// Router's view of one shard, for observability and tests.
+enum class ShardLiveness {
+  kHealthy,    // in rotation, preferred
+  kEjected,    // out of preference (routed only as a last resort)
+  kProbation,  // ejection window expired; back in rotation, on trial
+  kDown,       // administratively killed (chaos) — connection refused
+};
+const char* ToString(ShardLiveness liveness);
+
+/// Outlier-detection knobs (the Envoy outlier ejection analogue).
+struct HealthOptions {
+  /// Consecutive transport failures (kUnavailable) before a shard is
+  /// ejected from preferred rotation.
+  int64_t ejection_failures = 3;
+  /// First ejection lasts this long; while ejected the shard is only
+  /// routed when every preferred replica has already failed.
+  int64_t ejection_nanos = 100 * serving::kNanosPerMilli;
+  /// Hysteresis: when the window expires the shard enters *probation* and
+  /// must serve this many consecutive successes to be reinstated. A single
+  /// failure on probation re-ejects it with the window multiplied by
+  /// `ejection_backoff` (capped), so a flapping shard oscillates ever more
+  /// slowly instead of whipping the cluster between kServing and
+  /// kDegraded at the flap frequency.
+  int64_t reinstate_successes = 2;
+  double ejection_backoff = 2.0;
+  int64_t max_ejection_nanos = 1600 * serving::kNanosPerMilli;
+};
+
+/// Everything a ClusterServer needs to build its fleet.
+struct ClusterOptions {
+  int64_t num_shards = 4;
+  /// Replicas per key (primary + R-1 failover targets); clamped to
+  /// num_shards by the ring.
+  int64_t replication = 2;
+  int64_t vnodes_per_shard = 16;
+  /// Seeds ring placement and the per-request jitter streams. Two clusters
+  /// with equal options, seeds, and request sequences behave identically.
+  uint64_t seed = 0x5eedc105ull;
+  /// Per-shard ModelServer tuning. `shard.metrics`/`shard.tracer` are
+  /// honoured if set (all shards then share them — serving.* series
+  /// aggregate across the fleet); when null each shard keeps its own
+  /// private registry, and the cluster-level cluster.* series below are
+  /// the fleet view.
+  serving::ModelServerOptions shard;
+  RetryOptions retry;
+  HedgeOptions hedge;
+  HealthOptions health;
+  /// Cluster-level request budget when the request carries none. Retries,
+  /// backoff waits and hedges are all paid out of this one budget.
+  int64_t default_deadline_nanos = 50 * serving::kNanosPerMilli;
+  /// Cluster-level metrics ("cluster.*") and per-request route/retry/hedge
+  /// traces. Same null semantics as ModelServerOptions.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
+};
+
+/// Cumulative cluster counters (thin view over the "cluster.*" metrics).
+struct ClusterStats {
+  int64_t requests = 0;       // Serve() calls routed
+  int64_t served = 0;         // ok responses returned to callers
+  int64_t attempts = 0;       // shard attempts issued (incl. retries/hedges)
+  int64_t retries = 0;        // backoff/failover re-attempts
+  int64_t failovers = 0;      // re-attempts that switched shard
+  int64_t backoff_waits = 0;  // re-attempts that slept on backoff first
+  int64_t hedges = 0;         // hedge re-issues (primary abandoned as slow)
+  int64_t hedge_wins = 0;     // responses produced by a hedged attempt
+  int64_t ejections = 0;      // shards ejected by outlier detection
+  int64_t reinstatements = 0; // shards reinstated after probation
+  int64_t typed_failures = 0; // non-OK Serve() returns (all typed)
+  int64_t unavailable = 0;    //   of which kUnavailable (dead segment)
+};
+
+/// An in-process replicated serving cluster: N ModelServer shards behind a
+/// consistent-hash router with client-side retries, hedging and outlier
+/// ejection. The single-node substitution for an Envoy/gRPC-LB fleet (see
+/// DESIGN.md): same control-flow skeleton — route → attempt → classify →
+/// (backoff | failover | hedge) → attempt — with the network replaced by
+/// direct calls and all timing on the injected Clock.
+///
+/// **Routing.** A user key hashes to a ring segment whose replica set is R
+/// distinct shards, primary first (ShardRing). Attempts prefer
+/// healthy/probation replicas in ring order; ejected or reloading shards
+/// are demoted to last resort, and administratively-down shards fail fast
+/// with kUnavailable (the "connection refused" of this in-process world —
+/// routing never peeks at the kill switch, it learns through failures,
+/// like a real client).
+///
+/// **Retries.** RetryPolicy: bounded attempts, exponential backoff with
+/// seeded jitter, immediate failover on transport failure, the server's
+/// typed retry_after hint honoured, and every wait paid from the request
+/// deadline (retry budget). Waits go through Clock::SleepFor, so a
+/// FakeClock makes them instantaneous and deterministic.
+///
+/// **Hedging.** When an attempt outlives the tracked p95 of recent attempt
+/// latencies (HedgeDelayTracker), the attempt is abandoned via the
+/// ServeRequest::cancel seam — the shard returns typed kAborted without
+/// descending its degradation ladder — and the request is re-issued to the
+/// next replica. Deterministic: the "slow primary" signal is FakeClock
+/// time crossing the hedge point, not a wall-clock race; the loser is
+/// cancelled cooperatively, never detached.
+///
+/// **Health.** Consecutive kUnavailable failures eject a shard; expiry
+/// leads to probation and hysteresis-gated reinstatement (HealthOptions).
+/// Cluster health is the per-segment quorum: kDegraded while every
+/// segment keeps >= 1 routable replica, kUnavailable only when some
+/// segment is completely dark.
+///
+/// **Rolling reload.** RollingReload() updates shards in waves that never
+/// contain two replicas of the same segment (graph colouring over the
+/// ring's co-replication relation), so a hot model rollout never reduces
+/// any segment below quorum − 1.
+///
+/// Thread-safety matches ModelServer: Serve may be called from any number
+/// of threads; determinism claims are for a fixed request order (the
+/// cluster determinism test drives identical sequences at 1/2/8 compute
+/// threads and asserts byte-identical outcomes).
+class ClusterServer {
+ public:
+  using ModelFactory = serving::ModelServer::ModelFactory;
+
+  /// `factory` builds one model instance per shard (and per reload).
+  /// `clock`/`env` default to the real clock and filesystem.
+  ClusterServer(const ClusterOptions& options, ModelFactory factory,
+                serving::Clock* clock = nullptr, io::Env* env = nullptr);
+
+  /// Forwarded to every shard before it starts. Same call-before-Start
+  /// contract as ModelServer.
+  void set_canary_requests(std::vector<std::vector<int64_t>> canaries);
+  void set_fallback(serving::PopularityFallback fallback);
+
+  /// Boots every shard from the factory. Fails if any shard fails.
+  Status Start();
+  /// Boots every shard from the same checkpoint (factory + load + canary).
+  Status StartFromCheckpoint(const std::string& path);
+
+  /// Routes `user_key`, then runs the retry/hedge loop described above.
+  /// All request-level knobs (top-k, deadline) ride in `request`;
+  /// `request.cancel` composes with the hedging cancel.
+  Result<serving::ServeResponse> Serve(uint64_t user_key,
+                                       const serving::ServeRequest& request);
+
+  /// Hot-reloads every live shard from `checkpoint_path` in co-replication
+  ///-safe waves. A shard being reloaded is routed around (demoted like an
+  /// ejected shard) for the duration of its wave. `between_waves`, if set,
+  /// runs after each wave completes — chaos uses it to drive traffic mid-
+  /// rollout. Fails fast on the first shard whose reload is rolled back
+  /// (already-updated shards keep the new model; both generations passed
+  /// canary validation, so the mixed fleet is safe).
+  Status RollingReload(const std::string& checkpoint_path,
+                       const std::function<void(int64_t wave)>&
+                           between_waves = nullptr);
+
+  /// The wave schedule RollingReload would use: shards grouped so no wave
+  /// holds two replicas of any segment. Exposed for tests to verify the
+  /// never-two-replicas-down invariant directly.
+  std::vector<std::vector<int64_t>> ReloadWaves() const;
+
+  /// Chaos switches. Kill makes the shard refuse every attempt with
+  /// kUnavailable (its ModelServer object is untouched — state survives,
+  /// as a process surviving a network partition would). Restore lifts the
+  /// refusal but NOT the ejection: the shard re-enters rotation through
+  /// the normal window-expiry → probation → reinstatement path.
+  void KillShard(int64_t shard);
+  void RestoreShard(int64_t shard);
+
+  ClusterHealth health() const;
+  ShardLiveness shard_liveness(int64_t shard) const;
+  ClusterStats stats() const;
+  const ShardRing& ring() const { return ring_; }
+  int64_t num_shards() const { return ring_.num_shards(); }
+  /// Direct access to one shard's server (tests, per-shard stats).
+  serving::ModelServer* shard_server(int64_t shard);
+  /// The registry the "cluster.*" metrics live in.
+  const obs::MetricsRegistry& metrics() const { return *metrics_; }
+
+ private:
+  struct Shard {
+    std::unique_ptr<serving::ModelServer> server;
+    // --- all below guarded by health_mu_ ---
+    bool alive = true;      // KillShard/RestoreShard switch
+    bool reloading = false; // demoted from rotation during its reload wave
+    bool ejected = false;
+    bool probation = false;
+    int64_t consecutive_failures = 0;
+    int64_t consecutive_successes = 0;
+    int64_t ejected_until_nanos = 0;
+    int64_t ejection_window_nanos = 0;  // current (backed-off) window
+  };
+
+  /// Expires ejection windows, then orders `replicas` for attempting:
+  /// preferred (healthy/probation, ring order) first, demoted
+  /// (ejected/reloading, ring order) last. Down shards stay in place —
+  /// the router doesn't know they're down until they refuse.
+  std::vector<int64_t> AttemptPlan(const std::vector<int64_t>& replicas);
+  /// One attempt against one shard; fails fast with kUnavailable when the
+  /// shard is down. `hedge_deadline_nanos` > 0 arms the cancel seam.
+  Result<serving::ServeResponse> AttemptShard(
+      int64_t shard, const serving::ServeRequest& request,
+      int64_t remaining_nanos, int64_t hedge_deadline_nanos);
+  void NoteAttemptSuccess(int64_t shard);
+  void NoteAttemptFailure(int64_t shard, const Status& status);
+  void RefreshEjections();  // health_mu_ must be held
+  ShardLiveness LivenessLocked(const Shard& s) const;
+  void PublishHealthGauges();  // recomputes cluster.health / live gauges
+
+  const ClusterOptions options_;
+  ShardRing ring_;
+  RetryPolicy retry_;
+  HedgeDelayTracker hedge_;
+  ModelFactory factory_;
+  serving::Clock* clock_;
+  io::Env* env_;
+  bool started_ = false;
+  std::vector<std::vector<int64_t>> canaries_;
+  serving::PopularityFallback fallback_;
+  bool has_fallback_ = false;
+
+  mutable std::mutex health_mu_;  // guards Shard flags (not ->server)
+  std::vector<Shard> shards_;
+
+  std::mutex reload_mu_;  // one rolling reload at a time
+  std::atomic<int64_t> request_seq_{0};  // per-request jitter stream index
+
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_;
+  obs::Tracer* tracer_;  // may be null
+
+  obs::Counter requests_;
+  obs::Counter served_;
+  obs::Counter attempts_;
+  obs::Counter retries_;
+  obs::Counter failovers_;
+  obs::Counter backoff_waits_;
+  obs::Counter hedges_;
+  obs::Counter hedge_wins_;
+  obs::Counter ejections_;
+  obs::Counter reinstatements_;
+  obs::Counter typed_failures_;
+  obs::Counter unavailable_;
+  obs::Gauge health_gauge_;      // ClusterHealth as int
+  obs::Gauge live_shards_;       // alive && not ejected/reloading
+  obs::Gauge ejected_shards_;
+  obs::Histogram request_nanos_;  // end-to-end, incl. waits
+  obs::Histogram attempt_nanos_;  // per successful attempt
+};
+
+}  // namespace cluster
+}  // namespace slime
+
+#endif  // SLIME4REC_CLUSTER_CLUSTER_H_

@@ -1,0 +1,125 @@
+#include "cluster/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace slime {
+namespace cluster {
+
+RetryPolicy::RetryPolicy(const RetryOptions& options) : options_(options) {
+  if (options_.max_attempts < 1) options_.max_attempts = 1;
+  if (options_.initial_backoff_nanos < 0) options_.initial_backoff_nanos = 0;
+  if (options_.backoff_multiplier < 1.0) options_.backoff_multiplier = 1.0;
+  if (options_.max_backoff_nanos < options_.initial_backoff_nanos) {
+    options_.max_backoff_nanos = options_.initial_backoff_nanos;
+  }
+  options_.jitter = std::min(std::max(options_.jitter, 0.0), 1.0);
+  if (options_.min_attempt_budget_nanos < 0) {
+    options_.min_attempt_budget_nanos = 0;
+  }
+}
+
+int64_t RetryPolicy::BackoffNanos(int64_t attempt, Rng* rng) const {
+  double backoff = static_cast<double>(options_.initial_backoff_nanos);
+  for (int64_t i = 0; i < attempt; ++i) {
+    backoff *= options_.backoff_multiplier;
+    if (backoff >= static_cast<double>(options_.max_backoff_nanos)) break;
+  }
+  backoff = std::min(backoff, static_cast<double>(options_.max_backoff_nanos));
+  if (options_.jitter > 0.0 && rng != nullptr) {
+    // One draw per decision keeps the jitter stream aligned with the
+    // attempt sequence, so a same-seed rerun backs off identically.
+    const double factor =
+        1.0 + options_.jitter * (2.0 * rng->UniformDouble() - 1.0);
+    backoff *= factor;
+  }
+  return static_cast<int64_t>(backoff);
+}
+
+RetryDecision RetryPolicy::Next(int64_t attempt, const Status& failure,
+                                bool same_shard,
+                                int64_t remaining_budget_nanos,
+                                Rng* rng) const {
+  RetryDecision decision;
+  const Status::Code code = failure.code();
+  const bool retryable = code == Status::Code::kUnavailable ||
+                         code == Status::Code::kResourceExhausted;
+  if (!retryable) {
+    decision.reason = "permanent";
+    return decision;
+  }
+  if (attempt + 1 >= options_.max_attempts) {
+    decision.reason = "attempts";
+    return decision;
+  }
+
+  int64_t wait = 0;
+  const char* reason = "backoff";
+  if (code == Status::Code::kUnavailable && !same_shard) {
+    // The shard is unreachable and a replica is next in line: failing over
+    // immediately costs the replica nothing and the user no budget.
+    wait = 0;
+    reason = "failover";
+  } else {
+    wait = BackoffNanos(attempt, rng);
+    if (same_shard && failure.retry_after_nanos() > wait) {
+      // The server told us exactly when re-admission can succeed; knocking
+      // earlier is a guaranteed shed.
+      wait = failure.retry_after_nanos();
+    }
+  }
+
+  if (wait + options_.min_attempt_budget_nanos > remaining_budget_nanos) {
+    decision.reason = "budget";
+    return decision;
+  }
+  decision.retry = true;
+  decision.wait_nanos = wait;
+  decision.reason = reason;
+  return decision;
+}
+
+HedgeDelayTracker::HedgeDelayTracker(const HedgeOptions& options)
+    : options_(options) {
+  if (options_.window < 1) options_.window = 1;
+  if (options_.min_samples < 1) options_.min_samples = 1;
+  options_.percentile = std::min(std::max(options_.percentile, 0.0), 1.0);
+  if (options_.min_delay_nanos < 0) options_.min_delay_nanos = 0;
+  window_.reserve(static_cast<size_t>(options_.window));
+}
+
+void HedgeDelayTracker::Observe(int64_t latency_nanos) {
+  if (latency_nanos < 0) latency_nanos = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (static_cast<int64_t>(window_.size()) < options_.window) {
+    window_.push_back(latency_nanos);
+  } else {
+    window_[next_] = latency_nanos;
+  }
+  next_ = (next_ + 1) % static_cast<size_t>(options_.window);
+  ++seen_;
+}
+
+int64_t HedgeDelayTracker::DelayNanos() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t delay = options_.initial_delay_nanos;
+  if (seen_ >= options_.min_samples && !window_.empty()) {
+    std::vector<int64_t> sorted = window_;
+    std::sort(sorted.begin(), sorted.end());
+    // Nearest-rank percentile, matching the observability histograms.
+    size_t rank = static_cast<size_t>(
+        std::ceil(options_.percentile * static_cast<double>(sorted.size())));
+    if (rank > 0) --rank;
+    if (rank >= sorted.size()) rank = sorted.size() - 1;
+    delay = sorted[rank];
+  }
+  return std::max(delay, options_.min_delay_nanos);
+}
+
+int64_t HedgeDelayTracker::samples_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seen_;
+}
+
+}  // namespace cluster
+}  // namespace slime

@@ -1,0 +1,126 @@
+#ifndef SLIME4REC_CLUSTER_RETRY_H_
+#define SLIME4REC_CLUSTER_RETRY_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "serving/clock.h"
+
+namespace slime {
+namespace cluster {
+
+/// Client-side retry configuration (the gRPC service-config analogue).
+struct RetryOptions {
+  /// Total attempts per request, including the first. >= 1.
+  int64_t max_attempts = 3;
+  /// Backoff before retry k (1-based) starts from this and multiplies.
+  int64_t initial_backoff_nanos = 2 * serving::kNanosPerMilli;
+  double backoff_multiplier = 2.0;
+  int64_t max_backoff_nanos = 64 * serving::kNanosPerMilli;
+  /// Backoff is scaled by a seeded factor in [1-jitter, 1+jitter] to
+  /// decorrelate clients that failed together. 0 disables jitter.
+  double jitter = 0.25;
+  /// A retry is only issued if, after the backoff wait, at least this much
+  /// of the request's deadline budget would remain for the attempt itself.
+  /// This is the retry *budget*: waiting is paid for out of the deadline,
+  /// and a retry that could not possibly finish is not worth admitting.
+  int64_t min_attempt_budget_nanos = 2 * serving::kNanosPerMilli;
+};
+
+/// What the policy decided after a failed attempt.
+struct RetryDecision {
+  bool retry = false;
+  /// How long the client must wait before the next attempt (already the
+  /// max of jittered backoff and the server's retry-after hint).
+  int64_t wait_nanos = 0;
+  /// Why not / why: "permanent", "attempts", "budget", "backoff",
+  /// "failover". Static strings, safe to log.
+  const char* reason = "";
+};
+
+/// Deterministic retry policy: pure function of (options, failed attempt
+/// index, failure status, remaining deadline budget, rng stream).
+///
+/// Semantics:
+///  - Only kUnavailable and kResourceExhausted are retryable; everything
+///    else (bad request, internal corruption, caller cancellation) is a
+///    permanent failure that retrying cannot fix.
+///  - kUnavailable with a *different* shard available next is an immediate
+///    failover: the failed connection tells us nothing about the replica,
+///    so no backoff is charged ("failover").
+///  - Otherwise the wait is exponential backoff with seeded jitter, raised
+///    to the server's typed retry_after_nanos hint when one is attached
+///    (Status::WithRetryAfter, produced by admission control): the server
+///    knows exactly when its token bucket refills, and re-knocking earlier
+///    is guaranteed to be shed again.
+///  - The wait is spent from the same deadline budget as the attempts; if
+///    wait + min_attempt_budget exceeds what is left, the retry is refused
+///    ("budget") and the last failure stands.
+class RetryPolicy {
+ public:
+  explicit RetryPolicy(const RetryOptions& options);
+
+  /// Decide what to do after 0-based attempt `attempt` failed with
+  /// `failure`. `same_shard` is true when the next candidate is the shard
+  /// that just failed; `remaining_budget_nanos` is deadline - now. `rng`
+  /// supplies the jitter stream (one draw per backoff decision).
+  RetryDecision Next(int64_t attempt, const Status& failure, bool same_shard,
+                     int64_t remaining_budget_nanos, Rng* rng) const;
+
+  /// The jittered exponential backoff for 0-based failed attempt index
+  /// `attempt`, before hints and budget are applied.
+  int64_t BackoffNanos(int64_t attempt, Rng* rng) const;
+
+  const RetryOptions& options() const { return options_; }
+
+ private:
+  RetryOptions options_;
+};
+
+/// Hedging configuration (the "defer to a replica if the primary is slow"
+/// tail-tolerance scheme from The Tail at Scale).
+struct HedgeOptions {
+  bool enabled = true;
+  /// The hedge fires when an attempt outlives this percentile of recently
+  /// observed attempt latencies.
+  double percentile = 0.95;
+  /// How many recent latencies inform the percentile.
+  int64_t window = 64;
+  /// Samples required before the percentile is trusted; until then the
+  /// initial delay is used.
+  int64_t min_samples = 8;
+  int64_t initial_delay_nanos = 20 * serving::kNanosPerMilli;
+  /// Floor so a fast-but-noisy window cannot hedge everything.
+  int64_t min_delay_nanos = serving::kNanosPerMilli;
+};
+
+/// Bounded sliding window of attempt latencies that yields the hedge
+/// delay as a percentile. Deterministic given the observation sequence:
+/// no decay clocks, just the last `window` samples. Thread-safe.
+class HedgeDelayTracker {
+ public:
+  explicit HedgeDelayTracker(const HedgeOptions& options);
+
+  void Observe(int64_t latency_nanos);
+
+  /// Current hedge delay: percentile of the window once min_samples have
+  /// been seen, else the configured initial delay; never below min_delay.
+  int64_t DelayNanos() const;
+
+  int64_t samples_seen() const;
+
+ private:
+  HedgeOptions options_;
+  mutable std::mutex mu_;
+  std::vector<int64_t> window_;  // ring buffer, size <= options_.window
+  size_t next_ = 0;              // ring cursor
+  int64_t seen_ = 0;
+};
+
+}  // namespace cluster
+}  // namespace slime
+
+#endif  // SLIME4REC_CLUSTER_RETRY_H_

@@ -1,6 +1,7 @@
 #ifndef SLIME4REC_COMMON_STATUS_H_
 #define SLIME4REC_COMMON_STATUS_H_
 
+#include <cstdint>
 #include <string>
 #include <utility>
 
@@ -70,6 +71,17 @@ class Status {
   Code code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  /// Typed back-off hint attached to ResourceExhausted/Unavailable
+  /// statuses (0 = no hint). The machine-readable twin of the "retry
+  /// after" text some messages carry, so a retrying client (see
+  /// cluster::RetryPolicy) can honour the server's hint without parsing
+  /// prose. Analogue of gRPC's RetryInfo error detail.
+  int64_t retry_after_nanos() const { return retry_after_nanos_; }
+  Status&& WithRetryAfter(int64_t nanos) && {
+    retry_after_nanos_ = nanos;
+    return std::move(*this);
+  }
+
   /// Human-readable rendering, e.g. "IOError: no such file".
   std::string ToString() const;
 
@@ -78,6 +90,7 @@ class Status {
 
   Code code_;
   std::string message_;
+  int64_t retry_after_nanos_ = 0;
 };
 
 /// Propagates a non-OK Status to the caller.

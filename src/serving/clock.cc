@@ -1,6 +1,7 @@
 #include "serving/clock.h"
 
 #include <chrono>
+#include <thread>
 
 namespace slime {
 namespace serving {
@@ -16,6 +17,11 @@ class SteadyClock : public Clock {
 };
 
 }  // namespace
+
+void Clock::SleepFor(int64_t nanos) {
+  if (nanos <= 0) return;
+  std::this_thread::sleep_for(std::chrono::nanoseconds(nanos));
+}
 
 Clock* Clock::Default() {
   static SteadyClock clock;

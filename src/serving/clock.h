@@ -20,6 +20,13 @@ class Clock {
   /// Monotonic now, in nanoseconds.
   virtual int64_t NowNanos() = 0;
 
+  /// Blocks until NowNanos() has advanced by at least `nanos` (no-op for
+  /// nanos <= 0). Retry back-off and hedge delays go through this seam so
+  /// client-side waiting is as injectable as time reading: the default
+  /// clock really sleeps, a FakeClock advances itself instead, making
+  /// every backoff deterministic and instantaneous in tests.
+  virtual void SleepFor(int64_t nanos);
+
   /// The process-wide default clock (std::chrono::steady_clock).
   static Clock* Default();
 };
@@ -33,6 +40,11 @@ class FakeClock : public Clock {
   explicit FakeClock(int64_t start_nanos = 0) : now_(start_nanos) {}
 
   int64_t NowNanos() override { return now_.load(std::memory_order_acquire); }
+
+  /// "Sleeping" on fake time is just advancing it.
+  void SleepFor(int64_t nanos) override {
+    if (nanos > 0) Advance(nanos);
+  }
 
   void Advance(int64_t nanos) {
     now_.fetch_add(nanos, std::memory_order_acq_rel);

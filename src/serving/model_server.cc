@@ -278,6 +278,7 @@ Result<ServeResponse> ModelServer::Serve(const ServeRequest& request) {
   batch.histories = {request.history};
   batch.options = request.options;
   batch.deadline_nanos = request.deadline_nanos;
+  batch.cancel = request.cancel;
   Result<BatchServeResponse> result = ServeBatch(batch);
   if (!result.ok()) return result.status();
   ServeResponse response = std::move(result.value().responses[0]);
@@ -311,9 +312,12 @@ Result<BatchServeResponse> ModelServer::ServeBatch(
     trace.Annotate(admit_span, "shed", admit.limit);
     trace.Finish();
     NoteShed();
+    // The typed retry_after_nanos mirrors the human-readable hint so a
+    // retrying client never has to parse the message.
     return Status::ResourceExhausted(
-        std::string("shed by ") + admit.limit + " limit; retry after " +
-        NanosAsMillis(admit.retry_after_nanos));
+               std::string("shed by ") + admit.limit + " limit; retry after " +
+               NanosAsMillis(admit.retry_after_nanos))
+        .WithRetryAfter(admit.retry_after_nanos);
   }
   trace.EndSpan(admit_span);
   AdmissionRelease release(&admission_);
@@ -324,8 +328,16 @@ Result<BatchServeResponse> ModelServer::ServeBatch(
                              ? request.deadline_nanos
                              : options_.default_deadline_nanos;
   const int64_t deadline = clock_->NowNanos() + budget;
-  const CancelFn past_deadline = [this, deadline] {
-    return clock_->NowNanos() >= deadline;
+  // External cancellation (hedging client, disconnect) is folded into the
+  // same cooperative predicate the tiers poll, but its consequence differs:
+  // a deadline degrades the request down the ladder, an external cancel
+  // aborts it outright (see externally_cancelled checks below).
+  const CancelFn& external = request.cancel;
+  const auto externally_cancelled = [&external] {
+    return external && external();
+  };
+  const CancelFn past_deadline = [this, deadline, &externally_cancelled] {
+    return clock_->NowNanos() >= deadline || externally_cancelled();
   };
   const CancelFn skip_tier = [] { return true; };
   const auto remaining = [this, deadline] {
@@ -374,7 +386,10 @@ Result<BatchServeResponse> ModelServer::ServeBatch(
       full_pass_nanos_.Observe(elapsed);
     }
     const PartialBatch& pb = tier1.value();
-    if (pb.cancelled) tier1_span.Annotate("cancelled", "deadline");
+    if (pb.cancelled) {
+      tier1_span.Annotate("cancelled", externally_cancelled() ? "caller"
+                                                              : "deadline");
+    }
     out.deadline_hit = pb.cancelled;
     for (size_t i = 0; i < num_users; ++i) {
       if (pb.completed[i]) {
@@ -384,6 +399,14 @@ Result<BatchServeResponse> ModelServer::ServeBatch(
         pending.push_back(i);
       }
     }
+  }
+
+  // The caller abandoned the attempt (hedged elsewhere, disconnected):
+  // stop outright instead of descending the ladder — no tier below can
+  // produce an answer anyone still wants.
+  if (externally_cancelled()) {
+    trace.Finish();
+    return Status::Aborted("request cancelled by caller");
   }
 
   // --- Tier 2: truncated-history retry for users tier 1 didn't finish.
@@ -426,6 +449,10 @@ Result<BatchServeResponse> ModelServer::ServeBatch(
     pending.swap(still_pending);
   } else if (!pending.empty()) {
     out.deadline_hit = true;  // budget gone before the retry tier
+  }
+  if (externally_cancelled()) {
+    trace.Finish();
+    return Status::Aborted("request cancelled by caller");
   }
 
   // --- Tier 3: popularity fallback never needs the model or the budget.

@@ -89,6 +89,14 @@ struct ServeRequest {
   RecommendOptions options;
   /// Time budget for this request; 0 uses the server default.
   int64_t deadline_nanos = 0;
+  /// Optional caller-side cancellation (client disconnect, or a hedging
+  /// cluster client abandoning the slower attempt). Unlike the internal
+  /// deadline predicate — which makes the request *degrade* down the
+  /// ladder — an external cancel makes it *stop*: the server returns
+  /// Status::Aborted without descending to cheaper tiers, because the
+  /// caller no longer wants any answer from this attempt. Must be
+  /// thread-safe and cheap (it is polled from compute-pool threads).
+  CancelFn cancel;
 };
 
 /// One served ranking, tagged with the tier that produced it and the model
@@ -108,6 +116,8 @@ struct BatchServeRequest {
   std::vector<std::vector<int64_t>> histories;
   RecommendOptions options;
   int64_t deadline_nanos = 0;
+  /// See ServeRequest::cancel.
+  CancelFn cancel;
 };
 
 struct BatchServeResponse {
@@ -208,7 +218,17 @@ class ModelServer {
   /// the swap. Returns the load/validation error on rollback.
   Status Reload(const std::string& checkpoint_path);
 
-  /// Stops admitting requests (Unavailable); in-flight requests finish.
+  /// Begins a graceful shutdown: the server transitions to kDraining and
+  /// every *subsequent* Serve/ServeBatch call is rejected up front with a
+  /// typed Status::Unavailable ("server is draining") before admission —
+  /// it consumes no admission slot and touches no model state. Requests
+  /// already past the health check keep running to completion on their
+  /// model snapshot: BeginDrain only flips the state flag (it takes no
+  /// model or inference lock), so nothing in flight is interrupted,
+  /// cancelled, or downgraded. kDraining is terminal — there is no
+  /// undrain; a cluster restores capacity by routing around the draining
+  /// shard (see cluster::ClusterServer). Verified by
+  /// ModelServerTest.DrainRejectsNewWhileInFlightCompletes.
   void BeginDrain();
 
   HealthState health() const;

@@ -71,6 +71,19 @@ grep -q '"type":"gauge","name":"serving.health","value":1' \
 if grep -vq '^{"type":"' "$TMP/serve_metrics.jsonl"; then
   echo "malformed serve metrics line"; exit 1
 fi
+# Cluster mode: --shards boots a replicated fleet behind the same flag
+# surface; --reload becomes a rolling per-shard reload.
+"$CLI" serve --data "$TMP/data.txt" --load "$TMP/m.ckpt" --requests 8 \
+    --shards 3 --replication 2 --reload "$TMP/m.ckpt" \
+    --metrics-out "$TMP/cluster_metrics.jsonl" > "$TMP/serve_cluster.log"
+grep -q "cluster health: serving (3 shards, replication 2)" \
+    "$TMP/serve_cluster.log"
+grep -q "rolling reload .* installed on all shards" "$TMP/serve_cluster.log"
+grep -q "requests ok 8" "$TMP/serve_cluster.log"
+grep -q '"type":"counter","name":"cluster.requests","value":8' \
+    "$TMP/cluster_metrics.jsonl"
+grep -q '"type":"gauge","name":"cluster.health","value":0' \
+    "$TMP/cluster_metrics.jsonl"
 # Invalid --threads values must be rejected up front, not crash or hang.
 for bad in 0 -3 abc 99999; do
   if "$CLI" stats --data "$TMP/data.txt" --threads "$bad" 2>/dev/null; then

@@ -783,6 +783,156 @@ TEST(ModelServerChaosTest, ReloadRacingRequestsNeverServesPartialModel) {
   EXPECT_EQ(server.health(), HealthState::kServing);
 }
 
+// --- Drain, external cancel, typed shed hints ----------------------------
+
+/// Scripted model that fires a hook on its first forward pass — used to
+/// flip server state from *inside* an in-flight request.
+class HookOnScoreModel : public ScriptedModel {
+ public:
+  HookOnScoreModel(const models::ModelConfig& config,
+                   std::function<void()> hook)
+      : ScriptedModel(config, 0.0f), hook_(std::move(hook)) {}
+
+  Tensor ScoreAll(const data::Batch& batch) override {
+    if (!fired_) {
+      fired_ = true;
+      hook_();
+    }
+    return ScriptedModel::ScoreAll(batch);
+  }
+
+ private:
+  std::function<void()> hook_;
+  bool fired_ = false;
+};
+
+TEST(ModelServerTest, DrainRejectsNewWhileInFlightCompletes) {
+  FakeClock clock;
+  ModelServer server(ModelServerOptions{}, nullptr, &clock);
+  // BeginDrain fires from inside this request's own forward pass — the
+  // tightest possible "drain begins while a request is in flight".
+  ASSERT_TRUE(server
+                  .Start(std::make_unique<HookOnScoreModel>(
+                      TinyConfig(), [&server] { server.BeginDrain(); }))
+                  .ok());
+
+  ServeRequest request;
+  request.history = {1, 2};
+  request.options = Top3Unfiltered();
+  // The in-flight request completes at full fidelity on its snapshot:
+  // drain only flips the state flag, it interrupts nothing.
+  const auto inflight = server.Serve(request);
+  ASSERT_TRUE(inflight.ok()) << inflight.status().ToString();
+  EXPECT_EQ(inflight.value().tier, ServeTier::kFullModel);
+  EXPECT_EQ(Items(inflight.value().items), (std::vector<int64_t>{10, 9, 8}));
+  EXPECT_EQ(server.health(), HealthState::kDraining);
+
+  // Every subsequent request is rejected up front with a typed status,
+  // before admission — no slot consumed, no shed counted.
+  const auto rejected = server.Serve(request);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), Status::Code::kUnavailable);
+  EXPECT_NE(rejected.status().message().find("draining"), std::string::npos)
+      << rejected.status().message();
+  EXPECT_EQ(server.stats().requests, 1);
+  EXPECT_EQ(server.stats().shed, 0);
+}
+
+TEST(ModelServerTest, ExternalCancelAbortsInsteadOfDegrading) {
+  FakeClock clock;
+  ModelServer server(ModelServerOptions{}, nullptr, &clock);
+  server.set_fallback(PopularityFallback::FromCounts(
+      {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}));
+  ASSERT_TRUE(
+      server.Start(std::make_unique<ScriptedModel>(TinyConfig(), 0.0f)).ok());
+
+  ServeRequest request;
+  request.history = {1, 2};
+  request.options = Top3Unfiltered();
+  request.cancel = [] { return true; };  // caller already gone
+  const auto result = server.Serve(request);
+  ASSERT_FALSE(result.ok());
+  // A deadline overrun would have degraded down to the fallback; an
+  // external cancel must abort outright — nobody wants the answer.
+  EXPECT_EQ(result.status().code(), Status::Code::kAborted);
+  EXPECT_EQ(server.stats().fallback_served, 0);
+  EXPECT_EQ(server.stats().served, 0);
+}
+
+TEST(ModelServerTest, ShedStatusCarriesTypedRetryAfterHint) {
+  FakeClock clock;
+  ModelServerOptions options;
+  options.admission.tokens_per_second = 1.0;
+  options.admission.burst = 1.0;
+  ModelServer server(options, nullptr, &clock);
+  ASSERT_TRUE(
+      server.Start(std::make_unique<ScriptedModel>(TinyConfig(), 0.0f)).ok());
+
+  ServeRequest request;
+  request.history = {1, 2};
+  request.options = Top3Unfiltered();
+  ASSERT_TRUE(server.Serve(request).ok());  // drains the single token
+  const auto shed = server.Serve(request);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), Status::Code::kResourceExhausted);
+  // The machine-readable twin of the message's retry-after text: at 1
+  // token/s with an empty bucket the next token is ~1s out. This is the
+  // hint cluster::RetryPolicy sleeps on.
+  EXPECT_GE(shed.status().retry_after_nanos(),
+            kNanosPerSecond - kNanosPerMilli);
+  EXPECT_LE(shed.status().retry_after_nanos(),
+            kNanosPerSecond + kNanosPerMilli);
+}
+
+// --- Health hysteresis under flapping ------------------------------------
+
+TEST(ModelServerHealthTest, FlappingStaysDegradedThroughHysteresisWindow) {
+  FakeClock clock;
+  ModelServerOptions options;
+  options.default_deadline_nanos = 50 * kNanosPerMilli;
+  options.recovery_full_responses = 4;  // the hysteresis window
+  ModelServer server(options, nullptr, &clock);
+  server.set_fallback(PopularityFallback::FromCounts(
+      {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}));
+  // Pass latencies alternate blown/instant: the server flaps between
+  // serving a request at full tier and blowing the deadline.
+  ASSERT_TRUE(server
+                  .Start(std::make_unique<ScriptedModel>(
+                      TinyConfig(), 0.0f, &clock,
+                      std::vector<int64_t>{100 * kNanosPerMilli, 0,
+                                           100 * kNanosPerMilli, 0}))
+                  .ok());
+
+  ServeRequest tight;
+  tight.history = {1, 2, 3};
+  tight.options = Top3Unfiltered();
+  ServeRequest roomy = tight;
+  roomy.deadline_nanos = 400 * kNanosPerMilli;
+
+  // Flap 1: blown pass → fallback → kDegraded.
+  EXPECT_EQ(server.Serve(tight).value().tier,
+            ServeTier::kPopularityFallback);
+  EXPECT_EQ(server.health(), HealthState::kDegraded);
+  // One good full-tier response must NOT flip health back to kServing —
+  // that is exactly the oscillation the hysteresis window forbids.
+  EXPECT_EQ(server.Serve(roomy).value().tier, ServeTier::kFullModel);
+  EXPECT_EQ(server.health(), HealthState::kDegraded);
+  // Flap 2: blown again (full tier is estimate-gated out at 50 ms, the
+  // truncated retry eats the slow pass) → recovery progress resets.
+  EXPECT_EQ(server.Serve(tight).value().tier,
+            ServeTier::kPopularityFallback);
+  EXPECT_EQ(server.health(), HealthState::kDegraded);
+  // Recovery: kServing only after the full hysteresis window of
+  // consecutive full-tier responses, never sooner.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(server.Serve(roomy).value().tier, ServeTier::kFullModel)
+        << "request " << i;
+    EXPECT_EQ(server.health(), HealthState::kDegraded) << "request " << i;
+  }
+  EXPECT_EQ(server.Serve(roomy).value().tier, ServeTier::kFullModel);
+  EXPECT_EQ(server.health(), HealthState::kServing);
+}
+
 }  // namespace
 }  // namespace serving
 }  // namespace slime

@@ -12,7 +12,12 @@
 //   serve      --data FILE --load CKPT [--requests N] [--deadline-ms D]
 //              [--max-inflight M] [--rate QPS] [--burst B]
 //              [--fast-path-len n] [--canaries C] [--reload CKPT2]
-//              [--metrics-out FILE]
+//              [--metrics-out FILE] [--shards N] [--replication R]
+//
+// With --shards N (N >= 2) `serve` boots a replicated in-process cluster
+// (src/cluster/) instead of a single server: user keys route by consistent
+// hash, failed shards are retried on replicas, and --reload performs a
+// rolling per-shard reload. See docs/CLUSTER.md.
 //
 // --metrics-out writes a JSONL observability log (see
 // docs/OBSERVABILITY.md): training telemetry plus compute-layer metrics
@@ -34,6 +39,7 @@
 #include <vector>
 
 #include "bench_util/table_printer.h"
+#include "cluster/cluster.h"
 #include "common/string_util.h"
 #include "compute/thread_pool.h"
 #include "data/loader.h"
@@ -333,10 +339,107 @@ int CmdRecommend(const Flags& flags) {
   return 0;
 }
 
+/// `serve --shards N` (N >= 2): the same traffic against a replicated
+/// ClusterServer instead of a single ModelServer. Each request routes by
+/// user key through the consistent-hash ring; --reload becomes a rolling
+/// per-shard reload that never takes two replicas of a segment down.
+int CmdServeCluster(const Flags& flags, const data::SplitDataset& split,
+                    int64_t shards) {
+  cluster::ClusterOptions opts;
+  opts.num_shards = shards;
+  opts.replication = flags.GetInt("replication", 2);
+  if (shards > 64 || opts.replication < 1) {
+    std::fprintf(stderr, "--shards must be in [1,64], --replication >= 1\n");
+    return 2;
+  }
+  opts.default_deadline_nanos = static_cast<int64_t>(
+      flags.GetDouble("deadline-ms", 50.0) * serving::kNanosPerMilli);
+  opts.shard.admission.max_in_flight = flags.GetInt("max-inflight", 64);
+  opts.shard.admission.tokens_per_second = flags.GetDouble("rate", 0.0);
+  opts.shard.admission.burst = flags.GetDouble("burst", 32.0);
+  opts.shard.fast_path_history_len = flags.GetInt("fast-path-len", 8);
+
+  const std::string metrics_out = flags.Get("metrics-out");
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer;
+  if (!metrics_out.empty()) {
+    opts.metrics = &registry;
+    opts.tracer = &tracer;
+    compute::SetMetricsRegistry(&registry);
+  }
+
+  cluster::ClusterServer fleet(
+      opts, [&flags, &split] { return BuildModel(flags, split); });
+  fleet.set_canary_requests(
+      train::ExportCanarySet(split, flags.GetInt("canaries", 8)));
+  fleet.set_fallback(serving::PopularityFallback::FromSplit(split));
+  const Status start = fleet.StartFromCheckpoint(flags.Require("load"));
+  if (!start.ok()) return Fail(start);
+
+  serving::RecommendOptions ropts;
+  ropts.top_k = flags.GetInt("topk", 10);
+  const int64_t requests = flags.GetInt("requests", 32);
+  const std::string reload = flags.Get("reload");
+  int64_t ok_count = 0, shed_count = 0, deadline_count = 0, other_err = 0;
+  for (int64_t i = 0; i < requests; ++i) {
+    if (!reload.empty() && i == requests / 2) {
+      const Status rs = fleet.RollingReload(reload);
+      std::printf("rolling reload %s: %s\n", reload.c_str(),
+                  rs.ok() ? "installed on all shards" : rs.ToString().c_str());
+    }
+    serving::ServeRequest req;
+    req.history = split.TestInput(i % split.num_users());
+    req.options = ropts;
+    const Result<serving::ServeResponse> r =
+        fleet.Serve(static_cast<uint64_t>(i), req);
+    if (r.ok()) {
+      ++ok_count;
+    } else if (r.status().code() == Status::Code::kResourceExhausted) {
+      ++shed_count;
+    } else if (r.status().code() == Status::Code::kDeadlineExceeded) {
+      ++deadline_count;
+    } else {
+      ++other_err;
+    }
+  }
+
+  const cluster::ClusterStats stats = fleet.stats();
+  std::printf("cluster health: %s (%lld shards, replication %lld)\n",
+              cluster::ToString(fleet.health()),
+              static_cast<long long>(fleet.num_shards()),
+              static_cast<long long>(fleet.ring().replication()));
+  bench::TablePrinter table({"served", "attempts", "retries", "failovers",
+                             "hedges", "hedge_wins", "ejections", "typed"});
+  table.AddRow({std::to_string(stats.served), std::to_string(stats.attempts),
+                std::to_string(stats.retries),
+                std::to_string(stats.failovers), std::to_string(stats.hedges),
+                std::to_string(stats.hedge_wins),
+                std::to_string(stats.ejections),
+                std::to_string(stats.typed_failures)});
+  table.Print();
+  std::printf("requests ok %lld, shed %lld, deadline %lld, errors %lld\n",
+              static_cast<long long>(ok_count),
+              static_cast<long long>(shed_count),
+              static_cast<long long>(deadline_count),
+              static_cast<long long>(other_err));
+  if (!metrics_out.empty()) {
+    compute::SetMetricsRegistry(nullptr);
+    const Status ws = io::Env::Default()->WriteFile(
+        metrics_out, obs::SnapshotToJsonl(registry.Snapshot()) +
+                         obs::TracesToJsonl(tracer.Traces()));
+    if (!ws.ok()) return Fail(ws);
+    std::printf("wrote metrics to %s\n", metrics_out.c_str());
+  }
+  return other_err == 0 ? 0 : 1;
+}
+
 int CmdServe(const Flags& flags) {
   const data::InteractionDataset dataset =
       LoadOrDie(flags).FilterMinInteractions(5);
   const data::SplitDataset split(dataset, 4);
+
+  const int64_t shards = flags.GetInt("shards", 1);
+  if (shards > 1) return CmdServeCluster(flags, split, shards);
 
   serving::ModelServerOptions opts;
   opts.default_deadline_nanos = static_cast<int64_t>(
@@ -442,7 +545,9 @@ int Usage() {
       "[--deadline-ms 50]\n"
       "            [--max-inflight 64] [--rate QPS] [--burst 32] "
       "[--fast-path-len 8]\n"
-      "            [--canaries 8] [--reload CKPT2] [--metrics-out FILE]\n");
+      "            [--canaries 8] [--reload CKPT2] [--metrics-out FILE]\n"
+      "            [--shards 1] [--replication 2]   (cluster mode when "
+      "--shards >= 2)\n");
   return 2;
 }
 
