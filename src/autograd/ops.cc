@@ -141,18 +141,17 @@ Variable Relu(const Variable& a) {
 }
 
 Variable Gelu(const Variable& a) {
-  // gelu(x) = x * Phi(x); d/dx = Phi(x) + x * phi(x).
-  return UnaryFromInput(
-      a,
-      [](float x) {
-        return 0.5f * x * (1.0f + std::erf(x * 0.70710678118654752f));
-      },
-      [](float x) {
-        const float cdf =
-            0.5f * (1.0f + std::erf(x * 0.70710678118654752f));
-        const float pdf = 0.3989422804014327f * std::exp(-0.5f * x * x);
-        return cdf + x * pdf;
-      });
+  // gelu(x) = x * Phi(x); d/dx = Phi(x) + x * phi(x). Both directions are
+  // kernel-table entries so backends can swap implementations.
+  Tensor out(a.value().shape());
+  compute::Dispatch().gelu(a.value().data(), out.data(), out.numel());
+  auto an = a.node();
+  return MakeOpVariable(std::move(out), {an}, [an](const Tensor& g) {
+    Tensor dx(g.shape());
+    compute::Dispatch().gelu_bwd(an->value.data(), g.data(), dx.data(),
+                                 g.numel());
+    AccumulateGrad(an, dx);
+  });
 }
 
 Variable Sigmoid(const Variable& a) {
@@ -510,24 +509,7 @@ namespace {
 Tensor SoftmaxRows(const Tensor& x) {
   Tensor y(x.shape());
   const int64_t d = x.size(-1);
-  const int64_t rows = x.numel() / d;
-  const float* px = x.data();
-  float* py = y.data();
-  ParallelFor(0, rows, GrainForWork(4 * d), [&](int64_t lo, int64_t hi) {
-    for (int64_t r = lo; r < hi; ++r) {
-      const float* in = px + r * d;
-      float* out = py + r * d;
-      float mx = in[0];
-      for (int64_t i = 1; i < d; ++i) mx = std::max(mx, in[i]);
-      double z = 0.0;
-      for (int64_t i = 0; i < d; ++i) {
-        out[i] = std::exp(in[i] - mx);
-        z += out[i];
-      }
-      const float invz = static_cast<float>(1.0 / z);
-      for (int64_t i = 0; i < d; ++i) out[i] *= invz;
-    }
-  });
+  compute::Dispatch().softmax_rows(x.data(), y.data(), x.numel() / d, d);
   return y;
 }
 
@@ -541,21 +523,8 @@ Variable Softmax(const Variable& a) {
     // dx = y * (g - sum(g*y)) per row.
     Tensor dx(g.shape());
     const int64_t d = g.size(-1);
-    const int64_t rows = g.numel() / d;
-    const float* py = ycopy.data();
-    const float* pg = g.data();
-    float* pd = dx.data();
-    ParallelFor(0, rows, GrainForWork(4 * d), [&](int64_t lo, int64_t hi) {
-      for (int64_t r = lo; r < hi; ++r) {
-        const float* yr = py + r * d;
-        const float* gr = pg + r * d;
-        float* dr = pd + r * d;
-        double dot = 0.0;
-        for (int64_t i = 0; i < d; ++i) dot += double(gr[i]) * yr[i];
-        for (int64_t i = 0; i < d; ++i)
-          dr[i] = yr[i] * (gr[i] - static_cast<float>(dot));
-      }
-    });
+    compute::Dispatch().softmax_rows_bwd(ycopy.data(), g.data(), dx.data(),
+                                         g.numel() / d, d);
     AccumulateGrad(an, dx);
   });
 }
@@ -658,33 +627,23 @@ Variable EmbeddingLookup(const Variable& weight,
   std::vector<int64_t> full_shape = out_shape;
   full_shape.push_back(d);
   Tensor out(full_shape);
-  const float* pw = w.data();
-  float* po = out.data();
   const int64_t nids = static_cast<int64_t>(ids.size());
+  // Bounds are validated here, once; kernels gather unchecked.
   for (int64_t i = 0; i < nids; ++i) {
     SLIME_CHECK_MSG(ids[i] >= 0 && ids[i] < vocab,
                     "embedding id " << ids[i] << " out of range [0," << vocab
                                     << ")");
   }
-  ParallelFor(0, nids, GrainForWork(d), [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) {
-      const int64_t id = ids[static_cast<size_t>(i)];
-      std::copy(pw + id * d, pw + (id + 1) * d, po + i * d);
-    }
-  });
+  compute::Dispatch().gather_rows(w.data(), ids.data(), out.data(), nids, d);
   auto wn = weight.node();
-  // Backward stays serial: duplicate ids scatter-add into the same row, so a
-  // row split would race and any atomic scheme would break determinism.
+  // Backward scatter-add is serial in every backend: duplicate ids hit the
+  // same row, so a row split would race and atomics would break determinism.
   return MakeOpVariable(std::move(out), {wn},
                         [wn, ids, vocab, d](const Tensor& g) {
                           Tensor dw({vocab, d});
-                          const float* pg = g.data();
-                          float* pd = dw.data();
-                          for (size_t i = 0; i < ids.size(); ++i) {
-                            float* dst = pd + ids[i] * d;
-                            const float* src = pg + i * d;
-                            for (int64_t j = 0; j < d; ++j) dst[j] += src[j];
-                          }
+                          compute::Dispatch().scatter_add_rows(
+                              g.data(), ids.data(), dw.data(),
+                              static_cast<int64_t>(ids.size()), d);
                           AccumulateGrad(wn, dw);
                         });
 }
@@ -699,100 +658,33 @@ Variable LayerNorm(const Variable& x, const Variable& gamma,
   Tensor y(xt.shape());
   Tensor xhat(xt.shape());
   Tensor inv_std({rows});
-  const float* px = xt.data();
-  const float* pgm = gamma.value().data();
-  const float* pbt = beta.value().data();
-  float* py = y.data();
-  float* ph = xhat.data();
-  float* pis = inv_std.data();
-  ParallelFor(0, rows, GrainForWork(6 * d), [&](int64_t lo, int64_t hi) {
-    for (int64_t r = lo; r < hi; ++r) {
-      const float* in = px + r * d;
-      double mean = 0.0;
-      for (int64_t i = 0; i < d; ++i) mean += in[i];
-      mean /= d;
-      double var = 0.0;
-      for (int64_t i = 0; i < d; ++i) {
-        const double c = in[i] - mean;
-        var += c * c;
-      }
-      var /= d;
-      const float is = static_cast<float>(1.0 / std::sqrt(var + eps));
-      pis[r] = is;
-      float* hr = ph + r * d;
-      float* yr = py + r * d;
-      for (int64_t i = 0; i < d; ++i) {
-        hr[i] = (in[i] - static_cast<float>(mean)) * is;
-        yr[i] = hr[i] * pgm[i] + pbt[i];
-      }
-    }
-  });
+  compute::Dispatch().layer_norm(xt.data(), gamma.value().data(),
+                                 beta.value().data(), y.data(), xhat.data(),
+                                 inv_std.data(), rows, d, eps);
   auto xn = x.node();
   auto gn = gamma.node();
   auto bn = beta.node();
   return MakeOpVariable(
       std::move(y), {xn, gn, bn},
       [xn, gn, bn, xhat, inv_std, rows, d](const Tensor& g) {
-        const float* pg = g.data();
-        const float* ph2 = xhat.data();
-        const float* pis2 = inv_std.data();
-        const float* pgm2 = gn->value.data();
+        const auto& kt = compute::Dispatch();
         if (gn && gn->requires_grad) {
-          // Column-parallel: each i accumulates its rows in ascending order,
-          // matching the serial row-major walk bit for bit.
           Tensor dgamma({d});
           Tensor dbeta({d});
-          float* pdg = dgamma.data();
-          float* pdb = dbeta.data();
-          ParallelFor(0, d, GrainForWork(4 * rows),
-                      [&](int64_t lo, int64_t hi) {
-                        for (int64_t i = lo; i < hi; ++i)
-                          for (int64_t r = 0; r < rows; ++r) {
-                            pdg[i] += pg[r * d + i] * ph2[r * d + i];
-                            pdb[i] += pg[r * d + i];
-                          }
-                      });
+          kt.layer_norm_param_bwd(g.data(), xhat.data(), dgamma.data(),
+                                  dbeta.data(), rows, d);
           AccumulateGrad(gn, dgamma);
           AccumulateGrad(bn, dbeta);
         } else if (bn && bn->requires_grad) {
           Tensor dbeta({d});
-          float* pdb = dbeta.data();
-          ParallelFor(0, d, GrainForWork(2 * rows),
-                      [&](int64_t lo, int64_t hi) {
-                        for (int64_t i = lo; i < hi; ++i)
-                          for (int64_t r = 0; r < rows; ++r)
-                            pdb[i] += pg[r * d + i];
-                      });
+          kt.layer_norm_param_bwd(g.data(), xhat.data(), /*dgamma=*/nullptr,
+                                  dbeta.data(), rows, d);
           AccumulateGrad(bn, dbeta);
         }
         if (xn && xn->requires_grad) {
           Tensor dx(xn->value.shape());
-          float* pd = dx.data();
-          ParallelFor(0, rows, GrainForWork(8 * d),
-                      [&](int64_t lo, int64_t hi) {
-                        for (int64_t r = lo; r < hi; ++r) {
-                          const float* gr = pg + r * d;
-                          const float* hr = ph2 + r * d;
-                          float* dr = pd + r * d;
-                          // a_i = g_i * gamma_i; dx = inv_std * (a - mean(a)
-                          // - xhat * mean(a * xhat)).
-                          double ma = 0.0;
-                          double mah = 0.0;
-                          for (int64_t i = 0; i < d; ++i) {
-                            const double a = double(gr[i]) * pgm2[i];
-                            ma += a;
-                            mah += a * hr[i];
-                          }
-                          ma /= d;
-                          mah /= d;
-                          for (int64_t i = 0; i < d; ++i) {
-                            const double a = double(gr[i]) * pgm2[i];
-                            dr[i] =
-                                pis2[r] * static_cast<float>(
-                                              a - ma - double(hr[i]) * mah);
-                          }
-                        }
-                      });
+          kt.layer_norm_bwd(g.data(), xhat.data(), inv_std.data(),
+                            gn->value.data(), dx.data(), rows, d);
           AccumulateGrad(xn, dx);
         }
       });

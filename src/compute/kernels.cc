@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "compute/backend.h"
 #include "compute/thread_pool.h"
 
 namespace slime {
@@ -193,6 +194,185 @@ bool AllFiniteKernel(const float* p, int64_t n) {
   });
 }
 
+void SoftmaxRowsKernel(const float* x, float* y, int64_t rows, int64_t d) {
+  ParallelFor(0, rows, GrainForWork(4 * d), [=](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      const float* in = x + r * d;
+      float* out = y + r * d;
+      float mx = in[0];
+      for (int64_t i = 1; i < d; ++i) mx = std::max(mx, in[i]);
+      double z = 0.0;
+      for (int64_t i = 0; i < d; ++i) {
+        out[i] = std::exp(in[i] - mx);
+        z += out[i];
+      }
+      const float invz = static_cast<float>(1.0 / z);
+      for (int64_t i = 0; i < d; ++i) out[i] *= invz;
+    }
+  });
+}
+
+void SoftmaxRowsBwdKernel(const float* y, const float* g, float* dx,
+                          int64_t rows, int64_t d) {
+  ParallelFor(0, rows, GrainForWork(4 * d), [=](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      const float* yr = y + r * d;
+      const float* gr = g + r * d;
+      float* dr = dx + r * d;
+      double dot = 0.0;
+      for (int64_t i = 0; i < d; ++i) dot += double(gr[i]) * yr[i];
+      for (int64_t i = 0; i < d; ++i)
+        dr[i] = yr[i] * (gr[i] - static_cast<float>(dot));
+    }
+  });
+}
+
+void GeluKernel(const float* x, float* y, int64_t n) {
+  ParallelFor(0, n, kElementwiseGrain, [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i)
+      y[i] = 0.5f * x[i] * (1.0f + std::erf(x[i] * 0.70710678118654752f));
+  });
+}
+
+void GeluBwdKernel(const float* x, const float* g, float* dx, int64_t n) {
+  ParallelFor(0, n, kElementwiseGrain, [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float cdf =
+          0.5f * (1.0f + std::erf(x[i] * 0.70710678118654752f));
+      const float pdf = 0.3989422804014327f * std::exp(-0.5f * x[i] * x[i]);
+      dx[i] = g[i] * (cdf + x[i] * pdf);
+    }
+  });
+}
+
+void LayerNormKernel(const float* x, const float* gamma, const float* beta,
+                     float* y, float* xhat, float* inv_std, int64_t rows,
+                     int64_t d, float eps) {
+  ParallelFor(0, rows, GrainForWork(6 * d), [=](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      const float* in = x + r * d;
+      double mean = 0.0;
+      for (int64_t i = 0; i < d; ++i) mean += in[i];
+      mean /= d;
+      double var = 0.0;
+      for (int64_t i = 0; i < d; ++i) {
+        const double c = in[i] - mean;
+        var += c * c;
+      }
+      var /= d;
+      const float is = static_cast<float>(1.0 / std::sqrt(var + eps));
+      inv_std[r] = is;
+      float* hr = xhat + r * d;
+      float* yr = y + r * d;
+      for (int64_t i = 0; i < d; ++i) {
+        hr[i] = (in[i] - static_cast<float>(mean)) * is;
+        yr[i] = hr[i] * gamma[i] + beta[i];
+      }
+    }
+  });
+}
+
+void LayerNormBwdKernel(const float* g, const float* xhat,
+                        const float* inv_std, const float* gamma, float* dx,
+                        int64_t rows, int64_t d) {
+  ParallelFor(0, rows, GrainForWork(8 * d), [=](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      const float* gr = g + r * d;
+      const float* hr = xhat + r * d;
+      float* dr = dx + r * d;
+      // a_i = g_i * gamma_i; dx = inv_std * (a - mean(a)
+      // - xhat * mean(a * xhat)).
+      double ma = 0.0;
+      double mah = 0.0;
+      for (int64_t i = 0; i < d; ++i) {
+        const double a = double(gr[i]) * gamma[i];
+        ma += a;
+        mah += a * hr[i];
+      }
+      ma /= d;
+      mah /= d;
+      for (int64_t i = 0; i < d; ++i) {
+        const double a = double(gr[i]) * gamma[i];
+        dr[i] =
+            inv_std[r] * static_cast<float>(a - ma - double(hr[i]) * mah);
+      }
+    }
+  });
+}
+
+void LayerNormParamBwdKernel(const float* g, const float* xhat, float* dgamma,
+                             float* dbeta, int64_t rows, int64_t d) {
+  if (dgamma != nullptr) {
+    ParallelFor(0, d, GrainForWork(4 * rows), [=](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i)
+        for (int64_t r = 0; r < rows; ++r) {
+          dgamma[i] += g[r * d + i] * xhat[r * d + i];
+          dbeta[i] += g[r * d + i];
+        }
+    });
+  } else {
+    ParallelFor(0, d, GrainForWork(2 * rows), [=](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i)
+        for (int64_t r = 0; r < rows; ++r) dbeta[i] += g[r * d + i];
+    });
+  }
+}
+
+void AdamStepKernel(float* w, float* m, float* v, const float* g, int64_t n,
+                    const AdamStepParams& p) {
+  const float b1 = p.beta1;
+  const float b2 = p.beta2;
+  ParallelFor(0, n, kElementwiseGrain, [=](int64_t lo, int64_t hi) {
+    for (int64_t j = lo; j < hi; ++j) {
+      m[j] = b1 * m[j] + (1.0f - b1) * g[j];
+      v[j] = b2 * v[j] + (1.0f - b2) * g[j] * g[j];
+      const float mhat = m[j] / p.bias_corr1;
+      const float vhat = v[j] / p.bias_corr2;
+      float update = mhat / (std::sqrt(vhat) + p.eps);
+      if (p.weight_decay > 0.0f) update += p.weight_decay * w[j];
+      w[j] -= p.lr * update;
+    }
+  });
+}
+
+void GatherRowsKernel(const float* w, const int64_t* ids, float* out,
+                      int64_t nids, int64_t d) {
+  ParallelFor(0, nids, GrainForWork(d), [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const int64_t id = ids[i];
+      std::copy(w + id * d, w + (id + 1) * d, out + i * d);
+    }
+  });
+}
+
+void ScatterAddRowsKernel(const float* g, const int64_t* ids, float* acc,
+                          int64_t nids, int64_t d) {
+  // Serial by contract (see kernels.h): duplicate ids hit the same row.
+  for (int64_t i = 0; i < nids; ++i) {
+    float* dst = acc + ids[i] * d;
+    const float* src = g + i * d;
+    for (int64_t j = 0; j < d; ++j) dst[j] += src[j];
+  }
+}
+
+void AxpyKernel(float* out, const float* a, float scale, int64_t n) {
+  ParallelFor(0, n, kElementwiseGrain, [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) out[i] += a[i] * scale;
+  });
+}
+
+void ScaleKernel(float* p, float scale, int64_t n) {
+  ParallelFor(0, n, kElementwiseGrain, [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) p[i] *= scale;
+  });
+}
+
+void AddKernel(const float* a, const float* b, float* out, int64_t n) {
+  ParallelFor(0, n, kElementwiseGrain, [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) out[i] = a[i] + b[i];
+  });
+}
+
 namespace {
 
 KernelTable& ActiveTable() {
@@ -202,9 +382,15 @@ KernelTable& ActiveTable() {
 
 }  // namespace
 
-const KernelTable& Dispatch() { return ActiveTable(); }
+const KernelTable& Dispatch() {
+  // First use honours SLIME_KERNEL_BACKEND unless the backend was already
+  // chosen explicitly (cheap atomic check after the first call).
+  EnsureKernelBackendEnvApplied();
+  return ActiveTable();
+}
 
 KernelTable SetDispatch(const KernelTable& table) {
+  MarkKernelBackendEnvApplied();
   KernelTable previous = ActiveTable();
   ActiveTable() = table;
   return previous;

@@ -55,6 +55,78 @@ double DotKernel(const float* a, const float* b, int64_t n);
 /// True iff every element is finite. Order-independent conjunction.
 bool AllFiniteKernel(const float* p, int64_t n);
 
+/// Row-wise softmax over the last dim: y[r] = softmax(x[r]) for `rows` rows
+/// of width `d`. Stable (max-subtracted), double partition-sum accumulator.
+void SoftmaxRowsKernel(const float* x, float* y, int64_t rows, int64_t d);
+
+/// Softmax backward from the cached output: dx[r] = y[r] * (g[r] - <g[r],
+/// y[r]>) per row, dot in a double accumulator.
+void SoftmaxRowsBwdKernel(const float* y, const float* g, float* dx,
+                          int64_t rows, int64_t d);
+
+/// Exact-erf GELU: y = 0.5 x (1 + erf(x / sqrt(2))).
+void GeluKernel(const float* x, float* y, int64_t n);
+
+/// GELU backward from the input: dx = g * (Phi(x) + x phi(x)).
+void GeluBwdKernel(const float* x, const float* g, float* dx, int64_t n);
+
+/// LayerNorm forward over `rows` rows of width `d`, caching the normalised
+/// input `xhat` (rows x d) and per-row `inv_std` for the backward pass.
+/// Mean/variance accumulate in double.
+void LayerNormKernel(const float* x, const float* gamma, const float* beta,
+                     float* y, float* xhat, float* inv_std, int64_t rows,
+                     int64_t d, float eps);
+
+/// LayerNorm input gradient: dx = inv_std * (a - mean(a) - xhat *
+/// mean(a * xhat)) with a = g * gamma, row means in double.
+void LayerNormBwdKernel(const float* g, const float* xhat,
+                        const float* inv_std, const float* gamma, float* dx,
+                        int64_t rows, int64_t d);
+
+/// LayerNorm parameter gradients, accumulated *into* dgamma/dbeta.
+/// Column-parallel: each column sums its rows in ascending order, matching
+/// the serial row-major walk bit for bit. Pass dgamma == nullptr to compute
+/// dbeta only.
+void LayerNormParamBwdKernel(const float* g, const float* xhat, float* dgamma,
+                             float* dbeta, int64_t rows, int64_t d);
+
+/// Hyperparameters for one Adam update, bias corrections precomputed by the
+/// caller (bias_corr = 1 - beta^t).
+struct AdamStepParams {
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float bias_corr1 = 1.0f;
+  float bias_corr2 = 1.0f;
+  float lr = 1e-3f;
+  float eps = 1e-8f;
+  float weight_decay = 0.0f;
+};
+
+/// One fused Adam update over n elements: moments m/v and weights w updated
+/// in place from gradient g. Fully elementwise.
+void AdamStepKernel(float* w, float* m, float* v, const float* g, int64_t n,
+                    const AdamStepParams& p);
+
+/// Embedding gather: out[i] = w[ids[i]] for nids rows of width d. Ids must be
+/// pre-validated by the caller (kernels don't bounds-check).
+void GatherRowsKernel(const float* w, const int64_t* ids, float* out,
+                      int64_t nids, int64_t d);
+
+/// Embedding scatter-add: acc[ids[i]] += g[i]. Serial in every backend:
+/// duplicate ids accumulate into the same row, so a row split would race and
+/// atomics would break bit-identity.
+void ScatterAddRowsKernel(const float* g, const int64_t* ids, float* acc,
+                          int64_t nids, int64_t d);
+
+/// out[i] += a[i] * scale.
+void AxpyKernel(float* out, const float* a, float scale, int64_t n);
+
+/// p[i] *= scale.
+void ScaleKernel(float* p, float scale, int64_t n);
+
+/// out[i] = a[i] + b[i].
+void AddKernel(const float* a, const float* b, float* out, int64_t n);
+
 /// The kernel registry: a table of entry points the tensor/autograd/fft
 /// layers route through. Alternative backends (different blocking, SIMD
 /// intrinsics, an accelerator offload) register a table; everything above
@@ -73,15 +145,33 @@ struct KernelTable {
   decltype(&SumKernel) sum = &SumKernel;
   decltype(&DotKernel) dot = &DotKernel;
   decltype(&AllFiniteKernel) all_finite = &AllFiniteKernel;
+  decltype(&SoftmaxRowsKernel) softmax_rows = &SoftmaxRowsKernel;
+  decltype(&SoftmaxRowsBwdKernel) softmax_rows_bwd = &SoftmaxRowsBwdKernel;
+  decltype(&GeluKernel) gelu = &GeluKernel;
+  decltype(&GeluBwdKernel) gelu_bwd = &GeluBwdKernel;
+  decltype(&LayerNormKernel) layer_norm = &LayerNormKernel;
+  decltype(&LayerNormBwdKernel) layer_norm_bwd = &LayerNormBwdKernel;
+  decltype(&LayerNormParamBwdKernel) layer_norm_param_bwd =
+      &LayerNormParamBwdKernel;
+  decltype(&AdamStepKernel) adam_step = &AdamStepKernel;
+  decltype(&GatherRowsKernel) gather_rows = &GatherRowsKernel;
+  decltype(&ScatterAddRowsKernel) scatter_add_rows = &ScatterAddRowsKernel;
+  decltype(&AxpyKernel) axpy = &AxpyKernel;
+  decltype(&ScaleKernel) scale = &ScaleKernel;
+  decltype(&AddKernel) add = &AddKernel;
 };
 
 /// Active kernel table. Defaults to the blocked ParallelFor implementations
-/// above.
+/// above (the `scalar` backend). On first use, honours the
+/// SLIME_KERNEL_BACKEND environment variable unless SetDispatch /
+/// SetKernelBackend was called first (see backend.h).
 const KernelTable& Dispatch();
 
 /// Swaps the active table (e.g. to install an instrumented or experimental
 /// backend); returns the previous table so callers can restore it. Not
-/// thread-safe against running kernels.
+/// thread-safe against running kernels. Marks the backend as explicitly
+/// chosen, so SLIME_KERNEL_BACKEND never overrides it afterwards; the
+/// ActiveKernelBackend() name is only tracked by SetKernelBackend.
 KernelTable SetDispatch(const KernelTable& table);
 
 }  // namespace compute

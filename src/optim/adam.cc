@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "compute/thread_pool.h"
+#include "compute/kernels.h"
 #include "tensor/tensor_ops.h"
 
 namespace slime {
@@ -70,38 +70,23 @@ Status Adam::RestoreState(int64_t step_count, std::vector<Tensor> m,
 
 void Adam::Step() {
   ++t_;
-  const float b1 = options_.beta1;
-  const float b2 = options_.beta2;
-  const float bc1 =
-      1.0f - std::pow(b1, static_cast<float>(t_));
-  const float bc2 =
-      1.0f - std::pow(b2, static_cast<float>(t_));
-  const float lr = options_.lr;
+  compute::AdamStepParams step;
+  step.beta1 = options_.beta1;
+  step.beta2 = options_.beta2;
+  step.bias_corr1 =
+      1.0f - std::pow(options_.beta1, static_cast<float>(t_));
+  step.bias_corr2 =
+      1.0f - std::pow(options_.beta2, static_cast<float>(t_));
+  step.lr = options_.lr;
+  step.eps = options_.eps;
+  step.weight_decay = options_.weight_decay;
+  const auto& kt = compute::Dispatch();
   for (size_t i = 0; i < params_.size(); ++i) {
     auto& p = params_[i];
     if (!p.has_grad()) continue;
-    const Tensor& g = p.grad();
     Tensor& value = p.mutable_value();
-    float* pm = m_[i].data();
-    float* pv = v_[i].data();
-    float* pw = value.data();
-    const float* pg = g.data();
-    // Fully elementwise, so the fixed split is trivially bit-identical at
-    // any thread count.
-    compute::ParallelFor(
-        0, value.numel(), compute::kElementwiseGrain,
-        [&](int64_t lo, int64_t hi) {
-          for (int64_t j = lo; j < hi; ++j) {
-            pm[j] = b1 * pm[j] + (1.0f - b1) * pg[j];
-            pv[j] = b2 * pv[j] + (1.0f - b2) * pg[j] * pg[j];
-            const float mhat = pm[j] / bc1;
-            const float vhat = pv[j] / bc2;
-            float update = mhat / (std::sqrt(vhat) + options_.eps);
-            if (options_.weight_decay > 0.0f)
-              update += options_.weight_decay * pw[j];
-            pw[j] -= lr * update;
-          }
-        });
+    kt.adam_step(value.data(), m_[i].data(), v_[i].data(), p.grad().data(),
+                 value.numel(), step);
   }
   ZeroGrad();
 }

@@ -1,5 +1,7 @@
 #include "optim/sgd.h"
 
+#include "compute/kernels.h"
+
 namespace slime {
 namespace optim {
 
@@ -25,6 +27,12 @@ void Sgd::Step() {
     float* pw = value.data();
     const float* pg = g.data();
     const int64_t n = value.numel();
+    if (options_.momentum <= 0.0f && options_.weight_decay <= 0.0f) {
+      // Plain SGD is exactly w += g * (-lr); route it through the kernel
+      // seam (same multiply-add per element, so identical rounding).
+      compute::Dispatch().axpy(pw, pg, -options_.lr, n);
+      continue;
+    }
     for (int64_t j = 0; j < n; ++j) {
       float upd = pg[j];
       if (options_.weight_decay > 0.0f) upd += options_.weight_decay * pw[j];

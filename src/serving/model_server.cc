@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "compute/backend.h"
 #include "io/checkpoint.h"
 
 namespace slime {
@@ -97,6 +98,10 @@ ModelServer::ModelServer(const ModelServerOptions& options,
   full_pass_nanos_ = metrics_->histogram("serving.tier.full_pass_nanos");
   fast_pass_nanos_ = metrics_->histogram("serving.tier.fast_pass_nanos");
   health_gauge_.Set(static_cast<int64_t>(state_));
+  // Which kernel tier this process computes with (0 = scalar, 1 = simd), so
+  // fleet dashboards can spot hosts that fell back.
+  metrics_->gauge("serving.kernel_backend")
+      .Set(compute::KernelBackendId(compute::ActiveKernelBackend()));
 }
 
 void ModelServer::set_canary_requests(

@@ -192,6 +192,13 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, float (*f)(float, float)) {
 }
 
 Tensor Add(const Tensor& a, const Tensor& b) {
+  // Same-shape adds are a kernel-table entry (backends vectorise them); the
+  // broadcast paths stay on the templated walker.
+  if (a.shape() == b.shape()) {
+    Tensor out(a.shape());
+    Dispatch().add(a.data(), b.data(), out.data(), a.numel());
+    return out;
+  }
   return BinaryOpT(a, b, [](float x, float y) { return x + y; });
 }
 Tensor Sub(const Tensor& a, const Tensor& b) {
@@ -206,30 +213,16 @@ Tensor Div(const Tensor& a, const Tensor& b) {
 
 void AddInPlace(Tensor* out, const Tensor& a) {
   SLIME_CHECK(out->SameShape(a));
-  float* po = out->data();
-  const float* pa = a.data();
-  ParallelFor(0, out->numel(), kElementwiseGrain,
-              [&](int64_t lo, int64_t hi) {
-                for (int64_t i = lo; i < hi; ++i) po[i] += pa[i];
-              });
+  Dispatch().axpy(out->data(), a.data(), 1.0f, out->numel());
 }
 
 void AxpyInPlace(Tensor* out, const Tensor& a, float scale) {
   SLIME_CHECK(out->SameShape(a));
-  float* po = out->data();
-  const float* pa = a.data();
-  ParallelFor(0, out->numel(), kElementwiseGrain,
-              [&](int64_t lo, int64_t hi) {
-                for (int64_t i = lo; i < hi; ++i) po[i] += pa[i] * scale;
-              });
+  Dispatch().axpy(out->data(), a.data(), scale, out->numel());
 }
 
 void ScaleInPlace(Tensor* out, float scale) {
-  float* po = out->data();
-  ParallelFor(0, out->numel(), kElementwiseGrain,
-              [&](int64_t lo, int64_t hi) {
-                for (int64_t i = lo; i < hi; ++i) po[i] *= scale;
-              });
+  Dispatch().scale(out->data(), scale, out->numel());
 }
 
 Tensor Map(const Tensor& a, const std::function<float(float)>& f) {

@@ -90,6 +90,32 @@ for bad in 0 -3 abc 99999; do
     echo "expected --threads $bad to fail"; exit 1
   fi
 done
+# Kernel backend selection: explicit scalar works everywhere, auto resolves
+# to a concrete tier, and unknown names are rejected naming the valid set.
+"$CLI" evaluate --data "$TMP/data.txt" --load "$TMP/m.ckpt" \
+    --kernel-backend scalar > "$TMP/backend_scalar.log"
+grep -q "kernel backend: scalar" "$TMP/backend_scalar.log"
+"$CLI" evaluate --data "$TMP/data.txt" --load "$TMP/m.ckpt" \
+    --kernel-backend auto > "$TMP/backend_auto.log"
+grep -Eq "kernel backend: (scalar|simd)" "$TMP/backend_auto.log"
+# On hosts without AVX2 (simulated by the SLIME_DISABLE_AVX2 kill switch)
+# auto must fall back to scalar and an explicit simd request must fail.
+SLIME_DISABLE_AVX2=1 "$CLI" evaluate --data "$TMP/data.txt" \
+    --load "$TMP/m.ckpt" --kernel-backend auto > "$TMP/backend_fb.log"
+grep -q "kernel backend: scalar" "$TMP/backend_fb.log"
+if SLIME_DISABLE_AVX2=1 "$CLI" evaluate --data "$TMP/data.txt" \
+    --load "$TMP/m.ckpt" --kernel-backend simd 2>/dev/null >/dev/null; then
+  echo "expected simd on a non-AVX2 host to fail"; exit 1
+fi
+# The environment variable selects the backend when no flag is given.
+SLIME_KERNEL_BACKEND=scalar "$CLI" evaluate --data "$TMP/data.txt" \
+    --load "$TMP/m.ckpt" > "$TMP/backend_env.log"
+grep -q "kernel backend: scalar" "$TMP/backend_env.log"
+if "$CLI" stats --data "$TMP/data.txt" --kernel-backend neon \
+    2>"$TMP/badbackend.err"; then
+  echo "expected unknown kernel backend to fail"; exit 1
+fi
+grep -q "valid: auto, scalar, simd" "$TMP/badbackend.err"
 # Validated ingestion: a corrupt dataset fails under the default strict
 # policy naming the offending line, loads under --data-policy repair, and
 # --quarantine-out captures the damage as JSONL.

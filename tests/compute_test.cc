@@ -4,10 +4,12 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <vector>
 
 #include "common/random.h"
+#include "compute/backend.h"
 #include "compute/thread_pool.h"
 #include "tensor/tensor.h"
 #include "tensor/tensor_ops.h"
@@ -309,6 +311,366 @@ TEST(ShapeErrorDeathTest, BroadcastMismatchNamesBothShapes) {
   Tensor a({2, 3});
   Tensor b({4, 3});
   EXPECT_DEATH(ops::Add(a, b), "incompatible broadcast");
+}
+
+// ---- Rowwise / elementwise kernels added for the backend seam.
+
+TEST(KernelsTest, SoftmaxRowsMatchesReferenceAndBackwardIdentity) {
+  const int64_t rows = 5, d = 13;  // d not divisible by the SIMD width
+  const auto x = RandomVec(rows * d, 61);
+  ComputeContext ctx(4);
+  std::vector<float> y(rows * d);
+  SoftmaxRowsKernel(x.data(), y.data(), rows, d);
+  for (int64_t r = 0; r < rows; ++r) {
+    double mx = x[r * d];
+    for (int64_t j = 1; j < d; ++j) mx = std::max<double>(mx, x[r * d + j]);
+    double z = 0.0;
+    for (int64_t j = 0; j < d; ++j) z += std::exp(double(x[r * d + j]) - mx);
+    double sum = 0.0;
+    for (int64_t j = 0; j < d; ++j) {
+      const double ref = std::exp(double(x[r * d + j]) - mx) / z;
+      EXPECT_NEAR(y[r * d + j], ref, 1e-6);
+      sum += y[r * d + j];
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+  // Backward: dx = y * (g - <g, y>); with g = 1 the bracket vanishes, so
+  // dx must be ~0 (softmax is shift-invariant).
+  std::vector<float> g(rows * d, 1.0f), dx(rows * d, -1.0f);
+  SoftmaxRowsBwdKernel(y.data(), g.data(), dx.data(), rows, d);
+  for (const float v : dx) EXPECT_NEAR(v, 0.0f, 1e-6f);
+}
+
+TEST(KernelsTest, GeluMatchesErfReferenceAndFiniteDifference) {
+  const auto x = RandomVec(97, 62);
+  ComputeContext ctx(2);
+  std::vector<float> y(x.size());
+  GeluKernel(x.data(), y.data(), static_cast<int64_t>(x.size()));
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double ref =
+        0.5 * double(x[i]) * (1.0 + std::erf(double(x[i]) / std::sqrt(2.0)));
+    EXPECT_NEAR(y[i], ref, 1e-6);
+  }
+  // Backward against a central finite difference of the forward.
+  std::vector<float> g(x.size(), 1.0f), dx(x.size());
+  GeluBwdKernel(x.data(), g.data(), dx.data(),
+                static_cast<int64_t>(x.size()));
+  for (size_t i = 0; i < x.size(); i += 7) {
+    const double h = 1e-4;
+    const double xp = double(x[i]) + h, xm = double(x[i]) - h;
+    const double fp = 0.5 * xp * (1.0 + std::erf(xp / std::sqrt(2.0)));
+    const double fm = 0.5 * xm * (1.0 + std::erf(xm / std::sqrt(2.0)));
+    EXPECT_NEAR(dx[i], (fp - fm) / (2 * h), 1e-3);
+  }
+}
+
+TEST(KernelsTest, LayerNormNormalizesRowsAndParamGradsSum) {
+  const int64_t rows = 4, d = 11;
+  const auto x = RandomVec(rows * d, 63);
+  std::vector<float> gamma(d, 2.0f), beta(d, 0.5f);
+  std::vector<float> y(rows * d), xhat(rows * d), inv_std(rows);
+  ComputeContext ctx(4);
+  LayerNormKernel(x.data(), gamma.data(), beta.data(), y.data(), xhat.data(),
+                  inv_std.data(), rows, d, 1e-5f);
+  for (int64_t r = 0; r < rows; ++r) {
+    double mean = 0.0, var = 0.0;
+    for (int64_t j = 0; j < d; ++j) mean += xhat[r * d + j];
+    for (int64_t j = 0; j < d; ++j)
+      var += double(xhat[r * d + j]) * xhat[r * d + j];
+    EXPECT_NEAR(mean / d, 0.0, 1e-5);  // xhat is standardised per row
+    EXPECT_NEAR(var / d, 1.0, 1e-3);
+    for (int64_t j = 0; j < d; ++j)
+      EXPECT_NEAR(y[r * d + j], 2.0f * xhat[r * d + j] + 0.5f, 1e-5f);
+  }
+  // Parameter grads: dbeta = sum_r g, dgamma = sum_r g * xhat.
+  const auto g = RandomVec(rows * d, 64);
+  std::vector<float> dgamma(d, 0.0f), dbeta(d, 0.0f);
+  LayerNormParamBwdKernel(g.data(), xhat.data(), dgamma.data(), dbeta.data(),
+                          rows, d);
+  for (int64_t j = 0; j < d; ++j) {
+    double sb = 0.0, sg = 0.0;
+    for (int64_t r = 0; r < rows; ++r) {
+      sb += g[r * d + j];
+      sg += double(g[r * d + j]) * xhat[r * d + j];
+    }
+    EXPECT_NEAR(dbeta[j], sb, 1e-5);
+    EXPECT_NEAR(dgamma[j], sg, 1e-5);
+  }
+  // dgamma may be null when only dbeta is needed.
+  std::vector<float> dbeta2(d, 0.0f);
+  LayerNormParamBwdKernel(g.data(), xhat.data(), nullptr, dbeta2.data(), rows,
+                          d);
+  for (int64_t j = 0; j < d; ++j) EXPECT_EQ(dbeta2[j], dbeta[j]);
+}
+
+TEST(KernelsTest, AdamStepMatchesScalarReference) {
+  const int64_t n = 29;
+  auto w = RandomVec(n, 65);
+  auto m = RandomVec(n, 66);
+  auto v = RandomVec(n, 67);
+  for (auto& x : v) x = std::abs(x);  // second moment is non-negative
+  const auto g = RandomVec(n, 68);
+  auto wr = w, mr = m, vr = v;
+  AdamStepParams p;
+  p.lr = 0.01f;
+  p.bias_corr1 = 0.5f;
+  p.bias_corr2 = 0.25f;
+  p.weight_decay = 0.1f;
+  ComputeContext ctx(4);
+  AdamStepKernel(w.data(), m.data(), v.data(), g.data(), n, p);
+  for (int64_t i = 0; i < n; ++i) {
+    mr[i] = p.beta1 * mr[i] + (1.0f - p.beta1) * g[i];
+    vr[i] = p.beta2 * vr[i] + (1.0f - p.beta2) * g[i] * g[i];
+    const float mhat = mr[i] / p.bias_corr1;
+    const float vhat = vr[i] / p.bias_corr2;
+    float update = mhat / (std::sqrt(vhat) + p.eps);
+    update += p.weight_decay * wr[i];
+    wr[i] -= p.lr * update;
+    EXPECT_NEAR(w[i], wr[i], 1e-6f) << i;
+    EXPECT_NEAR(m[i], mr[i], 1e-7f) << i;
+    EXPECT_NEAR(v[i], vr[i], 1e-7f) << i;
+  }
+}
+
+TEST(KernelsTest, GatherScatterAccumulatesDuplicateIds) {
+  const int64_t vocab = 7, d = 5;
+  const auto w = RandomVec(vocab * d, 71);
+  const std::vector<int64_t> ids = {3, 0, 3, 6, 3};  // duplicates on row 3
+  ComputeContext ctx(4);
+  std::vector<float> out(ids.size() * d, -1.0f);
+  GatherRowsKernel(w.data(), ids.data(), out.data(),
+                   static_cast<int64_t>(ids.size()), d);
+  for (size_t i = 0; i < ids.size(); ++i)
+    for (int64_t j = 0; j < d; ++j)
+      EXPECT_EQ(out[i * d + j], w[ids[i] * d + j]);
+  const auto g = RandomVec(ids.size() * d, 72);
+  std::vector<float> acc(vocab * d, 0.0f);
+  ScatterAddRowsKernel(g.data(), ids.data(), acc.data(),
+                       static_cast<int64_t>(ids.size()), d);
+  std::vector<float> ref(vocab * d, 0.0f);
+  for (size_t i = 0; i < ids.size(); ++i)
+    for (int64_t j = 0; j < d; ++j) ref[ids[i] * d + j] += g[i * d + j];
+  for (int64_t i = 0; i < vocab * d; ++i) EXPECT_EQ(acc[i], ref[i]);
+}
+
+TEST(KernelsTest, AxpyScaleAddMatchReference) {
+  const int64_t n = 77;  // odd tail
+  const auto a = RandomVec(n, 73);
+  const auto b = RandomVec(n, 74);
+  ComputeContext ctx(4);
+  auto out = b;
+  AxpyKernel(out.data(), a.data(), 0.5f, n);
+  for (int64_t i = 0; i < n; ++i) EXPECT_EQ(out[i], b[i] + a[i] * 0.5f);
+  auto p = a;
+  ScaleKernel(p.data(), -2.0f, n);
+  for (int64_t i = 0; i < n; ++i) EXPECT_EQ(p[i], a[i] * -2.0f);
+  std::vector<float> s(n, 0.0f);
+  AddKernel(a.data(), b.data(), s.data(), n);
+  for (int64_t i = 0; i < n; ++i) EXPECT_EQ(s[i], a[i] + b[i]);
+}
+
+TEST(KernelsTest, ZeroLengthBuffersAreNoOps) {
+  // Every kernel must tolerate empty work without touching memory.
+  float sentinel = 42.0f;
+  AxpyKernel(&sentinel, &sentinel, 2.0f, 0);
+  ScaleKernel(&sentinel, 2.0f, 0);
+  AddKernel(&sentinel, &sentinel, &sentinel, 0);
+  GeluKernel(&sentinel, &sentinel, 0);
+  SoftmaxRowsKernel(&sentinel, &sentinel, 0, 8);
+  MatMulKernel(&sentinel, &sentinel, &sentinel, 0, 0, 0);
+  GatherRowsKernel(&sentinel, nullptr, &sentinel, 0, 4);
+  ScatterAddRowsKernel(&sentinel, nullptr, &sentinel, 0, 4);
+  AdamStepParams p;
+  AdamStepKernel(&sentinel, &sentinel, &sentinel, &sentinel, 0, p);
+  EXPECT_EQ(sentinel, 42.0f);
+}
+
+// ---- Kernel backend registry (scalar / simd tiers).
+
+/// Restores the default scalar backend when a test body returns.
+struct BackendGuard {
+  ~BackendGuard() { SetKernelBackend("scalar").value(); }
+};
+
+bool SimdAvailable() {
+  return SimdBackendCompiled() && CpuSupportsAvx2Fma();
+}
+
+TEST(BackendTest, ParseAcceptsKnownNamesAndRejectsUnknown) {
+  EXPECT_EQ(ParseKernelBackend("auto").value(), "auto");
+  EXPECT_EQ(ParseKernelBackend("scalar").value(), "scalar");
+  EXPECT_EQ(ParseKernelBackend("simd").value(), "simd");
+  for (const char* bad : {"", "neon", "avx512", "Scalar", " simd"}) {
+    const auto r = ParseKernelBackend(bad);
+    ASSERT_FALSE(r.ok()) << "\"" << bad << "\"";
+    EXPECT_EQ(r.status().code(), Status::Code::kInvalidArgument);
+    EXPECT_NE(r.status().message().find("valid: auto, scalar, simd"),
+              std::string::npos);
+  }
+}
+
+TEST(BackendTest, AutoResolvesToConcreteTier) {
+  BackendGuard guard;
+  const auto r = SetKernelBackend("auto");
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  EXPECT_TRUE(r.value() == "scalar" || r.value() == "simd");
+  EXPECT_EQ(r.value(), ActiveKernelBackend());
+  EXPECT_EQ(r.value() == "simd", SimdAvailable());
+}
+
+TEST(BackendTest, BackendIdsAreStable) {
+  EXPECT_EQ(KernelBackendId("scalar"), 0);
+  EXPECT_EQ(KernelBackendId("simd"), 1);
+  EXPECT_EQ(KernelBackendId("anything-else"), -1);
+}
+
+TEST(BackendTest, AvailableBackendsAlwaysIncludeScalar) {
+  const auto avail = AvailableKernelBackends();
+  ASSERT_FALSE(avail.empty());
+  bool has_scalar = false;
+  for (const auto& b : avail) has_scalar |= (b == "scalar");
+  EXPECT_TRUE(has_scalar);
+}
+
+TEST(BackendTest, DisableAvx2KillSwitchForcesScalarFallback) {
+  BackendGuard guard;
+  ::setenv("SLIME_DISABLE_AVX2", "1", 1);
+  EXPECT_FALSE(CpuSupportsAvx2Fma());
+  const auto autod = SetKernelBackend("auto");
+  ASSERT_TRUE(autod.ok());
+  EXPECT_EQ(autod.value(), "scalar");
+  const auto simd = SetKernelBackend("simd");
+  ASSERT_FALSE(simd.ok());
+  EXPECT_EQ(simd.status().code(), Status::Code::kUnavailable);
+  ::unsetenv("SLIME_DISABLE_AVX2");
+}
+
+// ---- Cross-tier agreement and within-tier determinism for the SIMD
+// backend. Skipped (not failed) on hosts that cannot run it.
+
+TEST(SimdBackendTest, MatMulFamilyMatchesNaiveReference) {
+  if (!SimdAvailable()) GTEST_SKIP() << "simd backend unavailable";
+  BackendGuard guard;
+  SetKernelBackend("simd").value();
+  // 31 columns: one 16-wide tile, one 8-wide strip, 7 scalar tail columns.
+  const int64_t m = 17, k = 23, n = 31;
+  const auto a = RandomVec(m * k, 81);
+  const auto b = RandomVec(k * n, 82);
+  const auto bt = RandomVec(n * k, 83);
+  const auto at = RandomVec(k * m, 84);
+  ComputeContext ctx(4);
+  const KernelTable& kt = Dispatch();
+
+  std::vector<float> c(m * n, 0.0f);
+  kt.matmul(a.data(), b.data(), c.data(), m, k, n);
+  auto ref = NaiveMatMul(a, b, m, k, n, false, false);
+  for (int64_t i = 0; i < m * n; ++i) EXPECT_NEAR(c[i], ref[i], 1e-4f);
+
+  std::fill(c.begin(), c.end(), 0.0f);
+  kt.matmul_trans_b(a.data(), bt.data(), c.data(), m, k, n);
+  ref = NaiveMatMul(a, bt, m, k, n, false, true);
+  for (int64_t i = 0; i < m * n; ++i) EXPECT_NEAR(c[i], ref[i], 1e-4f);
+
+  std::fill(c.begin(), c.end(), 0.0f);
+  kt.matmul_trans_a(at.data(), b.data(), c.data(), k, m, n);
+  ref = NaiveMatMul(at, b, m, k, n, true, false);
+  for (int64_t i = 0; i < m * n; ++i) EXPECT_NEAR(c[i], ref[i], 1e-4f);
+}
+
+TEST(SimdBackendTest, MatMulBitIdenticalAcrossThreadCounts) {
+  if (!SimdAvailable()) GTEST_SKIP() << "simd backend unavailable";
+  BackendGuard guard;
+  SetKernelBackend("simd").value();
+  const int64_t m = 33, k = 47, n = 70;  // non-divisible everything
+  const auto a = RandomVec(m * k, 85);
+  const auto b = RandomVec(k * n, 86);
+  std::vector<float> ref(m * n, 0.0f);
+  {
+    ComputeContext ctx(1);
+    Dispatch().matmul(a.data(), b.data(), ref.data(), m, k, n);
+  }
+  for (int threads : {2, 5, 8}) {
+    ComputeContext ctx(threads);
+    std::vector<float> c(m * n, 0.0f);
+    Dispatch().matmul(a.data(), b.data(), c.data(), m, k, n);
+    EXPECT_EQ(std::memcmp(ref.data(), c.data(), ref.size() * sizeof(float)),
+              0)
+        << "threads=" << threads;
+  }
+}
+
+TEST(SimdBackendTest, UnalignedOperandsMatchAlignedResults) {
+  if (!SimdAvailable()) GTEST_SKIP() << "simd backend unavailable";
+  BackendGuard guard;
+  SetKernelBackend("simd").value();
+  const int64_t m = 9, k = 21, n = 24;
+  const auto a = RandomVec(m * k, 87);
+  const auto b = RandomVec(k * n, 88);
+  ComputeContext ctx(2);
+  std::vector<float> aligned(m * n, 0.0f);
+  Dispatch().matmul(a.data(), b.data(), aligned.data(), m, k, n);
+  // Same operands shifted one float off any 32-byte boundary: loadu paths
+  // must produce the identical bits.
+  std::vector<float> abuf(m * k + 1), bbuf(k * n + 1), cbuf(m * n + 1, 0.0f);
+  std::copy(a.begin(), a.end(), abuf.begin() + 1);
+  std::copy(b.begin(), b.end(), bbuf.begin() + 1);
+  Dispatch().matmul(abuf.data() + 1, bbuf.data() + 1, cbuf.data() + 1, m, k,
+                    n);
+  EXPECT_EQ(std::memcmp(aligned.data(), cbuf.data() + 1,
+                        aligned.size() * sizeof(float)),
+            0);
+}
+
+TEST(SimdBackendTest, ElementwiseTailsAndNaNParityWithScalar) {
+  if (!SimdAvailable()) GTEST_SKIP() << "simd backend unavailable";
+  BackendGuard guard;
+  const int64_t n = 13;  // below one SIMD width plus tail
+  auto a = RandomVec(n, 89);
+  auto base = RandomVec(n, 90);
+  a[3] = std::nanf("");  // NaN must propagate identically
+  a[7] = 1e-39f;         // denormal must survive (no flush-to-zero)
+  base[7] = 0.0f;        // ... so the denormal IS the result in slot 7
+  ComputeContext ctx(1);
+  auto scalar_out = base;
+  SetKernelBackend("scalar").value();
+  Dispatch().axpy(scalar_out.data(), a.data(), 1.0f, n);
+  auto simd_out = base;
+  SetKernelBackend("simd").value();
+  Dispatch().axpy(simd_out.data(), a.data(), 1.0f, n);
+  // axpy is one multiply-add per element in both tiers; FMA of scale 1.0f
+  // rounds identically, so the bits must match — including the NaN slot
+  // and the denormal.
+  EXPECT_EQ(std::memcmp(scalar_out.data(), simd_out.data(),
+                        simd_out.size() * sizeof(float)),
+            0);
+  EXPECT_TRUE(std::isnan(simd_out[3]));
+  EXPECT_EQ(simd_out[7], 1e-39f);  // denormal survived, not flushed
+}
+
+TEST(SimdBackendTest, AdamStepAgreesWithScalarWithinTolerance) {
+  if (!SimdAvailable()) GTEST_SKIP() << "simd backend unavailable";
+  BackendGuard guard;
+  const int64_t n = 29;
+  const auto g = RandomVec(n, 91);
+  auto w0 = RandomVec(n, 92);
+  auto m0 = RandomVec(n, 93);
+  auto v0 = RandomVec(n, 94);
+  for (auto& x : v0) x = std::abs(x);
+  AdamStepParams p;
+  p.bias_corr1 = 0.5f;
+  p.bias_corr2 = 0.25f;
+  ComputeContext ctx(1);
+  auto ws = w0, ms = m0, vs = v0;
+  SetKernelBackend("scalar").value();
+  Dispatch().adam_step(ws.data(), ms.data(), vs.data(), g.data(), n, p);
+  auto wv = w0, mv = m0, vv = v0;
+  SetKernelBackend("simd").value();
+  Dispatch().adam_step(wv.data(), mv.data(), vv.data(), g.data(), n, p);
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(ws[i], wv[i], 1e-6f) << i;
+    EXPECT_NEAR(ms[i], mv[i], 1e-7f) << i;
+    EXPECT_NEAR(vs[i], vv[i], 1e-7f) << i;
+  }
 }
 
 }  // namespace

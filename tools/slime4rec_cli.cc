@@ -41,6 +41,7 @@
 #include "bench_util/table_printer.h"
 #include "cluster/cluster.h"
 #include "common/string_util.h"
+#include "compute/backend.h"
 #include "compute/thread_pool.h"
 #include "data/loader.h"
 #include "data/synthetic.h"
@@ -531,6 +532,9 @@ int Usage() {
       "[--flag value ...]\n"
       "  global    [--threads N]  compute threads (default: "
       "SLIME_NUM_THREADS or hardware)\n"
+      "            [--kernel-backend auto|scalar|simd]  kernel tier "
+      "(default: SLIME_KERNEL_BACKEND or scalar; auto picks simd on "
+      "AVX2/FMA hosts)\n"
       "  any --data command also takes [--data-policy strict|repair] "
       "[--quarantine-out FILE]\n"
       "  stats     --data FILE\n"
@@ -568,6 +572,24 @@ int Main(int argc, char** argv) {
       return 2;
     }
     compute::SetNumThreads(threads.value());
+  }
+  // --kernel-backend overrides SLIME_KERNEL_BACKEND. Same validation
+  // posture as --threads: unknown names are rejected with the valid set
+  // instead of silently computing on the wrong tier.
+  const std::string backend_flag = flags.Get("kernel-backend");
+  if (!backend_flag.empty()) {
+    const Result<std::string> backend =
+        compute::SetKernelBackend(backend_flag);
+    if (!backend.ok()) {
+      std::fprintf(stderr, "invalid --kernel-backend: %s\n",
+                   backend.status().message().c_str());
+      return 2;
+    }
+  }
+  if (cmd == "train" || cmd == "serve" || cmd == "evaluate" ||
+      cmd == "recommend") {
+    std::printf("kernel backend: %s\n",
+                compute::ActiveKernelBackend().c_str());
   }
   if (cmd == "stats") return CmdStats(flags);
   if (cmd == "generate") return CmdGenerate(flags);
