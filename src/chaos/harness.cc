@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <limits>
+#include <map>
 #include <memory>
 #include <utility>
 
@@ -18,6 +19,8 @@
 #include "serving/clock.h"
 #include "serving/fallback.h"
 #include "serving/model_server.h"
+#include "state/state_store.h"
+#include "state/wal.h"
 #include "train/train_state.h"
 #include "train/trainer.h"
 
@@ -811,6 +814,285 @@ Result<ChaosResult> RunChaosPipeline(const ChaosOptions& options) {
                 (waves_safe ? "" : "; wave held two replicas of a segment") +
                 "; mid-rollout ok=" + std::to_string(rollout_ok) + "/" +
                 std::to_string(rollout_total));
+      }
+    }
+  }
+
+  // ---- Stage 6: state — durable user-state store under kills -----------
+  // Four single-node faults (kill mid-WAL-append, kill mid-compaction, a
+  // silently torn tail, a failed fsync) and a replicated-append shard kill.
+  // The invariant throughout: every recovery reproduces the acked event
+  // set exactly — loss is only ever the in-flight victim, and it is
+  // truncated with typed byte accounting, never silently.
+  {
+    const std::string sdir = options.work_dir + "/state_single";
+    for (const char* file : {"/state.wal", "/state.snapshot",
+                             "/state.wal.tmp", "/state.snapshot.tmp"}) {
+      (void)env.RemoveFile(sdir + file);
+    }
+    state::StateStoreOptions sopts;
+    sopts.dir = sdir;
+    sopts.sync = state::SyncMode::kAlways;
+    sopts.snapshot_every_records = 0;  // compaction driven explicitly below
+    sopts.env = &env;
+
+    // Every event acked to a caller, for exact-loss checks after recovery.
+    std::map<uint64_t, std::vector<int64_t>> acked;
+    const auto append_acked = [&acked](state::StateStore* store,
+                                       uint64_t user, int64_t item) {
+      if (!store->Append(user, {item}).ok()) return false;
+      acked[user].push_back(item);
+      return true;
+    };
+    const auto acked_intact = [&acked](state::StateStore* store) {
+      for (const auto& entry : acked) {
+        if (store->History(entry.first) != entry.second) return false;
+      }
+      return true;
+    };
+    // WAL frame size of a single-item event: header + user + count + item.
+    const int64_t frame = static_cast<int64_t>(
+        state::WriteAheadLog::kFrameHeader + 8 + 4 + 8);
+
+    // Fault 1: kill the process mid-WAL-append, at a seed-chosen byte
+    // offset strictly inside the victim's frame.
+    {
+      Result<std::unique_ptr<state::StateStore>> opened =
+          state::StateStore::Open(sopts);
+      if (!opened.ok()) {
+        run.Violation("state", std::string("store failed to open: ") +
+                                   CodeName(opened.status().code()));
+      } else {
+        std::unique_ptr<state::StateStore> store = std::move(opened.value());
+        bool seeded = true;
+        for (int e = 0; e < 8 && seeded; ++e) {
+          seeded = append_acked(store.get(), rng.Uniform(4),
+                                static_cast<int64_t>(rng.UniformInt(1, 999)));
+        }
+        if (!seeded) run.Violation("state", "seed append refused");
+        const int64_t torn = static_cast<int64_t>(
+            rng.Uniform(static_cast<uint64_t>(frame)));
+        env.set_torn_tail_bytes(torn);
+        env.ArmFault(io::FaultInjectionEnv::Fault::kCrashDuringWrite);
+        run.Fault("state", "killed process mid-WAL-append after " +
+                               std::to_string(torn) + " of " +
+                               std::to_string(frame) + " frame bytes");
+        bool crashed = false;
+        try {
+          (void)store->Append(9000, {777});
+        } catch (const io::InjectedCrash&) {
+          crashed = true;
+        }
+        env.set_torn_tail_bytes(-1);
+        env.Disarm();
+        if (crashed) {
+          run.Typed("state", "mid-append kill surfaced as InjectedCrash");
+        } else {
+          run.Violation("state", "mid-append kill did not surface");
+        }
+        // The store object dies with the "process" here.
+      }
+    }
+
+    // Recovery 1, then fault 2: kill mid-compaction (the snapshot stage
+    // write never reaches the rename, so the WAL still covers everything).
+    {
+      Result<std::unique_ptr<state::StateStore>> opened =
+          state::StateStore::Open(sopts);
+      if (!opened.ok() || !acked_intact(opened.value().get()) ||
+          !opened.value()->History(9000).empty()) {
+        run.Violation("state", "recovery after mid-append kill lost or "
+                               "fabricated acked events");
+      } else {
+        const state::RecoveryReport& report = opened.value()->recovery();
+        run.Event("state", "ok",
+                  "recovered after mid-append kill: " +
+                      std::to_string(report.wal_records_replayed) +
+                      " records replayed, " +
+                      std::to_string(report.wal_bytes_truncated) +
+                      " torn byte(s) truncated, zero acked loss");
+        env.ArmFault(io::FaultInjectionEnv::Fault::kCrashDuringWrite);
+        run.Fault("state", "killed process mid-snapshot-compaction");
+        bool crashed = false;
+        try {
+          (void)opened.value()->Compact();
+        } catch (const io::InjectedCrash&) {
+          crashed = true;
+        }
+        env.Disarm();
+        if (crashed) {
+          run.Typed("state", "mid-compaction kill surfaced as InjectedCrash");
+        } else {
+          run.Violation("state", "mid-compaction kill did not surface");
+        }
+      }
+    }
+
+    // Recovery 2 + a clean compaction, then fault 3: the disk lies — an
+    // acked append whose tail never hit the platter (kTornTailWrite).
+    int64_t lied_bytes = 0;
+    {
+      Result<std::unique_ptr<state::StateStore>> opened =
+          state::StateStore::Open(sopts);
+      if (!opened.ok() || !acked_intact(opened.value().get())) {
+        run.Violation("state",
+                      "recovery after mid-compaction kill lost acked events");
+      } else {
+        std::unique_ptr<state::StateStore> store = std::move(opened.value());
+        const Status compacted = store->Compact();
+        if (!compacted.ok() || store->wal_records() != 0) {
+          run.Violation("state", std::string("clean compaction failed: ") +
+                                     CodeName(compacted.code()));
+        } else {
+          run.Event("state", "ok",
+                    "clean compaction: snapshot covers " +
+                        std::to_string(store->num_users()) +
+                        " users, WAL truncated");
+        }
+        lied_bytes = 1 + static_cast<int64_t>(
+                             rng.Uniform(static_cast<uint64_t>(frame - 1)));
+        env.set_torn_tail_bytes(lied_bytes);
+        env.ArmFault(io::FaultInjectionEnv::Fault::kTornTailWrite);
+        run.Fault("state", "disk lied: append acked but only " +
+                               std::to_string(lied_bytes) + " of " +
+                               std::to_string(frame) +
+                               " frame bytes persisted");
+        if (!store->Append(9000, {555}).ok()) {
+          run.Violation("state", "lying-disk append refused (fault should "
+                                 "be silent at append time)");
+        }
+        env.set_torn_tail_bytes(-1);
+      }
+    }
+
+    // Recovery 3 must detect the lie with exact accounting; fault 4: a
+    // failed fsync barrier must refuse the ack and leave the store usable.
+    {
+      Result<std::unique_ptr<state::StateStore>> opened =
+          state::StateStore::Open(sopts);
+      if (!opened.ok()) {
+        run.Violation("state", std::string("recovery after torn tail: ") +
+                                   CodeName(opened.status().code()));
+      } else {
+        std::unique_ptr<state::StateStore> store = std::move(opened.value());
+        const state::RecoveryReport& report = store->recovery();
+        if (acked_intact(store.get()) && store->History(9000).empty() &&
+            report.wal_torn && report.wal_bytes_truncated == lied_bytes &&
+            report.tail_status.code() == Status::Code::kCorruption) {
+          run.Typed("state", "silent torn tail detected on recovery: " +
+                                 std::to_string(report.wal_bytes_truncated) +
+                                 " byte(s) truncated, typed corruption");
+        } else {
+          run.Violation("state", "silent torn tail not detected or "
+                                 "mis-accounted on recovery");
+        }
+        env.ArmFault(io::FaultInjectionEnv::Fault::kFailSync);
+        run.Fault("state", "fsync failure during append barrier");
+        const Result<state::AppendAck> refused = store->Append(2, {424242});
+        if (!refused.ok() && store->History(2) == acked[2]) {
+          run.Typed("state", std::string("failed sync refused the ack: ") +
+                                 CodeName(refused.status().code()));
+        } else {
+          run.Violation("state",
+                        "failed sync was acked or applied in-memory");
+        }
+        if (!append_acked(store.get(), 2, 434343) ||
+            !acked_intact(store.get())) {
+          run.Violation("state", "store unusable after sync failure");
+        } else {
+          run.Event("state", "ok",
+                    "single-node store survived 4 faults: " +
+                        std::to_string(store->num_users()) +
+                        " users, last_seq " +
+                        std::to_string(store->last_seq()) +
+                        ", zero acked-event loss");
+        }
+      }
+    }
+
+    // Fault 5: replicated appends across a cluster shard kill. The acked
+    // write must survive on the other replica, and the restored shard must
+    // recover exactly its own durable prefix.
+    {
+      const std::string cdir = options.work_dir + "/state_cluster";
+      for (int s = 0; s < 3; ++s) {
+        for (const char* file : {"/state.wal", "/state.snapshot",
+                                 "/state.wal.tmp", "/state.snapshot.tmp"}) {
+          (void)env.RemoveFile(cdir + "/shard_" + std::to_string(s) + file);
+        }
+      }
+      serving::FakeClock clock;
+      cluster::ClusterOptions copts;
+      copts.num_shards = 3;
+      copts.replication = 2;
+      copts.seed = options.seed * 0x9E3779B97F4A7C15ull + 0x57A7Eull;
+      copts.state_dir = cdir;
+      copts.state_sync = state::SyncMode::kAlways;
+      const auto factory = [&model_config]() {
+        return models::CreateModel("FMLP-Rec", model_config);
+      };
+      cluster::ClusterServer fleet(copts, factory, &clock, &env);
+      const Status started = fleet.Start();
+      if (!started.ok()) {
+        run.Violation("state", std::string("stateful fleet failed to "
+                                           "start: ") +
+                                   CodeName(started.code()));
+      } else {
+        const uint64_t user = rng.Uniform(1u << 20);
+        // Session histories are validated against the model vocabulary.
+        const int64_t first_item =
+            static_cast<int64_t>(rng.UniformInt(1, model_config.num_items));
+        const int64_t second_item =
+            static_cast<int64_t>(rng.UniformInt(1, model_config.num_items));
+        serving::ServeRequest session;
+        session.options.top_k = 5;
+        session.options.exclude_seen = false;
+        const int64_t primary = fleet.ring().Route(user)[0];
+        bool cluster_ok = fleet.AppendEvent(user, {first_item}).ok() &&
+                          fleet.ServeSession(user, session).ok();
+        run.Fault("state", "killed primary replica of a user's segment "
+                           "under replicated appends (R=2)");
+        fleet.KillShard(primary);
+        if (cluster_ok && fleet.AppendEvent(user, {second_item}).ok() &&
+            fleet.ServeSession(user, session).ok()) {
+          run.Typed("state", "replicated append survived the shard kill "
+                             "(acked by the surviving replica)");
+        } else {
+          run.Violation("state",
+                        "append or session serve lost to a single-shard "
+                        "kill at R=2");
+          cluster_ok = false;
+        }
+        fleet.RestoreShard(primary);
+        const state::StateStore* restored =
+            fleet.shard_server(primary)->state_store();
+        const bool prefix_ok =
+            restored != nullptr &&
+            restored->History(user) == std::vector<int64_t>{first_item};
+        const std::string ckpt =
+            options.work_dir + "/chaos_state_cluster.ckpt";
+        Status reload = Status::OK();
+        {
+          auto fresh = factory();
+          reload = io::SaveCheckpoint(*fresh, ckpt, &env);
+        }
+        if (reload.ok()) reload = fleet.RollingReload(ckpt);
+        const state::StateStore* survivor_store =
+            fleet.shard_server(fleet.ring().Route(user)[1])->state_store();
+        const bool survived_reload =
+            reload.ok() && survivor_store != nullptr &&
+            survivor_store->History(user) ==
+                (std::vector<int64_t>{first_item, second_item});
+        if (cluster_ok && prefix_ok && survived_reload) {
+          run.Event("state", "ok",
+                    "restored shard recovered its durable prefix; state "
+                    "survived a rolling reload");
+        } else if (cluster_ok) {
+          run.Violation("state",
+                        prefix_ok ? "state lost across rolling reload"
+                                  : "restored shard recovered the wrong "
+                                    "durable prefix");
+        }
       }
     }
   }

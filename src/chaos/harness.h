@@ -33,7 +33,8 @@ struct ChaosOptions {
 /// times, absolute paths or addresses — only data derived from the seed —
 /// so the serialized log is stable across runs and across work_dirs.
 struct ChaosEvent {
-  std::string stage;   // "data", "train", "diverge", "serve", "cluster"
+  std::string stage;   // "data", "train", "diverge", "serve", "cluster",
+                       // "state"
   std::string kind;    // "fault", "typed_failure", "ok", "violation"
   std::string detail;
 };
@@ -66,10 +67,13 @@ struct ChaosResult {
 /// cluster pipeline with seed-scheduled faults at every layer: planted
 /// dataset corruption, injected io::Env read/write faults, a mid-write
 /// process kill, a NaN divergence window, a corrupted checkpoint reload,
-/// FakeClock deadline pressure on the serving path, and shard kills against
+/// FakeClock deadline pressure on the serving path, shard kills against
 /// a replicated ClusterServer (single-shard kill at R=2 must lose zero
 /// admitted requests; a fully-dark segment must fail with typed
-/// kUnavailable and recover through reinstatement). Returns a Status only
+/// kUnavailable and recover through reinstatement), and kills against the
+/// durable user-state store (mid-WAL-append, mid-compaction, a silently
+/// torn tail, a failed fsync, and a shard kill under replicated appends —
+/// every recovery must reproduce the acked set exactly). Returns a Status only
 /// for harness-setup failures (e.g. unusable work_dir); every *injected*
 /// fault is expected, recorded in the result, and never escapes.
 Result<ChaosResult> RunChaosPipeline(const ChaosOptions& options);

@@ -85,6 +85,8 @@ ClusterServer::ClusterServer(const ClusterOptions& options,
   reinstatements_ = metrics_->counter("cluster.reinstatements");
   typed_failures_ = metrics_->counter("cluster.typed_failures");
   unavailable_ = metrics_->counter("cluster.unavailable");
+  state_appends_ = metrics_->counter("cluster.state_appends");
+  state_append_failures_ = metrics_->counter("cluster.state_append_failures");
   health_gauge_ = metrics_->gauge("cluster.health");
   live_shards_ = metrics_->gauge("cluster.live_shards");
   ejected_shards_ = metrics_->gauge("cluster.ejected_shards");
@@ -115,6 +117,7 @@ Status ClusterServer::Start() {
     Status st = server->Start(factory_());
     if (!st.ok()) return st;
     shards_[s].server = std::move(server);
+    SLIME_RETURN_IF_ERROR(AttachShardState(static_cast<int64_t>(s)));
   }
   started_ = true;
   PublishHealthGauges();
@@ -134,9 +137,28 @@ Status ClusterServer::StartFromCheckpoint(const std::string& path) {
     Status st = server->StartFromCheckpoint(path);
     if (!st.ok()) return st;
     shards_[s].server = std::move(server);
+    SLIME_RETURN_IF_ERROR(AttachShardState(static_cast<int64_t>(s)));
   }
   started_ = true;
   PublishHealthGauges();
+  return Status::OK();
+}
+
+Status ClusterServer::AttachShardState(int64_t shard) {
+  if (options_.state_dir.empty()) return Status::OK();
+  state::StateStoreOptions opts;
+  opts.dir = options_.state_dir + "/shard_" + std::to_string(shard);
+  opts.sync = options_.state_sync;
+  opts.snapshot_every_records = options_.state_snapshot_every;
+  opts.env = env_;
+  // Shards share the cluster's registry/tracer: state.* series aggregate
+  // across the fleet, same convention as shared serving.* metrics.
+  opts.metrics = options_.shard.metrics;
+  opts.tracer = options_.shard.tracer;
+  Result<std::unique_ptr<state::StateStore>> store = state::StateStore::Open(opts);
+  if (!store.ok()) return store.status();
+  shards_[static_cast<size_t>(shard)].server->AttachStateStore(
+      std::move(store.value()));
   return Status::OK();
 }
 
@@ -191,8 +213,9 @@ std::vector<int64_t> ClusterServer::AttemptPlan(
 }
 
 Result<serving::ServeResponse> ClusterServer::AttemptShard(
-    int64_t shard, const serving::ServeRequest& request,
-    int64_t remaining_nanos, int64_t hedge_deadline_nanos) {
+    int64_t shard, uint64_t user_key, bool session,
+    const serving::ServeRequest& request, int64_t remaining_nanos,
+    int64_t hedge_deadline_nanos) {
   {
     std::lock_guard<std::mutex> lock(health_mu_);
     if (!shards_[static_cast<size_t>(shard)].alive) {
@@ -209,7 +232,9 @@ Result<serving::ServeResponse> ClusterServer::AttemptShard(
       return clock->NowNanos() >= hedge_deadline_nanos || (base && base());
     };
   }
-  return shards_[static_cast<size_t>(shard)].server->Serve(sub);
+  serving::ModelServer* server = shards_[static_cast<size_t>(shard)].server.get();
+  if (session) return server->ServeSession(user_key, sub);
+  return server->Serve(sub);
 }
 
 void ClusterServer::NoteAttemptSuccess(int64_t shard) {
@@ -323,11 +348,72 @@ void ClusterServer::RestoreShard(int64_t shard) {
     // cannot instantly yank traffic onto a host that just flapped.
     s.consecutive_failures = 0;
   }
+  // A restored shard is a restarted process: its in-memory state is
+  // whatever crash recovery rebuilds from its own durable snapshot + WAL
+  // (appends it missed while dead went only to the surviving replicas;
+  // cross-replica anti-entropy is future work — see docs/STATE.md).
+  (void)shards_[static_cast<size_t>(shard)].server->ReloadStateFromDisk();
   PublishHealthGauges();
+}
+
+Result<state::AppendAck> ClusterServer::AppendEvent(
+    uint64_t user_key, const std::vector<int64_t>& items) {
+  if (!started_) return Status::Unavailable("cluster is not started");
+  if (options_.state_dir.empty()) {
+    return Status::InvalidArgument(
+        "cluster has no state dir configured (stateless)");
+  }
+  const std::vector<int64_t> replicas =
+      ring_.Replicas(ring_.SegmentOf(user_key));
+  Result<state::AppendAck> first = Status::Unavailable("no replica attempted");
+  bool acked = false;
+  for (int64_t shard : replicas) {
+    {
+      std::lock_guard<std::mutex> lock(health_mu_);
+      if (!shards_[static_cast<size_t>(shard)].alive) {
+        state_append_failures_.Increment();
+        continue;  // a partitioned process cannot take the write
+      }
+    }
+    Result<state::AppendAck> ack =
+        shards_[static_cast<size_t>(shard)].server->AppendEvent(user_key,
+                                                                items);
+    if (ack.ok()) {
+      if (!acked) {
+        first = std::move(ack);
+        acked = true;
+      }
+    } else {
+      state_append_failures_.Increment();
+      if (!acked) first = std::move(ack);
+    }
+  }
+  if (acked) {
+    state_appends_.Increment();
+    return first;
+  }
+  if (first.status().code() == Status::Code::kInvalidArgument) return first;
+  return Status::Unavailable("append for user " + std::to_string(user_key) +
+                             " failed on every replica: " +
+                             first.status().message());
 }
 
 Result<serving::ServeResponse> ClusterServer::Serve(
     uint64_t user_key, const serving::ServeRequest& request) {
+  return ServeRouted(user_key, request, /*session=*/false);
+}
+
+Result<serving::ServeResponse> ClusterServer::ServeSession(
+    uint64_t user_key, const serving::ServeRequest& request) {
+  if (options_.state_dir.empty()) {
+    return Status::InvalidArgument(
+        "cluster has no state dir configured (stateless)");
+  }
+  return ServeRouted(user_key, request, /*session=*/true);
+}
+
+Result<serving::ServeResponse> ClusterServer::ServeRouted(
+    uint64_t user_key, const serving::ServeRequest& request, bool session) {
   if (!started_) return Status::Unavailable("cluster is not started");
   const int64_t start = clock_->NowNanos();
   const int64_t budget = request.deadline_nanos > 0
@@ -391,7 +477,8 @@ Result<serving::ServeResponse> ClusterServer::Serve(
     trace.Annotate(span, "shard", std::to_string(shard));
     if (is_hedge_attempt) trace.Annotate(span, "hedge", "true");
     Result<serving::ServeResponse> result =
-        AttemptShard(shard, request, remaining, hedge_deadline);
+        AttemptShard(shard, user_key, session, request, remaining,
+                     hedge_deadline);
     const int64_t elapsed = clock_->NowNanos() - attempt_start;
     attempts_.Increment();
 

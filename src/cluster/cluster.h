@@ -18,6 +18,7 @@
 #include "serving/clock.h"
 #include "serving/fallback.h"
 #include "serving/model_server.h"
+#include "state/state_store.h"
 
 namespace slime {
 namespace cluster {
@@ -86,6 +87,14 @@ struct ClusterOptions {
   /// traces. Same null semantics as ModelServerOptions.
   obs::MetricsRegistry* metrics = nullptr;
   obs::Tracer* tracer = nullptr;
+  /// Durable per-shard streaming state (ROADMAP item 4; docs/STATE.md).
+  /// Empty = stateless cluster (AppendEvent/ServeSession refuse). Shard i
+  /// opens its store in `<state_dir>/shard_<i>` at Start; state survives
+  /// KillShard (the object is untouched, like a partitioned process) and
+  /// RestoreShard re-runs recovery from disk.
+  std::string state_dir;
+  state::SyncMode state_sync = state::SyncMode::kGroup;
+  int64_t state_snapshot_every = 1024;
 };
 
 /// Cumulative cluster counters (thin view over the "cluster.*" metrics).
@@ -173,6 +182,24 @@ class ClusterServer {
   Result<serving::ServeResponse> Serve(uint64_t user_key,
                                        const serving::ServeRequest& request);
 
+  /// --- Streaming state (requires ClusterOptions::state_dir) ------------
+  ///
+  /// Durably appends events for `user_key` to every *alive* replica of its
+  /// segment (a replicated write: a dead replica is a partitioned process
+  /// and simply misses the write). Acked when at least one replica acked —
+  /// at R=2 an append survives any single shard kill. The returned ack is
+  /// the first successful replica's. All replicas dark → typed
+  /// kUnavailable.
+  Result<state::AppendAck> AppendEvent(uint64_t user_key,
+                                       const std::vector<int64_t>& items);
+
+  /// Session-serving twin of Serve: same route → retry/failover/hedge
+  /// loop, but each attempted shard answers from its *own* live state for
+  /// `user_key` (ModelServer::ServeSession) instead of a caller-supplied
+  /// history. `request.history` is ignored.
+  Result<serving::ServeResponse> ServeSession(
+      uint64_t user_key, const serving::ServeRequest& request);
+
   /// Hot-reloads every live shard from `checkpoint_path` in co-replication
   ///-safe waves. A shard being reloaded is routed around (demoted like an
   /// ejected shard) for the duration of its wave. `between_waves`, if set,
@@ -226,11 +253,21 @@ class ClusterServer {
   /// (ejected/reloading, ring order) last. Down shards stay in place —
   /// the router doesn't know they're down until they refuse.
   std::vector<int64_t> AttemptPlan(const std::vector<int64_t>& replicas);
+  /// Shared retry/failover/hedge engine behind Serve and ServeSession;
+  /// `session` selects which shard entry point each attempt calls.
+  Result<serving::ServeResponse> ServeRouted(
+      uint64_t user_key, const serving::ServeRequest& request, bool session);
   /// One attempt against one shard; fails fast with kUnavailable when the
   /// shard is down. `hedge_deadline_nanos` > 0 arms the cancel seam.
+  /// `session` routes the attempt through ModelServer::ServeSession for
+  /// `user_key` instead of Serve.
   Result<serving::ServeResponse> AttemptShard(
-      int64_t shard, const serving::ServeRequest& request,
-      int64_t remaining_nanos, int64_t hedge_deadline_nanos);
+      int64_t shard, uint64_t user_key, bool session,
+      const serving::ServeRequest& request, int64_t remaining_nanos,
+      int64_t hedge_deadline_nanos);
+  /// Opens shard `s`'s state store under options_.state_dir and attaches
+  /// it to the shard's server. No-op for a stateless cluster.
+  Status AttachShardState(int64_t shard);
   void NoteAttemptSuccess(int64_t shard);
   void NoteAttemptFailure(int64_t shard, const Status& status);
   void RefreshEjections();  // health_mu_ must be held
@@ -271,6 +308,8 @@ class ClusterServer {
   obs::Counter reinstatements_;
   obs::Counter typed_failures_;
   obs::Counter unavailable_;
+  obs::Counter state_appends_;          // cluster-level acked appends
+  obs::Counter state_append_failures_;  // per-replica append failures
   obs::Gauge health_gauge_;      // ClusterHealth as int
   obs::Gauge live_shards_;       // alive && not ejected/reloading
   obs::Gauge ejected_shards_;

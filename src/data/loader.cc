@@ -1,6 +1,7 @@
 #include "data/loader.h"
 
 #include "data/validation.h"
+#include "io/atomic_write.h"
 #include "io/env.h"
 
 namespace slime {
@@ -27,15 +28,7 @@ Status SaveSequenceFile(const InteractionDataset& dataset,
   // post-write bit rot, then atomically rename. A crash at any point
   // leaves either the previous dataset or a stray .tmp — never a
   // truncated dataset at `path`.
-  const std::string tmp = path + ".tmp";
-  SLIME_RETURN_IF_ERROR(env->WriteFile(tmp, payload));
-  Result<std::string> back = env->ReadFile(tmp);
-  if (!back.ok()) return back.status();
-  if (back.value() != payload) {
-    (void)env->RemoveFile(tmp);
-    return Status::IOError("short write detected staging " + path);
-  }
-  return env->RenameFile(tmp, path);
+  return io::AtomicWriteFile(env, path, payload);
 }
 
 }  // namespace data

@@ -5,6 +5,7 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "io/atomic_write.h"
 #include "io/env.h"
 #include "observability/export.h"
 #include "observability/metrics.h"
@@ -349,15 +350,7 @@ Status WriteQuarantineJsonl(const QuarantineReport& report,
                             const std::string& path, io::Env* env) {
   if (env == nullptr) env = io::Env::Default();
   const std::string payload = report.ToJsonl();
-  const std::string tmp = path + ".tmp";
-  SLIME_RETURN_IF_ERROR(env->WriteFile(tmp, payload));
-  Result<std::string> back = env->ReadFile(tmp);
-  if (!back.ok()) return back.status();
-  if (back.value() != payload) {
-    (void)env->RemoveFile(tmp);
-    return Status::IOError("short write detected staging " + path);
-  }
-  return env->RenameFile(tmp, path);
+  return io::AtomicWriteFile(env, path, payload);
 }
 
 }  // namespace data

@@ -1,0 +1,47 @@
+#include "io/atomic_write.h"
+
+namespace slime {
+namespace io {
+
+Status AtomicWriteFile(Env* env, const std::string& path,
+                       std::string_view contents, bool sync_after) {
+  const std::string tmp = path + ".tmp";
+  Status st = env->WriteFile(tmp, contents);
+  if (!st.ok()) {
+    env->RemoveFile(tmp);
+    return st;
+  }
+  // Read back and verify before renaming over the previous good file: a
+  // short write or post-write bit flip must fail the save, not silently
+  // replace a valid file with a corrupt one.
+  Result<std::string> readback = env->ReadFile(tmp);
+  if (!readback.ok()) {
+    env->RemoveFile(tmp);
+    return Status::IOError("cannot verify staged file " + tmp + ": " +
+                           readback.status().message());
+  }
+  if (readback.value().size() != contents.size()) {
+    env->RemoveFile(tmp);
+    return Status::IOError("short write detected for " + tmp + ": wrote " +
+                           std::to_string(contents.size()) +
+                           " bytes, found " +
+                           std::to_string(readback.value().size()));
+  }
+  if (readback.value() != contents) {
+    env->RemoveFile(tmp);
+    return Status::Corruption("post-write corruption detected in " + tmp +
+                              " (verification failed)");
+  }
+  st = env->RenameFile(tmp, path);
+  if (!st.ok()) {
+    env->RemoveFile(tmp);
+    return st;
+  }
+  if (sync_after) {
+    SLIME_RETURN_IF_ERROR(env->SyncFile(path));
+  }
+  return Status::OK();
+}
+
+}  // namespace io
+}  // namespace slime

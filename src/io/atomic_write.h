@@ -1,0 +1,36 @@
+#ifndef SLIME4REC_IO_ATOMIC_WRITE_H_
+#define SLIME4REC_IO_ATOMIC_WRITE_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "io/env.h"
+
+namespace slime {
+namespace io {
+
+/// Crash-safe whole-file replacement: stage `contents` at `path + ".tmp"`,
+/// read the staged file back and verify it byte-for-byte (catching short
+/// writes and post-write bit rot before they can clobber the previous good
+/// file), then atomically rename over `path`. With `sync_after` set, the
+/// final file is fsynced before returning — required wherever a later step
+/// depends on this file having reached stable storage (e.g. truncating a WAL
+/// only after its snapshot is durable).
+///
+/// On any failure the previous `path` contents are untouched and the stray
+/// `.tmp` is removed; a crash at any point leaves either the old file or the
+/// complete new file at `path`, never a mix. A size mismatch on read-back is
+/// an IOError ("short write detected"); a same-size content mismatch is a
+/// Corruption.
+///
+/// This is the single implementation of the stage→verify→rename protocol
+/// used by checkpoints (WriteEnvelope), dataset saves (SaveSequenceFile),
+/// telemetry JSONL flushes, and state-store snapshots.
+Status AtomicWriteFile(Env* env, const std::string& path,
+                       std::string_view contents, bool sync_after = false);
+
+}  // namespace io
+}  // namespace slime
+
+#endif  // SLIME4REC_IO_ATOMIC_WRITE_H_

@@ -1,7 +1,10 @@
 #include "io/env.h"
 
+#include <fcntl.h>
 #include <sys/stat.h>
+#include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 
@@ -43,6 +46,32 @@ Status Env::WriteFile(const std::string& path, std::string_view contents) {
   out.flush();
   if (!out) {
     return Status::IOError("write failed for " + path);
+  }
+  return Status::OK();
+}
+
+Status Env::AppendFile(const std::string& path, std::string_view contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out) {
+    return Status::IOError("cannot open " + path + " for appending");
+  }
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  out.flush();
+  if (!out) {
+    return Status::IOError("append failed for " + path);
+  }
+  return Status::OK();
+}
+
+Status Env::SyncFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("cannot open " + path + " for sync");
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IOError("fsync failed for " + path);
   }
   return Status::OK();
 }
@@ -99,14 +128,22 @@ bool FaultInjectionEnv::ShouldFire(OpKind op) {
     case OpKind::kRename:
       matches = fault_ == Fault::kFailRename;
       break;
+    case OpKind::kSync:
+      matches = fault_ == Fault::kFailSync;
+      break;
     case OpKind::kWrite:
       matches = fault_ != Fault::kNone && fault_ != Fault::kFailRename &&
-                !IsReadFault(fault_);
+                fault_ != Fault::kFailSync && !IsReadFault(fault_);
       break;
   }
   if (!matches) return false;
   if (--fire_at_ > 0) return false;
   return true;
+}
+
+size_t FaultInjectionEnv::TornPrefix(size_t size) const {
+  if (torn_tail_bytes_ < 0) return size / 2;
+  return std::min(static_cast<size_t>(torn_tail_bytes_), size);
 }
 
 Result<std::string> FaultInjectionEnv::ReadFile(const std::string& path) {
@@ -153,19 +190,67 @@ Status FaultInjectionEnv::WriteFile(const std::string& path,
     case Fault::kShortWrite:
       // Half the bytes land; the env itself reports success.
       return base_->WriteFile(path, contents.substr(0, contents.size() / 2));
+    case Fault::kTornTailWrite:
+      return base_->WriteFile(path,
+                              contents.substr(0, TornPrefix(contents.size())));
     case Fault::kCorruptAfterWrite: {
       std::string copy(contents);
       if (!copy.empty()) copy[copy.size() / 2] ^= 0x40;
       return base_->WriteFile(path, copy);
     }
     case Fault::kCrashDuringWrite: {
-      // Leave a half-written temp file behind, then "die".
-      (void)base_->WriteFile(path, contents.substr(0, contents.size() / 2));
+      // Leave a partially-written file behind, then "die".
+      (void)base_->WriteFile(path,
+                             contents.substr(0, TornPrefix(contents.size())));
       throw InjectedCrash{path};
     }
     default:
       return base_->WriteFile(path, contents);
   }
+}
+
+Status FaultInjectionEnv::AppendFile(const std::string& path,
+                                     std::string_view contents) {
+  ++appends_seen_;
+  if (!ShouldFire(OpKind::kWrite)) {
+    return base_->AppendFile(path, contents);
+  }
+  const Fault fault = fault_;
+  Disarm();
+  switch (fault) {
+    case Fault::kFailWrite:
+      return Status::IOError("injected append failure for " + path);
+    case Fault::kShortWrite:
+      return base_->AppendFile(path, contents.substr(0, contents.size() / 2));
+    case Fault::kTornTailWrite:
+      // A prefix lands and the env reports success: the torn tail is only
+      // discoverable by the next recovery scan.
+      return base_->AppendFile(path,
+                               contents.substr(0, TornPrefix(contents.size())));
+    case Fault::kCorruptAfterWrite: {
+      std::string copy(contents);
+      if (!copy.empty()) copy[copy.size() / 2] ^= 0x40;
+      return base_->AppendFile(path, copy);
+    }
+    case Fault::kCrashDuringWrite: {
+      (void)base_->AppendFile(path,
+                              contents.substr(0, TornPrefix(contents.size())));
+      throw InjectedCrash{path};
+    }
+    default:
+      return base_->AppendFile(path, contents);
+  }
+}
+
+Status FaultInjectionEnv::SyncFile(const std::string& path) {
+  ++syncs_seen_;
+  if (!ShouldFire(OpKind::kSync)) {
+    return base_->SyncFile(path);
+  }
+  Disarm();
+  // The data may well be in the OS cache, but the barrier was never
+  // established: callers must not acknowledge anything as durable.
+  return Status::IOError("injected sync failure for " + path);
 }
 
 Status FaultInjectionEnv::RenameFile(const std::string& from,

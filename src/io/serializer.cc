@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/crc32.h"
+#include "io/atomic_write.h"
 
 namespace slime {
 namespace io {
@@ -59,7 +60,8 @@ bool BinaryReader::GetTensor(Tensor* t) {
 }
 
 Status WriteEnvelope(Env* env, const std::string& path,
-                     std::string_view magic, std::string_view payload) {
+                     std::string_view magic, std::string_view payload,
+                     bool sync_after) {
   SLIME_CHECK_EQ(magic.size(), 4u);
   std::string file;
   file.reserve(magic.size() + payload.size() + sizeof(uint32_t));
@@ -67,40 +69,7 @@ Status WriteEnvelope(Env* env, const std::string& path,
   file.append(payload);
   const uint32_t crc = Crc32(file);
   file.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
-
-  const std::string tmp = path + ".tmp";
-  Status st = env->WriteFile(tmp, file);
-  if (!st.ok()) {
-    env->RemoveFile(tmp);
-    return st;
-  }
-  // Read back and verify before renaming over the previous good file: a
-  // short write or post-write bit flip must fail the save, not silently
-  // replace a valid checkpoint with a corrupt one.
-  Result<std::string> readback = env->ReadFile(tmp);
-  if (!readback.ok()) {
-    env->RemoveFile(tmp);
-    return Status::IOError("cannot verify staged file " + tmp + ": " +
-                           readback.status().message());
-  }
-  if (readback.value().size() != file.size()) {
-    env->RemoveFile(tmp);
-    return Status::IOError(
-        "short write detected for " + tmp + ": wrote " +
-        std::to_string(file.size()) + " bytes, found " +
-        std::to_string(readback.value().size()));
-  }
-  if (readback.value() != file) {
-    env->RemoveFile(tmp);
-    return Status::Corruption("post-write corruption detected in " + tmp +
-                              " (CRC verification failed)");
-  }
-  st = env->RenameFile(tmp, path);
-  if (!st.ok()) {
-    env->RemoveFile(tmp);
-    return st;
-  }
-  return Status::OK();
+  return AtomicWriteFile(env, path, file, sync_after);
 }
 
 Result<std::string> ReadEnvelope(Env* env, const std::string& path,

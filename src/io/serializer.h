@@ -89,11 +89,15 @@ class BinaryReader {
 ///   crc32   uint32 over magic + payload
 ///
 /// WriteEnvelope stages the file at `path + ".tmp"`, reads it back and
-/// verifies size and CRC (catching short writes and post-write corruption
+/// verifies size and bytes (catching short writes and post-write corruption
 /// before they can clobber the previous good file), then atomically renames
-/// over `path`. On any failure the previous `path` contents are untouched.
+/// over `path` — the shared io::AtomicWriteFile protocol. On any failure the
+/// previous `path` contents are untouched. `sync_after` additionally fsyncs
+/// the renamed file: state-store snapshots need the envelope on stable
+/// storage before the WAL behind it may be truncated.
 Status WriteEnvelope(Env* env, const std::string& path,
-                     std::string_view magic, std::string_view payload);
+                     std::string_view magic, std::string_view payload,
+                     bool sync_after = false);
 
 /// Reads and verifies an envelope, returning the payload. Truncation, a
 /// magic mismatch and CRC failure all surface as Status::Corruption; a

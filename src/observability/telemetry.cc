@@ -3,6 +3,7 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "io/atomic_write.h"
 #include "io/env.h"
 #include "observability/export.h"
 
@@ -160,11 +161,10 @@ void TrainingTelemetry::Append(const std::string& line) {
 
 Status TrainingTelemetry::Flush() {
   if (jsonl_path_.empty()) return Status::OK();
-  // Checkpoint-style crash safety: stage the whole log, then atomically
-  // swap it in, so the file on disk is always a complete JSONL document.
-  const std::string tmp = jsonl_path_ + ".tmp";
-  Status s = env_->WriteFile(tmp, jsonl_);
-  if (s.ok()) s = env_->RenameFile(tmp, jsonl_path_);
+  // Checkpoint-style crash safety: stage the whole log, verify, then
+  // atomically swap it in, so the file on disk is always a complete JSONL
+  // document.
+  const Status s = io::AtomicWriteFile(env_, jsonl_path_, jsonl_);
   if (!s.ok() && status_.ok()) status_ = s;
   return s;
 }

@@ -97,6 +97,9 @@ ModelServer::ModelServer(const ModelServerOptions& options,
   request_nanos_ = metrics_->histogram("serving.request_nanos");
   full_pass_nanos_ = metrics_->histogram("serving.tier.full_pass_nanos");
   fast_pass_nanos_ = metrics_->histogram("serving.tier.fast_pass_nanos");
+  session_hits_ = metrics_->counter("state.session_hits");
+  session_misses_ = metrics_->counter("state.session_misses");
+  session_invalidations_ = metrics_->counter("state.session_invalidations");
   health_gauge_.Set(static_cast<int64_t>(state_));
   // Which kernel tier this process computes with (0 = scalar, 1 = simd), so
   // fleet dashboards can spot hosts that fell back.
@@ -515,6 +518,85 @@ Result<BatchServeResponse> ModelServer::ServeBatch(
     }
   }
   return out;
+}
+
+void ModelServer::AttachStateStore(
+    std::unique_ptr<state::StateStore> store) {
+  std::lock_guard<std::mutex> lock(session_mu_);
+  state_store_ = std::move(store);
+  session_cache_.clear();
+}
+
+Result<state::AppendAck> ModelServer::AppendEvent(
+    uint64_t user_id, const std::vector<int64_t>& items) {
+  if (state_store_ == nullptr) {
+    return Status::InvalidArgument(
+        "no state store attached (boot with a state dir)");
+  }
+  Result<state::AppendAck> ack = state_store_->Append(user_id, items);
+  if (!ack.ok()) return ack;
+  // The user's history changed: whatever was cached for them is stale.
+  {
+    std::lock_guard<std::mutex> lock(session_mu_);
+    if (session_cache_.erase(user_id) > 0) {
+      session_invalidations_.Increment();
+    }
+  }
+  return ack;
+}
+
+Result<ServeResponse> ModelServer::ServeSession(uint64_t user_id,
+                                                const ServeRequest& request) {
+  if (state_store_ == nullptr) {
+    return Status::InvalidArgument(
+        "no state store attached (boot with a state dir)");
+  }
+  // Snapshot the version *before* reading the history: an append racing in
+  // between makes the cached entry conservatively stale (extra miss), never
+  // wrongly fresh.
+  const int64_t version = state_store_->UserVersion(user_id);
+  const int64_t live_generation = generation();
+  {
+    std::lock_guard<std::mutex> lock(session_mu_);
+    auto it = session_cache_.find(user_id);
+    if (it != session_cache_.end() && it->second.version == version &&
+        it->second.generation == live_generation &&
+        it->second.top_k == request.options.top_k &&
+        it->second.exclude_seen == request.options.exclude_seen &&
+        request.options.exclude_items.empty()) {
+      session_hits_.Increment();
+      return it->second.response;
+    }
+  }
+  std::vector<int64_t> history = state_store_->History(user_id);
+  if (history.empty()) {
+    return Status::NotFound("no state for user " + std::to_string(user_id) +
+                            " (append events first)");
+  }
+  session_misses_.Increment();
+  ServeRequest live = request;
+  live.history = std::move(history);
+  Result<ServeResponse> response = Serve(live);
+  if (!response.ok()) return response;
+  if (request.options.exclude_items.empty()) {
+    SessionCacheEntry entry;
+    entry.version = version;
+    entry.generation = response.value().generation;
+    entry.top_k = request.options.top_k;
+    entry.exclude_seen = request.options.exclude_seen;
+    entry.response = response.value();
+    std::lock_guard<std::mutex> lock(session_mu_);
+    session_cache_[user_id] = std::move(entry);
+  }
+  return response;
+}
+
+Status ModelServer::ReloadStateFromDisk() {
+  if (state_store_ == nullptr) return Status::OK();
+  SLIME_RETURN_IF_ERROR(state_store_->Reload());
+  std::lock_guard<std::mutex> lock(session_mu_);
+  session_cache_.clear();
+  return Status::OK();
 }
 
 }  // namespace serving

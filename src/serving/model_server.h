@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -19,6 +20,7 @@
 #include "serving/cost_ewma.h"
 #include "serving/fallback.h"
 #include "serving/recommendation_service.h"
+#include "state/state_store.h"
 
 namespace slime {
 namespace serving {
@@ -213,6 +215,39 @@ class ModelServer {
   Result<ServeResponse> Serve(const ServeRequest& request);
   Result<BatchServeResponse> ServeBatch(const BatchServeRequest& request);
 
+  /// --- Streaming state (ROADMAP item 4; see docs/STATE.md) -------------
+  ///
+  /// Attaches a durable per-user state store: AppendEvent feeds it,
+  /// ServeSession reads live histories out of it. The server owns the
+  /// store from here on. Any previously cached session responses are
+  /// dropped.
+  void AttachStateStore(std::unique_ptr<state::StateStore> store);
+  /// The attached store, or nullptr. The pointer stays valid for the
+  /// server's lifetime (stores are attached once, at boot).
+  state::StateStore* state_store() const { return state_store_.get(); }
+
+  /// Durably appends interaction events for `user_id` (per the store's
+  /// SyncMode) and invalidates the user's cached session response — the
+  /// next ServeSession recomputes from the updated history. Fails with
+  /// InvalidArgument when no store is attached; a failed append (e.g. the
+  /// sync barrier could not run) means the event was NOT accepted.
+  Result<state::AppendAck> AppendEvent(uint64_t user_id,
+                                       const std::vector<int64_t>& items);
+
+  /// Serves a session request: like Serve, but the history is the user's
+  /// live state from the store (request.history is ignored). Responses are
+  /// cached per user and reused while (user state version, model
+  /// generation, ranking options) all match — the cached-inference
+  /// stand-in that AppendEvent invalidates. Unknown users fail with a
+  /// typed NotFound (append first).
+  Result<ServeResponse> ServeSession(uint64_t user_id,
+                                     const ServeRequest& request);
+
+  /// Re-runs state recovery from disk, discarding in-memory state and the
+  /// session cache — the "restarted process" drill used by
+  /// cluster::ClusterServer::RestoreShard. No-op without a store.
+  Status ReloadStateFromDisk();
+
   /// Validated hot reload; see class comment. Serialised against other
   /// reloads; concurrent requests keep serving the previous model until
   /// the swap. Returns the load/validation error on rollback.
@@ -267,6 +302,23 @@ class ModelServer {
   mutable std::mutex state_mu_;  // health state + recovery hysteresis
   HealthState state_ = HealthState::kStarting;
   int64_t consecutive_full_ = 0;
+
+  /// Streaming-state tier. The cache entry is the response computed from
+  /// (user state version, model generation, ranking options); any append
+  /// or reload changes one of those and the entry stops matching.
+  struct SessionCacheEntry {
+    int64_t version = 0;
+    int64_t generation = 0;
+    int64_t top_k = 0;
+    bool exclude_seen = false;
+    ServeResponse response;
+  };
+  std::unique_ptr<state::StateStore> state_store_;
+  std::mutex session_mu_;  // guards session_cache_
+  std::unordered_map<uint64_t, SessionCacheEntry> session_cache_;
+  obs::Counter session_hits_;
+  obs::Counter session_misses_;
+  obs::Counter session_invalidations_;
 
   /// Registry the counters/gauges/histograms below are handles into: the
   /// injected options.metrics, or the private owned_metrics_ fallback.

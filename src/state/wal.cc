@@ -1,0 +1,132 @@
+#include "state/wal.h"
+
+#include <cstring>
+
+#include "common/crc32.h"
+
+namespace slime {
+namespace state {
+
+namespace {
+
+template <typename T>
+void AppendPod(std::string* out, T v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T ReadPod(const char* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+}  // namespace
+
+std::string WriteAheadLog::EncodeFrame(uint64_t seq,
+                                       std::string_view payload) {
+  std::string body;
+  body.reserve(sizeof(uint32_t) + sizeof(uint64_t) + payload.size());
+  AppendPod(&body, static_cast<uint32_t>(payload.size()));
+  AppendPod(&body, seq);
+  body.append(payload);
+  const uint32_t crc = Crc32(body);
+  std::string frame;
+  frame.reserve(sizeof(crc) + body.size());
+  AppendPod(&frame, crc);
+  frame.append(body);
+  return frame;
+}
+
+Status WriteAheadLog::Append(uint64_t seq, std::string_view payload) {
+  if (payload.size() > kMaxPayload) {
+    return Status::InvalidArgument(
+        "WAL payload too large: " + std::to_string(payload.size()) +
+        " bytes (max " + std::to_string(kMaxPayload) + ")");
+  }
+  return env_->AppendFile(path_, EncodeFrame(seq, payload));
+}
+
+Status WriteAheadLog::Sync() { return env_->SyncFile(path_); }
+
+Status WriteAheadLog::Reset() {
+  SLIME_RETURN_IF_ERROR(env_->WriteFile(path_, std::string_view()));
+  return env_->SyncFile(path_);
+}
+
+Result<std::vector<WalRecord>> WriteAheadLog::Scan(io::Env* env,
+                                                   const std::string& path,
+                                                   WalScanReport* report) {
+  *report = WalScanReport();
+  std::vector<WalRecord> records;
+  if (!env->FileExists(path)) {
+    return records;  // a log never written is an empty log
+  }
+  Result<std::string> file = env->ReadFile(path);
+  if (!file.ok()) return file.status();
+  const std::string& bytes = file.value();
+
+  size_t pos = 0;
+  Status bad = Status::OK();
+  while (pos < bytes.size()) {
+    const size_t remaining = bytes.size() - pos;
+    if (remaining < kFrameHeader) {
+      bad = Status::Corruption("torn WAL frame header at offset " +
+                               std::to_string(pos) + ": " +
+                               std::to_string(remaining) + " of " +
+                               std::to_string(kFrameHeader) + " bytes");
+      break;
+    }
+    const char* p = bytes.data() + pos;
+    const uint32_t stored_crc = ReadPod<uint32_t>(p);
+    const uint32_t length = ReadPod<uint32_t>(p + 4);
+    const uint64_t seq = ReadPod<uint64_t>(p + 8);
+    if (length > kMaxPayload) {
+      bad = Status::Corruption("corrupt WAL frame at offset " +
+                               std::to_string(pos) + ": claimed payload " +
+                               std::to_string(length) + " bytes exceeds max");
+      break;
+    }
+    if (remaining - kFrameHeader < length) {
+      bad = Status::Corruption(
+          "torn WAL payload at offset " + std::to_string(pos) + ": frame " +
+          "claims " + std::to_string(length) + " bytes, " +
+          std::to_string(remaining - kFrameHeader) + " present");
+      break;
+    }
+    const uint32_t actual_crc = Crc32(p + 4, kFrameHeader - 4 + length);
+    if (stored_crc != actual_crc) {
+      bad = Status::Corruption("WAL CRC mismatch at offset " +
+                               std::to_string(pos) + " (seq " +
+                               std::to_string(seq) + "): stored " +
+                               std::to_string(stored_crc) + ", computed " +
+                               std::to_string(actual_crc));
+      break;
+    }
+    if (!records.empty() && seq != records.back().seq + 1) {
+      // Appends are strictly ordered; a gap or repeat means the frame
+      // boundary resynchronised on garbage that happened to checksum.
+      bad = Status::Corruption("WAL sequence break at offset " +
+                               std::to_string(pos) + ": seq " +
+                               std::to_string(seq) + " after " +
+                               std::to_string(records.back().seq));
+      break;
+    }
+    WalRecord rec;
+    rec.seq = seq;
+    rec.payload.assign(p + kFrameHeader, length);
+    records.push_back(std::move(rec));
+    pos += kFrameHeader + length;
+  }
+
+  report->records = static_cast<int64_t>(records.size());
+  report->last_seq = records.empty() ? 0 : records.back().seq;
+  report->valid_bytes = static_cast<int64_t>(pos);
+  report->bytes_truncated = static_cast<int64_t>(bytes.size() - pos);
+  report->torn = report->bytes_truncated > 0;
+  report->tail_status = bad;
+  return records;
+}
+
+}  // namespace state
+}  // namespace slime

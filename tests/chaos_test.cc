@@ -17,6 +17,8 @@
 
 #include <string>
 
+#include "compute/thread_pool.h"
+
 namespace slime {
 namespace chaos {
 namespace {
@@ -58,6 +60,27 @@ TEST(ChaosPipelineTest, SameSeedRunsAreBitIdentical) {
   EXPECT_EQ(first.value().telemetry_jsonl, second.value().telemetry_jsonl);
   EXPECT_EQ(first.value().quarantine.ToJsonl(),
             second.value().quarantine.ToJsonl());
+}
+
+TEST(ChaosPipelineTest, EventLogIsIdenticalAcrossComputeThreadCounts) {
+  // The pipeline (state-store recoveries included) must be a pure function
+  // of the seed, independent of compute-pool width.
+  const ChaosOptions options = Options(23);
+  std::string baseline;
+  for (const int threads : {1, 2, 8}) {
+    compute::SetNumThreads(threads);
+    const Result<ChaosResult> r = RunChaosPipeline(options);
+    ASSERT_TRUE(r.ok()) << "threads " << threads << ": "
+                        << r.status().ToString();
+    EXPECT_TRUE(r.value().invariants_ok)
+        << "threads " << threads << ": " << r.value().failure;
+    if (baseline.empty()) {
+      baseline = r.value().EventLog();
+    } else {
+      EXPECT_EQ(r.value().EventLog(), baseline) << "threads " << threads;
+    }
+  }
+  compute::SetNumThreads(0);  // restore the default pool
 }
 
 TEST(ChaosPipelineTest, DifferentSeedsScheduleDifferentFaults) {

@@ -13,6 +13,17 @@
 //              [--max-inflight M] [--rate QPS] [--burst B]
 //              [--fast-path-len n] [--canaries C] [--reload CKPT2]
 //              [--metrics-out FILE] [--shards N] [--replication R]
+//              [--state-dir DIR] [--state-sync always|group|none]
+//   append-events --state-dir DIR --events FILE
+//              [--state-sync always|group|none] [--compact 1]
+//
+// With --state-dir, `serve` opens the durable per-user state store (WAL +
+// snapshot, see docs/STATE.md), streams each traffic user's history into
+// it as append events, and serves from live state (ServeSession) instead
+// of request-supplied histories. `append-events` is the offline
+// ingestion/backfill path: it replays a plain-text event file (one
+// "user item item..." line per event) into the store and prints the
+// recovery report, so a crash-repaired WAL is visible.
 //
 // With --shards N (N >= 2) `serve` boots a replicated in-process cluster
 // (src/cluster/) instead of a single server: user keys route by consistent
@@ -54,6 +65,7 @@
 #include "observability/telemetry.h"
 #include "observability/trace.h"
 #include "serving/model_server.h"
+#include "state/state_store.h"
 #include "train/trainer.h"
 
 namespace slime {
@@ -340,6 +352,106 @@ int CmdRecommend(const Flags& flags) {
   return 0;
 }
 
+/// Parses --state-sync (default "group") or exits with the valid set.
+state::SyncMode SyncModeOrDie(const Flags& flags) {
+  const Result<state::SyncMode> mode =
+      state::ParseSyncMode(flags.Get("state-sync", "group"));
+  if (!mode.ok()) {
+    std::fprintf(stderr, "invalid --state-sync: %s\n",
+                 mode.status().message().c_str());
+    std::exit(2);
+  }
+  return mode.value();
+}
+
+/// Opens the state store at --state-dir and prints its recovery report —
+/// the first thing an operator wants after a crash: what was replayed and
+/// whether a torn WAL tail was repaired (with exact byte accounting).
+Result<std::unique_ptr<state::StateStore>> OpenStateStore(
+    const Flags& flags, obs::MetricsRegistry* metrics, obs::Tracer* tracer) {
+  state::StateStoreOptions sopts;
+  sopts.dir = flags.Require("state-dir");
+  sopts.sync = SyncModeOrDie(flags);
+  sopts.metrics = metrics;
+  sopts.tracer = tracer;
+  Result<std::unique_ptr<state::StateStore>> store =
+      state::StateStore::Open(sopts);
+  if (!store.ok()) return store;
+  const state::RecoveryReport& rec = store.value()->recovery();
+  std::printf("state recovered: %lld record(s) replayed, %lld byte(s) "
+              "truncated, %lld user(s), sync %s%s\n",
+              static_cast<long long>(rec.wal_records_replayed),
+              static_cast<long long>(rec.wal_bytes_truncated),
+              static_cast<long long>(rec.users),
+              state::SyncModeName(sopts.sync),
+              rec.wal_torn ? " (torn tail repaired)" : "");
+  return store;
+}
+
+/// `append-events --state-dir DIR --events FILE`: offline ingestion into
+/// the durable state store. Each non-blank line of the events file is one
+/// append: a user id followed by one or more item ids.
+int CmdAppendEvents(const Flags& flags) {
+  Result<std::unique_ptr<state::StateStore>> opened =
+      OpenStateStore(flags, nullptr, nullptr);
+  if (!opened.ok()) return Fail(opened.status());
+  std::unique_ptr<state::StateStore> store = std::move(opened.value());
+
+  const std::string events_path = flags.Require("events");
+  const Result<std::string> text = io::Env::Default()->ReadFile(events_path);
+  if (!text.ok()) return Fail(text.status());
+  int64_t appended = 0;
+  int64_t total_items = 0;
+  int64_t line_no = 0;
+  for (const std::string& raw : Split(text.value(), '\n')) {
+    ++line_no;
+    const std::string line = Trim(raw);
+    if (line.empty()) continue;
+    uint64_t user = 0;
+    std::vector<int64_t> items;
+    bool first = true;
+    for (const std::string& token : Split(line, ' ')) {
+      if (token.empty()) continue;
+      char* end = nullptr;
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      if (end == token.c_str() || *end != '\0' || (first && v < 0)) {
+        return Fail(Status::InvalidArgument(
+            events_path + ":" + std::to_string(line_no) +
+            ": bad token '" + token + "' (want: user item [item ...])"));
+      }
+      if (first) {
+        user = static_cast<uint64_t>(v);
+        first = false;
+      } else {
+        items.push_back(v);
+      }
+    }
+    const Result<state::AppendAck> ack = store->Append(user, items);
+    if (!ack.ok()) {
+      std::fprintf(stderr, "%s:%lld: ", events_path.c_str(),
+                   static_cast<long long>(line_no));
+      return Fail(ack.status());
+    }
+    ++appended;
+    total_items += static_cast<int64_t>(items.size());
+  }
+  const Status synced = store->Sync();
+  if (!synced.ok()) return Fail(synced);
+  if (flags.GetInt("compact", 0) != 0) {
+    const Status cs = store->Compact();
+    if (!cs.ok()) return Fail(cs);
+    std::printf("compacted: snapshot covers %lld user(s), WAL truncated\n",
+                static_cast<long long>(store->num_users()));
+  }
+  std::printf("appended %lld event(s) (%lld item(s)); %lld user(s), "
+              "last_seq %llu\n",
+              static_cast<long long>(appended),
+              static_cast<long long>(total_items),
+              static_cast<long long>(store->num_users()),
+              static_cast<unsigned long long>(store->last_seq()));
+  return 0;
+}
+
 /// `serve --shards N` (N >= 2): the same traffic against a replicated
 /// ClusterServer instead of a single ModelServer. Each request routes by
 /// user key through the consistent-hash ring; --reload becomes a rolling
@@ -359,6 +471,11 @@ int CmdServeCluster(const Flags& flags, const data::SplitDataset& split,
   opts.shard.admission.tokens_per_second = flags.GetDouble("rate", 0.0);
   opts.shard.admission.burst = flags.GetDouble("burst", 32.0);
   opts.shard.fast_path_history_len = flags.GetInt("fast-path-len", 8);
+  const std::string state_dir = flags.Get("state-dir");
+  if (!state_dir.empty()) {
+    opts.state_dir = state_dir;
+    opts.state_sync = SyncModeOrDie(flags);
+  }
 
   const std::string metrics_out = flags.Get("metrics-out");
   obs::MetricsRegistry registry;
@@ -376,23 +493,52 @@ int CmdServeCluster(const Flags& flags, const data::SplitDataset& split,
   fleet.set_fallback(serving::PopularityFallback::FromSplit(split));
   const Status start = fleet.StartFromCheckpoint(flags.Require("load"));
   if (!start.ok()) return Fail(start);
+  if (!state_dir.empty()) {
+    for (int64_t s = 0; s < shards; ++s) {
+      const state::RecoveryReport& rec =
+          fleet.shard_server(s)->state_store()->recovery();
+      std::printf("state shard %lld recovered: %lld record(s), %lld "
+                  "user(s)%s\n",
+                  static_cast<long long>(s),
+                  static_cast<long long>(rec.wal_records_replayed),
+                  static_cast<long long>(rec.users),
+                  rec.wal_torn ? " (torn tail repaired)" : "");
+    }
+  }
 
   serving::RecommendOptions ropts;
   ropts.top_k = flags.GetInt("topk", 10);
   const int64_t requests = flags.GetInt("requests", 32);
   const std::string reload = flags.Get("reload");
   int64_t ok_count = 0, shed_count = 0, deadline_count = 0, other_err = 0;
+  int64_t state_appends = 0;
+  std::vector<bool> streamed(static_cast<size_t>(split.num_users()), false);
   for (int64_t i = 0; i < requests; ++i) {
     if (!reload.empty() && i == requests / 2) {
       const Status rs = fleet.RollingReload(reload);
       std::printf("rolling reload %s: %s\n", reload.c_str(),
                   rs.ok() ? "installed on all shards" : rs.ToString().c_str());
     }
+    const int64_t user = i % split.num_users();
     serving::ServeRequest req;
-    req.history = split.TestInput(i % split.num_users());
     req.options = ropts;
     const Result<serving::ServeResponse> r =
-        fleet.Serve(static_cast<uint64_t>(i), req);
+        [&]() -> Result<serving::ServeResponse> {
+      if (state_dir.empty()) {
+        req.history = split.TestInput(user);
+        return fleet.Serve(static_cast<uint64_t>(i), req);
+      }
+      // Stream each user's history in as a replicated append the first
+      // time they show up, then serve from live state.
+      if (!streamed[static_cast<size_t>(user)]) {
+        const Result<state::AppendAck> ack = fleet.AppendEvent(
+            static_cast<uint64_t>(user), split.TestInput(user));
+        if (!ack.ok()) return ack.status();
+        streamed[static_cast<size_t>(user)] = true;
+        ++state_appends;
+      }
+      return fleet.ServeSession(static_cast<uint64_t>(user), req);
+    }();
     if (r.ok()) {
       ++ok_count;
     } else if (r.status().code() == Status::Code::kResourceExhausted) {
@@ -418,6 +564,12 @@ int CmdServeCluster(const Flags& flags, const data::SplitDataset& split,
                 std::to_string(stats.ejections),
                 std::to_string(stats.typed_failures)});
   table.Print();
+  if (!state_dir.empty()) {
+    std::printf("state: %lld replicated append(s) across %lld shard "
+                "store(s)\n",
+                static_cast<long long>(state_appends),
+                static_cast<long long>(shards));
+  }
   std::printf("requests ok %lld, shed %lld, deadline %lld, errors %lld\n",
               static_cast<long long>(ok_count),
               static_cast<long long>(shed_count),
@@ -467,12 +619,22 @@ int CmdServe(const Flags& flags) {
   server.set_fallback(serving::PopularityFallback::FromSplit(split));
   const Status start = server.StartFromCheckpoint(flags.Require("load"));
   if (!start.ok()) return Fail(start);
+  const std::string state_dir = flags.Get("state-dir");
+  if (!state_dir.empty()) {
+    Result<std::unique_ptr<state::StateStore>> store = OpenStateStore(
+        flags, metrics_out.empty() ? nullptr : &registry,
+        metrics_out.empty() ? nullptr : &tracer);
+    if (!store.ok()) return Fail(store.status());
+    server.AttachStateStore(std::move(store.value()));
+  }
 
   serving::RecommendOptions ropts;
   ropts.top_k = flags.GetInt("topk", 10);
   const int64_t requests = flags.GetInt("requests", 32);
   const std::string reload = flags.Get("reload");
   int64_t ok_count = 0, shed_count = 0, deadline_count = 0, other_err = 0;
+  int64_t state_appends = 0;
+  std::vector<bool> streamed(static_cast<size_t>(split.num_users()), false);
   for (int64_t i = 0; i < requests; ++i) {
     // Demonstrate validated hot reload halfway through the traffic; a
     // rollback (bad checkpoint) is reported but traffic keeps flowing on
@@ -482,10 +644,26 @@ int CmdServe(const Flags& flags) {
       std::printf("reload %s: %s\n", reload.c_str(),
                   rs.ok() ? "installed" : rs.ToString().c_str());
     }
+    const int64_t user = i % split.num_users();
     serving::ServeRequest req;
-    req.history = split.TestInput(i % split.num_users());
     req.options = ropts;
-    const Result<serving::ServeResponse> r = server.Serve(req);
+    const Result<serving::ServeResponse> r =
+        [&]() -> Result<serving::ServeResponse> {
+      if (state_dir.empty()) {
+        req.history = split.TestInput(user);
+        return server.Serve(req);
+      }
+      // Stream each user's history in as an append the first time they
+      // show up, then serve from the store's live state.
+      if (!streamed[static_cast<size_t>(user)]) {
+        const Result<state::AppendAck> ack = server.AppendEvent(
+            static_cast<uint64_t>(user), split.TestInput(user));
+        if (!ack.ok()) return ack.status();
+        streamed[static_cast<size_t>(user)] = true;
+        ++state_appends;
+      }
+      return server.ServeSession(static_cast<uint64_t>(user), req);
+    }();
     if (r.ok()) {
       ++ok_count;
     } else if (r.status().code() == Status::Code::kResourceExhausted) {
@@ -495,6 +673,18 @@ int CmdServe(const Flags& flags) {
     } else {
       ++other_err;
     }
+  }
+  if (!state_dir.empty()) {
+    // Fold the streamed events into a durable snapshot before exit, so the
+    // next boot recovers from the snapshot instead of a long WAL replay.
+    const Status compacted = server.state_store()->Compact();
+    std::printf("state: %lld append(s), %lld user(s), last_seq %llu, "
+                "compaction %s\n",
+                static_cast<long long>(state_appends),
+                static_cast<long long>(server.state_store()->num_users()),
+                static_cast<unsigned long long>(
+                    server.state_store()->last_seq()),
+                compacted.ok() ? "ok" : compacted.ToString().c_str());
   }
 
   const serving::ServerStats stats = server.stats();
@@ -528,7 +718,8 @@ int CmdServe(const Flags& flags) {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: slime4rec_cli <stats|generate|train|evaluate|recommend|serve> "
+      "usage: slime4rec_cli "
+      "<stats|generate|train|evaluate|recommend|serve|append-events> "
       "[--flag value ...]\n"
       "  global    [--threads N]  compute threads (default: "
       "SLIME_NUM_THREADS or hardware)\n"
@@ -551,7 +742,11 @@ int Usage() {
       "[--fast-path-len 8]\n"
       "            [--canaries 8] [--reload CKPT2] [--metrics-out FILE]\n"
       "            [--shards 1] [--replication 2]   (cluster mode when "
-      "--shards >= 2)\n");
+      "--shards >= 2)\n"
+      "            [--state-dir DIR] [--state-sync always|group|none]  "
+      "(durable session state, docs/STATE.md)\n"
+      "  append-events --state-dir DIR --events FILE "
+      "[--state-sync group] [--compact 1]\n");
   return 2;
 }
 
@@ -597,6 +792,7 @@ int Main(int argc, char** argv) {
   if (cmd == "evaluate") return CmdEvaluate(flags);
   if (cmd == "recommend") return CmdRecommend(flags);
   if (cmd == "serve") return CmdServe(flags);
+  if (cmd == "append-events") return CmdAppendEvents(flags);
   return Usage();
 }
 
