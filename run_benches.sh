@@ -31,8 +31,14 @@ case "${1:-main}" in
   *)       BENCHES="$*" ;;
 esac
 
+FAILED=0
 for b in $BENCHES; do
   echo "=== $b start $(date +%H:%M:%S) ==="
   ./$b > /root/repo/bench_logs/$b.log 2>&1
-  echo "=== $b done  $(date +%H:%M:%S) rc=$? ==="
+  rc=$?
+  echo "=== $b done  $(date +%H:%M:%S) rc=$rc ==="
+  # bench_kernels exits nonzero when a per-arm CRC bit-identity or
+  # packed-rfft quality gate fails; surface that instead of swallowing it.
+  if [ $rc -ne 0 ]; then FAILED=1; fi
 done
+exit $FAILED

@@ -41,6 +41,16 @@ class CheckMessageBuilder {
 
 /// Checks an invariant; aborts with file/line and an optional streamed
 /// message on failure. Enabled in all build types.
+/// No-alias pointer qualifier for hot loops where the compiler cannot
+/// otherwise prove distinct buffers (e.g. the FFT recombination passes,
+/// whose scratch and output planes come from different allocations but
+/// reach the loop as plain float*).
+#if defined(_MSC_VER)
+#define SLIME_RESTRICT __restrict
+#else
+#define SLIME_RESTRICT __restrict__
+#endif
+
 #define SLIME_CHECK(expr)                                                  \
   if (!(expr))                                                             \
   ::slime::internal::CheckFailed(__FILE__, __LINE__, #expr,                \

@@ -89,8 +89,78 @@ class VerticalFftPlan {
   VerticalFftPlan* inner_ = nullptr;
 };
 
-/// Returns a process-cached plan for length n.
+/// A real-input "vertical" transform plan: the half-spectrum fast path for
+/// the filter mixer's FFT -> ComplexMul -> iFFT hot loop. Computes the
+/// forward rfft of an (n, d) real block into (m, d) half-spectrum planes
+/// (m = RfftBins(n)) and the matching half-spectrum inverse, doing roughly
+/// half the butterfly work of the full complex VerticalFftPlan:
+///
+/// - even n packs adjacent time samples z_j = x_{2j} + i*x_{2j+1} through a
+///   length-n/2 complex transform and recombines X_k = E_k + w^k O_k from
+///   the even/odd sub-spectra via conjugate symmetry (the classic packed
+///   real-FFT trick; see docs/MATH_NOTES.md section 8);
+/// - odd n > 1 runs a real-input Bluestein variant: adjacent *columns* are
+///   packed z = col_{2p} + i*col_{2p+1} through the full-length complex
+///   (Bluestein) plan and the two interleaved half spectra are separated
+///   with X1_k = (Z_k + conj(Z_{n-k}))/2, X2_k = (Z_k - conj(Z_{n-k}))/(2i),
+///   halving the number of transformed columns.
+///
+/// Neither direction materialises the mirrored bins k >= m of any single
+/// column's spectrum. Conventions match the scalar reference ops:
+/// Forward == RfftForward per column; Inverse with scale = 1/n ==
+/// IrfftForward per column (the DC and, for even n, Nyquist imaginary
+/// inputs are ignored, exactly like the full-spectrum operator). The exact
+/// adjoints of both directions are linear-time rescalings of these same two
+/// entry points (MATH_NOTES.md section 8), so autograd backward passes ride
+/// the fast path too.
+class VerticalRfftPlan {
+ public:
+  explicit VerticalRfftPlan(int64_t n);
+  ~VerticalRfftPlan();
+  VerticalRfftPlan(const VerticalRfftPlan&) = delete;
+  VerticalRfftPlan& operator=(const VerticalRfftPlan&) = delete;
+
+  int64_t n() const { return n_; }
+  int64_t bins() const { return m_; }
+
+  /// Forward rfft of the (n, d) real row-major block `x` into the (m, d)
+  /// half-spectrum planes. `x` is left untouched; outputs must not alias it.
+  void Forward(const float* x, int64_t d, float* out_re, float* out_im) const;
+
+  /// Half-spectrum inverse: (m, d) planes -> (n, d) real block, with every
+  /// output multiplied by `scale` (pass 1.0f/n for irfft, 1.0f for the
+  /// unnormalised conjugate-symmetric inverse used by the Rfft adjoint).
+  /// The imaginary parts of the DC and (even n) Nyquist rows are ignored,
+  /// matching IrfftForward. `x` must not alias the inputs.
+  void Inverse(const float* re, const float* im, int64_t d, float* x,
+               float scale) const;
+
+  /// Rough flop count per transformed column, for grain planning
+  /// (compute::GrainForWork). Depends only on n.
+  int64_t CostPerColumn() const;
+
+ private:
+  int64_t n_;
+  int64_t m_;
+  bool even_;
+  // Even path: length-n/2 complex plan + recombination twiddles
+  // w_k = e^{-2 pi i k / n}, k in [0, n/2].
+  VerticalFftPlan* half_ = nullptr;
+  std::vector<float> w_re_;
+  std::vector<float> w_im_;
+  // Odd path: full-length complex (Bluestein) plan fed packed column pairs.
+  VerticalFftPlan* full_ = nullptr;
+};
+
+/// Returns a process-cached plan for length n. The cache is shared by all
+/// threads (plans are immutable after construction and Transform is const).
 const VerticalFftPlan& GetVerticalPlan(int64_t n);
+
+/// Process-cached real-input plan for length n; same sharing contract.
+const VerticalRfftPlan& GetVerticalRfftPlan(int64_t n);
+
+/// Rough flop count per column of GetVerticalPlan(n), for grain planning.
+int64_t VerticalPlanCostPerColumn(int64_t n);
 
 }  // namespace fft
 }  // namespace slime

@@ -1,6 +1,7 @@
 #include "fft/spectral_ops.h"
 
 #include <algorithm>
+#include <atomic>
 #include <vector>
 
 #include "autograd/ops.h"
@@ -19,13 +20,21 @@ using autograd::Variable;
 using compute::GrainForWork;
 using compute::ParallelFor;
 
-/// Per-thread (n, d) scratch pair for the vertical transforms.
+std::atomic<int> g_rfft_path{static_cast<int>(RfftPath::kPacked)};
+
+/// Per-thread scratch pair for the vertical transforms. Grow-only and never
+/// zero-filled here: every user overwrites exactly the entries the
+/// downstream transform reads (the old blanket Reset() zeroed 2*n*d floats
+/// per batch item even though e.g. the reference rfft forward rewrites the
+/// whole real plane and only needs the imaginary plane cleared).
 struct Scratch2D {
   std::vector<float> re;
   std::vector<float> im;
-  void Reset(int64_t n, int64_t d) {
-    re.assign(n * d, 0.0f);
-    im.assign(n * d, 0.0f);
+  void Ensure(int64_t size) {
+    if (static_cast<int64_t>(re.size()) < size) {
+      re.resize(size);
+      im.resize(size);
+    }
   }
 };
 
@@ -34,7 +43,26 @@ Scratch2D& GetScratch() {
   return s;
 }
 
+/// Grain for the per-batch-item loops: batches tiny transforms into one
+/// chunk, keeps big ones at one item per chunk. Depends only on (path, n,
+/// d), so the decomposition stays thread-count-invariant.
+int64_t BatchGrain(RfftPath path, int64_t n, int64_t d) {
+  const int64_t per_column = path == RfftPath::kPacked
+                                 ? GetVerticalRfftPlan(n).CostPerColumn()
+                                 : VerticalPlanCostPerColumn(n);
+  return GrainForWork(per_column * d);
+}
+
 }  // namespace
+
+RfftPath ActiveRfftPath() {
+  return static_cast<RfftPath>(g_rfft_path.load(std::memory_order_relaxed));
+}
+
+RfftPath SetRfftPath(RfftPath path) {
+  return static_cast<RfftPath>(g_rfft_path.exchange(
+      static_cast<int>(path), std::memory_order_relaxed));
+}
 
 SpectralPair Rfft(const Variable& x) {
   const Tensor& xt = x.value();
@@ -43,41 +71,84 @@ SpectralPair Rfft(const Variable& x) {
   const int64_t n = xt.size(1);
   const int64_t d = xt.size(2);
   const int64_t m = RfftBins(n);
-  const VerticalFftPlan& plan = GetVerticalPlan(n);
+  const RfftPath path = ActiveRfftPath();
+  const int64_t grain = BatchGrain(path, n, d);
   Tensor re({b, m, d});
   Tensor im({b, m, d});
-  // One chunk per batch item: every item is an independent transform into a
-  // disjoint output slice, and the thread_local scratch is per worker.
-  ParallelFor(0, b, 1, [&](int64_t lo, int64_t hi) {
-    Scratch2D& s = GetScratch();
-    for (int64_t bi = lo; bi < hi; ++bi) {
-      s.Reset(n, d);
-      std::copy(xt.data() + bi * n * d, xt.data() + (bi + 1) * n * d,
-                s.re.data());
-      plan.Transform(s.re.data(), s.im.data(), d, /*inverse=*/false);
-      std::copy(s.re.data(), s.re.data() + m * d, re.data() + bi * m * d);
-      std::copy(s.im.data(), s.im.data() + m * d, im.data() + bi * m * d);
-    }
-  });
+  // Every batch item is an independent transform into a disjoint output
+  // slice; the per-thread scratch makes chunks self-contained.
+  if (path == RfftPath::kPacked) {
+    const VerticalRfftPlan& plan = GetVerticalRfftPlan(n);
+    ParallelFor(0, b, grain, [&](int64_t lo, int64_t hi) {
+      for (int64_t bi = lo; bi < hi; ++bi) {
+        plan.Forward(xt.data() + bi * n * d, d, re.data() + bi * m * d,
+                     im.data() + bi * m * d);
+      }
+    });
+  } else {
+    const VerticalFftPlan& plan = GetVerticalPlan(n);
+    ParallelFor(0, b, grain, [&](int64_t lo, int64_t hi) {
+      Scratch2D& s = GetScratch();
+      s.Ensure(n * d);
+      for (int64_t bi = lo; bi < hi; ++bi) {
+        std::copy(xt.data() + bi * n * d, xt.data() + (bi + 1) * n * d,
+                  s.re.data());
+        std::fill(s.im.data(), s.im.data() + n * d, 0.0f);
+        plan.Transform(s.re.data(), s.im.data(), d, /*inverse=*/false);
+        std::copy(s.re.data(), s.re.data() + m * d, re.data() + bi * m * d);
+        std::copy(s.im.data(), s.im.data() + m * d, im.data() + bi * m * d);
+      }
+    });
+  }
   auto xn = x.node();
   // The two outputs are independent linear functions of x; each backward
   // applies the adjoint with the other component's cotangent set to zero:
-  // g_x = Re(IDFT_unnormalised(zero-pad(g))).
-  auto make_backward = [xn, b, n, d, m](bool imag_component) {
-    return [xn, b, n, d, m, imag_component](const Tensor& g) {
-      const VerticalFftPlan& plan2 = GetVerticalPlan(n);
+  // g_x = Re(IDFT_unnormalised(zero-pad(g))). On the packed path this is
+  // the half-spectrum identity of MATH_NOTES.md section 8: halve the
+  // mirrored cotangent bins (drop the DC/Nyquist imaginary parts) and run
+  // the unnormalised half-spectrum inverse — no full complex plan anywhere.
+  auto make_backward = [xn, b, n, d, m, path, grain](bool imag_component) {
+    return [xn, b, n, d, m, path, grain, imag_component](const Tensor& g) {
       Tensor dx({b, n, d});
-      ParallelFor(0, b, 1, [&](int64_t lo, int64_t hi) {
-        Scratch2D& s2 = GetScratch();
-        for (int64_t bi = lo; bi < hi; ++bi) {
-          s2.Reset(n, d);
-          float* dst = imag_component ? s2.im.data() : s2.re.data();
-          std::copy(g.data() + bi * m * d, g.data() + (bi + 1) * m * d, dst);
-          plan2.Transform(s2.re.data(), s2.im.data(), d, /*inverse=*/true);
-          std::copy(s2.re.data(), s2.re.data() + n * d,
-                    dx.data() + bi * n * d);
-        }
-      });
+      if (path == RfftPath::kPacked) {
+        const VerticalRfftPlan& plan = GetVerticalRfftPlan(n);
+        ParallelFor(0, b, grain, [&](int64_t lo, int64_t hi) {
+          Scratch2D& s = GetScratch();
+          s.Ensure(m * d);
+          float* fill = imag_component ? s.im.data() : s.re.data();
+          float* zero = imag_component ? s.re.data() : s.im.data();
+          std::fill(zero, zero + m * d, 0.0f);
+          for (int64_t bi = lo; bi < hi; ++bi) {
+            const float* gsrc = g.data() + bi * m * d;
+            for (int64_t k = 0; k < m; ++k) {
+              const bool mirrored = (k >= 1 && k < (n + 1) / 2);
+              const float scale = mirrored ? 0.5f : 1.0f;
+              const float* src = gsrc + k * d;
+              float* dst = fill + k * d;
+              for (int64_t f = 0; f < d; ++f) dst[f] = src[f] * scale;
+            }
+            plan.Inverse(s.re.data(), s.im.data(), d,
+                         dx.data() + bi * n * d, /*scale=*/1.0f);
+          }
+        });
+      } else {
+        const VerticalFftPlan& plan = GetVerticalPlan(n);
+        ParallelFor(0, b, grain, [&](int64_t lo, int64_t hi) {
+          Scratch2D& s = GetScratch();
+          s.Ensure(n * d);
+          float* dst = imag_component ? s.im.data() : s.re.data();
+          float* other = imag_component ? s.re.data() : s.im.data();
+          for (int64_t bi = lo; bi < hi; ++bi) {
+            std::copy(g.data() + bi * m * d, g.data() + (bi + 1) * m * d,
+                      dst);
+            std::fill(dst + m * d, dst + n * d, 0.0f);  // zero-pad to n
+            std::fill(other, other + n * d, 0.0f);
+            plan.Transform(s.re.data(), s.im.data(), d, /*inverse=*/true);
+            std::copy(s.re.data(), s.re.data() + n * d,
+                      dx.data() + bi * n * d);
+          }
+        });
+      }
       AccumulateGrad(xn, dx);
     };
   };
@@ -95,74 +166,115 @@ Variable Irfft(const SpectralPair& spectrum, int64_t n) {
   const int64_t m = re.size(1);
   const int64_t d = re.size(2);
   SLIME_CHECK_EQ(RfftBins(n), m);
-  const VerticalFftPlan& plan = GetVerticalPlan(n);
+  const RfftPath path = ActiveRfftPath();
+  const int64_t grain = BatchGrain(path, n, d);
   const float inv_n = 1.0f / static_cast<float>(n);
   Tensor x({b, n, d});
-  ParallelFor(0, b, 1, [&](int64_t lo, int64_t hi) {
-    Scratch2D& s = GetScratch();
-    for (int64_t bi = lo; bi < hi; ++bi) {
-      s.Reset(n, d);
-      std::copy(re.data() + bi * m * d, re.data() + (bi + 1) * m * d,
-                s.re.data());
-      std::copy(im.data() + bi * m * d, im.data() + (bi + 1) * m * d,
-                s.im.data());
-      // Conjugate-symmetric extension (bins 1..ceil(n/2)-1 mirror to n-k).
-      for (int64_t k = 1; k < (n + 1) / 2; ++k) {
-        const float* src_re = s.re.data() + k * d;
-        const float* src_im = s.im.data() + k * d;
-        float* dst_re = s.re.data() + (n - k) * d;
-        float* dst_im = s.im.data() + (n - k) * d;
-        for (int64_t f = 0; f < d; ++f) {
-          dst_re[f] = src_re[f];
-          dst_im[f] = -src_im[f];
-        }
+  if (path == RfftPath::kPacked) {
+    const VerticalRfftPlan& plan = GetVerticalRfftPlan(n);
+    ParallelFor(0, b, grain, [&](int64_t lo, int64_t hi) {
+      for (int64_t bi = lo; bi < hi; ++bi) {
+        plan.Inverse(re.data() + bi * m * d, im.data() + bi * m * d, d,
+                     x.data() + bi * n * d, inv_n);
       }
-      plan.Transform(s.re.data(), s.im.data(), d, /*inverse=*/true);
-      float* out = x.data() + bi * n * d;
-      for (int64_t i = 0; i < n * d; ++i) out[i] = s.re[i] * inv_n;
-    }
-  });
+    });
+  } else {
+    const VerticalFftPlan& plan = GetVerticalPlan(n);
+    ParallelFor(0, b, grain, [&](int64_t lo, int64_t hi) {
+      Scratch2D& s = GetScratch();
+      s.Ensure(n * d);
+      for (int64_t bi = lo; bi < hi; ++bi) {
+        std::copy(re.data() + bi * m * d, re.data() + (bi + 1) * m * d,
+                  s.re.data());
+        std::copy(im.data() + bi * m * d, im.data() + (bi + 1) * m * d,
+                  s.im.data());
+        // Conjugate-symmetric extension (bins 1..ceil(n/2)-1 mirror to
+        // n-k); together the copied and mirrored rows cover all n rows, so
+        // no zero-fill is needed.
+        for (int64_t k = 1; k < (n + 1) / 2; ++k) {
+          const float* src_re = s.re.data() + k * d;
+          const float* src_im = s.im.data() + k * d;
+          float* dst_re = s.re.data() + (n - k) * d;
+          float* dst_im = s.im.data() + (n - k) * d;
+          for (int64_t f = 0; f < d; ++f) {
+            dst_re[f] = src_re[f];
+            dst_im[f] = -src_im[f];
+          }
+        }
+        plan.Transform(s.re.data(), s.im.data(), d, /*inverse=*/true);
+        float* out = x.data() + bi * n * d;
+        for (int64_t i = 0; i < n * d; ++i) out[i] = s.re[i] * inv_n;
+      }
+    });
+  }
   auto rn = spectrum.re.node();
   auto in_ = spectrum.im.node();
   return MakeOpVariable(
-      std::move(x), {rn, in_}, [rn, in_, b, n, d, m](const Tensor& g) {
+      std::move(x), {rn, in_},
+      [rn, in_, b, n, d, m, path, grain](const Tensor& g) {
         // Adjoint: G = (1/n) DFT(g); mirrored bins add Re(G_{n-k}) and
-        // subtract Im(G_{n-k}).
-        const VerticalFftPlan& plan2 = GetVerticalPlan(n);
+        // subtract Im(G_{n-k}). For real g that collapses to doubling the
+        // mirrored bins of the forward rfft of g (MATH_NOTES.md section 8),
+        // so the packed path is "rfft, then rescale rows".
         const float inv_n2 = 1.0f / static_cast<float>(n);
         Tensor dre({b, m, d});
         Tensor dim({b, m, d});
-        ParallelFor(0, b, 1, [&](int64_t lo, int64_t hi) {
-          Scratch2D& s2 = GetScratch();
-          for (int64_t bi = lo; bi < hi; ++bi) {
-            s2.Reset(n, d);
-            std::copy(g.data() + bi * n * d, g.data() + (bi + 1) * n * d,
-                      s2.re.data());
-            plan2.Transform(s2.re.data(), s2.im.data(), d,
-                            /*inverse=*/false);
-            for (int64_t k = 0; k < m; ++k) {
-              const bool mirrored = (k >= 1 && k < (n + 1) / 2);
-              const float* gr = s2.re.data() + k * d;
-              const float* gi = s2.im.data() + k * d;
-              const float* mr =
-                  mirrored ? s2.re.data() + (n - k) * d : nullptr;
-              const float* mi =
-                  mirrored ? s2.im.data() + (n - k) * d : nullptr;
-              float* out_r = dre.data() + (bi * m + k) * d;
-              float* out_i = dim.data() + (bi * m + k) * d;
-              for (int64_t f = 0; f < d; ++f) {
-                float r = gr[f];
-                float i = gi[f];
-                if (mirrored) {
-                  r += mr[f];
-                  i -= mi[f];
+        if (path == RfftPath::kPacked) {
+          const VerticalRfftPlan& plan = GetVerticalRfftPlan(n);
+          ParallelFor(0, b, grain, [&](int64_t lo, int64_t hi) {
+            for (int64_t bi = lo; bi < hi; ++bi) {
+              float* out_r = dre.data() + bi * m * d;
+              float* out_i = dim.data() + bi * m * d;
+              plan.Forward(g.data() + bi * n * d, d, out_r, out_i);
+              for (int64_t k = 0; k < m; ++k) {
+                const bool mirrored = (k >= 1 && k < (n + 1) / 2);
+                const float scale = mirrored ? 2.0f * inv_n2 : inv_n2;
+                float* r = out_r + k * d;
+                float* i = out_i + k * d;
+                for (int64_t f = 0; f < d; ++f) {
+                  r[f] *= scale;
+                  // The forward never reads the DC/Nyquist imaginary
+                  // inputs, so their cotangents are exactly zero.
+                  i[f] = mirrored ? i[f] * scale : 0.0f;
                 }
-                out_r[f] = r * inv_n2;
-                out_i[f] = i * inv_n2;
               }
             }
-          }
-        });
+          });
+        } else {
+          const VerticalFftPlan& plan = GetVerticalPlan(n);
+          ParallelFor(0, b, grain, [&](int64_t lo, int64_t hi) {
+            Scratch2D& s = GetScratch();
+            s.Ensure(n * d);
+            for (int64_t bi = lo; bi < hi; ++bi) {
+              std::copy(g.data() + bi * n * d, g.data() + (bi + 1) * n * d,
+                        s.re.data());
+              std::fill(s.im.data(), s.im.data() + n * d, 0.0f);
+              plan.Transform(s.re.data(), s.im.data(), d,
+                             /*inverse=*/false);
+              for (int64_t k = 0; k < m; ++k) {
+                const bool mirrored = (k >= 1 && k < (n + 1) / 2);
+                const float* gr = s.re.data() + k * d;
+                const float* gi = s.im.data() + k * d;
+                const float* mr =
+                    mirrored ? s.re.data() + (n - k) * d : nullptr;
+                const float* mi =
+                    mirrored ? s.im.data() + (n - k) * d : nullptr;
+                float* out_r = dre.data() + (bi * m + k) * d;
+                float* out_i = dim.data() + (bi * m + k) * d;
+                for (int64_t f = 0; f < d; ++f) {
+                  float r = gr[f];
+                  float i = gi[f];
+                  if (mirrored) {
+                    r += mr[f];
+                    i -= mi[f];
+                  }
+                  out_r[f] = r * inv_n2;
+                  out_i[f] = i * inv_n2;
+                }
+              }
+            }
+          });
+        }
         AccumulateGrad(rn, dre);
         AccumulateGrad(in_, dim);
       });

@@ -13,10 +13,40 @@ struct SpectralPair {
   autograd::Variable im;
 };
 
+/// Which implementation the differentiable Rfft/Irfft ops route through.
+/// Both are the same linear operators; they differ in rounding only. The
+/// packed path does roughly half the butterfly work (see VerticalRfftPlan).
+enum class RfftPath {
+  kPacked,       ///< half-spectrum real-input fast path (the default)
+  kFullComplex,  ///< full-length complex reference plan (the oracle)
+};
+
+/// The path new Rfft/Irfft ops will take. Each op captures the active path
+/// at forward time, so its backward always matches its forward.
+RfftPath ActiveRfftPath();
+
+/// Selects the path and returns the previous one. Like SetNumThreads, not
+/// thread-safe against concurrently running ops; intended for tests and the
+/// cross-path agreement gates (see docs/KERNELS.md).
+RfftPath SetRfftPath(RfftPath path);
+
+/// RAII path override for tests: applies `path`, restores on destruction.
+class RfftPathGuard {
+ public:
+  explicit RfftPathGuard(RfftPath path) : saved_(SetRfftPath(path)) {}
+  ~RfftPathGuard() { SetRfftPath(saved_); }
+  RfftPathGuard(const RfftPathGuard&) = delete;
+  RfftPathGuard& operator=(const RfftPathGuard&) = delete;
+
+ private:
+  RfftPath saved_;
+};
+
 /// Differentiable real FFT along axis 1 (the sequence axis) of a (B, N, d)
 /// tensor, matching Eq. (12) of the paper: each of the B*d length-N series
 /// is transformed independently. Returns (B, M, d) real/imag parts with
-/// M = RfftBins(N). Backward uses the exact adjoint operators of fft.h.
+/// M = RfftBins(N). Backward uses the exact adjoint operators of fft.h,
+/// riding the same path (packed or reference) as the forward did.
 SpectralPair Rfft(const autograd::Variable& x);
 
 /// Differentiable inverse real FFT along axis 1: (B, M, d) spectrum back to

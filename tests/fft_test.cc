@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <complex>
+#include <thread>
 
 #include "autograd/gradcheck.h"
 #include "autograd/ops.h"
@@ -166,8 +167,8 @@ TEST_P(RfftSizeTest, IrfftAdjointIsTransposeOfForward) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllSizes, RfftSizeTest,
-                         ::testing::Values(2, 3, 4, 5, 8, 12, 16, 25, 32, 50,
-                                           64, 75, 100));
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 12, 16, 25, 32,
+                                           50, 64, 75, 100));
 
 TEST(SpectralOpsTest, RfftShapes) {
   Rng rng(1);
@@ -319,6 +320,286 @@ TEST_P(VerticalPlanTest, AgreesWithScalarReferenceForwardAndInverse) {
 INSTANTIATE_TEST_SUITE_P(AllSizes, VerticalPlanTest,
                          ::testing::Values(1, 2, 4, 8, 16, 25, 32, 50, 64,
                                            75, 100, 128));
+
+// ---------------------------------------------------------------------------
+// VerticalRfftPlan: the packed half-spectrum fast path (ISSUE 9 tentpole).
+// The size list deliberately straddles every boundary of the mirror
+// classification k < (n+1)/2: n=1 (no mirrored bins), n=2 (DC+Nyquist only),
+// odd n (no Nyquist), pow2 and Bluestein lengths.
+// ---------------------------------------------------------------------------
+
+class VerticalRfftPlanTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(VerticalRfftPlanTest, ForwardMatchesNaiveDft) {
+  const int64_t n = GetParam();
+  const int64_t d = 3;
+  const int64_t m = RfftBins(n);
+  Rng rng(9000 + n);
+  std::vector<float> x(n * d);
+  for (auto& v : x) v = rng.Gaussian();
+  std::vector<float> re(m * d);
+  std::vector<float> im(m * d);
+  GetVerticalRfftPlan(n).Forward(x.data(), d, re.data(), im.data());
+  for (int64_t f = 0; f < d; ++f) {
+    std::vector<std::complex<double>> col(n);
+    for (int64_t t = 0; t < n; ++t) col[t] = {x[t * d + f], 0.0};
+    std::vector<std::complex<double>> naive;
+    NaiveDft(col, &naive, false);
+    for (int64_t k = 0; k < m; ++k) {
+      EXPECT_NEAR(re[k * d + f], naive[k].real(), 1e-4 * std::max<int64_t>(n, 8))
+          << "n=" << n << " k=" << k;
+      EXPECT_NEAR(im[k * d + f], naive[k].imag(), 1e-4 * std::max<int64_t>(n, 8))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST_P(VerticalRfftPlanTest, ForwardMatchesScalarReference) {
+  const int64_t n = GetParam();
+  const int64_t d = 4;
+  const int64_t m = RfftBins(n);
+  Rng rng(9100 + n);
+  std::vector<float> x(n * d);
+  for (auto& v : x) v = rng.Gaussian();
+  std::vector<float> re(m * d);
+  std::vector<float> im(m * d);
+  GetVerticalRfftPlan(n).Forward(x.data(), d, re.data(), im.data());
+  std::vector<float> col(n);
+  std::vector<float> sre(m);
+  std::vector<float> sim(m);
+  for (int64_t f = 0; f < d; ++f) {
+    for (int64_t t = 0; t < n; ++t) col[t] = x[t * d + f];
+    RfftForward(col.data(), n, sre.data(), sim.data());
+    for (int64_t k = 0; k < m; ++k) {
+      EXPECT_NEAR(re[k * d + f], sre[k], 2e-3) << "n=" << n << " k=" << k;
+      EXPECT_NEAR(im[k * d + f], sim[k], 2e-3) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST_P(VerticalRfftPlanTest, InverseMatchesScalarReference) {
+  // Random half spectra, including nonzero DC/Nyquist imaginary parts: the
+  // plan must ignore them exactly like IrfftForward does.
+  const int64_t n = GetParam();
+  const int64_t d = 4;
+  const int64_t m = RfftBins(n);
+  Rng rng(9200 + n);
+  std::vector<float> re(m * d);
+  std::vector<float> im(m * d);
+  for (auto& v : re) v = rng.Gaussian();
+  for (auto& v : im) v = rng.Gaussian();
+  std::vector<float> x(n * d);
+  GetVerticalRfftPlan(n).Inverse(re.data(), im.data(), d, x.data(),
+                                 1.0f / static_cast<float>(n));
+  std::vector<float> cre(m);
+  std::vector<float> cim(m);
+  std::vector<float> sx(n);
+  for (int64_t f = 0; f < d; ++f) {
+    for (int64_t k = 0; k < m; ++k) {
+      cre[k] = re[k * d + f];
+      cim[k] = im[k * d + f];
+    }
+    IrfftForward(cre.data(), cim.data(), n, sx.data());
+    for (int64_t t = 0; t < n; ++t) {
+      EXPECT_NEAR(x[t * d + f], sx[t], 2e-3) << "n=" << n << " t=" << t;
+    }
+  }
+}
+
+TEST_P(VerticalRfftPlanTest, RoundTripRecoversSignal) {
+  const int64_t n = GetParam();
+  const int64_t d = 5;
+  const int64_t m = RfftBins(n);
+  Rng rng(9300 + n);
+  std::vector<float> x(n * d);
+  for (auto& v : x) v = rng.Gaussian();
+  std::vector<float> re(m * d);
+  std::vector<float> im(m * d);
+  const VerticalRfftPlan& plan = GetVerticalRfftPlan(n);
+  ASSERT_EQ(plan.n(), n);
+  ASSERT_EQ(plan.bins(), m);
+  plan.Forward(x.data(), d, re.data(), im.data());
+  std::vector<float> back(n * d);
+  plan.Inverse(re.data(), im.data(), d, back.data(),
+               1.0f / static_cast<float>(n));
+  for (int64_t i = 0; i < n * d; ++i) {
+    EXPECT_NEAR(back[i], x[i], 1e-4) << "n=" << n << " i=" << i;
+  }
+}
+
+TEST_P(VerticalRfftPlanTest, InverseIgnoresDcAndNyquistImaginary) {
+  // The irfft operator contract: x = Re(...) kills the DC and (even n)
+  // Nyquist imaginary inputs, so perturbing them must not change a single
+  // output bit. This is what makes the exact-adjoint routing sound
+  // (MATH_NOTES.md section 8).
+  const int64_t n = GetParam();
+  const int64_t d = 2;
+  const int64_t m = RfftBins(n);
+  Rng rng(9400 + n);
+  std::vector<float> re(m * d);
+  std::vector<float> im(m * d, 0.0f);
+  for (auto& v : re) v = rng.Gaussian();
+  const VerticalRfftPlan& plan = GetVerticalRfftPlan(n);
+  std::vector<float> x0(n * d);
+  plan.Inverse(re.data(), im.data(), d, x0.data(), 1.0f);
+  for (int64_t f = 0; f < d; ++f) {
+    im[f] = 42.0f;  // DC imaginary
+    if (n % 2 == 0 && n > 1) im[(m - 1) * d + f] = -17.0f;  // Nyquist
+  }
+  std::vector<float> x1(n * d);
+  plan.Inverse(re.data(), im.data(), d, x1.data(), 1.0f);
+  for (int64_t i = 0; i < n * d; ++i) {
+    EXPECT_EQ(x0[i], x1[i]) << "n=" << n << " i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSizes, VerticalRfftPlanTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 12, 50, 64,
+                                           75, 100, 128));
+
+TEST(VerticalRfftPlanTest, PlanCachesSurviveConcurrentFirstUse) {
+  // Race the process-wide plan caches on purpose (this test runs under TSan
+  // in CI): many threads request overlapping lengths and immediately use
+  // the returned plans.
+  const int64_t lengths[] = {6, 9, 20, 27, 33};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([t, &lengths]() {
+      for (int64_t n : lengths) {
+        const int64_t m = RfftBins(n);
+        const int64_t d = 2;
+        std::vector<float> x(n * d, 0.25f * static_cast<float>(t + 1));
+        std::vector<float> re(m * d);
+        std::vector<float> im(m * d);
+        const VerticalRfftPlan& plan = GetVerticalRfftPlan(n);
+        plan.Forward(x.data(), d, re.data(), im.data());
+        std::vector<float> back(n * d);
+        plan.Inverse(re.data(), im.data(), d, back.data(),
+                     1.0f / static_cast<float>(n));
+        for (int64_t i = 0; i < n * d; ++i) {
+          EXPECT_NEAR(back[i], x[i], 1e-4);
+        }
+        std::vector<float> cre(n * d, 1.0f);
+        std::vector<float> cim(n * d, 0.0f);
+        GetVerticalPlan(n).Transform(cre.data(), cim.data(), d, false);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+}
+
+// ---------------------------------------------------------------------------
+// Path-parity tests for the autograd ops: the packed path and the
+// full-complex reference must implement the same linear operator, forward
+// and backward, for every boundary size.
+// ---------------------------------------------------------------------------
+
+class SpectralPathTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(SpectralPathTest, ForwardAgreesAcrossPaths) {
+  const int64_t n = GetParam();
+  Rng rng(9500 + n);
+  Tensor xt = Tensor::Randn({2, n, 3}, &rng);
+  RfftPathGuard packed(RfftPath::kPacked);
+  const SpectralPair sp = Rfft(Param(xt.Clone()));
+  Variable yp = Irfft(sp, n);
+  SpectralPair sr;
+  Variable yr;
+  {
+    RfftPathGuard reference(RfftPath::kFullComplex);
+    sr = Rfft(Param(xt.Clone()));
+    yr = Irfft(sr, n);
+  }
+  for (int64_t i = 0; i < sp.re.numel(); ++i) {
+    EXPECT_NEAR(sp.re.value()[i], sr.re.value()[i], 2e-3) << "n=" << n;
+    EXPECT_NEAR(sp.im.value()[i], sr.im.value()[i], 2e-3) << "n=" << n;
+  }
+  for (int64_t i = 0; i < yp.numel(); ++i) {
+    EXPECT_NEAR(yp.value()[i], yr.value()[i], 2e-3) << "n=" << n;
+  }
+}
+
+TEST_P(SpectralPathTest, RfftAdjointIdentityOnBothPaths) {
+  // <F x, g> == <x, F^T g> through the actual autograd backward, so the op
+  // adjoint (not just the plan) is what is being checked.
+  const int64_t n = GetParam();
+  const int64_t m = RfftBins(n);
+  for (const RfftPath path : {RfftPath::kPacked, RfftPath::kFullComplex}) {
+    RfftPathGuard guard(path);
+    Rng rng(9600 + n);
+    Variable x = Param(Tensor::Randn({1, n, 2}, &rng));
+    Tensor g_re = Tensor::Randn({1, m, 2}, &rng);
+    Tensor g_im = Tensor::Randn({1, m, 2}, &rng);
+    const SpectralPair s = Rfft(x);
+    Variable loss = autograd::Add(Sum(autograd::MulConst(s.re, g_re)),
+                                  Sum(autograd::MulConst(s.im, g_im)));
+    loss.Backward();
+    double lhs = 0.0;
+    for (int64_t i = 0; i < s.re.numel(); ++i) {
+      lhs += double(s.re.value()[i]) * g_re[i] +
+             double(s.im.value()[i]) * g_im[i];
+    }
+    double rhs = 0.0;
+    for (int64_t i = 0; i < x.numel(); ++i) {
+      rhs += double(x.value()[i]) * x.grad()[i];
+    }
+    EXPECT_NEAR(lhs, rhs, 1e-2 * std::max(1.0, std::abs(lhs)))
+        << "n=" << n << " packed=" << (path == RfftPath::kPacked);
+  }
+}
+
+TEST_P(SpectralPathTest, IrfftAdjointIdentityOnBothPaths) {
+  const int64_t n = GetParam();
+  const int64_t m = RfftBins(n);
+  for (const RfftPath path : {RfftPath::kPacked, RfftPath::kFullComplex}) {
+    RfftPathGuard guard(path);
+    Rng rng(9700 + n);
+    Variable re = Param(Tensor::Randn({1, m, 2}, &rng));
+    Variable im = Param(Tensor::Randn({1, m, 2}, &rng));
+    Tensor g = Tensor::Randn({1, n, 2}, &rng);
+    Variable y = Irfft({re, im}, n);
+    Sum(autograd::MulConst(y, g)).Backward();
+    double lhs = 0.0;
+    for (int64_t i = 0; i < y.numel(); ++i) {
+      lhs += double(y.value()[i]) * g[i];
+    }
+    double rhs = 0.0;
+    for (int64_t i = 0; i < re.numel(); ++i) {
+      rhs += double(re.value()[i]) * re.grad()[i] +
+             double(im.value()[i]) * im.grad()[i];
+    }
+    EXPECT_NEAR(lhs, rhs, 1e-2 * std::max(1.0, std::abs(lhs)))
+        << "n=" << n << " packed=" << (path == RfftPath::kPacked);
+  }
+}
+
+TEST_P(SpectralPathTest, GradcheckOnBothPaths) {
+  const int64_t n = GetParam();
+  const int64_t m = RfftBins(n);
+  for (const RfftPath path : {RfftPath::kPacked, RfftPath::kFullComplex}) {
+    RfftPathGuard guard(path);
+    Rng rng(9800 + n);
+    Variable x = Param(Tensor::Randn({1, n, 2}, &rng, 0.5f));
+    const auto result = autograd::CheckGradients(
+        [n, m](const std::vector<Variable>& in) {
+          const SpectralPair s = Rfft(in[0]);
+          Rng wrng(97);
+          Tensor w1 = Tensor::Randn({1, m, 2}, &wrng);
+          Tensor w2 = Tensor::Randn({1, m, 2}, &wrng);
+          Tensor w3 = Tensor::Randn({1, n, 2}, &wrng);
+          const SpectralPair weighted{autograd::MulConst(s.re, w1),
+                                      autograd::MulConst(s.im, w2)};
+          return Sum(autograd::MulConst(Irfft(weighted, n), w3));
+        },
+        {x});
+    EXPECT_TRUE(result.ok)
+        << "n=" << n << " packed=" << (path == RfftPath::kPacked) << " "
+        << result.message;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSizes, SpectralPathTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 12, 50, 64));
 
 }  // namespace
 }  // namespace fft
