@@ -9,6 +9,12 @@
 //                                  of the way through the run; at R=2 the
 //                                  router must absorb the kill by failover
 //                                  with (near-)zero loss
+//   repair_restore                 stateful 2-shard R=2 fleet: kill one
+//                                  replica, stream appends past it (hinted
+//                                  handoff queues every miss), then measure
+//                                  the restore path — WAL reload + hint
+//                                  replay + digest sweep — and require full
+//                                  digest convergence with zero conflicts
 //
 // Open loop means arrivals are scheduled ahead of time and latency is
 // measured from the *scheduled* arrival, not the issue time, so a stalled
@@ -34,9 +40,11 @@
 #include "common/random.h"
 #include "compute/thread_pool.h"
 #include "data/synthetic.h"
+#include "io/env.h"
 #include "models/model_factory.h"
 #include "serving/fallback.h"
 #include "serving/model_server.h"
+#include "state/state_store.h"
 #include "train/trainer.h"
 
 namespace slime {
@@ -119,11 +127,17 @@ struct ScenarioResult {
 };
 
 std::unique_ptr<cluster::ClusterServer> MakeFleet(
-    const data::SplitDataset& split, int64_t shards) {
+    const data::SplitDataset& split, int64_t shards,
+    const std::string& state_dir = "") {
   cluster::ClusterOptions options;
   options.num_shards = shards;
   options.replication = 2;  // the ring clamps to the fleet size
   options.seed = 4242;
+  if (!state_dir.empty()) {
+    options.state_dir = state_dir;
+    options.hinted_handoff = true;
+    options.repair_on_restore = true;
+  }
   // Generous per-request budget: this bench measures routing and failover
   // latency, not the degradation ladder (bench_serving covers that).
   options.default_deadline_nanos = 500 * serving::kNanosPerMilli;
@@ -253,6 +267,109 @@ void EmitScenario(std::FILE* f, const ScenarioResult& r, bool last) {
       last ? "" : ",");
 }
 
+struct RepairResult {
+  int64_t users = 0;
+  int64_t missed_appends = 0;   // appends acked while one replica was dead
+  double degraded_append_us = 0.0;  // mean ack latency with handoff armed
+  double restore_ms = 0.0;  // WAL reload + hint replay + digest sweep
+  int64_t diverged_segments = 0;  // after restore; the gate demands 0
+  cluster::ClusterStats stats;
+  bool restore_ok = false;
+};
+
+/// Anti-entropy arm: warm a stateful 2-shard R=2 fleet, kill shard 0,
+/// stream `missed` appends past it (every one under-replicated, every one
+/// hinted), then time RestoreShard — the full reload + hint-replay +
+/// repair-sweep path — and verify per-segment digests converged.
+RepairResult RunRepairScenario(const data::SplitDataset& split,
+                               int64_t users, int64_t missed) {
+  const std::string state_dir = "bench_cluster_state";
+  io::Env* env = io::Env::Default();
+  for (int s = 0; s < 2; ++s) {  // stale files would change recovery
+    for (const char* file : {"/state.wal", "/state.snapshot",
+                             "/state.wal.tmp", "/state.snapshot.tmp"}) {
+      (void)env->RemoveFile(state_dir + "/shard_" + std::to_string(s) +
+                            file);
+    }
+  }
+  auto fleet = MakeFleet(split, /*shards=*/2, state_dir);
+
+  RepairResult result;
+  result.users = users;
+  for (int64_t u = 0; u < users; ++u) {  // warm: both replicas see these
+    const auto ack = fleet->AppendEvent(static_cast<uint64_t>(u),
+                                        {u % 50 + 1, u % 50 + 2});
+    if (!ack.ok()) return result;
+  }
+  fleet->KillShard(0);
+
+  const double t0 = NowSeconds();
+  for (int64_t i = 0; i < missed; ++i) {
+    const auto ack = fleet->AppendEvent(static_cast<uint64_t>(i % users),
+                                        {i % 100 + 3});
+    if (!ack.ok()) return result;
+    result.missed_appends += ack.value().replica_acks < 2 ? 1 : 0;
+  }
+  result.degraded_append_us =
+      missed > 0 ? (NowSeconds() - t0) * 1e6 / missed : 0.0;
+
+  const double t1 = NowSeconds();
+  result.restore_ok = fleet->RestoreShard(0).ok();
+  result.restore_ms = (NowSeconds() - t1) * 1e3;
+  result.stats = fleet->stats();
+
+  // Convergence: every segment's digest set must be byte-identical across
+  // its replicas (same check the chaos "repair" stage enforces).
+  const cluster::ShardRing& ring = fleet->ring();
+  const auto segment_digests = [&](int64_t shard, int64_t segment) {
+    const state::StateStore* store = fleet->shard_server(shard)->state_store();
+    std::string bytes;
+    if (store == nullptr) return bytes;
+    for (const state::UserDigest& d : store->EnumerateDigests(
+             [&ring, segment](uint64_t user_id) {
+               return ring.SegmentOf(user_id) == segment;
+             })) {
+      bytes += std::to_string(d.user_id) + ":" +
+               std::to_string(d.items_total) + ":" + std::to_string(d.crc) +
+               ";";
+    }
+    return bytes;
+  };
+  for (int64_t seg = 0; seg < ring.num_segments(); ++seg) {
+    const std::vector<int64_t>& reps = ring.Replicas(seg);
+    const std::string first = segment_digests(reps[0], seg);
+    for (size_t r = 1; r < reps.size(); ++r) {
+      if (segment_digests(reps[r], seg) != first) {
+        ++result.diverged_segments;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+void EmitRepair(std::FILE* f, const RepairResult& r, bool last) {
+  std::fprintf(
+      f,
+      "  \"repair_restore\": {\n"
+      "    \"users\": %lld, \"missed_appends\": %lld,\n"
+      "    \"degraded_append_us\": %.2f, \"restore_ms\": %.3f,\n"
+      "    \"hints_queued\": %lld, \"hints_replayed\": %lld,\n"
+      "    \"hints_dropped\": %lld, \"underreplicated_appends\": %lld,\n"
+      "    \"repair_items_transferred\": %lld, \"repair_conflicts\": %lld,\n"
+      "    \"diverged_segments\": %lld\n"
+      "  }%s\n",
+      static_cast<long long>(r.users),
+      static_cast<long long>(r.missed_appends), r.degraded_append_us,
+      r.restore_ms, static_cast<long long>(r.stats.hints_queued),
+      static_cast<long long>(r.stats.hints_replayed),
+      static_cast<long long>(r.stats.hints_dropped),
+      static_cast<long long>(r.stats.underreplicated_appends),
+      static_cast<long long>(r.stats.repair_items_transferred),
+      static_cast<long long>(r.stats.repair_conflicts),
+      static_cast<long long>(r.diverged_segments), last ? "" : ",");
+}
+
 int Main(int argc, char** argv) {
   bool quick = false;
   std::string out_path = "BENCH_cluster.json";
@@ -296,6 +413,9 @@ int Main(int argc, char** argv) {
     }
   }
 
+  const RepairResult repair = RunRepairScenario(
+      split, /*users=*/quick ? 32 : 64, /*missed=*/quick ? 96 : 384);
+
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
@@ -309,8 +429,9 @@ int Main(int argc, char** argv) {
                compute::HardwareThreads(), quick ? "true" : "false",
                static_cast<long long>(requests), rate_rps, client_threads);
   for (size_t i = 0; i < results.size(); ++i) {
-    EmitScenario(f, results[i], i + 1 == results.size());
+    EmitScenario(f, results[i], /*last=*/false);
   }
+  EmitRepair(f, repair, /*last=*/true);
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::fprintf(stderr, "wrote %s\n", out_path.c_str());
@@ -333,6 +454,23 @@ int Main(int argc, char** argv) {
                    r.name.c_str());
       return 1;
     }
+  }
+  // Anti-entropy gates: the restore path must succeed, replay every hint
+  // it queued, refuse to fabricate (zero conflicts), and leave every
+  // segment's digest set byte-identical across replicas.
+  if (!repair.restore_ok || repair.diverged_segments != 0 ||
+      repair.stats.repair_conflicts != 0 ||
+      repair.stats.hints_replayed != repair.stats.hints_queued ||
+      repair.stats.hints_queued == 0) {
+    std::fprintf(stderr,
+                 "repair_restore: restore_ok=%d diverged=%lld conflicts=%lld "
+                 "hints=%lld/%lld\n",
+                 repair.restore_ok ? 1 : 0,
+                 static_cast<long long>(repair.diverged_segments),
+                 static_cast<long long>(repair.stats.repair_conflicts),
+                 static_cast<long long>(repair.stats.hints_replayed),
+                 static_cast<long long>(repair.stats.hints_queued));
+    return 1;
   }
   return 0;
 }

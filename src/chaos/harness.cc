@@ -1055,8 +1055,22 @@ Result<ChaosResult> RunChaosPipeline(const ChaosOptions& options) {
         fleet.KillShard(primary);
         if (cluster_ok && fleet.AppendEvent(user, {second_item}).ok() &&
             fleet.ServeSession(user, session).ok()) {
-          run.Typed("state", "replicated append survived the shard kill "
-                             "(acked by the surviving replica)");
+          // The ack must also confess its replication level: one append
+          // missed the dead primary, so exactly one under-replicated
+          // append has been counted.
+          if (fleet.stats().underreplicated_appends == 1) {
+            run.Typed("state", "replicated append survived the shard kill "
+                               "(acked by the surviving replica, counted "
+                               "under-replicated)");
+          } else {
+            run.Violation("state",
+                          "append that missed a dead replica was not "
+                          "counted under-replicated (count " +
+                              std::to_string(
+                                  fleet.stats().underreplicated_appends) +
+                              ", expected 1)");
+            cluster_ok = false;
+          }
         } else {
           run.Violation("state",
                         "append or session serve lost to a single-shard "
@@ -1095,6 +1109,192 @@ Result<ChaosResult> RunChaosPipeline(const ChaosOptions& options) {
         }
       }
     }
+  }
+
+  // ---- Stage 7: repair — anti-entropy closes a kill-induced fork --------
+  // Kill a primary, let appends miss it, restore with hinted-handoff
+  // replay plus a digest repair sweep, and require full convergence:
+  // per-segment digests byte-identical across replicas, zero acked events
+  // lost, zero fabricated (the repaired history is exactly the acked
+  // sequence), and the hint backlog drained to zero. Every count below is
+  // seed-derived, so the emitted repair report is byte-identical across
+  // same-seed runs (tools/chaos_runner double-runs and compares).
+  {
+    const std::string rdir = options.work_dir + "/state_repair";
+    for (int s = 0; s < 3; ++s) {
+      for (const char* file : {"/state.wal", "/state.snapshot",
+                               "/state.wal.tmp", "/state.snapshot.tmp"}) {
+        (void)env.RemoveFile(rdir + "/shard_" + std::to_string(s) + file);
+      }
+    }
+    serving::FakeClock clock;
+    cluster::ClusterOptions copts;
+    copts.num_shards = 3;
+    copts.replication = 2;
+    copts.seed = options.seed * 0x9E3779B97F4A7C15ull + 0xA9E17ull;
+    copts.state_dir = rdir;
+    copts.state_sync = state::SyncMode::kAlways;
+    copts.hinted_handoff = true;
+    copts.handoff.max_hints_per_shard = 64;
+    copts.repair_on_restore = true;
+    const auto factory = [&model_config]() {
+      return models::CreateModel("FMLP-Rec", model_config);
+    };
+    cluster::ClusterServer fleet(copts, factory, &clock, &env);
+    const Status started = fleet.Start();
+    std::string report;
+    if (!started.ok()) {
+      run.Violation("repair", std::string("stateful fleet failed to "
+                                          "start: ") +
+                                  CodeName(started.code()));
+    } else {
+      const uint64_t user = rng.Uniform(1u << 20);
+      std::vector<int64_t> acked_items;
+      const auto append_one = [&fleet, &rng, &model_config, &acked_items,
+                               user]() {
+        const int64_t item =
+            static_cast<int64_t>(rng.UniformInt(1, model_config.num_items));
+        Result<state::AppendAck> ack = fleet.AppendEvent(user, {item});
+        if (ack.ok()) acked_items.push_back(item);
+        return ack;
+      };
+      const int64_t primary = fleet.ring().Route(user)[0];
+      const Result<state::AppendAck> seeded = append_one();
+      bool stage_ok = seeded.ok() && seeded.value().replica_acks == 2;
+      if (!stage_ok) {
+        run.Violation("repair", "seed append was not acked by both "
+                                "replicas");
+      }
+      const int64_t missed = 2 + static_cast<int64_t>(rng.Uniform(3));
+      run.Fault("repair",
+                "killed primary replica; " + std::to_string(missed) +
+                    " subsequent appends will miss it");
+      fleet.KillShard(primary);
+      for (int64_t i = 0; stage_ok && i < missed; ++i) {
+        const Result<state::AppendAck> ack = append_one();
+        // The survivor acks alone, and the ack says so.
+        if (!ack.ok() || ack.value().replica_acks != 1) {
+          run.Violation("repair", "append during the kill was lost or "
+                                  "mis-reported its replica acks");
+          stage_ok = false;
+        }
+      }
+      const cluster::ClusterStats mid = fleet.stats();
+      if (stage_ok && mid.underreplicated_appends == missed &&
+          mid.hints_pending == missed && mid.hints_dropped == 0) {
+        run.Typed("repair",
+                  "appends acked under-replicated (" +
+                      std::to_string(mid.underreplicated_appends) +
+                      " counted) with " +
+                      std::to_string(mid.hints_pending) +
+                      " hint(s) queued for the dead shard");
+      } else if (stage_ok) {
+        run.Violation("repair",
+                      "under-replication mis-counted or hints not queued "
+                      "(underreplicated " +
+                          std::to_string(mid.underreplicated_appends) +
+                          ", pending " + std::to_string(mid.hints_pending) +
+                          ", expected " + std::to_string(missed) + ")");
+        stage_ok = false;
+      }
+      report += "{\"type\":\"repair\",\"event\":\"underreplicated\","
+                "\"appends\":" +
+                std::to_string(mid.underreplicated_appends) +
+                ",\"hints_pending\":" + std::to_string(mid.hints_pending) +
+                "}\n";
+      const Status restored = fleet.RestoreShard(primary);
+      const cluster::ClusterStats after = fleet.stats();
+      if (stage_ok && restored.ok() && after.hints_pending == 0 &&
+          after.hints_replayed == missed && after.hints_dropped == 0 &&
+          after.repair_conflicts == 0) {
+        run.Event("repair", "ok",
+                  "restore replayed " +
+                      std::to_string(after.hints_replayed) +
+                      " hint(s) and swept digests (" +
+                      std::to_string(after.repair_items_transferred) +
+                      " item(s) left for the sweep); backlog drained to 0");
+      } else if (stage_ok) {
+        run.Violation("repair",
+                      std::string("restore did not drain the backlog "
+                                  "cleanly: ") +
+                          CodeName(restored.code()) + ", pending " +
+                          std::to_string(after.hints_pending) +
+                          ", replayed " +
+                          std::to_string(after.hints_replayed) +
+                          ", conflicts " +
+                          std::to_string(after.repair_conflicts));
+        stage_ok = false;
+      }
+      report += "{\"type\":\"repair\",\"event\":\"restore\","
+                "\"hints_replayed\":" +
+                std::to_string(after.hints_replayed) +
+                ",\"hints_dropped\":" + std::to_string(after.hints_dropped) +
+                ",\"sweep_items_transferred\":" +
+                std::to_string(after.repair_items_transferred) +
+                ",\"conflicts\":" + std::to_string(after.repair_conflicts) +
+                ",\"hints_pending\":" + std::to_string(after.hints_pending) +
+                "}\n";
+      // Convergence: the acked history must be reproduced exactly on
+      // every replica (zero loss, zero fabrication), and every segment's
+      // digest enumeration must be byte-identical across its replicas.
+      bool histories_ok = stage_ok;
+      for (int64_t s : fleet.ring().Route(user)) {
+        const state::StateStore* store =
+            fleet.shard_server(s)->state_store();
+        if (store == nullptr || store->History(user) != acked_items) {
+          histories_ok = false;
+        }
+      }
+      const auto segment_digests = [&fleet](int64_t shard,
+                                            int64_t segment) {
+        const state::StateStore* store =
+            fleet.shard_server(shard)->state_store();
+        std::string bytes;
+        if (store == nullptr) return bytes;
+        const cluster::ShardRing& ring = fleet.ring();
+        for (const state::UserDigest& d : store->EnumerateDigests(
+                 [&ring, segment](uint64_t user_id) {
+                   return ring.SegmentOf(user_id) == segment;
+                 })) {
+          bytes += std::to_string(d.user_id) + ":" +
+                   std::to_string(d.items_total) + ":" +
+                   std::to_string(d.crc) + ";";
+        }
+        return bytes;
+      };
+      int64_t segments_checked = 0;
+      int64_t segments_diverged = 0;
+      for (int64_t seg = 0; seg < fleet.ring().num_segments(); ++seg) {
+        const std::vector<int64_t>& reps = fleet.ring().Replicas(seg);
+        const std::string first = segment_digests(reps[0], seg);
+        ++segments_checked;
+        for (size_t r = 1; r < reps.size(); ++r) {
+          if (segment_digests(reps[r], seg) != first) ++segments_diverged;
+        }
+      }
+      if (stage_ok && histories_ok && segments_diverged == 0) {
+        run.Event("repair", "ok",
+                  "replicas converged: " +
+                      std::to_string(segments_checked) +
+                      " segment digest set(s) byte-identical, acked "
+                      "history exact on every replica");
+      } else if (stage_ok) {
+        run.Violation("repair",
+                      histories_ok
+                          ? std::to_string(segments_diverged) +
+                                " segment digest set(s) still diverged "
+                                "after repair"
+                          : "repaired history is not the exact acked "
+                            "sequence (lost or fabricated events)");
+      }
+      report += "{\"type\":\"repair\",\"event\":\"converged\","
+                "\"segments_checked\":" +
+                std::to_string(segments_checked) +
+                ",\"segments_diverged\":" +
+                std::to_string(segments_diverged) + ",\"acked_history_exact\":" +
+                (histories_ok ? "true" : "false") + "}\n";
+    }
+    run.result.repair_report_jsonl = report;
   }
 
   // ---- Invariants -------------------------------------------------------

@@ -34,7 +34,7 @@ struct ChaosOptions {
 /// so the serialized log is stable across runs and across work_dirs.
 struct ChaosEvent {
   std::string stage;   // "data", "train", "diverge", "serve", "cluster",
-                       // "state"
+                       // "state", "repair"
   std::string kind;    // "fault", "typed_failure", "ok", "violation"
   std::string detail;
 };
@@ -52,6 +52,12 @@ struct ChaosResult {
   /// Training telemetry JSONL from the kill + resume runs (deterministic:
   /// the trainer runs on a FakeClock, so wall times are zero).
   std::string telemetry_jsonl;
+  /// Anti-entropy report from the "repair" stage, one JSON object per
+  /// line (`{"type":"repair",...}`): under-replication observed, hints
+  /// queued/replayed, repair sweep outcome, per-segment digest
+  /// convergence. Deterministic — the bit-reproducibility check in
+  /// tools/chaos_runner compares it byte-for-byte across runs.
+  std::string repair_report_jsonl;
   int64_t faults_injected = 0;
   int64_t typed_failures = 0;
   bool invariants_ok = false;
@@ -73,7 +79,11 @@ struct ChaosResult {
 /// kUnavailable and recover through reinstatement), and kills against the
 /// durable user-state store (mid-WAL-append, mid-compaction, a silently
 /// torn tail, a failed fsync, and a shard kill under replicated appends —
-/// every recovery must reproduce the acked set exactly). Returns a Status only
+/// every recovery must reproduce the acked set exactly), plus an
+/// anti-entropy "repair" stage: a shard kill under appends followed by
+/// restore with hinted-handoff replay and a digest repair sweep, after
+/// which every replica's per-segment digests must be byte-identical, no
+/// acked event lost and none fabricated. Returns a Status only
 /// for harness-setup failures (e.g. unusable work_dir); every *injected*
 /// fault is expected, recorded in the result, and never escapes.
 Result<ChaosResult> RunChaosPipeline(const ChaosOptions& options);

@@ -61,6 +61,7 @@ ClusterServer::ClusterServer(const ClusterOptions& options,
       }()),
       retry_(options.retry),
       hedge_(options.hedge),
+      hints_(options.handoff),
       factory_(std::move(factory)),
       clock_(clock != nullptr ? clock : serving::Clock::Default()),
       env_(env != nullptr ? env : io::Env::Default()) {
@@ -87,6 +88,20 @@ ClusterServer::ClusterServer(const ClusterOptions& options,
   unavailable_ = metrics_->counter("cluster.unavailable");
   state_appends_ = metrics_->counter("cluster.state_appends");
   state_append_failures_ = metrics_->counter("cluster.state_append_failures");
+  underreplicated_appends_ =
+      metrics_->counter("cluster.state.underreplicated_appends");
+  restore_failures_ = metrics_->counter("cluster.state.restore_failures");
+  hints_queued_ = metrics_->counter("cluster.repair.hints_queued");
+  hints_replayed_ = metrics_->counter("cluster.repair.hints_replayed");
+  hints_dropped_ = metrics_->counter("cluster.repair.hints_dropped");
+  hint_replay_failures_ =
+      metrics_->counter("cluster.repair.hint_replay_failures");
+  repair_segments_ = metrics_->counter("cluster.repair.segments");
+  repair_users_repaired_ = metrics_->counter("cluster.repair.users_repaired");
+  repair_items_ = metrics_->counter("cluster.repair.items_transferred");
+  repair_conflicts_ = metrics_->counter("cluster.repair.conflicts");
+  read_divergence_ = metrics_->counter("cluster.repair.read_divergence");
+  hints_pending_gauge_ = metrics_->gauge("cluster.repair.hints_pending");
   health_gauge_ = metrics_->gauge("cluster.health");
   live_shards_ = metrics_->gauge("cluster.live_shards");
   ejected_shards_ = metrics_->gauge("cluster.ejected_shards");
@@ -338,7 +353,32 @@ void ClusterServer::KillShard(int64_t shard) {
   PublishHealthGauges();
 }
 
-void ClusterServer::RestoreShard(int64_t shard) {
+Status ClusterServer::RestoreShard(int64_t shard) {
+  // A restored shard is a restarted process: its in-memory state is
+  // whatever crash recovery rebuilds from its own durable snapshot + WAL.
+  // Recovery runs FIRST, while the shard is still dark — a shard whose
+  // recovery fails must stay dead (serving empty or stale state is the
+  // silent-drift failure docs/STATE.md gates against), and queued handoff
+  // hints replay before the shard takes any traffic.
+  Status reloaded =
+      shards_[static_cast<size_t>(shard)].server->ReloadStateFromDisk();
+  if (!reloaded.ok()) {
+    restore_failures_.Increment();
+    PublishHealthGauges();
+    return Status::Unavailable(
+        "shard " + std::to_string(shard) +
+        " stays dead: state recovery failed: " + reloaded.ToString());
+  }
+  if (options_.hinted_handoff) {
+    Result<int64_t> replayed = ReplayHints(shard);
+    if (!replayed.ok()) {
+      // The shard's store refused the replayed writes — treat it like a
+      // failed recovery: keep it dead rather than rejoin behind.
+      restore_failures_.Increment();
+      PublishHealthGauges();
+      return replayed.status();
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(health_mu_);
     Shard& s = shards_[static_cast<size_t>(shard)];
@@ -348,12 +388,207 @@ void ClusterServer::RestoreShard(int64_t shard) {
     // cannot instantly yank traffic onto a host that just flapped.
     s.consecutive_failures = 0;
   }
-  // A restored shard is a restarted process: its in-memory state is
-  // whatever crash recovery rebuilds from its own durable snapshot + WAL
-  // (appends it missed while dead went only to the surviving replicas;
-  // cross-replica anti-entropy is future work — see docs/STATE.md).
-  (void)shards_[static_cast<size_t>(shard)].server->ReloadStateFromDisk();
+  if (options_.repair_on_restore && !options_.state_dir.empty()) {
+    // Hints cover what was queued; the digest sweep closes the rest
+    // (overflow drops, writes that predate the queue). Conflicts are
+    // counted by the sweep, and a sweep IO failure is surfaced — the
+    // shard is already serving its own durable state, which is safe.
+    Result<RepairStats> swept = RepairShard(shard);
+    if (!swept.ok()) {
+      PublishHealthGauges();
+      return swept.status();
+    }
+  }
   PublishHealthGauges();
+  return Status::OK();
+}
+
+Result<int64_t> ClusterServer::ReplayHints(int64_t shard) {
+  std::vector<HandoffHint> backlog = hints_.Drain(shard);
+  serving::ModelServer* server = shards_[static_cast<size_t>(shard)].server.get();
+  int64_t replayed = 0;
+  for (size_t i = 0; i < backlog.size(); ++i) {
+    Result<state::AppendAck> ack =
+        server->AppendEvent(backlog[i].user_key, backlog[i].items);
+    if (!ack.ok()) {
+      // Re-queue the unreplayed remainder (the failed hint was not
+      // applied, so the backlog from it onward is still owed).
+      for (size_t j = i; j < backlog.size(); ++j) {
+        const int64_t dropped_before = hints_.dropped();
+        (void)hints_.Enqueue(shard, std::move(backlog[j]));
+        hints_dropped_.Increment(hints_.dropped() - dropped_before);
+      }
+      hint_replay_failures_.Increment();
+      hints_pending_gauge_.Set(hints_.total_pending());
+      return ack.status();
+    }
+    ++replayed;
+    hints_replayed_.Increment();
+  }
+  hints_pending_gauge_.Set(hints_.total_pending());
+  return replayed;
+}
+
+Result<RepairStats> ClusterServer::RepairSegmentFiltered(
+    int64_t segment, const std::function<bool(uint64_t)>& filter,
+    int64_t include_shard) {
+  if (!started_) return Status::Unavailable("cluster is not started");
+  if (options_.state_dir.empty()) {
+    return Status::InvalidArgument(
+        "cluster has no state dir configured (stateless)");
+  }
+  if (segment < 0 || segment >= ring_.num_segments()) {
+    return Status::InvalidArgument("segment " + std::to_string(segment) +
+                                   " out of range");
+  }
+  // Reachable replicas of the segment: alive shards, plus the one being
+  // restored (its process is back up, it just has not rejoined rotation).
+  // A dead shard is a partitioned process — repair cannot talk to it.
+  std::vector<state::StateStore*> stores;
+  {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    for (int64_t shard : ring_.Replicas(segment)) {
+      if (!shards_[static_cast<size_t>(shard)].alive &&
+          shard != include_shard) {
+        continue;
+      }
+      state::StateStore* store =
+          shards_[static_cast<size_t>(shard)].server->state_store();
+      if (store != nullptr) stores.push_back(store);
+    }
+  }
+  RepairStats total;
+  if (stores.size() < 2) return total;  // nothing to compare against
+  const std::function<bool(uint64_t)> in_segment =
+      [this, segment, &filter](uint64_t user) {
+        return ring_.SegmentOf(user) == segment &&
+               (!filter || filter(user));
+      };
+  // Union of the segment's users across all reachable replicas,
+  // ascending — the pass order is a pure function of the states.
+  std::vector<uint64_t> users;
+  for (state::StateStore* store : stores) {
+    for (const state::UserDigest& d : store->EnumerateDigests(in_segment)) {
+      users.push_back(d.user_id);
+    }
+  }
+  std::sort(users.begin(), users.end());
+  users.erase(std::unique(users.begin(), users.end()), users.end());
+  // Per user: elect the most advanced replica (longest stream; ties keep
+  // ring order) and pull every other replica up to it. One directed pass,
+  // so every divergent pair is compared — and counted — exactly once.
+  for (uint64_t user : users) {
+    size_t ahead = 0;
+    uint64_t best = stores[0]->Digest(user).items_total;
+    for (size_t i = 1; i < stores.size(); ++i) {
+      const uint64_t total_i = stores[i]->Digest(user).items_total;
+      if (total_i > best) {
+        best = total_i;
+        ahead = i;
+      }
+    }
+    for (size_t i = 0; i < stores.size(); ++i) {
+      if (i == ahead) continue;
+      RepairStats stats;
+      SLIME_RETURN_IF_ERROR(
+          RepairUser(stores[ahead], stores[i], user, &stats));
+      total.Add(stats);
+    }
+  }
+  repair_segments_.Increment();
+  repair_users_repaired_.Increment(total.users_repaired);
+  repair_items_.Increment(total.items_transferred);
+  repair_conflicts_.Increment(total.conflicts);
+  return total;
+}
+
+Result<RepairStats> ClusterServer::RepairSegment(int64_t segment) {
+  obs::TraceBuilder trace;
+  if (tracer_ != nullptr) trace = tracer_->StartTrace("cluster.repair");
+  const int32_t span = trace.BeginSpan("segment");
+  trace.Annotate(span, "segment", std::to_string(segment));
+  Result<RepairStats> stats =
+      RepairSegmentFiltered(segment, nullptr, /*include_shard=*/-1);
+  if (stats.ok()) {
+    trace.Annotate(span, "repaired",
+                   std::to_string(stats.value().users_repaired));
+    trace.Annotate(span, "conflicts",
+                   std::to_string(stats.value().conflicts));
+  }
+  trace.EndSpan(span);
+  trace.Finish();
+  return stats;
+}
+
+Result<RepairStats> ClusterServer::RepairShard(int64_t shard) {
+  if (shard < 0 || shard >= ring_.num_shards()) {
+    return Status::InvalidArgument("shard " + std::to_string(shard) +
+                                   " out of range");
+  }
+  obs::TraceBuilder trace;
+  if (tracer_ != nullptr) trace = tracer_->StartTrace("cluster.repair");
+  const int32_t span = trace.BeginSpan("shard");
+  trace.Annotate(span, "shard", std::to_string(shard));
+  RepairStats total;
+  for (int64_t segment : ring_.SegmentsOfShard(shard)) {
+    Result<RepairStats> stats =
+        RepairSegmentFiltered(segment, nullptr, shard);
+    if (!stats.ok()) {
+      trace.EndSpan(span);
+      trace.Finish();
+      return stats.status();
+    }
+    total.Add(stats.value());
+  }
+  trace.Annotate(span, "repaired", std::to_string(total.users_repaired));
+  trace.Annotate(span, "conflicts", std::to_string(total.conflicts));
+  trace.EndSpan(span);
+  trace.Finish();
+  return total;
+}
+
+void ClusterServer::ReadRepair(uint64_t user_key) {
+  // Divergence check on the serve path: cheap (R digest lookups), and the
+  // optional heal goes through the same never-fabricate repair core.
+  const int64_t segment = ring_.SegmentOf(user_key);
+  std::vector<state::StateStore*> stores;
+  {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    for (int64_t shard : ring_.Replicas(segment)) {
+      if (!shards_[static_cast<size_t>(shard)].alive) continue;
+      state::StateStore* store =
+          shards_[static_cast<size_t>(shard)].server->state_store();
+      if (store != nullptr) stores.push_back(store);
+    }
+  }
+  if (stores.size() < 2) return;
+  bool diverged = false;
+  const state::UserDigest first = stores[0]->Digest(user_key);
+  for (size_t i = 1; i < stores.size(); ++i) {
+    if (stores[i]->Digest(user_key) != first) diverged = true;
+  }
+  if (!diverged) return;
+  read_divergence_.Increment();
+  if (!options_.read_repair_heal) return;
+  size_t ahead = 0;
+  uint64_t best = first.items_total;
+  for (size_t i = 1; i < stores.size(); ++i) {
+    const uint64_t total_i = stores[i]->Digest(user_key).items_total;
+    if (total_i > best) {
+      best = total_i;
+      ahead = i;
+    }
+  }
+  RepairStats total;
+  for (size_t i = 0; i < stores.size(); ++i) {
+    if (i == ahead) continue;
+    RepairStats stats;
+    if (!RepairUser(stores[ahead], stores[i], user_key, &stats).ok()) return;
+    total.Add(stats);
+  }
+  repair_users_repaired_.Increment(total.users_repaired);
+  repair_items_.Increment(total.items_transferred);
+  repair_conflicts_.Increment(total.conflicts);
 }
 
 Result<state::AppendAck> ClusterServer::AppendEvent(
@@ -367,11 +602,14 @@ Result<state::AppendAck> ClusterServer::AppendEvent(
       ring_.Replicas(ring_.SegmentOf(user_key));
   Result<state::AppendAck> first = Status::Unavailable("no replica attempted");
   bool acked = false;
+  int64_t replica_acks = 0;
+  std::vector<int64_t> missed;  // replicas that did not take the write
   for (int64_t shard : replicas) {
     {
       std::lock_guard<std::mutex> lock(health_mu_);
       if (!shards_[static_cast<size_t>(shard)].alive) {
         state_append_failures_.Increment();
+        missed.push_back(shard);
         continue;  // a partitioned process cannot take the write
       }
     }
@@ -379,17 +617,44 @@ Result<state::AppendAck> ClusterServer::AppendEvent(
         shards_[static_cast<size_t>(shard)].server->AppendEvent(user_key,
                                                                 items);
     if (ack.ok()) {
+      ++replica_acks;
       if (!acked) {
         first = std::move(ack);
         acked = true;
       }
     } else {
       state_append_failures_.Increment();
+      missed.push_back(shard);
       if (!acked) first = std::move(ack);
     }
   }
   if (acked) {
     state_appends_.Increment();
+    first.value().replica_acks = replica_acks;
+    if (replica_acks < static_cast<int64_t>(replicas.size())) {
+      // The append is acked but under-replicated: the missed replicas have
+      // silently forked until anti-entropy closes the gap. The counter
+      // makes the window visible; hinted handoff (when on) queues the
+      // exact write for replay at restore.
+      underreplicated_appends_.Increment();
+      if (options_.hinted_handoff) {
+        for (int64_t shard : missed) {
+          HandoffHint hint;
+          hint.user_key = user_key;
+          hint.items = items;
+          hint.origin_seq =
+              hint_seq_.fetch_add(1, std::memory_order_relaxed);
+          // The queue accounts drops exactly (a kDropOldest admit still
+          // evicts one); mirror its count into the metric by delta.
+          const int64_t dropped_before = hints_.dropped();
+          if (hints_.Enqueue(shard, std::move(hint))) {
+            hints_queued_.Increment();
+          }
+          hints_dropped_.Increment(hints_.dropped() - dropped_before);
+        }
+        hints_pending_gauge_.Set(hints_.total_pending());
+      }
+    }
     return first;
   }
   if (first.status().code() == Status::Code::kInvalidArgument) return first;
@@ -546,6 +811,7 @@ Result<serving::ServeResponse> ClusterServer::ServeRouted(
   request_nanos_.Observe(clock_->NowNanos() - start);
   if (out.ok()) {
     served_.Increment();
+    if (session && options_.read_repair) ReadRepair(user_key);
   } else {
     typed_failures_.Increment();
     if (out.status().code() == Status::Code::kUnavailable) {
@@ -638,6 +904,16 @@ ClusterStats ClusterServer::stats() const {
   stats.reinstatements = reinstatements_.value();
   stats.typed_failures = typed_failures_.value();
   stats.unavailable = unavailable_.value();
+  stats.underreplicated_appends = underreplicated_appends_.value();
+  stats.restore_failures = restore_failures_.value();
+  stats.hints_queued = hints_queued_.value();
+  stats.hints_replayed = hints_replayed_.value();
+  stats.hints_dropped = hints_dropped_.value();
+  stats.hints_pending = hints_.total_pending();
+  stats.repair_users_repaired = repair_users_repaired_.value();
+  stats.repair_items_transferred = repair_items_.value();
+  stats.repair_conflicts = repair_conflicts_.value();
+  stats.read_divergence = read_divergence_.value();
   return stats;
 }
 

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/repair.h"
 #include "cluster/retry.h"
 #include "cluster/ring.h"
 #include "common/status.h"
@@ -95,6 +96,28 @@ struct ClusterOptions {
   std::string state_dir;
   state::SyncMode state_sync = state::SyncMode::kGroup;
   int64_t state_snapshot_every = 1024;
+  /// --- Anti-entropy (docs/STATE.md "Anti-entropy") -------------------
+  /// All off by default: the cluster then behaves exactly as before —
+  /// a restored shard recovers only its own durable state, and replicas
+  /// that missed a write stay behind until an operator intervenes.
+  ///
+  /// Queue a bounded hint for every replica that misses an acked append
+  /// (dead or failing), and replay the backlog to a shard during
+  /// RestoreShard, before it re-enters rotation.
+  bool hinted_handoff = false;
+  HandoffOptions handoff;
+  /// After a successful RestoreShard (reload + hint replay), run
+  /// RepairShard to digest-diff the restored shard against healthy peers
+  /// and back-fill anything hints could not cover (dropped on overflow,
+  /// or writes acked before the handoff queue existed).
+  bool repair_on_restore = false;
+  /// On every successful ServeSession, digest-compare the served user
+  /// across the segment's alive replicas and count observed divergence
+  /// (cluster.repair.read_divergence).
+  bool read_repair = false;
+  /// With read_repair: also heal the divergence in the serve path (suffix
+  /// transfer through the normal Append path) instead of only counting it.
+  bool read_repair_heal = false;
 };
 
 /// Cumulative cluster counters (thin view over the "cluster.*" metrics).
@@ -111,6 +134,17 @@ struct ClusterStats {
   int64_t reinstatements = 0; // shards reinstated after probation
   int64_t typed_failures = 0; // non-OK Serve() returns (all typed)
   int64_t unavailable = 0;    //   of which kUnavailable (dead segment)
+  // --- anti-entropy (cluster.state.* / cluster.repair.* metrics) ---
+  int64_t underreplicated_appends = 0;  // acked with fewer than R replicas
+  int64_t restore_failures = 0;   // RestoreShard reloads that failed
+  int64_t hints_queued = 0;       // handoff hints admitted
+  int64_t hints_replayed = 0;     // hints re-issued on restore
+  int64_t hints_dropped = 0;      // hints lost to the overflow policy
+  int64_t hints_pending = 0;      // backlog right now (gauge)
+  int64_t repair_users_repaired = 0;
+  int64_t repair_items_transferred = 0;
+  int64_t repair_conflicts = 0;
+  int64_t read_divergence = 0;    // divergence observed at serve time
 };
 
 /// An in-process replicated serving cluster: N ModelServer shards behind a
@@ -221,8 +255,30 @@ class ClusterServer {
   /// as a process surviving a network partition would). Restore lifts the
   /// refusal but NOT the ejection: the shard re-enters rotation through
   /// the normal window-expiry → probation → reinstatement path.
+  ///
+  /// Restore order matters: state recovery runs first, while the shard is
+  /// still dark — a shard whose recovery fails STAYS DEAD (typed status,
+  /// cluster.state.restore_failures) instead of rejoining with empty or
+  /// stale state. On success, queued handoff hints replay before the
+  /// shard takes traffic, and with repair_on_restore a RepairShard sweep
+  /// closes whatever gap the hints could not cover.
   void KillShard(int64_t shard);
-  void RestoreShard(int64_t shard);
+  Status RestoreShard(int64_t shard);
+
+  /// Anti-entropy sweeps (cluster.repair.* metrics; docs/CLUSTER.md).
+  /// RepairSegment digest-diffs one segment's alive replicas pairwise
+  /// against the most advanced one and back-fills missing suffixes
+  /// through the normal durable Append path — never fabricating: a
+  /// transfer happens only when the suffix provably extends the behind
+  /// replica's stream to the ahead digest; anything else is a counted
+  /// conflict left untouched. RepairShard sweeps every segment the shard
+  /// replicates. Both require a stateful cluster.
+  Result<RepairStats> RepairSegment(int64_t segment);
+  Result<RepairStats> RepairShard(int64_t shard);
+
+  /// Handoff hints currently queued for dead shards (drains to 0 once
+  /// every dead shard has been restored).
+  int64_t hints_pending() const { return hints_.total_pending(); }
 
   ClusterHealth health() const;
   ShardLiveness shard_liveness(int64_t shard) const;
@@ -268,6 +324,21 @@ class ClusterServer {
   /// Opens shard `s`'s state store under options_.state_dir and attaches
   /// it to the shard's server. No-op for a stateless cluster.
   Status AttachShardState(int64_t shard);
+  /// Replays shard `s`'s queued handoff hints through its server's normal
+  /// Append path (in origin_seq order). Returns the count replayed.
+  Result<int64_t> ReplayHints(int64_t shard);
+  /// RepairSegment's core, shared with read-repair: heal `segment`'s
+  /// alive-replica stores for the users `filter` accepts (all users in
+  /// the segment when null). `include_shard` >= 0 additionally treats
+  /// that shard as reachable even while marked dead (the restore path
+  /// repairs a shard an instant before it rejoins rotation).
+  Result<RepairStats> RepairSegmentFiltered(
+      int64_t segment, const std::function<bool(uint64_t)>& filter,
+      int64_t include_shard);
+  /// Read-repair hook: after a successful session serve, digest-compare
+  /// `user_key` across its segment's alive replicas; count divergence and
+  /// (with read_repair_heal) heal it.
+  void ReadRepair(uint64_t user_key);
   void NoteAttemptSuccess(int64_t shard);
   void NoteAttemptFailure(int64_t shard, const Status& status);
   void RefreshEjections();  // health_mu_ must be held
@@ -278,6 +349,10 @@ class ClusterServer {
   ShardRing ring_;
   RetryPolicy retry_;
   HedgeDelayTracker hedge_;
+  HintQueue hints_;
+  /// Deterministic hint enqueue index (cluster-wide): replay order is a
+  /// pure function of the append order that queued the hints.
+  std::atomic<uint64_t> hint_seq_{0};
   ModelFactory factory_;
   serving::Clock* clock_;
   io::Env* env_;
@@ -310,6 +385,18 @@ class ClusterServer {
   obs::Counter unavailable_;
   obs::Counter state_appends_;          // cluster-level acked appends
   obs::Counter state_append_failures_;  // per-replica append failures
+  obs::Counter underreplicated_appends_;  // acked by fewer than R replicas
+  obs::Counter restore_failures_;  // RestoreShard reloads that failed
+  obs::Counter hints_queued_;
+  obs::Counter hints_replayed_;
+  obs::Counter hints_dropped_;
+  obs::Counter hint_replay_failures_;
+  obs::Counter repair_segments_;        // RepairSegment passes completed
+  obs::Counter repair_users_repaired_;
+  obs::Counter repair_items_;
+  obs::Counter repair_conflicts_;
+  obs::Counter read_divergence_;        // read-repair: divergence observed
+  obs::Gauge hints_pending_gauge_;
   obs::Gauge health_gauge_;      // ClusterHealth as int
   obs::Gauge live_shards_;       // alive && not ejected/reloading
   obs::Gauge ejected_shards_;

@@ -1,0 +1,143 @@
+#include "cluster/repair.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace slime {
+namespace cluster {
+
+const char* ToString(HintOverflowPolicy policy) {
+  switch (policy) {
+    case HintOverflowPolicy::kDropNewest:
+      return "drop_newest";
+    case HintOverflowPolicy::kDropOldest:
+      return "drop_oldest";
+  }
+  return "unknown";
+}
+
+bool HintQueue::Enqueue(int64_t shard, HandoffHint hint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.max_hints_per_shard <= 0) {
+    ++dropped_;
+    return false;
+  }
+  std::deque<HandoffHint>& q = queues_[shard];
+  if (static_cast<int64_t>(q.size()) >= options_.max_hints_per_shard) {
+    if (options_.overflow == HintOverflowPolicy::kDropNewest) {
+      ++dropped_;
+      return false;
+    }
+    q.pop_front();
+    ++dropped_;
+    --total_pending_;
+  }
+  q.push_back(std::move(hint));
+  ++total_pending_;
+  return true;
+}
+
+std::vector<HandoffHint> HintQueue::Drain(int64_t shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = queues_.find(shard);
+  if (it == queues_.end()) return {};
+  std::vector<HandoffHint> out(it->second.begin(), it->second.end());
+  total_pending_ -= static_cast<int64_t>(out.size());
+  queues_.erase(it);
+  return out;
+}
+
+int64_t HintQueue::pending(int64_t shard) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = queues_.find(shard);
+  return it == queues_.end() ? 0 : static_cast<int64_t>(it->second.size());
+}
+
+int64_t HintQueue::total_pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_pending_;
+}
+
+int64_t HintQueue::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void RepairStats::Add(const RepairStats& o) {
+  users_scanned += o.users_scanned;
+  users_diverged += o.users_diverged;
+  users_repaired += o.users_repaired;
+  items_transferred += o.items_transferred;
+  conflicts += o.conflicts;
+}
+
+Status RepairUser(state::StateStore* a, state::StateStore* b,
+                  uint64_t user_id, RepairStats* stats) {
+  SLIME_CHECK(a != nullptr && b != nullptr && stats != nullptr);
+  ++stats->users_scanned;
+  const state::UserDigest da = a->Digest(user_id);
+  const state::UserDigest db = b->Digest(user_id);
+  if (da.items_total == db.items_total && da.crc == db.crc) {
+    return Status::OK();  // converged (or both unknown)
+  }
+  ++stats->users_diverged;
+  if (da.items_total == db.items_total) {
+    // Same stream length, different bytes: these histories genuinely
+    // forked, and no suffix transfer can reconcile them without rewriting
+    // one side's acked past — which repair must never do.
+    ++stats->conflicts;
+    return Status::OK();
+  }
+  state::StateStore* ahead = da.items_total > db.items_total ? a : b;
+  state::StateStore* behind = ahead == a ? b : a;
+  const state::UserDigest dahead = ahead == a ? da : db;
+  const state::UserDigest dbehind = ahead == a ? db : da;
+
+  const uint64_t need = dahead.items_total - dbehind.items_total;
+  const std::vector<int64_t> suffix = ahead->TailItems(user_id, need);
+  if (static_cast<uint64_t>(suffix.size()) < need) {
+    // The ahead replica already trimmed past the divergence point; the
+    // missing events are gone from its retained window and cannot be
+    // transferred without fabrication.
+    ++stats->conflicts;
+    return Status::OK();
+  }
+  // Pre-verify the splice: the suffix must extend the behind stream to
+  // exactly the ahead digest, or the streams diverged earlier than the
+  // length gap suggests.
+  if (state::ExtendItemDigest(dbehind.crc, suffix.data(), suffix.size()) !=
+      dahead.crc) {
+    ++stats->conflicts;
+    return Status::OK();
+  }
+  Result<state::AppendAck> ack = behind->Append(user_id, suffix);
+  if (!ack.ok()) return ack.status();
+  ++stats->users_repaired;
+  stats->items_transferred += static_cast<int64_t>(suffix.size());
+  return Status::OK();
+}
+
+Status SyncStores(state::StateStore* a, state::StateStore* b,
+                  const std::function<bool(uint64_t user_id)>& filter,
+                  RepairStats* stats) {
+  SLIME_CHECK(a != nullptr && b != nullptr && stats != nullptr);
+  // Union of both stores' users, ascending: the pass order (and so the
+  // repaired stores' bytes) is a pure function of the two states.
+  const std::vector<state::UserDigest> da = a->EnumerateDigests(filter);
+  const std::vector<state::UserDigest> db = b->EnumerateDigests(filter);
+  std::vector<uint64_t> users;
+  users.reserve(da.size() + db.size());
+  for (const state::UserDigest& d : da) users.push_back(d.user_id);
+  for (const state::UserDigest& d : db) users.push_back(d.user_id);
+  std::sort(users.begin(), users.end());
+  users.erase(std::unique(users.begin(), users.end()), users.end());
+  for (uint64_t user : users) {
+    SLIME_RETURN_IF_ERROR(RepairUser(a, b, user, stats));
+  }
+  return Status::OK();
+}
+
+}  // namespace cluster
+}  // namespace slime

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cerrno>
 
+#include "common/crc32.h"
 #include "io/atomic_write.h"
 #include "io/serializer.h"
 
@@ -14,8 +15,28 @@ namespace state {
 
 namespace {
 
-/// Snapshot envelope magic: "SLIME state v1".
-constexpr std::string_view kSnapshotMagic = "SST1";
+/// Snapshot envelope magic: "SLIME state v2" (v2 added the per-user
+/// anti-entropy digest; a v1 snapshot fails typed rather than decoding
+/// into a store with silently-zero digests).
+constexpr std::string_view kSnapshotMagic = "SST2";
+
+}  // namespace
+
+// Explicit byte order keeps the digest identical across platforms (and
+// identical to what a remote replica computes over the same stream).
+uint32_t ExtendItemDigest(uint32_t crc, const int64_t* items, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t bits = static_cast<uint64_t>(items[i]);
+    unsigned char bytes[8];
+    for (int k = 0; k < 8; ++k) {
+      bytes[k] = static_cast<unsigned char>(bits >> (8 * k));
+    }
+    crc = ExtendCrc32(crc, bytes, sizeof(bytes));
+  }
+  return crc;
+}
+
+namespace {
 
 /// Creates `dir` and any missing parents (POSIX mkdir; EEXIST is fine).
 Status EnsureDir(const std::string& dir) {
@@ -114,6 +135,10 @@ std::string StateStore::EncodeEvent(uint64_t user_id,
 void StateStore::ApplyLocked(uint64_t user_id, const int64_t* items,
                              size_t n) {
   UserState& user = users_[user_id];
+  // Digest before trimming: it covers the full append stream, so it keeps
+  // advancing even when the retained history window drops old items.
+  user.items_total += static_cast<uint64_t>(n);
+  user.crc = ExtendItemDigest(user.crc, items, n);
   user.items.insert(user.items.end(), items, items + n);
   if (options_.max_history_per_user > 0 &&
       static_cast<int64_t>(user.items.size()) >
@@ -157,6 +182,11 @@ std::string StateStore::EncodeSnapshotLocked() const {
   for (const auto& [user_id, user] : users_) {
     w.PutU64(user_id);
     w.PutI64(user.version);
+    // The digest must ride in the snapshot: after a trim it cannot be
+    // recomputed from the retained items, and recovery must reproduce it
+    // exactly for cross-replica comparison to stay sound.
+    w.PutU64(user.items_total);
+    w.PutU32(user.crc);
     w.PutU32(static_cast<uint32_t>(user.items.size()));
     for (int64_t item : user.items) w.PutI64(item);
   }
@@ -177,10 +207,15 @@ Status StateStore::DecodeSnapshotLocked(std::string_view payload) {
     UserState user;
     uint32_t count = 0;
     if (!r.GetU64(&user_id) || !r.GetI64(&user.version) ||
+        !r.GetU64(&user.items_total) || !r.GetU32(&user.crc) ||
         !r.GetU32(&count) ||
         static_cast<size_t>(count) * sizeof(int64_t) > r.remaining()) {
       return Status::Corruption("truncated state snapshot at user " +
                                 std::to_string(u));
+    }
+    if (user.items_total < count) {
+      return Status::Corruption("state snapshot digest under-counts user " +
+                                std::to_string(user_id));
     }
     if (u > 0 && user_id <= prev_user) {
       return Status::Corruption("state snapshot users out of order");
@@ -438,6 +473,45 @@ std::vector<int64_t> StateStore::History(uint64_t user_id) const {
   auto it = users_.find(user_id);
   if (it == users_.end()) return {};
   return it->second.items;
+}
+
+std::vector<int64_t> StateStore::TailItems(uint64_t user_id,
+                                           uint64_t n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = users_.find(user_id);
+  if (it == users_.end()) return {};
+  const std::vector<int64_t>& items = it->second.items;
+  const size_t take = std::min(static_cast<size_t>(n), items.size());
+  return std::vector<int64_t>(items.end() - static_cast<int64_t>(take),
+                              items.end());
+}
+
+UserDigest StateStore::Digest(uint64_t user_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  UserDigest d;
+  d.user_id = user_id;
+  auto it = users_.find(user_id);
+  if (it == users_.end()) return d;
+  d.items_total = it->second.items_total;
+  d.crc = it->second.crc;
+  return d;
+}
+
+std::vector<UserDigest> StateStore::EnumerateDigests(
+    const std::function<bool(uint64_t user_id)>& filter) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<UserDigest> out;
+  // std::map iteration: ascending user id, so the enumeration (like the
+  // snapshot) is a pure function of the state.
+  for (const auto& [user_id, user] : users_) {
+    if (filter && !filter(user_id)) continue;
+    UserDigest d;
+    d.user_id = user_id;
+    d.items_total = user.items_total;
+    d.crc = user.crc;
+    out.push_back(d);
+  }
+  return out;
 }
 
 int64_t StateStore::UserVersion(uint64_t user_id) const {

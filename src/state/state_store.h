@@ -2,6 +2,7 @@
 #define SLIME4REC_STATE_STATE_STORE_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -59,6 +60,40 @@ struct AppendAck {
   uint64_t seq = 0;      // WAL sequence number covering this append
   bool durable = false;  // true iff a sync barrier covering it has run
   int64_t version = 0;   // the user's state version after applying it
+  /// Replicas that durably accepted the write. A single StateStore always
+  /// reports 1; the cluster tier overwrites it with the fleet-level count
+  /// so callers can see an under-replicated (but still acked) append.
+  int64_t replica_acks = 1;
+};
+
+/// Cross-replica comparable digest of one user's append stream.
+///
+/// `items_total` counts every item ever applied to the user (monotone —
+/// history trimming does not decrease it) and `crc` is a rolling CRC-32
+/// extended with each item's little-endian bytes in append order. Two
+/// stores that applied the same events for a user agree on both fields
+/// even though their WAL layouts, sync schedules, compaction points, and
+/// local sequence numbers differ — which is exactly why replica-local
+/// `last_seq` is *not* part of the digest. Equal digests mean equal
+/// histories (up to CRC collision); a smaller `items_total` with a
+/// matching stream prefix means the store is behind by a suffix that
+/// anti-entropy repair can transfer (docs/STATE.md "Anti-entropy").
+/// Extends a rolling digest CRC with `n` items' little-endian bytes — the
+/// exact step the store applies per appended item. Exposed so repair can
+/// verify, *before* appending, that a candidate suffix really extends a
+/// behind replica's stream to the ahead replica's digest.
+uint32_t ExtendItemDigest(uint32_t crc, const int64_t* items, size_t n);
+
+struct UserDigest {
+  uint64_t user_id = 0;
+  uint64_t items_total = 0;
+  uint32_t crc = 0;
+
+  bool operator==(const UserDigest& o) const {
+    return user_id == o.user_id && items_total == o.items_total &&
+           crc == o.crc;
+  }
+  bool operator!=(const UserDigest& o) const { return !(*this == o); }
 };
 
 /// What recovery found, with exact loss accounting. Recovered state is
@@ -132,6 +167,19 @@ class StateStore {
 
   /// Chronological item history for `user_id` (empty if unknown).
   std::vector<int64_t> History(uint64_t user_id) const;
+  /// The last `n` retained items of `user_id`'s history (all of them when
+  /// fewer are retained). Repair transfers exactly such a suffix.
+  std::vector<int64_t> TailItems(uint64_t user_id, uint64_t n) const;
+  /// The user's digest (zero digest for an unknown user). Maintained
+  /// incrementally on apply, persisted in the snapshot, reproduced exactly
+  /// by recovery.
+  UserDigest Digest(uint64_t user_id) const;
+  /// Digests of every user `filter` accepts (all users when null), in
+  /// ascending user-id order. The cluster tier passes a segment-membership
+  /// predicate so two replicas compare one ring segment by exchanging
+  /// O(users-in-segment) digests instead of shipping histories.
+  std::vector<UserDigest> EnumerateDigests(
+      const std::function<bool(uint64_t user_id)>& filter = nullptr) const;
   /// Monotone per-user version, bumped on every applied append; 0 for an
   /// unknown user. Cache entries keyed on it are invalidated by appends.
   int64_t UserVersion(uint64_t user_id) const;
@@ -153,6 +201,8 @@ class StateStore {
   struct UserState {
     std::vector<int64_t> items;
     int64_t version = 0;
+    uint64_t items_total = 0;  // items ever applied (monotone across trims)
+    uint32_t crc = 0;          // rolling CRC-32 over the full item stream
   };
 
   Status RecoverLocked();

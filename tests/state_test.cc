@@ -500,6 +500,191 @@ TEST(StateStoreKillTest, SilentTornTailIsDetectedAndAccounted) {
             Status::Code::kCorruption);
 }
 
+// --- Per-user digests (anti-entropy) -------------------------------------
+
+/// The digest is an incremental fold over every item ever appended: the
+/// store's value must equal folding ExtendItemDigest over the appends by
+/// hand, and items_total must count appends monotonically (not history
+/// length).
+TEST(DigestTest, DigestIsTheIncrementalFoldOverAppendedItems) {
+  auto store = MustOpen(Opts(FreshStateDir("digest_fold"), SyncMode::kNone));
+  EXPECT_EQ(store->Digest(1).items_total, 0u);
+  EXPECT_EQ(store->Digest(1).crc, 0u);
+  const std::vector<int64_t> a = {10, 11};
+  const std::vector<int64_t> b = {12};
+  ASSERT_TRUE(store->Append(1, a).ok());
+  ASSERT_TRUE(store->Append(1, b).ok());
+  uint32_t crc = 0;
+  crc = ExtendItemDigest(crc, a.data(), a.size());
+  crc = ExtendItemDigest(crc, b.data(), b.size());
+  const UserDigest d = store->Digest(1);
+  EXPECT_EQ(d.user_id, 1u);
+  EXPECT_EQ(d.items_total, 3u);
+  EXPECT_EQ(d.crc, crc);
+  // One-shot and incremental folds agree (the repair path relies on this
+  // to pre-verify a suffix before appending it).
+  const std::vector<int64_t> all = {10, 11, 12};
+  EXPECT_EQ(ExtendItemDigest(0, all.data(), all.size()), crc);
+}
+
+/// Two replicas that saw the same appends report the same digest even if
+/// their WAL seqs differ — the digest is replica-comparable.
+TEST(DigestTest, DigestIgnoresReplicaLocalSequencing) {
+  auto a = MustOpen(Opts(FreshStateDir("digest_seq_a"), SyncMode::kNone));
+  auto b = MustOpen(Opts(FreshStateDir("digest_seq_b"), SyncMode::kNone));
+  // Replica b has extra traffic for other users, skewing its seqs.
+  ASSERT_TRUE(b->Append(9, {1}).ok());
+  ASSERT_TRUE(b->Append(9, {2}).ok());
+  ASSERT_TRUE(a->Append(1, {10, 11}).ok());
+  ASSERT_TRUE(b->Append(1, {10, 11}).ok());
+  EXPECT_NE(a->last_seq(), b->last_seq());
+  EXPECT_EQ(a->Digest(1), b->Digest(1));
+}
+
+TEST(DigestTest, TailItemsReturnsTheSuffix) {
+  auto store = MustOpen(Opts(FreshStateDir("digest_tail"), SyncMode::kNone));
+  ASSERT_TRUE(store->Append(1, {10, 11, 12}).ok());
+  EXPECT_EQ(store->TailItems(1, 0), (std::vector<int64_t>{}));
+  EXPECT_EQ(store->TailItems(1, 2), (std::vector<int64_t>{11, 12}));
+  EXPECT_EQ(store->TailItems(1, 3), (std::vector<int64_t>{10, 11, 12}));
+  // Asking for more than is retained returns what remains, not padding —
+  // the repair path detects a too-deep trim from the short length.
+  EXPECT_EQ(store->TailItems(1, 99), (std::vector<int64_t>{10, 11, 12}));
+  EXPECT_EQ(store->TailItems(42, 5), (std::vector<int64_t>{}));
+}
+
+TEST(DigestTest, EnumerateDigestsIsOrderedAndFilterable) {
+  auto store = MustOpen(Opts(FreshStateDir("digest_enum"), SyncMode::kNone));
+  ASSERT_TRUE(store->Append(3, {30}).ok());
+  ASSERT_TRUE(store->Append(1, {10}).ok());
+  ASSERT_TRUE(store->Append(2, {20}).ok());
+  const std::vector<UserDigest> all = store->EnumerateDigests();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].user_id, 1u);
+  EXPECT_EQ(all[1].user_id, 2u);
+  EXPECT_EQ(all[2].user_id, 3u);
+  const std::vector<UserDigest> odd = store->EnumerateDigests(
+      [](uint64_t user) { return user % 2 == 1; });
+  ASSERT_EQ(odd.size(), 2u);
+  EXPECT_EQ(odd[0].user_id, 1u);
+  EXPECT_EQ(odd[1].user_id, 3u);
+}
+
+/// max_history trimming keeps the digest: the digest covers every item
+/// ever appended, so a trimmed store and an untrimmed store that saw the
+/// same appends agree — and the digest survives reopen (it rides in the
+/// snapshot because it cannot be recomputed from a trimmed history).
+TEST(DigestTest, DigestSurvivesTrimCompactionAndReopen) {
+  StateStoreOptions trimmed_opts =
+      Opts(FreshStateDir("digest_trim"), SyncMode::kAlways);
+  trimmed_opts.max_history_per_user = 2;
+  auto reference =
+      MustOpen(Opts(FreshStateDir("digest_trim_ref"), SyncMode::kNone));
+  UserDigest expected;
+  {
+    auto trimmed = MustOpen(trimmed_opts);
+    for (int64_t i = 0; i < 5; ++i) {
+      ASSERT_TRUE(trimmed->Append(1, {100 + i}).ok());
+      ASSERT_TRUE(reference->Append(1, {100 + i}).ok());
+    }
+    EXPECT_EQ(trimmed->History(1), (std::vector<int64_t>{103, 104}));
+    expected = reference->Digest(1);
+    EXPECT_EQ(trimmed->Digest(1), expected);
+    // Compact so recovery comes from the snapshot alone: the digest can
+    // only survive if it was persisted.
+    ASSERT_TRUE(trimmed->Compact().ok());
+  }
+  auto reopened = MustOpen(trimmed_opts);
+  EXPECT_EQ(reopened->History(1), (std::vector<int64_t>{103, 104}));
+  EXPECT_EQ(reopened->Digest(1), expected);
+}
+
+/// digest(recovered) == digest(never-crashed) at every crash offset inside
+/// the victim frame: WAL recovery replays the digest fold exactly.
+TEST(DigestTest, DigestIdenticalAfterKillAtAnyByteWalRecovery) {
+  // Reference store that never crashes, holding only the acked set.
+  auto reference =
+      MustOpen(Opts(FreshStateDir("digest_kill_ref"), SyncMode::kNone));
+  ASSERT_TRUE(reference->Append(1, {10, 11}).ok());
+  ASSERT_TRUE(reference->Append(2, {20}).ok());
+  ASSERT_TRUE(reference->Append(1, {12}).ok());
+  const size_t frame_size = WriteAheadLog::kFrameHeader + 8 + 4 + 8;
+  for (size_t b = 0; b < frame_size; ++b) {
+    io::FaultInjectionEnv env;
+    StateStoreOptions opts =
+        Opts(FreshStateDir("digest_kill_" + std::to_string(b)),
+             SyncMode::kAlways, &env);
+    {
+      auto store = MustOpen(opts);
+      ASSERT_TRUE(store->Append(1, {10, 11}).ok());
+      ASSERT_TRUE(store->Append(2, {20}).ok());
+      ASSERT_TRUE(store->Append(1, {12}).ok());
+      env.set_torn_tail_bytes(static_cast<int64_t>(b));
+      env.ArmFault(io::FaultInjectionEnv::Fault::kCrashDuringWrite);
+      EXPECT_THROW((void)store->Append(5, {99}), io::InjectedCrash);
+    }
+    env.set_torn_tail_bytes(-1);
+    env.Disarm();
+    auto recovered = MustOpen(opts);
+    EXPECT_EQ(recovered->Digest(1), reference->Digest(1)) << "b=" << b;
+    EXPECT_EQ(recovered->Digest(2), reference->Digest(2)) << "b=" << b;
+    // The victim never acked; its digest must be absent, not partial.
+    EXPECT_EQ(recovered->Digest(5).items_total, 0u) << "b=" << b;
+    EXPECT_EQ(recovered->Digest(5).crc, 0u) << "b=" << b;
+  }
+}
+
+/// digest(recovered) == digest(never-crashed) when the crash lands inside
+/// the snapshot staging write: recovery falls back to the WAL and replays
+/// the same fold.
+TEST(DigestTest, DigestIdenticalAfterKillDuringCompaction) {
+  auto reference =
+      MustOpen(Opts(FreshStateDir("digest_compact_ref"), SyncMode::kNone));
+  ASSERT_TRUE(reference->Append(1, {10, 11}).ok());
+  ASSERT_TRUE(reference->Append(2, {20}).ok());
+  for (size_t b = 0; b < 24; ++b) {
+    io::FaultInjectionEnv env;
+    StateStoreOptions opts =
+        Opts(FreshStateDir("digest_compact_" + std::to_string(b)),
+             SyncMode::kAlways, &env);
+    {
+      auto store = MustOpen(opts);
+      ASSERT_TRUE(store->Append(1, {10, 11}).ok());
+      ASSERT_TRUE(store->Append(2, {20}).ok());
+      env.set_torn_tail_bytes(static_cast<int64_t>(b));
+      env.ArmFault(io::FaultInjectionEnv::Fault::kCrashDuringWrite);
+      EXPECT_THROW((void)store->Compact(), io::InjectedCrash);
+    }
+    env.set_torn_tail_bytes(-1);
+    env.Disarm();
+    auto recovered = MustOpen(opts);
+    EXPECT_EQ(recovered->Digest(1), reference->Digest(1)) << "b=" << b;
+    EXPECT_EQ(recovered->Digest(2), reference->Digest(2)) << "b=" << b;
+  }
+}
+
+/// A pre-digest (v1) snapshot must fail open with a typed error rather
+/// than decode with silently-zero digests that would defeat repair.
+TEST(DigestTest, StaleSnapshotVersionFailsOpenTyped) {
+  const std::string dir = FreshStateDir("digest_stale_snap");
+  {
+    auto store = MustOpen(Opts(dir, SyncMode::kAlways));
+    ASSERT_TRUE(store->Append(1, {1, 2}).ok());
+    ASSERT_TRUE(store->Compact().ok());
+  }
+  io::Env* env = io::Env::Default();
+  Result<std::string> bytes = env->ReadFile(dir + "/state.snapshot");
+  ASSERT_TRUE(bytes.ok());
+  std::string mutated = bytes.value();
+  ASSERT_EQ(mutated.substr(0, 4), "SST2");
+  mutated[3] = '1';  // regress the magic to the digest-less v1 layout
+  ASSERT_TRUE(env->WriteFile(dir + "/state.snapshot", mutated).ok());
+  Result<std::unique_ptr<StateStore>> reopened =
+      StateStore::Open(Opts(dir, SyncMode::kAlways));
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), Status::Code::kCorruption);
+}
+
 // --- ModelServer session serving ----------------------------------------
 
 class SessionModel : public models::SequentialRecommender {
@@ -656,10 +841,11 @@ TEST(ClusterStateTest, ReplicatedAppendsSurviveShardKillAndRecoverOnRestore) {
   const int64_t primary = replicas[0];
   const int64_t secondary = replicas[1];
 
-  // A replicated write lands on both replicas.
+  // A replicated write lands on both replicas and says so in the ack.
   Result<AppendAck> a1 = cluster.AppendEvent(user, {3, 4});
   ASSERT_TRUE(a1.ok());
   EXPECT_TRUE(a1.value().durable);
+  EXPECT_EQ(a1.value().replica_acks, 2);
   EXPECT_EQ(cluster.shard_server(primary)->state_store()->History(user),
             (std::vector<int64_t>{3, 4}));
   EXPECT_EQ(cluster.shard_server(secondary)->state_store()->History(user),
@@ -670,16 +856,21 @@ TEST(ClusterStateTest, ReplicatedAppendsSurviveShardKillAndRecoverOnRestore) {
   cluster.KillShard(primary);
   Result<AppendAck> a2 = cluster.AppendEvent(user, {5});
   ASSERT_TRUE(a2.ok());
+  // The ack is honest about the blast radius: one replica short of R.
+  EXPECT_EQ(a2.value().replica_acks, 1);
+  EXPECT_EQ(CounterValue(metrics, "cluster.state.underreplicated_appends"),
+            1);
   Result<serving::ServeResponse> served =
       cluster.ServeSession(user, SessionRequest());
   ASSERT_TRUE(served.ok());
   EXPECT_EQ(cluster.shard_server(secondary)->state_store()->History(user),
             (std::vector<int64_t>{3, 4, 5}));
 
-  // Restore: the revived shard recovers exactly its own durable prefix
-  // (the append it missed while dead lives only on the survivor until
-  // anti-entropy exists — see docs/STATE.md).
-  cluster.RestoreShard(primary);
+  // Restore: the revived shard recovers exactly its own durable prefix.
+  // Anti-entropy (hinted handoff, repair_on_restore) is opt-in and off
+  // here, so the append it missed while dead lives only on the survivor —
+  // see the ClusterAntiEntropyTest suite for the repair paths.
+  ASSERT_TRUE(cluster.RestoreShard(primary).ok());
   EXPECT_EQ(cluster.shard_server(primary)->state_store()->History(user),
             (std::vector<int64_t>{3, 4}));
   EXPECT_EQ(CounterValue(metrics, "cluster.state_appends"), 2);
@@ -723,6 +914,289 @@ TEST(ClusterStateTest, StateSurvivesRollingReload) {
               (std::vector<int64_t>{2, 3}));
   }
   ASSERT_TRUE(cluster.ServeSession(user, SessionRequest()).ok());
+}
+
+// --- Cluster anti-entropy ------------------------------------------------
+
+/// Stateful 3-shard R=2 cluster with a fresh state tree; anti-entropy
+/// flags stay at their defaults (off) so each test arms exactly what it
+/// exercises.
+cluster::ClusterOptions AntiEntropyClusterOptions(const std::string& name) {
+  cluster::ClusterOptions options;
+  options.num_shards = 3;
+  options.replication = 2;
+  options.state_dir = FreshStateDir(name);
+  options.state_sync = SyncMode::kAlways;
+  for (int64_t s = 0; s < options.num_shards; ++s) {
+    FreshStateDir(name + "/shard_" + std::to_string(s));
+  }
+  return options;
+}
+
+cluster::ClusterServer::ModelFactory SessionFactory() {
+  return [] { return std::make_unique<SessionModel>(TinyConfig()); };
+}
+
+TEST(ClusterAntiEntropyTest, HintedHandoffReplaysMissedAppendsOnRestore) {
+  cluster::ClusterOptions options = AntiEntropyClusterOptions("ae_handoff");
+  options.hinted_handoff = true;
+  obs::MetricsRegistry metrics;
+  options.metrics = &metrics;
+  cluster::ClusterServer cluster(options, SessionFactory());
+  ASSERT_TRUE(cluster.Start().ok());
+
+  const uint64_t user = 42;
+  const std::vector<int64_t> replicas =
+      cluster.ring().Replicas(cluster.ring().SegmentOf(user));
+  const int64_t primary = replicas[0];
+  const int64_t secondary = replicas[1];
+  ASSERT_TRUE(cluster.AppendEvent(user, {3, 4}).ok());
+
+  cluster.KillShard(primary);
+  ASSERT_TRUE(cluster.AppendEvent(user, {5}).ok());
+  ASSERT_TRUE(cluster.AppendEvent(user, {6}).ok());
+  EXPECT_EQ(cluster.hints_pending(), 2);
+  const cluster::ClusterStats mid = cluster.stats();
+  EXPECT_EQ(mid.underreplicated_appends, 2);
+  EXPECT_EQ(mid.hints_queued, 2);
+  EXPECT_EQ(mid.hints_dropped, 0);
+
+  // Restore replays the backlog in origin order before the shard takes
+  // traffic: the revived replica holds the full acked history, exactly.
+  ASSERT_TRUE(cluster.RestoreShard(primary).ok());
+  EXPECT_EQ(cluster.shard_server(primary)->state_store()->History(user),
+            (std::vector<int64_t>{3, 4, 5, 6}));
+  EXPECT_EQ(cluster.hints_pending(), 0);
+  const cluster::ClusterStats after = cluster.stats();
+  EXPECT_EQ(after.hints_replayed, 2);
+  EXPECT_EQ(after.hints_dropped, 0);
+  EXPECT_EQ(after.hints_pending, 0);
+  EXPECT_EQ(cluster.shard_server(primary)->state_store()->Digest(user),
+            cluster.shard_server(secondary)->state_store()->Digest(user));
+  EXPECT_EQ(CounterValue(metrics, "cluster.repair.hints_replayed"), 2);
+}
+
+TEST(ClusterAntiEntropyTest, RepairOnRestoreBackfillsWithoutHints) {
+  cluster::ClusterOptions options = AntiEntropyClusterOptions("ae_sweep");
+  options.repair_on_restore = true;  // no hinted handoff: sweep-only heal
+  obs::MetricsRegistry metrics;
+  options.metrics = &metrics;
+  cluster::ClusterServer cluster(options, SessionFactory());
+  ASSERT_TRUE(cluster.Start().ok());
+
+  const uint64_t user = 42;
+  const std::vector<int64_t> replicas =
+      cluster.ring().Replicas(cluster.ring().SegmentOf(user));
+  const int64_t primary = replicas[0];
+  const int64_t secondary = replicas[1];
+  ASSERT_TRUE(cluster.AppendEvent(user, {3, 4}).ok());
+  cluster.KillShard(primary);
+  ASSERT_TRUE(cluster.AppendEvent(user, {5}).ok());
+  ASSERT_TRUE(cluster.AppendEvent(user, {6}).ok());
+  EXPECT_EQ(cluster.hints_pending(), 0);  // handoff off: nothing queued
+
+  // The post-restore sweep digest-diffs the revived shard against its
+  // peers and back-fills the missing suffix through the durable path.
+  ASSERT_TRUE(cluster.RestoreShard(primary).ok());
+  EXPECT_EQ(cluster.shard_server(primary)->state_store()->History(user),
+            (std::vector<int64_t>{3, 4, 5, 6}));
+  const cluster::ClusterStats stats = cluster.stats();
+  EXPECT_EQ(stats.repair_users_repaired, 1);
+  EXPECT_EQ(stats.repair_items_transferred, 2);
+  EXPECT_EQ(stats.repair_conflicts, 0);
+  // The serving layer exposes the same digest the repair compared.
+  Result<UserDigest> dp =
+      cluster.shard_server(primary)->UserStateDigest(user);
+  Result<UserDigest> ds =
+      cluster.shard_server(secondary)->UserStateDigest(user);
+  ASSERT_TRUE(dp.ok());
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(dp.value(), ds.value());
+  EXPECT_EQ(CounterValue(metrics, "cluster.repair.items_transferred"), 2);
+}
+
+TEST(ClusterAntiEntropyTest, DropNewestOverflowKeepsPrefixAndSweepHeals) {
+  cluster::ClusterOptions options = AntiEntropyClusterOptions("ae_dropnew");
+  options.hinted_handoff = true;
+  options.handoff.max_hints_per_shard = 1;
+  options.handoff.overflow = cluster::HintOverflowPolicy::kDropNewest;
+  options.repair_on_restore = true;
+  cluster::ClusterServer cluster(options, SessionFactory());
+  ASSERT_TRUE(cluster.Start().ok());
+
+  const uint64_t user = 42;
+  const int64_t primary =
+      cluster.ring().Replicas(cluster.ring().SegmentOf(user))[0];
+  ASSERT_TRUE(cluster.AppendEvent(user, {3, 4}).ok());
+  cluster.KillShard(primary);
+  ASSERT_TRUE(cluster.AppendEvent(user, {5}).ok());
+  ASSERT_TRUE(cluster.AppendEvent(user, {6}).ok());
+  ASSERT_TRUE(cluster.AppendEvent(user, {7}).ok());
+  // Exact overflow accounting: one admitted, two refused.
+  EXPECT_EQ(cluster.hints_pending(), 1);
+  EXPECT_EQ(cluster.stats().hints_dropped, 2);
+
+  // kDropNewest keeps the OLDEST hints, so the replayed backlog is a
+  // prefix of the missed stream — exactly the shape the digest sweep can
+  // finish healing (suffix transfer), with zero conflicts.
+  ASSERT_TRUE(cluster.RestoreShard(primary).ok());
+  EXPECT_EQ(cluster.shard_server(primary)->state_store()->History(user),
+            (std::vector<int64_t>{3, 4, 5, 6, 7}));
+  const cluster::ClusterStats stats = cluster.stats();
+  EXPECT_EQ(stats.hints_replayed, 1);
+  EXPECT_EQ(stats.repair_items_transferred, 2);
+  EXPECT_EQ(stats.repair_conflicts, 0);
+}
+
+TEST(ClusterAntiEntropyTest, DropOldestOverflowHoleIsAConflictNotAGuess) {
+  cluster::ClusterOptions options = AntiEntropyClusterOptions("ae_dropold");
+  options.hinted_handoff = true;
+  options.handoff.max_hints_per_shard = 1;
+  options.handoff.overflow = cluster::HintOverflowPolicy::kDropOldest;
+  options.repair_on_restore = true;
+  cluster::ClusterServer cluster(options, SessionFactory());
+  ASSERT_TRUE(cluster.Start().ok());
+
+  const uint64_t user = 42;
+  const std::vector<int64_t> replicas =
+      cluster.ring().Replicas(cluster.ring().SegmentOf(user));
+  const int64_t primary = replicas[0];
+  const int64_t secondary = replicas[1];
+  ASSERT_TRUE(cluster.AppendEvent(user, {3, 4}).ok());
+  cluster.KillShard(primary);
+  ASSERT_TRUE(cluster.AppendEvent(user, {5}).ok());
+  ASSERT_TRUE(cluster.AppendEvent(user, {6}).ok());
+  ASSERT_TRUE(cluster.AppendEvent(user, {7}).ok());
+  EXPECT_EQ(cluster.hints_pending(), 1);
+  EXPECT_EQ(cluster.stats().hints_dropped, 2);
+
+  // kDropOldest keeps only the NEWEST hint, so replay leaves a hole in
+  // the middle of the stream. The sweep must refuse to paper over it:
+  // the suffix no longer extends the revived replica's digest, so this
+  // is a counted conflict and both histories are left untouched — repair
+  // never fabricates a merge.
+  ASSERT_TRUE(cluster.RestoreShard(primary).ok());
+  EXPECT_EQ(cluster.shard_server(primary)->state_store()->History(user),
+            (std::vector<int64_t>{3, 4, 7}));
+  EXPECT_EQ(cluster.shard_server(secondary)->state_store()->History(user),
+            (std::vector<int64_t>{3, 4, 5, 6, 7}));
+  const cluster::ClusterStats stats = cluster.stats();
+  EXPECT_EQ(stats.hints_replayed, 1);
+  EXPECT_EQ(stats.repair_conflicts, 1);
+  EXPECT_EQ(stats.repair_items_transferred, 0);
+}
+
+TEST(ClusterAntiEntropyTest, RestoreStaysDeadWhenStateRecoveryFails) {
+  cluster::ClusterOptions options = AntiEntropyClusterOptions("ae_badsnap");
+  obs::MetricsRegistry metrics;
+  options.metrics = &metrics;
+  cluster::ClusterServer cluster(options, SessionFactory());
+  ASSERT_TRUE(cluster.Start().ok());
+
+  const uint64_t user = 42;
+  const int64_t primary =
+      cluster.ring().Replicas(cluster.ring().SegmentOf(user))[0];
+  ASSERT_TRUE(cluster.AppendEvent(user, {3, 4}).ok());
+  cluster.KillShard(primary);
+
+  // Plant a corrupt snapshot in the dead shard's state dir: the reload
+  // that RestoreShard runs must fail typed, and the shard must STAY DEAD
+  // instead of rejoining with empty state and serving wrong answers.
+  const std::string snapshot = options.state_dir + "/shard_" +
+                               std::to_string(primary) + "/state.snapshot";
+  ASSERT_TRUE(io::Env::Default()->WriteFile(snapshot, "not-a-snapshot").ok());
+  const Status refused = cluster.RestoreShard(primary);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.code(), Status::Code::kUnavailable);
+  EXPECT_EQ(cluster.shard_liveness(primary), cluster::ShardLiveness::kDown);
+  EXPECT_EQ(cluster.stats().restore_failures, 1);
+  EXPECT_EQ(CounterValue(metrics, "cluster.state.restore_failures"), 1);
+  // Traffic keeps flowing through the survivor meanwhile.
+  ASSERT_TRUE(cluster.AppendEvent(user, {5}).ok());
+  ASSERT_TRUE(cluster.ServeSession(user, SessionRequest()).ok());
+
+  // Clearing the corruption lets a later restore succeed normally.
+  ASSERT_TRUE(io::Env::Default()->RemoveFile(snapshot).ok());
+  ASSERT_TRUE(cluster.RestoreShard(primary).ok());
+  EXPECT_NE(cluster.shard_liveness(primary), cluster::ShardLiveness::kDown);
+  EXPECT_EQ(cluster.shard_server(primary)->state_store()->History(user),
+            (std::vector<int64_t>{3, 4}));
+}
+
+TEST(ClusterAntiEntropyTest, ReadRepairCountsAndHealsServeTimeDivergence) {
+  cluster::ClusterOptions options = AntiEntropyClusterOptions("ae_readrep");
+  options.read_repair = true;
+  options.read_repair_heal = true;
+  obs::MetricsRegistry metrics;
+  options.metrics = &metrics;
+  cluster::ClusterServer cluster(options, SessionFactory());
+  ASSERT_TRUE(cluster.Start().ok());
+
+  const uint64_t user = 42;
+  const std::vector<int64_t> replicas =
+      cluster.ring().Replicas(cluster.ring().SegmentOf(user));
+  const int64_t primary = replicas[0];
+  const int64_t secondary = replicas[1];
+  ASSERT_TRUE(cluster.AppendEvent(user, {3, 4}).ok());
+  // Manufacture divergence: the primary misses one append while dead and
+  // comes back without handoff or a restore sweep (both off here).
+  cluster.KillShard(primary);
+  ASSERT_TRUE(cluster.AppendEvent(user, {5}).ok());
+  ASSERT_TRUE(cluster.RestoreShard(primary).ok());
+  ASSERT_EQ(cluster.shard_server(primary)->state_store()->History(user),
+            (std::vector<int64_t>{3, 4}));
+
+  // Serving the user observes the divergence and heals it inline.
+  ASSERT_TRUE(cluster.ServeSession(user, SessionRequest()).ok());
+  EXPECT_EQ(cluster.stats().read_divergence, 1);
+  EXPECT_EQ(cluster.shard_server(primary)->state_store()->History(user),
+            (std::vector<int64_t>{3, 4, 5}));
+  EXPECT_EQ(cluster.shard_server(primary)->state_store()->Digest(user),
+            cluster.shard_server(secondary)->state_store()->Digest(user));
+  // Converged: further serves see no divergence.
+  ASSERT_TRUE(cluster.ServeSession(user, SessionRequest()).ok());
+  EXPECT_EQ(cluster.stats().read_divergence, 1);
+  EXPECT_EQ(CounterValue(metrics, "cluster.repair.read_divergence"), 1);
+}
+
+TEST(ClusterAntiEntropyTest, RepairSegmentIsIdempotentAndScoped) {
+  cluster::ClusterOptions options = AntiEntropyClusterOptions("ae_segment");
+  cluster::ClusterServer cluster(options, SessionFactory());
+  ASSERT_TRUE(cluster.Start().ok());
+
+  const uint64_t user = 42;
+  const int64_t segment = cluster.ring().SegmentOf(user);
+  const int64_t primary = cluster.ring().Replicas(segment)[0];
+  ASSERT_TRUE(cluster.AppendEvent(user, {3, 4}).ok());
+  cluster.KillShard(primary);
+  ASSERT_TRUE(cluster.AppendEvent(user, {5}).ok());
+  ASSERT_TRUE(cluster.RestoreShard(primary).ok());
+
+  // An explicit segment sweep heals the lagging replica; running it again
+  // finds nothing (idempotent), and a foreign segment transfers nothing.
+  Result<cluster::RepairStats> first = cluster.RepairSegment(segment);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value().users_repaired, 1);
+  EXPECT_EQ(first.value().items_transferred, 1);
+  EXPECT_EQ(cluster.shard_server(primary)->state_store()->History(user),
+            (std::vector<int64_t>{3, 4, 5}));
+  Result<cluster::RepairStats> second = cluster.RepairSegment(segment);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value().users_repaired, 0);
+  EXPECT_EQ(second.value().items_transferred, 0);
+  Result<cluster::RepairStats> foreign = cluster.RepairSegment(
+      (segment + 1) % cluster.ring().num_segments());
+  ASSERT_TRUE(foreign.ok());
+  EXPECT_EQ(foreign.value().items_transferred, 0);
+  // Out-of-range and stateless clusters are refused, typed.
+  EXPECT_EQ(cluster.RepairSegment(-1).status().code(),
+            Status::Code::kInvalidArgument);
+  cluster::ClusterOptions stateless = options;
+  stateless.state_dir.clear();
+  cluster::ClusterServer plain(stateless, SessionFactory());
+  ASSERT_TRUE(plain.Start().ok());
+  EXPECT_EQ(plain.RepairSegment(segment).status().code(),
+            Status::Code::kInvalidArgument);
 }
 
 }  // namespace

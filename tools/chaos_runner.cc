@@ -1,7 +1,8 @@
 // Standalone chaos harness driver.
 //
 //   chaos_runner --seed S [--work-dir DIR] [--epochs N]
-//                [--quarantine-out FILE] [--telemetry-out FILE] [--echo]
+//                [--quarantine-out FILE] [--telemetry-out FILE]
+//                [--repair-out FILE] [--echo]
 //
 // Runs the full load -> train -> checkpoint -> kill -> resume -> serve
 // pipeline twice with the same seed and verifies the two event logs are
@@ -9,7 +10,8 @@
 // fault surfaced as a typed Status, recovery bit-identical to the
 // unfaulted baseline). Exit code 0 = all invariants held.
 //
-// CI runs this and uploads the quarantine + telemetry JSONL artifacts.
+// CI runs this and uploads the quarantine + telemetry + repair-report
+// JSONL artifacts.
 
 #include <sys/stat.h>
 
@@ -30,7 +32,7 @@ void Usage() {
       stderr,
       "usage: chaos_runner [--seed S] [--work-dir DIR] [--epochs N]\n"
       "                    [--quarantine-out FILE] [--telemetry-out FILE]\n"
-      "                    [--echo]\n");
+      "                    [--repair-out FILE] [--echo]\n");
 }
 
 int Fail(const std::string& message) {
@@ -46,6 +48,7 @@ int main(int argc, char** argv) {
   int64_t epochs = 4;
   std::string quarantine_out;
   std::string telemetry_out;
+  std::string repair_out;
   bool echo = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -67,6 +70,8 @@ int main(int argc, char** argv) {
       quarantine_out = next();
     } else if (arg == "--telemetry-out") {
       telemetry_out = next();
+    } else if (arg == "--repair-out") {
+      repair_out = next();
     } else if (arg == "--echo") {
       echo = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -106,6 +111,9 @@ int main(int argc, char** argv) {
   if (result.telemetry_jsonl != second.value().telemetry_jsonl) {
     return Fail("same-seed runs produced different telemetry");
   }
+  if (result.repair_report_jsonl != second.value().repair_report_jsonl) {
+    return Fail("same-seed runs produced different repair reports");
+  }
 
   if (!quarantine_out.empty()) {
     const slime::Status st =
@@ -120,6 +128,12 @@ int main(int argc, char** argv) {
     if (!st.ok()) return Fail(st.ToString());
     std::printf("chaos_runner: training telemetry -> %s\n",
                 telemetry_out.c_str());
+  }
+  if (!repair_out.empty()) {
+    const slime::Status st = slime::io::Env::Default()->WriteFile(
+        repair_out, result.repair_report_jsonl);
+    if (!st.ok()) return Fail(st.ToString());
+    std::printf("chaos_runner: repair report -> %s\n", repair_out.c_str());
   }
 
   std::printf(

@@ -16,6 +16,8 @@
 //              [--state-dir DIR] [--state-sync always|group|none]
 //   append-events --state-dir DIR --events FILE
 //              [--state-sync always|group|none] [--compact 1]
+//   repair     --state-dir DIR --shards N [--replication R] [--vnodes V]
+//              [--ring-seed S] [--state-sync always|group|none]
 //
 // With --state-dir, `serve` opens the durable per-user state store (WAL +
 // snapshot, see docs/STATE.md), streams each traffic user's history into
@@ -28,7 +30,19 @@
 // With --shards N (N >= 2) `serve` boots a replicated in-process cluster
 // (src/cluster/) instead of a single server: user keys route by consistent
 // hash, failed shards are retried on replicas, and --reload performs a
-// rolling per-shard reload. See docs/CLUSTER.md.
+// rolling per-shard reload. See docs/CLUSTER.md. With --state-dir,
+// --repair-on-restore 1 turns on hinted handoff plus the digest repair
+// sweep after a shard restore, and --read-repair 1 turns on serve-path
+// divergence detection and healing (docs/CLUSTER.md "Anti-entropy").
+//
+// `repair` is the offline counterpart: it opens the per-shard state
+// directories a cluster `serve` run left behind (DIR/shard_<i>), rebuilds
+// the same consistent-hash ring, and runs the digest-based anti-entropy
+// sweep across every segment's replica set — back-filling missed suffixes
+// through the normal durable append path and reporting conflicts it will
+// not auto-resolve. Ring flags must match the serve run that wrote the
+// stores (same --shards, --replication, --vnodes, --ring-seed), or the
+// segment->replica mapping will not line up.
 //
 // --metrics-out writes a JSONL observability log (see
 // docs/OBSERVABILITY.md): training telemetry plus compute-layer metrics
@@ -42,6 +56,8 @@
 
 #include <sys/stat.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -51,6 +67,8 @@
 
 #include "bench_util/table_printer.h"
 #include "cluster/cluster.h"
+#include "cluster/repair.h"
+#include "cluster/ring.h"
 #include "common/string_util.h"
 #include "compute/backend.h"
 #include "compute/thread_pool.h"
@@ -452,6 +470,103 @@ int CmdAppendEvents(const Flags& flags) {
   return 0;
 }
 
+/// `repair --state-dir DIR --shards N`: offline anti-entropy sweep over
+/// the per-shard state stores a cluster `serve` run wrote. Rebuilds the
+/// serve run's consistent-hash ring, and for every segment elects the
+/// most-advanced replica per user (by monotone append count) and
+/// back-fills the others' missing suffixes through the normal durable
+/// append path — after verifying the suffix extends the lagging digest to
+/// exactly the leading one. Equal-length-but-different histories are
+/// conflicts: counted and left untouched, never overwritten.
+int CmdRepair(const Flags& flags) {
+  const std::string state_dir = flags.Require("state-dir");
+  const int64_t shards = flags.GetInt("shards", 2);
+  if (shards < 2 || shards > 64) {
+    std::fprintf(stderr, "--shards must be in [2,64] for repair\n");
+    return 2;
+  }
+  cluster::RingOptions ropts;
+  ropts.num_shards = shards;
+  ropts.replication = flags.GetInt("replication", 2);
+  ropts.vnodes_per_shard = flags.GetInt("vnodes", 16);
+  ropts.seed = static_cast<uint64_t>(
+      flags.GetInt("ring-seed", 0x5eedc105ll));
+  const cluster::ShardRing ring(ropts);
+
+  // Same per-shard directory layout `serve --shards N --state-dir DIR`
+  // uses; every store's crash recovery runs (and is reported) on open.
+  std::vector<std::unique_ptr<state::StateStore>> stores;
+  for (int64_t s = 0; s < shards; ++s) {
+    state::StateStoreOptions sopts;
+    sopts.dir = state_dir + "/shard_" + std::to_string(s);
+    sopts.sync = SyncModeOrDie(flags);
+    Result<std::unique_ptr<state::StateStore>> store =
+        state::StateStore::Open(sopts);
+    if (!store.ok()) return Fail(store.status());
+    const state::RecoveryReport& rec = store.value()->recovery();
+    std::printf("shard %lld: %lld user(s), %lld record(s) replayed%s\n",
+                static_cast<long long>(s),
+                static_cast<long long>(rec.users),
+                static_cast<long long>(rec.wal_records_replayed),
+                rec.wal_torn ? " (torn tail repaired)" : "");
+    stores.push_back(std::move(store.value()));
+  }
+
+  cluster::RepairStats total;
+  int64_t segments_diverged = 0;
+  for (int64_t seg = 0; seg < ring.num_segments(); ++seg) {
+    const std::vector<int64_t>& replicas = ring.Replicas(seg);
+    if (replicas.size() < 2) continue;
+    std::vector<uint64_t> users;
+    for (const int64_t shard : replicas) {
+      for (const state::UserDigest& d :
+           stores[static_cast<size_t>(shard)]->EnumerateDigests(
+               [&ring, seg](uint64_t u) {
+                 return ring.SegmentOf(u) == seg;
+               })) {
+        users.push_back(d.user_id);
+      }
+    }
+    std::sort(users.begin(), users.end());
+    users.erase(std::unique(users.begin(), users.end()), users.end());
+    const int64_t diverged_before = total.users_diverged;
+    for (const uint64_t user : users) {
+      // Elect the most-advanced replica, then pull the others up to it.
+      state::StateStore* ahead =
+          stores[static_cast<size_t>(replicas[0])].get();
+      for (size_t i = 1; i < replicas.size(); ++i) {
+        state::StateStore* other =
+            stores[static_cast<size_t>(replicas[i])].get();
+        if (other->Digest(user).items_total >
+            ahead->Digest(user).items_total) {
+          ahead = other;
+        }
+      }
+      for (const int64_t shard : replicas) {
+        state::StateStore* other = stores[static_cast<size_t>(shard)].get();
+        if (other == ahead) continue;
+        const Status st = cluster::RepairUser(ahead, other, user, &total);
+        if (!st.ok()) return Fail(st);
+      }
+    }
+    if (total.users_diverged != diverged_before) ++segments_diverged;
+  }
+  for (const std::unique_ptr<state::StateStore>& store : stores) {
+    const Status synced = store->Sync();
+    if (!synced.ok()) return Fail(synced);
+  }
+  std::printf("repair: %lld segment(s) swept (%lld diverged), %lld user "
+              "pair(s) scanned, %lld repaired, %lld item(s) transferred, "
+              "%lld conflict(s)\n",
+              static_cast<long long>(ring.num_segments()),
+              static_cast<long long>(segments_diverged),
+              static_cast<long long>(total.users_scanned),
+              static_cast<long long>(total.users_repaired),
+              static_cast<long long>(total.items_transferred),
+              static_cast<long long>(total.conflicts));
+  return total.conflicts == 0 ? 0 : 1;
+}
+
 /// `serve --shards N` (N >= 2): the same traffic against a replicated
 /// ClusterServer instead of a single ModelServer. Each request routes by
 /// user key through the consistent-hash ring; --reload becomes a rolling
@@ -475,6 +590,18 @@ int CmdServeCluster(const Flags& flags, const data::SplitDataset& split,
   if (!state_dir.empty()) {
     opts.state_dir = state_dir;
     opts.state_sync = SyncModeOrDie(flags);
+    // Anti-entropy is opt-in (docs/CLUSTER.md): --repair-on-restore turns
+    // on hinted handoff for appends that miss a dead replica plus the
+    // digest repair sweep after RestoreShard; --read-repair adds serve-path
+    // divergence detection and healing.
+    if (flags.GetInt("repair-on-restore", 0) != 0) {
+      opts.hinted_handoff = true;
+      opts.repair_on_restore = true;
+    }
+    if (flags.GetInt("read-repair", 0) != 0) {
+      opts.read_repair = true;
+      opts.read_repair_heal = true;
+    }
   }
 
   const std::string metrics_out = flags.Get("metrics-out");
@@ -569,6 +696,17 @@ int CmdServeCluster(const Flags& flags, const data::SplitDataset& split,
                 "store(s)\n",
                 static_cast<long long>(state_appends),
                 static_cast<long long>(shards));
+  }
+  if (opts.hinted_handoff || opts.read_repair) {
+    std::printf("anti-entropy: %lld underreplicated append(s), %lld "
+                "hint(s) queued, %lld replayed, %lld dropped, %lld user(s) "
+                "repaired, %lld conflict(s)\n",
+                static_cast<long long>(stats.underreplicated_appends),
+                static_cast<long long>(stats.hints_queued),
+                static_cast<long long>(stats.hints_replayed),
+                static_cast<long long>(stats.hints_dropped),
+                static_cast<long long>(stats.repair_users_repaired),
+                static_cast<long long>(stats.repair_conflicts));
   }
   std::printf("requests ok %lld, shed %lld, deadline %lld, errors %lld\n",
               static_cast<long long>(ok_count),
@@ -719,8 +857,8 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: slime4rec_cli "
-      "<stats|generate|train|evaluate|recommend|serve|append-events> "
-      "[--flag value ...]\n"
+      "<stats|generate|train|evaluate|recommend|serve|append-events|repair>"
+      " [--flag value ...]\n"
       "  global    [--threads N]  compute threads (default: "
       "SLIME_NUM_THREADS or hardware)\n"
       "            [--kernel-backend auto|scalar|simd]  kernel tier "
@@ -745,8 +883,14 @@ int Usage() {
       "--shards >= 2)\n"
       "            [--state-dir DIR] [--state-sync always|group|none]  "
       "(durable session state, docs/STATE.md)\n"
+      "            [--repair-on-restore 1] [--read-repair 1]  "
+      "(anti-entropy, docs/CLUSTER.md)\n"
       "  append-events --state-dir DIR --events FILE "
-      "[--state-sync group] [--compact 1]\n");
+      "[--state-sync group] [--compact 1]\n"
+      "  repair    --state-dir DIR --shards N [--replication 2] "
+      "[--vnodes 16] [--ring-seed S]\n"
+      "            (offline digest anti-entropy over a cluster's shard "
+      "state dirs)\n");
   return 2;
 }
 
@@ -793,6 +937,7 @@ int Main(int argc, char** argv) {
   if (cmd == "recommend") return CmdRecommend(flags);
   if (cmd == "serve") return CmdServe(flags);
   if (cmd == "append-events") return CmdAppendEvents(flags);
+  if (cmd == "repair") return CmdRepair(flags);
   return Usage();
 }
 
